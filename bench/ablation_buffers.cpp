@@ -1,0 +1,68 @@
+// Ablation: buffer design choices.
+//   * Sec. 5.2: "the smaller 4 MB URAM buffer poses no limitation on
+//     bandwidth compared to the 64 MB DRAM buffer" -- URAM size sweep.
+//   * Sec. 7 "HBM": multi-bank buffers should recover the on-board DRAM
+//     variant's write bandwidth lost to controller turnaround.
+#include "bench_common.hpp"
+
+namespace snacc::bench {
+namespace {
+
+constexpr std::uint64_t kTotal = 512 * MiB;
+
+struct SeqResult {
+  double write_gb_s;
+  double read_gb_s;
+};
+
+SeqResult run(core::Variant variant, std::uint64_t uram_bytes = 4 * MiB) {
+  host::SnaccDeviceConfig cfg;
+  cfg.uram_bytes = uram_bytes;
+  auto bed = SnaccBed::make(variant, cfg);
+  bed.sys->ssd().nand().force_mode(true);
+  TimePs t0 = 0;
+  TimePs tw = 0;
+  TimePs tr = 0;
+  bool done = false;
+  auto io = [](SnaccBed* bed, TimePs* a, TimePs* b, TimePs* c,
+               bool* flag) -> sim::Task {
+    *a = bed->sys->sim().now();
+    co_await bed->pe->write(0, Payload::phantom(kTotal));
+    *b = bed->sys->sim().now();
+    co_await bed->pe->read(0, kTotal, nullptr);
+    *c = bed->sys->sim().now();
+    *flag = true;
+  };
+  bed.run(io(&bed, &t0, &tw, &tr, &done), 30);
+  if (!done) return {0, 0};
+  return {gb_per_s(kTotal, tw - t0), gb_per_s(kTotal, tr - tw)};
+}
+
+}  // namespace
+}  // namespace snacc::bench
+
+int main() {
+  using namespace snacc;
+  using namespace snacc::bench;
+  print_header("Ablation: buffer placement and sizing");
+
+  std::printf("URAM buffer size sweep (Sec. 5.2: 4 MB is not a limit):\n");
+  for (std::uint64_t mb : {1ull, 2ull, 4ull, 8ull}) {
+    const auto r = run(core::Variant::kUram, mb * MiB);
+    std::printf("  %2llu MB URAM   seq-write %5.2f GB/s   seq-read %5.2f GB/s\n",
+                static_cast<unsigned long long>(mb), r.write_gb_s, r.read_gb_s);
+  }
+
+  std::printf("\nBuffer placement (Sec. 4.3 variants + Sec. 7 HBM):\n");
+  for (core::Variant v : {core::Variant::kUram, core::Variant::kOnboardDram,
+                          core::Variant::kHbm, core::Variant::kHostDram}) {
+    const auto r = run(v);
+    std::printf("  %-14s seq-write %5.2f GB/s   seq-read %5.2f GB/s\n",
+                core::variant_name(v), r.write_gb_s, r.read_gb_s);
+  }
+  std::printf(
+      "\nExpected: HBM matches URAM's 5.6 GB/s writes (no DRAM turnaround)\n"
+      "while offering DRAM-class 64 MB buffers; host DRAM remains the\n"
+      "fastest write path (no P2P pacing).\n");
+  return 0;
+}

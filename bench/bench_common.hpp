@@ -1,0 +1,104 @@
+// Shared infrastructure for the paper-reproduction benches.
+//
+// Each bench binary rebuilds the testbed (host + PCIe + SSD [+ FPGA]) in a
+// fresh simulation, drives the workload of one paper table/figure, and
+// prints paper-reported vs. measured values side by side. Results are
+// *simulated* time -- wall-clock microbenchmarking (google-benchmark style)
+// would measure the simulator, not the system under study.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "host/snacc_device.hpp"
+#include "host/system.hpp"
+#include "snacc/pe_client.hpp"
+#include "spdk/driver.hpp"
+
+namespace snacc::bench {
+
+/// A testbed with one SNAcc variant attached and initialized.
+struct SnaccBed {
+  std::unique_ptr<host::System> sys;
+  std::unique_ptr<host::SnaccDevice> dev;
+  std::unique_ptr<core::PeClient> pe;
+
+  static SnaccBed make(core::Variant variant, host::SnaccDeviceConfig cfg = {},
+                       host::SystemConfig sys_cfg = {}) {
+    SnaccBed bed;
+    bed.sys = std::make_unique<host::System>(sys_cfg);
+    cfg.streamer.variant = variant;
+    bed.dev = std::make_unique<host::SnaccDevice>(*bed.sys, cfg);
+    bool done = false;
+    auto boot = [](host::SnaccDevice* dev, bool* flag) -> sim::Task {
+      co_await dev->init();
+      *flag = true;
+    };
+    bed.sys->sim().spawn(boot(bed.dev.get(), &done));
+    bed.sys->sim().run_until(seconds(1));
+    if (!done) {
+      std::fprintf(stderr, "SNAcc init failed\n");
+      std::abort();
+    }
+    bed.pe = std::make_unique<core::PeClient>(bed.dev->streamer());
+    return bed;
+  }
+
+  /// Runs a task to completion (bounded by `budget` simulated seconds).
+  void run(sim::Task task, std::uint64_t budget_s = 60) {
+    sys->sim().spawn(std::move(task));
+    sys->sim().run_until(sys->sim().now() + seconds(budget_s));
+  }
+};
+
+/// A testbed with the SPDK baseline initialized.
+struct SpdkBed {
+  std::unique_ptr<host::System> sys;
+  std::unique_ptr<spdk::Driver> driver;
+
+  static SpdkBed make(spdk::DriverConfig cfg = {},
+                      host::SystemConfig sys_cfg = {}) {
+    SpdkBed bed;
+    bed.sys = std::make_unique<host::System>(sys_cfg);
+    bed.driver = std::make_unique<spdk::Driver>(
+        bed.sys->sim(), bed.sys->fabric(), bed.sys->host_mem(),
+        host::addr_map::kHostDramBase, bed.sys->ssd(),
+        bed.sys->config().profile.host, cfg);
+    bool done = false;
+    auto boot = [](spdk::Driver* d, bool* flag) -> sim::Task {
+      co_await d->init();
+      *flag = true;
+    };
+    bed.sys->sim().spawn(boot(bed.driver.get(), &done));
+    bed.sys->sim().run_until(seconds(1));
+    if (!done) {
+      std::fprintf(stderr, "SPDK init failed\n");
+      std::abort();
+    }
+    return bed;
+  }
+
+  void run(sim::Task task, std::uint64_t budget_s = 60) {
+    sys->sim().spawn(std::move(task));
+    sys->sim().run_until(sys->sim().now() + seconds(budget_s));
+  }
+};
+
+inline void print_header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+inline void print_row(const std::string& label, double paper, double measured,
+                      const char* unit) {
+  const double dev =
+      paper != 0.0 ? (measured - paper) / paper * 100.0 : 0.0;
+  std::printf("  %-28s paper %7.2f %-5s  measured %7.2f %-5s  (%+.1f%%)\n",
+              label.c_str(), paper, unit, measured, unit, dev);
+}
+
+}  // namespace snacc::bench

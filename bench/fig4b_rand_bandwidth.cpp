@@ -1,0 +1,142 @@
+// Figure 4b: bandwidth of random 4 kB accesses at queue depth 64.
+//
+// Paper values: random read -- SNAcc ~1.6 GB/s for all variants (the
+// in-order retirement penalty), SPDK ~4.5 GB/s (out-of-order harvesting
+// keeps QD 64 busy). Random write -- host DRAM 4.8 vs SPDK 5.25 GB/s, the
+// other two variants slightly lower (fetch-path overheads); out-of-order
+// execution matters less because the controller's write cache acknowledges
+// quickly and nearly in order.
+//
+// The paper transfers 1 GB total; we use 256 MiB (65536 commands) -- the
+// workload reaches steady state within a few thousand commands and the
+// bandwidth is unchanged, while the event count stays tractable.
+#include "bench_common.hpp"
+
+#include "common/rng.hpp"
+
+namespace snacc::bench {
+namespace {
+
+constexpr std::uint64_t kTotal = 256 * MiB;
+constexpr std::uint64_t kIo = 4 * KiB;
+constexpr std::uint64_t kCommands = kTotal / kIo;
+constexpr std::uint64_t kRegionBlocks = 4u << 20;  // 16 GiB window
+
+sim::Task snacc_rand_reads(core::PeClient* pe, sim::Simulator* sim,
+                           double* gb_s) {
+  Xoshiro256 rng(1234);
+  const TimePs t0 = sim->now();
+  // Issue and collect concurrently: the issuer task feeds the command
+  // stream while this task drains responses.
+  struct Issuer {
+    static sim::Task run(core::PeClient* pe) {
+      Xoshiro256 rng(1234);
+      for (std::uint64_t i = 0; i < kCommands; ++i) {
+        const std::uint64_t lba = rng.below(kRegionBlocks);
+        co_await pe->start_read(lba * kIo, kIo);
+      }
+    }
+  };
+  sim->spawn(Issuer::run(pe));
+  for (std::uint64_t i = 0; i < kCommands; ++i) {
+    co_await pe->collect_read(nullptr);
+  }
+  *gb_s = gb_per_s(kTotal, sim->now() - t0);
+}
+
+sim::Task snacc_rand_writes(core::PeClient* pe, sim::Simulator* sim,
+                            double* gb_s) {
+  const TimePs t0 = sim->now();
+  struct Issuer {
+    static sim::Task run(core::PeClient* pe) {
+      Xoshiro256 rng(5678);
+      for (std::uint64_t i = 0; i < kCommands; ++i) {
+        const std::uint64_t lba = rng.below(kRegionBlocks);
+        co_await pe->start_write(lba * kIo, Payload::phantom(kIo), kIo);
+      }
+    }
+  };
+  sim->spawn(Issuer::run(pe));
+  for (std::uint64_t i = 0; i < kCommands; ++i) {
+    co_await pe->wait_write_response();
+  }
+  *gb_s = gb_per_s(kTotal, sim->now() - t0);
+}
+
+struct RandResult {
+  double read_gb_s = 0;
+  double write_gb_s = 0;
+};
+
+RandResult run_snacc(core::Variant variant) {
+  RandResult r;
+  {
+    auto bed = SnaccBed::make(variant);
+    bed.sys->ssd().nand().force_mode(true);
+    bed.run(snacc_rand_reads(bed.pe.get(), &bed.sys->sim(), &r.read_gb_s), 30);
+  }
+  {
+    auto bed = SnaccBed::make(variant);
+    bed.sys->ssd().nand().force_mode(true);
+    bed.run(snacc_rand_writes(bed.pe.get(), &bed.sys->sim(), &r.write_gb_s), 30);
+  }
+  return r;
+}
+
+RandResult run_spdk() {
+  RandResult r;
+  {
+    auto bed = SpdkBed::make();
+    bed.sys->ssd().nand().force_mode(true);
+    spdk::WorkloadResult res;
+    auto io = [](spdk::Driver* d, spdk::WorkloadResult* out) -> sim::Task {
+      co_await d->run_random(false, kTotal, kIo, kRegionBlocks, 1234, out);
+    };
+    bed.run(io(bed.driver.get(), &res), 30);
+    r.read_gb_s = res.bandwidth_gb_s();
+  }
+  {
+    auto bed = SpdkBed::make();
+    bed.sys->ssd().nand().force_mode(true);
+    spdk::WorkloadResult res;
+    auto io = [](spdk::Driver* d, spdk::WorkloadResult* out) -> sim::Task {
+      co_await d->run_random(true, kTotal, kIo, kRegionBlocks, 5678, out);
+    };
+    bed.run(io(bed.driver.get(), &res), 30);
+    r.write_gb_s = res.bandwidth_gb_s();
+  }
+  return r;
+}
+
+}  // namespace
+}  // namespace snacc::bench
+
+int main() {
+  using namespace snacc;
+  using namespace snacc::bench;
+  print_header("Figure 4b -- random 4 kB access bandwidth, QD 64");
+
+  struct Config {
+    const char* name;
+    double paper_read, paper_write;
+    RandResult r;
+  };
+  Config rows[] = {
+      {"URAM", 1.6, 4.6, run_snacc(core::Variant::kUram)},
+      {"On-board DRAM", 1.6, 4.4, run_snacc(core::Variant::kOnboardDram)},
+      {"Host DRAM", 1.6, 4.8, run_snacc(core::Variant::kHostDram)},
+      {"SPDK (host CPU)", 4.5, 5.25, run_spdk()},
+  };
+  for (const Config& c : rows) {
+    std::printf("%s:\n", c.name);
+    print_row("rand-read 4k", c.paper_read, c.r.read_gb_s, "GB/s");
+    print_row("rand-write 4k", c.paper_write, c.r.write_gb_s, "GB/s");
+  }
+  std::printf(
+      "\nNote: the paper reports ~1.6 GB/s random read for all SNAcc\n"
+      "variants (in-order retirement) vs 4.5 GB/s for SPDK, and 'slightly\n"
+      "lower' random write for URAM/on-board DRAM vs the host variant's\n"
+      "4.8 GB/s; exact per-variant write values are not printed in the "
+      "paper.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 7: PCIe data transfers for the case-study configurations.
+//
+// Paper: "URAM and on-board DRAM have the fewest transfers compared to GPU,
+// which has the most" -- the FPGA-buffer variants move the payload across
+// PCIe exactly once (SSD pulls from the FPGA peer-to-peer), the host-DRAM
+// and SPDK configurations twice (FPGA -> host, host -> SSD), and the GPU
+// configuration adds the thumbnail and result hops on top.
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/case_study.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+void report(const char* name, double paper_ratio,
+            const snacc::apps::CaseStudyResult& r, double payload_bytes) {
+  if (!r.ok) {
+    std::printf("%-22s FAILED TO COMPLETE\n", name);
+    return;
+  }
+  const double ratio = static_cast<double>(r.pcie_total_bytes) / payload_bytes;
+  std::printf("%-22s paper ~%.2fx payload   measured %.2fx (%.2f GB total)\n",
+              name, paper_ratio, ratio, r.pcie_total_bytes / 1e9);
+  for (const auto& path : r.pcie_paths) {
+    if (path.bytes < payload_bytes / 100) continue;  // hide control traffic
+    std::printf("    %-34s %8.2f GB\n", path.path.c_str(), path.bytes / 1e9);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace snacc;
+  using namespace snacc::apps;
+  using namespace snacc::bench;
+
+  ImageStreamConfig cfg;
+  cfg.count = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 192;
+
+  print_header("Figure 7 -- PCIe data transfers per case-study configuration");
+  std::printf("Payload: %u images, %.2f GB\n\n", cfg.count,
+              cfg.total_bytes() / 1e9);
+  const double payload = static_cast<double>(cfg.total_bytes());
+
+  report("SNAcc URAM", 1.0, run_snacc_case_study(core::Variant::kUram, cfg),
+         payload);
+  report("SNAcc On-board DRAM", 1.0,
+         run_snacc_case_study(core::Variant::kOnboardDram, cfg), payload);
+  report("SNAcc Host DRAM", 2.0,
+         run_snacc_case_study(core::Variant::kHostDram, cfg), payload);
+  report("SPDK reference", 2.0, run_spdk_case_study(cfg), payload);
+  report("GPU reference", 2.1, run_gpu_case_study(cfg), payload);
+
+  std::printf(
+      "\nPaper Fig. 7 shape: URAM and on-board DRAM fewest transfers\n"
+      "(payload crosses PCIe once, P2P), host DRAM and SPDK twice, GPU most\n"
+      "(adds thumbnail upload and classification download).\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Table 1: FPGA resource utilization of the three NVMe Streamer variants on
+// the Alveo U280 (analytic model; see snacc/resource_model.hpp for the
+// per-feature decomposition and its calibration).
+#include <cstdio>
+
+#include "snacc/resource_model.hpp"
+
+int main() {
+  using namespace snacc;
+  using namespace snacc::core;
+
+  std::printf("\n================================================================\n");
+  std::printf("Table 1 -- FPGA resource utilization of SNAcc's NVMe Streamer\n");
+  std::printf("================================================================\n");
+  std::printf("Paper (Alveo U280):\n");
+  std::printf("  URAM           LUT   7260 (0.6%%)  FF   8388 (0.3%%)  BRAM -"
+              "              URAM 4 MB (13.3%%)  DRAM -\n");
+  std::printf("  On-board DRAM  LUT  14063 (1.1%%)  FF  16487 (0.6%%)  BRAM 24"
+              " (1.2%%)      URAM -             DRAM 128 MB\n");
+  std::printf("  Host DRAM      LUT  12228 (0.9%%)  FF  13373 (0.5%%)  BRAM 17.5"
+              " (0.9%%)    URAM -             DRAM 128 MB*\n");
+  std::printf("  (* pinned host memory)\n\nModel:\n");
+
+  for (Variant v : {Variant::kUram, Variant::kOnboardDram, Variant::kHostDram}) {
+    StreamerConfig cfg;
+    cfg.variant = v;
+    const ResourceUsage u = estimate_resources(cfg);
+    std::printf("  %s\n", format_table1_row(v, u).c_str());
+  }
+
+  std::printf("\nSec. 7 out-of-order retirement extension (model estimate):\n");
+  for (Variant v : {Variant::kUram, Variant::kOnboardDram, Variant::kHostDram}) {
+    StreamerConfig cfg;
+    cfg.variant = v;
+    cfg.out_of_order = true;
+    const ResourceUsage u = estimate_resources(cfg);
+    std::printf("  %s\n", format_table1_row(v, u).c_str());
+  }
+  return 0;
+}

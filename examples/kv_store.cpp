@@ -1,0 +1,89 @@
+// A log-structured key-value store served directly from the FPGA's NVMe
+// path -- the "network accessible database" use case from the paper's
+// introduction. Demonstrates puts/gets of mixed sizes, overwrites, and crash
+// recovery (index rebuild by scanning the on-device log).
+//
+//   $ ./kv_store
+#include <cstdio>
+
+#include "apps/kv_store.hpp"
+#include "common/rng.hpp"
+#include "host/snacc_device.hpp"
+#include "host/system.hpp"
+
+using namespace snacc;
+
+int main() {
+  host::System sys;
+  host::SnaccDeviceConfig cfg;
+  cfg.streamer.variant = core::Variant::kOnboardDram;
+  host::SnaccDevice dev(sys, cfg);
+  bool ready = false;
+  auto boot = [&]() -> sim::Task {
+    co_await dev.init();
+    ready = true;
+  };
+  sys.sim().spawn(boot());
+  sys.sim().run_until(seconds(1));
+  if (!ready) return 1;
+
+  apps::KvStore store(dev.streamer(), /*log_base=*/0,
+                      /*log_capacity=*/1 * GiB);
+  bool done = false;
+  auto workload = [&]() -> sim::Task {
+    Xoshiro256 rng(2026);
+    // Load phase: 200 keys with values from 100 B to 256 KiB.
+    TimePs t0 = sys.sim().now();
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t size = 100 + rng.below(256 * KiB);
+      co_await store.put("user:" + std::to_string(i),
+                         Payload::filled(size, static_cast<std::uint8_t>(i)));
+    }
+    std::printf("loaded %llu keys (%.1f MB of log) in %.2f ms\n",
+                static_cast<unsigned long long>(store.entries()),
+                store.log_bytes_used() / 1e6, to_ms(sys.sim().now() - t0));
+
+    // Overwrite some keys: the log grows, the index keeps the latest.
+    for (int i = 0; i < 50; ++i) {
+      co_await store.put("user:" + std::to_string(i),
+                         Payload::filled(2048, 0xFF));
+    }
+
+    // Point lookups.
+    t0 = sys.sim().now();
+    int hits = 0;
+    for (int i = 0; i < 100; ++i) {
+      Payload value;
+      bool found = false;
+      co_await store.get("user:" + std::to_string(rng.below(200)), &value,
+                         &found);
+      hits += found ? 1 : 0;
+    }
+    std::printf("100 point lookups, %d hits, avg %.1f us each\n", hits,
+                to_us(sys.sim().now() - t0) / 100);
+
+    // Simulated restart: a new store instance rebuilds its index from the
+    // on-device log.
+    apps::KvStore recovered(dev.streamer(), 0, 1 * GiB);
+    std::uint64_t records = 0;
+    t0 = sys.sim().now();
+    co_await recovered.recover(&records);
+    std::printf("recovery scanned %llu records in %.2f ms -> %llu live keys\n",
+                static_cast<unsigned long long>(records),
+                to_ms(sys.sim().now() - t0),
+                static_cast<unsigned long long>(recovered.entries()));
+
+    Payload check;
+    bool found = false;
+    co_await recovered.get("user:7", &check, &found);
+    std::printf("post-recovery read of user:7 -> %s (%llu bytes, %s)\n",
+                found ? "found" : "missing",
+                static_cast<unsigned long long>(check.size()),
+                check.content_equals(Payload::filled(2048, 0xFF)) ? "latest version"
+                                                                  : "STALE");
+    done = true;
+  };
+  sys.sim().spawn(workload());
+  sys.sim().run_until(sys.sim().now() + seconds(30));
+  return done ? 0 : 1;
+}

@@ -1,0 +1,123 @@
+#include "apps/image.hpp"
+
+#include <cstring>
+
+namespace snacc::apps {
+
+Image make_image(const ImageStreamConfig& cfg, std::uint64_t id) {
+  const std::uint64_t bytes = cfg.bytes_per_image();
+  if (!cfg.real_data) {
+    return Image(id, cfg.width, cfg.height, Payload::phantom(bytes));
+  }
+  // Deterministic pixels: cheap block-structured noise so the downscaler and
+  // classifier have real content to chew on.
+  std::vector<std::byte> pix(bytes);
+  std::uint64_t state = cfg.seed ^ (id * 0x9E3779B97F4A7C15ull);
+  Xoshiro256 rng(splitmix64(state));
+  for (std::size_t i = 0; i < pix.size(); i += 8) {
+    const std::uint64_t v = rng.next();
+    std::memcpy(pix.data() + i, &v, std::min<std::size_t>(8, pix.size() - i));
+  }
+  return Image(id, cfg.width, cfg.height, Payload::bytes(std::move(pix)));
+}
+
+Payload downscale(const Image& img) {
+  if (!img.data.has_data()) return Payload::phantom(kScaledBytes);
+  auto src = img.data.view();
+  std::vector<std::byte> dst(kScaledBytes);
+  // Nearest-region box average: each output pixel averages its source box.
+  const std::uint32_t bx = img.width / kScaledDim;
+  const std::uint32_t by = img.height / kScaledDim;
+  for (std::uint32_t y = 0; y < kScaledDim; ++y) {
+    for (std::uint32_t x = 0; x < kScaledDim; ++x) {
+      for (std::uint32_t c = 0; c < kChannels; ++c) {
+        std::uint64_t sum = 0;
+        std::uint32_t n = 0;
+        for (std::uint32_t sy = y * by; sy < y * by + by; sy += (by + 3) / 4) {
+          for (std::uint32_t sx = x * bx; sx < x * bx + bx; sx += (bx + 3) / 4) {
+            const std::size_t idx =
+                (static_cast<std::size_t>(sy) * img.width + sx) * kChannels + c;
+            if (idx < src.size()) {
+              sum += static_cast<std::uint8_t>(src[idx]);
+              ++n;
+            }
+          }
+        }
+        dst[(static_cast<std::size_t>(y) * kScaledDim + x) * kChannels + c] =
+            static_cast<std::byte>(n ? sum / n : 0);
+      }
+    }
+  }
+  return Payload::bytes(std::move(dst));
+}
+
+Classification classify_reference(const Payload& scaled,
+                                  std::uint64_t image_id) {
+  Classification result;
+  result.image_id = image_id;
+  if (!scaled.has_data()) {
+    // Bandwidth runs carry no pixels; derive a stable pseudo-class.
+    std::uint64_t s = image_id;
+    result.class_id = static_cast<std::uint32_t>(splitmix64(s) % kNumClasses);
+    result.confidence_q8 = 200;
+    return result;
+  }
+  auto pix = scaled.view();
+  // Fixed-point stand-in network: 16 pooled regions feed per-class weighted
+  // sums with a deterministic weight table; argmax wins. Cheap but real
+  // arithmetic with real data dependence (moving one pixel can flip the
+  // class), which is what the cross-path equivalence tests need.
+  std::uint32_t pooled[16] = {};
+  const std::size_t region = pix.size() / 16;
+  for (std::size_t r = 0; r < 16; ++r) {
+    std::uint64_t sum = 0;
+    for (std::size_t i = r * region; i < (r + 1) * region; i += 97) {
+      sum += static_cast<std::uint8_t>(pix[i]);
+    }
+    pooled[r] = static_cast<std::uint32_t>(sum & 0xFFFFFF);
+  }
+  std::uint64_t best_score = 0;
+  std::uint32_t best_class = 0;
+  for (std::uint32_t cls = 0; cls < 64; ++cls) {  // 64 head classes modeled
+    std::uint64_t w = 0x9E37 + cls * 0x85EBCA6Bull;
+    std::uint64_t score = 0;
+    for (std::size_t r = 0; r < 16; ++r) {
+      w = w * 6364136223846793005ull + 1442695040888963407ull;
+      score += pooled[r] * ((w >> 33) & 0xFF);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_class = cls;
+    }
+  }
+  result.class_id = best_class;
+  result.confidence_q8 =
+      static_cast<std::uint32_t>(best_score % 64 + 192);  // synthetic score
+  return result;
+}
+
+Payload DbRecord::make_header(std::uint64_t image_id, std::uint32_t class_id,
+                              std::uint64_t image_bytes) {
+  std::vector<std::byte> raw(kHeaderBytes, std::byte{0});
+  std::memcpy(raw.data() + 0, &kMagic, 8);
+  std::memcpy(raw.data() + 8, &image_id, 8);
+  std::memcpy(raw.data() + 16, &class_id, 4);
+  std::memcpy(raw.data() + 24, &image_bytes, 8);
+  return Payload::bytes(std::move(raw));
+}
+
+bool DbRecord::parse_header(const Payload& header, std::uint64_t* image_id,
+                            std::uint32_t* class_id,
+                            std::uint64_t* image_bytes) {
+  if (!header.has_data() || header.size() < 32) return false;
+  auto v = header.view();
+  std::uint64_t magic = 0;
+  std::memcpy(&magic, v.data(), 8);
+  if (magic != kMagic) return false;
+  std::memcpy(image_id, v.data() + 8, 8);
+  std::memcpy(class_id, v.data() + 16, 4);
+  std::memcpy(image_bytes, v.data() + 24, 8);
+  return true;
+}
+
+}  // namespace snacc::apps

@@ -1,0 +1,87 @@
+// Image types for the classification case study (Sec. 6).
+//
+// The paper streams 16384 images totalling 147 GB (~9 MB each -- a raw
+// 1920x1560x3 capture) over 100 G Ethernet. Images here are synthetic:
+// deterministic pseudo-random pixels when functional checks need real bytes,
+// phantom payloads for bandwidth runs. The reference classifier is a pure
+// function so FPGA/GPU/host paths can be cross-checked.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "common/payload.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace snacc::apps {
+
+inline constexpr std::uint32_t kScaledDim = 224;  // MobileNet-V1 input
+inline constexpr std::uint32_t kChannels = 3;
+inline constexpr std::uint32_t kNumClasses = 1000;  // ImageNet-style
+inline constexpr std::uint64_t kScaledBytes =
+    static_cast<std::uint64_t>(kScaledDim) * kScaledDim * kChannels;
+
+struct ImageStreamConfig {
+  std::uint32_t width = 1920;
+  std::uint32_t height = 1560;   // 1920*1560*3 = 8.99 MB, the paper's ~9 MB
+  std::uint32_t count = 2048;
+  bool real_data = false;        // real pixels (slow) vs phantom (bandwidth)
+  std::uint64_t seed = 0x1337;
+
+  std::uint64_t bytes_per_image() const {
+    return static_cast<std::uint64_t>(width) * height * kChannels;
+  }
+  std::uint64_t total_bytes() const { return bytes_per_image() * count; }
+};
+
+struct Image {
+  std::uint64_t id = 0;
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  Payload data;
+
+  Image() = default;
+  Image(std::uint64_t i, std::uint32_t w, std::uint32_t h, Payload d)
+      : id(i), width(w), height(h), data(std::move(d)) {}
+  Image(Image&&) noexcept = default;
+  Image& operator=(Image&&) noexcept = default;
+  Image(const Image&) = default;
+  Image& operator=(const Image&) = default;
+};
+
+struct Classification {
+  std::uint64_t image_id = 0;
+  std::uint32_t class_id = 0;
+  std::uint32_t confidence_q8 = 0;  // fixed-point score of the winner
+};
+
+/// Deterministic synthetic image: pixel (x, y, c) derives from (seed, id).
+Image make_image(const ImageStreamConfig& cfg, std::uint64_t id);
+
+/// Box-filter downscale to 224x224x3. Phantom in -> phantom out.
+Payload downscale(const Image& img);
+
+/// Reference classifier on a scaled 224x224x3 payload: a small fixed-point
+/// network stand-in (per-class weighted pixel sums, argmax). Deterministic;
+/// phantom inputs fall back to a hash of the image id (documented
+/// substitution for bandwidth-only runs).
+Classification classify_reference(const Payload& scaled, std::uint64_t image_id);
+
+/// Database record layout: one 4 kB header block followed by the image
+/// payload, padded to the next block (Sec. 6: "storing the images and their
+/// classifications directly in a database").
+struct DbRecord {
+  static constexpr std::uint64_t kHeaderBytes = 4 * KiB;
+  static constexpr std::uint64_t kMagic = 0x534E414343ull;  // "SNACC"
+
+  static std::uint64_t padded_bytes(std::uint64_t image_bytes) {
+    return kHeaderBytes + ((image_bytes + kPageSize - 1) & ~(kPageSize - 1));
+  }
+  static Payload make_header(std::uint64_t image_id, std::uint32_t class_id,
+                             std::uint64_t image_bytes);
+  static bool parse_header(const Payload& header, std::uint64_t* image_id,
+                           std::uint32_t* class_id, std::uint64_t* image_bytes);
+};
+
+}  // namespace snacc::apps

@@ -1,0 +1,129 @@
+#include "apps/kv_store.hpp"
+
+#include <cstring>
+
+namespace snacc::apps {
+
+KvStore::KvStore(core::NvmeStreamer& streamer, std::uint64_t log_base,
+                 std::uint64_t log_capacity)
+    : pe_(streamer), base_(log_base), capacity_(log_capacity), head_(log_base) {}
+
+Payload KvStore::make_header(const std::string& key, std::uint64_t value_bytes,
+                             std::uint64_t sequence) const {
+  std::vector<std::byte> raw(kHeaderBytes, std::byte{0});
+  const std::uint64_t key_len = key.size();
+  std::memcpy(raw.data() + 0, &kMagic, 8);
+  std::memcpy(raw.data() + 8, &sequence, 8);
+  std::memcpy(raw.data() + 16, &key_len, 8);
+  std::memcpy(raw.data() + 24, &value_bytes, 8);
+  std::memcpy(raw.data() + 32, key.data(), key.size());
+  return Payload::bytes(std::move(raw));
+}
+
+bool KvStore::parse_header(const Payload& header, std::string* key,
+                           std::uint64_t* value_bytes,
+                           std::uint64_t* sequence) {
+  if (!header.has_data() || header.size() < 32) return false;
+  auto v = header.view();
+  std::uint64_t magic = 0;
+  std::memcpy(&magic, v.data(), 8);
+  if (magic != kMagic) return false;
+  std::uint64_t key_len = 0;
+  std::memcpy(sequence, v.data() + 8, 8);
+  std::memcpy(&key_len, v.data() + 16, 8);
+  std::memcpy(value_bytes, v.data() + 24, 8);
+  if (key_len > kMaxKeyBytes || 32 + key_len > v.size()) return false;
+  key->assign(reinterpret_cast<const char*>(v.data() + 32), key_len);
+  return true;
+}
+
+sim::Task KvStore::put(std::string key, Payload value, bool* ok) {
+  const std::uint64_t span = record_span(value.size());
+  if (key.size() > kMaxKeyBytes || head_ + span > base_ + capacity_) {
+    if (ok != nullptr) *ok = false;
+    co_return;
+  }
+  const std::uint64_t addr = head_;
+  head_ += span;
+  const std::uint64_t seq = sequence_++;
+  const std::uint64_t value_bytes = value.size();
+  Payload record =
+      Payload::concat(make_header(key, value_bytes, seq), std::move(value));
+  co_await pe_.write(addr, std::move(record));
+  index_[std::move(key)] = Entry{addr, value_bytes};
+  ++puts_;
+  if (ok != nullptr) *ok = true;
+}
+
+sim::Task KvStore::get(const std::string& key, Payload* out, bool* found) {
+  ++gets_;
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    *found = false;
+    co_return;
+  }
+  *found = true;
+  if (out != nullptr) {
+    co_await pe_.read(it->second.record_addr + kHeaderBytes,
+                      it->second.value_bytes, out);
+  }
+}
+
+sim::Task KvStore::compact(std::uint64_t scratch_base,
+                           std::uint64_t scratch_capacity,
+                           std::uint64_t* reclaimed_bytes) {
+  const std::uint64_t before = log_bytes_used();
+  std::uint64_t new_head = scratch_base;
+  std::uint64_t new_seq = 0;
+  std::unordered_map<std::string, Entry> new_index;
+  // Stream every live record to the scratch log. Device-to-device copy goes
+  // through the PE (read stream in, write stream out), so compaction runs on
+  // the FPGA path like everything else.
+  for (const auto& [key, entry] : index_) {
+    Payload value;
+    co_await pe_.read(entry.record_addr + kHeaderBytes, entry.value_bytes,
+                      &value);
+    const std::uint64_t span = record_span(entry.value_bytes);
+    if (new_head + span > scratch_base + scratch_capacity) {
+      // Scratch too small: abort without switching over.
+      if (reclaimed_bytes != nullptr) *reclaimed_bytes = 0;
+      co_return;
+    }
+    Payload record = Payload::concat(make_header(key, entry.value_bytes, new_seq),
+                                     std::move(value));
+    co_await pe_.write(new_head, std::move(record));
+    new_index[key] = Entry{new_head, entry.value_bytes};
+    new_head += span;
+    ++new_seq;
+  }
+  base_ = scratch_base;
+  capacity_ = scratch_capacity;
+  head_ = new_head;
+  sequence_ = new_seq;
+  index_ = std::move(new_index);
+  if (reclaimed_bytes != nullptr) {
+    *reclaimed_bytes = before - log_bytes_used();
+  }
+}
+
+sim::Task KvStore::recover(std::uint64_t* records_out) {
+  index_.clear();
+  head_ = base_;
+  sequence_ = 0;
+  std::uint64_t records = 0;
+  while (head_ + kHeaderBytes <= base_ + capacity_) {
+    Payload header;
+    co_await pe_.read(head_, kHeaderBytes, &header);
+    std::string key;
+    std::uint64_t value_bytes = 0;
+    std::uint64_t seq = 0;
+    if (!parse_header(header, &key, &value_bytes, &seq)) break;  // log end
+    index_[std::move(key)] = Entry{head_, value_bytes};
+    head_ += record_span(value_bytes);
+    sequence_ = std::max(sequence_, seq + 1);
+    ++records;
+  }
+  if (records_out != nullptr) *records_out = records;
+}
+
+}  // namespace snacc::apps

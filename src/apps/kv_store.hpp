@@ -1,0 +1,82 @@
+// A log-structured key-value store on top of the SNAcc streamer -- the
+// "network accessible database" workload the paper's introduction motivates.
+//
+// Layout: an append-only log of records on the NVMe device. Each record is a
+// 4 kB header block (magic, sequence, key length, value length, key bytes)
+// followed by the value, padded to the block size. An in-memory index maps
+// keys to log offsets; `recover()` rebuilds it by scanning headers, so the
+// store survives a restart of the FPGA-side state.
+//
+// All storage I/O goes through the public PE stream interface: puts are
+// single streaming writes (the streamer splits at 1 MB internally), gets are
+// two-phase (header probe when the value length is unknown, then the exact
+// byte range -- exercising the sub-block read trimming).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "snacc/pe_client.hpp"
+
+namespace snacc::apps {
+
+class KvStore {
+ public:
+  static constexpr std::uint64_t kHeaderBytes = 4 * KiB;
+  static constexpr std::uint64_t kMagic = 0x4B56'4C4F'47'31ull;  // "KVLOG1"
+  static constexpr std::uint64_t kMaxKeyBytes = 3 * KiB;
+
+  /// `log_base`/`log_capacity`: device byte range owned by this store.
+  KvStore(core::NvmeStreamer& streamer, std::uint64_t log_base,
+          std::uint64_t log_capacity);
+
+  /// Appends key/value to the log and indexes it. Fails (returns false via
+  /// *ok) when the key is oversized or the log is full.
+  sim::Task put(std::string key, Payload value, bool* ok = nullptr);
+
+  /// Looks the key up; *found says whether it exists, *out receives the
+  /// value (latest version wins).
+  sim::Task get(const std::string& key, Payload* out, bool* found);
+
+  /// Rebuilds the index by scanning the log from `log_base` (e.g. after the
+  /// in-memory state was lost). Returns the number of records recovered.
+  sim::Task recover(std::uint64_t* records_out = nullptr);
+
+  /// Log compaction: copies only the *live* version of every key into a
+  /// fresh log at `scratch_base` (which must not overlap the current log),
+  /// then switches over to it. Overwritten record versions are reclaimed.
+  sim::Task compact(std::uint64_t scratch_base, std::uint64_t scratch_capacity,
+                    std::uint64_t* reclaimed_bytes = nullptr);
+
+  std::uint64_t entries() const { return index_.size(); }
+  std::uint64_t log_bytes_used() const { return head_ - base_; }
+  std::uint64_t puts() const { return puts_; }
+  std::uint64_t gets() const { return gets_; }
+
+  static std::uint64_t record_span(std::uint64_t value_bytes) {
+    return kHeaderBytes + ((value_bytes + kPageSize - 1) & ~(kPageSize - 1));
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t record_addr;
+    std::uint64_t value_bytes;
+  };
+
+  Payload make_header(const std::string& key, std::uint64_t value_bytes,
+                      std::uint64_t sequence) const;
+  static bool parse_header(const Payload& header, std::string* key,
+                           std::uint64_t* value_bytes, std::uint64_t* sequence);
+
+  core::PeClient pe_;
+  std::uint64_t base_;
+  std::uint64_t capacity_;
+  std::uint64_t head_;
+  std::uint64_t sequence_ = 0;
+  std::unordered_map<std::string, Entry> index_;
+  std::uint64_t puts_ = 0;
+  std::uint64_t gets_ = 0;
+};
+
+}  // namespace snacc::apps

@@ -1,0 +1,35 @@
+// CpuAccount: tracks busy time of a modeled host CPU thread.
+//
+// The paper's Sec. 6.3 point -- SPDK and the GPU reference burn one CPU
+// thread at 100 % moving data, SNAcc none -- is reproduced by charging every
+// software action (submission bookkeeping, poll iterations, memcpy) here and
+// reporting utilization over the measurement window.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace snacc {
+
+class CpuAccount {
+ public:
+  explicit CpuAccount(std::string name = "cpu") : name_(std::move(name)) {}
+
+  void charge(TimePs t) { busy_ += t; }
+  void reset() { busy_ = 0; }
+
+  TimePs busy() const { return busy_; }
+  double utilization(TimePs window) const {
+    if (window == 0) return 0.0;
+    const double u = static_cast<double>(busy_) / static_cast<double>(window);
+    return u > 1.0 ? 1.0 : u;
+  }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  TimePs busy_ = 0;
+};
+
+}  // namespace snacc

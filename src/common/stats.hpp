@@ -1,0 +1,98 @@
+// Lightweight statistics helpers used by benches and device models:
+// counters, min/max/mean accumulators, and a fixed-bucket latency histogram.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace snacc {
+
+/// Streaming accumulator: count / sum / min / max / mean / stddev (Welford).
+class Accumulator {
+ public:
+  void add(double x) {
+    ++n_;
+    sum_ += x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Latency histogram with exact-sample percentiles (stores samples; fine for
+/// the ≤ few-million-sample runs in this framework).
+class LatencyStats {
+ public:
+  void add(TimePs t) {
+    samples_.push_back(t);
+    sorted_ = false;
+  }
+
+  std::uint64_t count() const { return samples_.size(); }
+
+  TimePs percentile(double p) {
+    if (samples_.empty()) return 0;
+    sort_if_needed();
+    const double idx = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    return samples_[static_cast<std::size_t>(idx + 0.5)];
+  }
+
+  double mean_us() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (TimePs t : samples_) s += to_us(t);
+    return s / static_cast<double>(samples_.size());
+  }
+
+  TimePs min() {
+    sort_if_needed();
+    return samples_.empty() ? 0 : samples_.front();
+  }
+  TimePs max() {
+    sort_if_needed();
+    return samples_.empty() ? 0 : samples_.back();
+  }
+
+ private:
+  void sort_if_needed() {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+  std::vector<TimePs> samples_;
+  bool sorted_ = true;
+};
+
+/// Named monotonic byte/op counter, used for PCIe traffic accounting.
+struct Counter {
+  std::string name;
+  std::uint64_t value = 0;
+  void add(std::uint64_t v) { value += v; }
+};
+
+}  // namespace snacc

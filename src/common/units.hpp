@@ -1,0 +1,53 @@
+// Basic unit types and literals shared across the SNAcc simulation framework.
+//
+// All simulated time is kept in integer picoseconds (`TimePs`) to avoid
+// floating-point drift in event ordering; helpers convert to/from the
+// human-facing units (ns/us/ms) used throughout the paper.
+#pragma once
+
+#include <cstdint>
+
+namespace snacc {
+
+/// Simulated time in picoseconds.
+using TimePs = std::uint64_t;
+
+inline constexpr TimePs kPsPerNs = 1'000;
+inline constexpr TimePs kPsPerUs = 1'000'000;
+inline constexpr TimePs kPsPerMs = 1'000'000'000;
+inline constexpr TimePs kPsPerS = 1'000'000'000'000ULL;
+
+constexpr TimePs ps(std::uint64_t v) { return v; }
+constexpr TimePs ns(std::uint64_t v) { return v * kPsPerNs; }
+constexpr TimePs us(std::uint64_t v) { return v * kPsPerUs; }
+constexpr TimePs ms(std::uint64_t v) { return v * kPsPerMs; }
+constexpr TimePs seconds(std::uint64_t v) { return v * kPsPerS; }
+
+constexpr double to_ns(TimePs t) { return static_cast<double>(t) / kPsPerNs; }
+constexpr double to_us(TimePs t) { return static_cast<double>(t) / kPsPerUs; }
+constexpr double to_ms(TimePs t) { return static_cast<double>(t) / kPsPerMs; }
+constexpr double to_s(TimePs t) { return static_cast<double>(t) / kPsPerS; }
+
+/// Sizes. Powers of two, as used for buffers/pages; storage vendors' GB
+/// (1e9) is used only when reporting bandwidth.
+inline constexpr std::uint64_t KiB = 1024;
+inline constexpr std::uint64_t MiB = 1024 * KiB;
+inline constexpr std::uint64_t GiB = 1024 * MiB;
+
+/// NVMe memory page size used throughout (PRP granularity).
+inline constexpr std::uint64_t kPageSize = 4 * KiB;
+
+/// Converts a (bytes, duration) pair into GB/s (decimal GB as in the paper).
+constexpr double gb_per_s(std::uint64_t bytes, TimePs elapsed) {
+  if (elapsed == 0) return 0.0;
+  return static_cast<double>(bytes) / 1e9 / to_s(elapsed);
+}
+
+/// Time to move `bytes` at `gbps` decimal-GB/s, rounded up to whole ps.
+constexpr TimePs transfer_time(std::uint64_t bytes, double gb_s) {
+  if (gb_s <= 0.0) return 0;
+  const double s = static_cast<double>(bytes) / (gb_s * 1e9);
+  return static_cast<TimePs>(s * static_cast<double>(kPsPerS) + 0.5);
+}
+
+}  // namespace snacc

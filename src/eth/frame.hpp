@@ -1,0 +1,50 @@
+// Ethernet frames for the 100 G ingest path (Sec. 4.7).
+//
+// Data frames carry a payload plus an application header (stream id +
+// offset) used by the receiver to reassemble images. Pause frames implement
+// IEEE 802.3x flow control: quanta > 0 pauses the peer's transmitter,
+// quanta == 0 releases it ("pause off").
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "common/payload.hpp"
+
+namespace snacc::eth {
+
+inline constexpr std::uint32_t kMacOverheadBytes = 38;  // preamble+FCS+IFG
+inline constexpr std::uint32_t kPauseFrameBytes = 64;
+
+struct Frame {
+  Payload payload;
+  std::uint64_t stream_id = 0;
+  std::uint64_t offset = 0;   // byte offset within the stream object
+  bool end_of_object = false;  // last frame of an image/object
+  bool is_pause = false;
+  std::uint16_t pause_quanta = 0;
+
+  Frame() = default;
+  Frame(Payload p, std::uint64_t id, std::uint64_t off, bool eoo)
+      : payload(std::move(p)), stream_id(id), offset(off), end_of_object(eoo) {}
+  static Frame pause(std::uint16_t quanta) {
+    Frame f;
+    f.is_pause = true;
+    f.pause_quanta = quanta;
+    return f;
+  }
+
+  // User-provided special members (g++ 12 aggregate-move workaround; see
+  // sim/channel.hpp).
+  Frame(Frame&& o) noexcept = default;
+  Frame& operator=(Frame&& o) noexcept = default;
+  Frame(const Frame&) = default;
+  Frame& operator=(const Frame&) = default;
+
+  std::uint64_t wire_bytes() const {
+    if (is_pause) return kPauseFrameBytes + kMacOverheadBytes;
+    return payload.size() + 30 /*hdr*/ + kMacOverheadBytes;
+  }
+};
+
+}  // namespace snacc::eth

@@ -1,0 +1,122 @@
+// Memory timing models.
+//
+// Uram: on-die UltraRAM -- fixed pipelined latency, full fabric bandwidth,
+// dual-ported (no read/write contention). The URAM streamer variant's 4 MB
+// buffer (Sec. 4.3) lives here.
+//
+// Dram: one off-chip DRAM controller channel, as on the Alveo U280 used by
+// TaPaSCo (Sec. 5.2 notes the design is limited to a single controller).
+// Models sustained channel bandwidth, closed-row access latency, and the
+// read<->write bus-turnaround penalty that the paper identifies as the
+// on-board-DRAM write-bandwidth limiter. Burst combining (Sec. 4.3: the
+// streamer merges the NVMe controller's smaller accesses into 4 kB bursts)
+// is expressed by callers issuing fewer, larger accesses.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/calibration.hpp"
+#include "mem/memory_port.hpp"
+#include "mem/sparse_memory.hpp"
+#include "sim/rate_server.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace snacc::mem {
+
+class Uram final : public MemoryPort {
+ public:
+  Uram(sim::Simulator& sim, std::uint64_t size, const FpgaProfile& fpga);
+
+  sim::Future<Payload> read(std::uint64_t addr, std::uint64_t len) override;
+  sim::Future<sim::Done> write(std::uint64_t addr, Payload data) override;
+  std::uint64_t size() const override { return store_.size(); }
+
+  SparseMemory& store() { return store_; }
+
+ private:
+  sim::Task do_read(std::uint64_t addr, std::uint64_t len,
+                    sim::Promise<Payload> done);
+  sim::Task do_write(std::uint64_t addr, Payload data,
+                     sim::Promise<sim::Done> done);
+
+  sim::Simulator& sim_;
+  SparseMemory store_;
+  TimePs latency_;
+  // Separate read/write servers: URAM blocks are dual-ported.
+  sim::RateServer read_port_;
+  sim::RateServer write_port_;
+};
+
+class Dram final : public MemoryPort {
+ public:
+  Dram(sim::Simulator& sim, std::uint64_t size, const FpgaProfile& fpga);
+
+  sim::Future<Payload> read(std::uint64_t addr, std::uint64_t len) override;
+  sim::Future<sim::Done> write(std::uint64_t addr, Payload data) override;
+  std::uint64_t size() const override { return store_.size(); }
+
+  SparseMemory& store() { return store_; }
+  std::uint64_t turnarounds() const { return turnarounds_; }
+
+ private:
+  enum class Dir { kIdle, kRead, kWrite };
+
+  /// Shared-bus occupation for one access, including turnaround if the
+  /// direction changed. Returns the completion time awaitable.
+  TimePs occupy(Dir dir, std::uint64_t bytes);
+
+  sim::Task do_read(std::uint64_t addr, std::uint64_t len,
+                    sim::Promise<Payload> done);
+  sim::Task do_write(std::uint64_t addr, Payload data,
+                     sim::Promise<sim::Done> done);
+
+  sim::Simulator& sim_;
+  SparseMemory store_;
+  FpgaProfile fpga_;
+  sim::RateServer bus_;
+  Dir last_dir_ = Dir::kIdle;
+  std::uint64_t turnarounds_ = 0;
+};
+
+/// HBM: independent pseudo-channel controllers interleaved at 4 kB
+/// granularity (Sec. 7: "leverage HBM and distribute data buffers across
+/// different HBM controllers to maximize parallelism and bandwidth").
+/// Concurrent read/write streams land on different channels most of the
+/// time, removing the single-controller turnaround bottleneck.
+class Hbm final : public MemoryPort {
+ public:
+  Hbm(sim::Simulator& sim, std::uint64_t size, const FpgaProfile& fpga,
+      std::uint32_t channels = 8);
+
+  sim::Future<Payload> read(std::uint64_t addr, std::uint64_t len) override;
+  sim::Future<sim::Done> write(std::uint64_t addr, Payload data) override;
+  std::uint64_t size() const override { return size_; }
+
+  std::uint32_t channels() const {
+    return static_cast<std::uint32_t>(banks_.size());
+  }
+
+ private:
+  /// Channel selection: 4 kB interleave.
+  Dram& bank_for(std::uint64_t addr) {
+    return *banks_[(addr / kPageSize) % banks_.size()];
+  }
+  sim::Task do_read(std::uint64_t addr, std::uint64_t len,
+                    sim::Promise<Payload> done);
+  sim::Task do_write(std::uint64_t addr, Payload data,
+                     sim::Promise<sim::Done> done);
+
+  sim::Simulator& sim_;
+  std::uint64_t size_;
+  mem::SparseMemory store_;
+  std::vector<std::unique_ptr<Dram>> banks_;  // timing only; data in store_
+
+ public:
+  SparseMemory& store() { return store_; }
+};
+
+
+}  // namespace snacc::mem

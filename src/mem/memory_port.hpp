@@ -1,0 +1,26 @@
+// MemoryPort: the asynchronous memory interface shared by URAM, on-board
+// DRAM and PCIe-mapped host memory. Implementations charge their own access
+// timing; callers simply `co_await port.read(...)` / `port.write(...)`.
+#pragma once
+
+#include <cstdint>
+
+#include "common/payload.hpp"
+#include "sim/future.hpp"
+
+namespace snacc::mem {
+
+class MemoryPort {
+ public:
+  virtual ~MemoryPort() = default;
+
+  /// Completes when the data is available to the requester.
+  virtual sim::Future<Payload> read(std::uint64_t addr, std::uint64_t len) = 0;
+
+  /// Completes when the write has been accepted (write response).
+  virtual sim::Future<sim::Done> write(std::uint64_t addr, Payload data) = 0;
+
+  virtual std::uint64_t size() const = 0;
+};
+
+}  // namespace snacc::mem

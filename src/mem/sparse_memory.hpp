@@ -1,0 +1,51 @@
+// SparseMemory: page-granular byte store backing every memory in the system
+// (host DRAM, FPGA URAM/DRAM buffers, SSD media).
+//
+// Pages materialize on first *real* write; phantom writes only mark the range
+// as phantom-touched. Reads return real bytes when every covered page is
+// materialized, otherwise a phantom payload of the right size -- so integrity
+// tests see exact data while bandwidth runs never allocate.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/payload.hpp"
+#include "common/units.hpp"
+
+namespace snacc::mem {
+
+class SparseMemory {
+ public:
+  explicit SparseMemory(std::uint64_t size) : size_(size) {}
+
+  std::uint64_t size() const { return size_; }
+
+  /// Writes `p` at `addr`. Real bytes materialize pages; a phantom payload
+  /// invalidates any previously-real bytes in range (the contents are now
+  /// unknown).
+  void write(std::uint64_t addr, const Payload& p);
+
+  /// Reads `len` bytes; returns a real payload iff the whole range is
+  /// materialized.
+  Payload read(std::uint64_t addr, std::uint64_t len) const;
+
+  /// Fills a range with a byte value (materializes pages).
+  void fill(std::uint64_t addr, std::uint64_t len, std::uint8_t value);
+
+  std::size_t resident_pages() const { return pages_.size(); }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t bytes_read() const { return bytes_read_; }
+
+ private:
+  using Page = std::vector<std::byte>;
+  Page& page_for(std::uint64_t page_index);
+
+  std::uint64_t size_;
+  std::unordered_map<std::uint64_t, Page> pages_;
+  std::uint64_t bytes_written_ = 0;
+  mutable std::uint64_t bytes_read_ = 0;
+};
+
+}  // namespace snacc::mem

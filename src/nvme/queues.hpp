@@ -1,0 +1,92 @@
+// Host-side (and streamer-side) views of NVMe submission/completion rings.
+//
+// A SqRing tracks the producer state of a submission queue: tail advance,
+// free-slot accounting against the head the controller reports in CQEs. A
+// CqRing tracks the consumer state of a completion queue: expected phase tag
+// and head advance. Both compute entry addresses in whatever memory the ring
+// lives in (host DRAM for SPDK, the FPGA FIFO/ROB windows for SNAcc).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "nvme/spec.hpp"
+
+namespace snacc::nvme {
+
+struct QueueConfig {
+  std::uint16_t qid = 0;
+  std::uint64_t base = 0;   // global PCIe address of slot 0
+  std::uint16_t entries = 64;
+};
+
+class SqRing {
+ public:
+  explicit SqRing(QueueConfig cfg) : cfg_(cfg) {}
+
+  const QueueConfig& config() const { return cfg_; }
+  std::uint16_t tail() const { return tail_; }
+  std::uint16_t head() const { return head_; }
+
+  bool full() const {
+    return static_cast<std::uint16_t>((tail_ + 1) % cfg_.entries) == head_;
+  }
+  std::uint16_t free_slots() const {
+    return static_cast<std::uint16_t>(
+        (head_ + cfg_.entries - tail_ - 1) % cfg_.entries);
+  }
+  std::uint16_t in_flight() const {
+    return static_cast<std::uint16_t>((tail_ + cfg_.entries - head_) % cfg_.entries);
+  }
+
+  /// Address of the slot the next entry goes into.
+  std::uint64_t next_slot_addr() const {
+    return cfg_.base + static_cast<std::uint64_t>(tail_) * kSqeSize;
+  }
+
+  /// Claims the tail slot; returns the new tail to write to the doorbell.
+  std::uint16_t advance_tail() {
+    assert(!full());
+    tail_ = static_cast<std::uint16_t>((tail_ + 1) % cfg_.entries);
+    return tail_;
+  }
+
+  /// Updates the head from a completion's sq_head field, freeing slots.
+  void update_head(std::uint16_t sq_head) { head_ = sq_head % cfg_.entries; }
+
+ private:
+  QueueConfig cfg_;
+  std::uint16_t tail_ = 0;
+  std::uint16_t head_ = 0;
+};
+
+class CqRing {
+ public:
+  explicit CqRing(QueueConfig cfg) : cfg_(cfg) {}
+
+  const QueueConfig& config() const { return cfg_; }
+  std::uint16_t head() const { return head_; }
+  bool expected_phase() const { return phase_; }
+
+  /// Address of the next entry to poll.
+  std::uint64_t head_addr() const {
+    return cfg_.base + static_cast<std::uint64_t>(head_) * kCqeSize;
+  }
+
+  /// True if a freshly-read entry at the head is new (phase matches).
+  bool is_new(const CompletionEntry& e) const { return e.phase == phase_; }
+
+  /// Consumes the head entry; returns the new head for the doorbell write.
+  std::uint16_t advance() {
+    head_ = static_cast<std::uint16_t>((head_ + 1) % cfg_.entries);
+    if (head_ == 0) phase_ = !phase_;
+    return head_;
+  }
+
+ private:
+  QueueConfig cfg_;
+  std::uint16_t head_ = 0;
+  bool phase_ = true;  // controller writes phase=1 on the first pass
+};
+
+}  // namespace snacc::nvme

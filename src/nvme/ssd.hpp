@@ -1,0 +1,131 @@
+// NVMe SSD device model (calibrated to a Samsung 990 PRO 2 TB, Sec. 5).
+//
+// The Ssd is a PCIe Target exposing real controller registers and doorbells
+// in its BAR. It autonomously fetches 64-byte submission entries from
+// wherever the submission queue lives (host DRAM for SPDK, the SNAcc
+// streamer's FPGA FIFO window for the FPGA path), walks PRPs -- including
+// list reads, which on the FPGA hit the streamer's on-the-fly PRP engine --
+// moves payload by DMA over the fabric, executes on the NAND backend, and
+// posts phase-tagged completions. Commands execute concurrently and complete
+// out of order, exactly the behaviour the SNAcc reorder buffer has to absorb.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/calibration.hpp"
+#include "mem/sparse_memory.hpp"
+#include "nvme/nand.hpp"
+#include "nvme/prp.hpp"
+#include "nvme/queues.hpp"
+#include "nvme/spec.hpp"
+#include "pcie/fabric.hpp"
+#include "sim/future.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace snacc::nvme {
+
+class Ssd final : public pcie::Target {
+ public:
+  Ssd(sim::Simulator& sim, pcie::Fabric& fabric, const SsdProfile& profile,
+      std::uint64_t capacity_bytes = 2'000'000'000'000ull,
+      std::uint64_t seed = 0x990);
+  ~Ssd() override;
+
+  /// Registers the controller BAR at `bar_base` on its own fabric port.
+  void attach(pcie::Addr bar_base, double link_gb_s);
+
+  pcie::PortId port() const { return port_; }
+  pcie::Addr bar_base() const { return bar_base_; }
+  static constexpr std::uint64_t kBarSize = 16 * KiB;
+
+  // --- pcie::Target --------------------------------------------------------
+  sim::Future<Payload> mem_read(pcie::Addr local, std::uint64_t len) override;
+  sim::Future<sim::Done> mem_write(pcie::Addr local, Payload data) override;
+
+  // --- direct (test) configuration ----------------------------------------
+  /// Creates an I/O queue pair without going through the admin queue; used
+  /// by unit tests and by setups that model pre-initialized controllers.
+  void create_io_queues_direct(const QueueConfig& sq, const QueueConfig& cq);
+
+  // --- introspection -------------------------------------------------------
+  mem::SparseMemory& media() { return media_; }
+  NandBackend& nand() { return nand_; }
+  const SsdProfile& profile() const { return profile_; }
+  bool ready() const { return csts_ready_; }
+  std::uint64_t commands_completed() const { return commands_completed_; }
+  std::uint64_t read_errors() const { return read_errors_; }
+  std::uint64_t namespace_blocks() const { return media_.size() / kLbaSize; }
+
+ private:
+  struct IoQueue {
+    std::uint16_t sqid = 0;
+    std::uint16_t cqid = 0;
+    pcie::Addr sq_base = 0;
+    pcie::Addr cq_base = 0;
+    std::uint16_t sq_entries = 0;
+    std::uint16_t cq_entries = 0;
+    std::uint16_t sq_head = 0;     // controller fetch position
+    std::uint16_t sq_tail_db = 0;  // last doorbell from producer
+    std::uint16_t cq_tail = 0;     // controller post position
+    bool cq_phase = true;
+    std::uint16_t cq_head_db = 0;  // consumer progress
+    std::unique_ptr<sim::Gate> sq_work;    // opened by SQ tail doorbell
+    std::unique_ptr<sim::Gate> cq_space;   // opened by CQ head doorbell
+    bool is_admin = false;
+    bool deleted = false;
+  };
+
+  // Register / doorbell plumbing.
+  sim::Task handle_register_write(pcie::Addr local, Payload data);
+  Payload read_register(pcie::Addr local, std::uint64_t len) const;
+  void enable_controller();
+
+  // Queue workers.
+  sim::Task sq_worker(IoQueue& q);
+  sim::Task execute_io(IoQueue& q, SubmissionEntry sqe);
+  sim::Task execute_admin(IoQueue& q, SubmissionEntry sqe);
+  sim::Task execute_read(IoQueue& q, SubmissionEntry sqe);
+  sim::Task execute_write(IoQueue& q, SubmissionEntry sqe);
+  /// Posts a completion; `sq_head` is read from the queue at post time
+  /// (monotonic fetch progress, as real controllers report).
+  sim::Task post_cqe(IoQueue& q, std::uint16_t cid, Status status,
+                     std::uint32_t dw0 = 0);
+
+  sim::Task page_read_to_buffer(std::uint64_t lba, pcie::Addr dst,
+                                sim::WaitGroup& wg);
+  sim::Task page_fetch_from_buffer(std::uint64_t lba, pcie::Addr src,
+                                   sim::WaitGroup& wg, bool& ok);
+  sim::Task resolve_prps(const SubmissionEntry& sqe,
+                         std::vector<std::uint64_t>& pages);
+  FetchPath classify_source(pcie::Addr addr) const;
+
+  sim::Simulator& sim_;
+  pcie::Fabric& fabric_;
+  SsdProfile profile_;
+  mem::SparseMemory media_;
+  NandBackend nand_;
+  pcie::PortId port_ = pcie::kInvalidPort;
+  pcie::Addr bar_base_ = 0;
+
+  // Registers.
+  std::uint32_t cc_ = 0;
+  bool csts_ready_ = false;
+  std::uint32_t aqa_ = 0;
+  std::uint64_t asq_ = 0;
+  std::uint64_t acq_ = 0;
+
+  std::map<std::uint16_t, std::unique_ptr<IoQueue>> queues_;  // by sqid; 0=admin
+  std::map<std::uint16_t, QueueConfig> created_cqs_;  // CQs awaiting their SQ
+  std::unique_ptr<sim::Semaphore> exec_slots_;
+  std::unique_ptr<sim::RateServer> cmd_pipe_;  // SQE fetch/decode pipeline
+
+  std::uint64_t commands_completed_ = 0;
+  std::uint64_t read_errors_ = 0;
+};
+
+}  // namespace snacc::nvme

@@ -1,0 +1,193 @@
+#include "pcie/fabric.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace snacc::pcie {
+
+Fabric::Fabric(sim::Simulator& sim, const PcieProfile& profile)
+    : sim_(sim), profile_(profile) {}
+
+PortId Fabric::add_port(std::string name, double link_gb_s) {
+  auto port = std::make_unique<Port>(Port{
+      std::move(name),
+      sim::RateServer(sim_, link_gb_s),
+      sim::RateServer(sim_, link_gb_s),
+  });
+  ports_.push_back(std::move(port));
+  return PortId{static_cast<std::uint16_t>(ports_.size() - 1)};
+}
+
+void Fabric::map(Addr base, std::uint64_t size, Target* target, PortId owner,
+                 MemKind kind) {
+  assert(target != nullptr);
+  // Reject overlapping windows: they would make routing ambiguous.
+  auto next = windows_.upper_bound(base);
+  if (next != windows_.end()) assert(base + size <= next->second.base);
+  if (next != windows_.begin()) {
+    auto prev = std::prev(next);
+    assert(prev->second.base + prev->second.size <= base);
+  }
+  windows_.emplace(base, Window{base, size, target, owner, kind});
+}
+
+MemKind Fabric::kind_at(Addr addr) const {
+  const Window* w = route(addr, 1);
+  return w ? w->kind : MemKind::kDevice;
+}
+
+PortId Fabric::owner_at(Addr addr) const {
+  const Window* w = route(addr, 1);
+  return w ? w->owner : kInvalidPort;
+}
+
+void Fabric::unmap(Addr base) { windows_.erase(base); }
+
+const Fabric::Window* Fabric::route(Addr addr, std::uint64_t len) const {
+  auto it = windows_.upper_bound(addr);
+  if (it == windows_.begin()) return nullptr;
+  --it;
+  const Window& w = it->second;
+  if (addr < w.base || addr + len > w.base + w.size) return nullptr;
+  return &w;
+}
+
+std::uint64_t Fabric::wire_bytes(std::uint64_t payload_bytes) const {
+  const std::uint64_t tlps =
+      payload_bytes == 0
+          ? 1
+          : (payload_bytes + profile_.max_payload - 1) / profile_.max_payload;
+  return payload_bytes + tlps * profile_.tlp_header_bytes;
+}
+
+TimePs Fabric::read_rtt(PortId src, PortId dst) const {
+  const bool host_path = (src == root_) || (dst == root_);
+  return host_path ? profile_.host_read_rtt : profile_.p2p_read_rtt;
+}
+
+const PathStats& Fabric::path(PortId src, PortId dst) const {
+  static const PathStats kEmpty{};
+  auto it = paths_.find({static_cast<std::uint16_t>(src),
+                         static_cast<std::uint16_t>(dst)});
+  return it == paths_.end() ? kEmpty : it->second;
+}
+
+PathStats& Fabric::path_mut(PortId src, PortId dst) {
+  return paths_[{static_cast<std::uint16_t>(src),
+                 static_cast<std::uint16_t>(dst)}];
+}
+
+std::uint64_t Fabric::total_bytes() const {
+  std::uint64_t sum = 0;
+  for (const auto& [key, stats] : paths_) sum += stats.bytes();
+  return sum;
+}
+
+const std::string& Fabric::port_name(PortId p) const {
+  return ports_.at(static_cast<std::size_t>(p))->name;
+}
+
+sim::Future<ReadResult> Fabric::read(PortId src, Addr addr, std::uint64_t len,
+                                     bool control) {
+  sim::Promise<ReadResult> done(sim_);
+  auto fut = done.future();
+  sim_.spawn(do_read(src, addr, len, control, std::move(done)));
+  return fut;
+}
+
+sim::Future<sim::Done> Fabric::write(PortId src, Addr addr, Payload data) {
+  sim::Promise<sim::Done> done(sim_);
+  auto fut = done.future();
+  sim_.spawn(do_write(src, addr, std::move(data), std::move(done)));
+  return fut;
+}
+
+namespace {
+/// TLPs up to one max-payload packet interleave with queued bulk traffic on
+/// a real link (transaction-level fairness); modelling them through the
+/// same FIFO server would make doorbells and completions queue behind
+/// megabytes of data. Small transactions therefore bypass the server and
+/// only pay their own wire time.
+constexpr std::uint64_t kInterleaveBypassBytes = 512;
+}  // namespace
+
+sim::Task Fabric::do_read(PortId src, Addr addr, std::uint64_t len,
+                          bool control, sim::Promise<ReadResult> done) {
+  const Window* w = route(addr, len);
+  if (w == nullptr) {
+    ++unmapped_errors_;
+    co_await sim_.delay(profile_.host_read_rtt);
+    done.set(ReadResult{Payload::phantom(len), false});
+    co_return;
+  }
+  if (src != root_ && !iommu_.check(src, addr, len, /*write=*/false)) {
+    co_await sim_.delay(profile_.host_read_rtt);
+    done.set(ReadResult{Payload::phantom(len), false});
+    co_return;
+  }
+
+  Port& sp = *ports_.at(static_cast<std::size_t>(src));
+  Port& dp = *ports_.at(static_cast<std::size_t>(w->owner));
+  const TimePs rtt = read_rtt(src, w->owner);
+
+  // Request TLP: header-only, interleaves with bulk traffic.
+  co_await sim_.delay(transfer_time(profile_.tlp_header_bytes, sp.tx.rate()));
+  co_await sim_.delay(rtt / 2);
+
+  auto served = w->target->mem_read(addr - w->base, len);
+  Payload data = co_await served;
+
+  // Completion(s) with data serialize on the target's TX link, then travel
+  // back. (A same-port read -- e.g. SSD reading its own BAR -- never happens.)
+  if (control || len <= kInterleaveBypassBytes) {
+    co_await sim_.delay(transfer_time(wire_bytes(len), dp.tx.rate()));
+  } else {
+    co_await dp.tx.acquire(wire_bytes(len));
+    // The completion also lands on the initiator's RX lane -- this is what
+    // caps aggregate inbound bandwidth when one port reads many sources.
+    co_await sp.rx.acquire(wire_bytes(len));
+  }
+  co_await sim_.delay(rtt / 2);
+
+  PathStats& ps = path_mut(src, w->owner);
+  ps.read_bytes += len;
+  ps.reads += 1;
+  done.set(ReadResult{std::move(data), true});
+}
+
+sim::Task Fabric::do_write(PortId src, Addr addr, Payload data,
+                           sim::Promise<sim::Done> done) {
+  const std::uint64_t len = data.size();
+  const Window* w = route(addr, len);
+  if (w == nullptr) {
+    ++unmapped_errors_;
+    done.set(sim::Done{});
+    co_return;
+  }
+  if (src != root_ && !iommu_.check(src, addr, len, /*write=*/true)) {
+    done.set(sim::Done{});  // posted write silently dropped, fault counted
+    co_return;
+  }
+
+  Port& sp = *ports_.at(static_cast<std::size_t>(src));
+  Port& dp = *ports_.at(static_cast<std::size_t>(w->owner));
+
+  if (len <= kInterleaveBypassBytes) {
+    // Doorbells and small control writes interleave with bulk traffic.
+    co_await sim_.delay(transfer_time(wire_bytes(len), sp.tx.rate()));
+    co_await sim_.delay(profile_.posted_write_latency);
+  } else {
+    co_await sp.tx.acquire(wire_bytes(len));
+    co_await sim_.delay(profile_.posted_write_latency);
+    co_await dp.rx.acquire(wire_bytes(len));
+  }
+
+  PathStats& ps = path_mut(src, w->owner);
+  ps.write_bytes += len;
+  ps.writes += 1;
+
+  co_await w->target->mem_write(addr - w->base, std::move(data));
+  done.set(sim::Done{});
+}
+
+}  // namespace snacc::pcie

@@ -1,0 +1,152 @@
+// Transaction-level PCIe fabric.
+//
+// Topology: endpoints (host root complex, FPGA, one or more NVMe SSDs) hang
+// off a switch/root-complex that routes by address through a global memory
+// map of windows (host DRAM ranges and device BARs). Each endpoint port has
+// independent TX/RX bandwidth servers (full duplex); transactions are charged
+// TLP header overhead per max-payload-size packet.
+//
+// Reads are split transactions (request -> target service -> completion with
+// data); writes are posted. Device-initiated transactions pass the IOMMU.
+// Every byte is accounted per (initiator, target-port) path -- the raw data
+// for Figure 7.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/calibration.hpp"
+#include "common/payload.hpp"
+#include "pcie/iommu.hpp"
+#include "sim/future.hpp"
+#include "sim/rate_server.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace snacc::pcie {
+
+/// A device-side handler for memory transactions hitting one of its windows.
+/// Addresses passed in are *local* to the window base. Implementations model
+/// their own internal service time.
+class Target {
+ public:
+  virtual ~Target() = default;
+  virtual sim::Future<Payload> mem_read(Addr local_addr, std::uint64_t len) = 0;
+  virtual sim::Future<sim::Done> mem_write(Addr local_addr, Payload data) = 0;
+};
+
+/// What backs a mapped window -- used by the NVMe controller model to select
+/// the fetch-path overhead term (host vs. peer URAM vs. peer DRAM).
+enum class MemKind { kHostDram, kFpgaUram, kFpgaDram, kFpgaHbm, kDevice };
+
+/// Result of a fabric read; `ok` is false on an IOMMU fault or unmapped
+/// address (returned as all-phantom data, matching a real UR/CA completion).
+/// Special members are user-declared to dodge the g++ 12 aggregate-move
+/// miscompilation described in sim/channel.hpp.
+struct ReadResult {
+  Payload data;
+  bool ok = true;
+
+  ReadResult() = default;
+  ReadResult(Payload d, bool o) : data(std::move(d)), ok(o) {}
+  ReadResult(ReadResult&&) noexcept = default;
+  ReadResult& operator=(ReadResult&&) noexcept = default;
+  ReadResult(const ReadResult&) = default;
+  ReadResult& operator=(const ReadResult&) = default;
+};
+
+struct PathStats {
+  std::uint64_t read_bytes = 0;
+  std::uint64_t write_bytes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes() const { return read_bytes + write_bytes; }
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Simulator& sim, const PcieProfile& profile);
+
+  /// Adds an endpoint with the given full-duplex link rate. The first port
+  /// added is conventionally the host root complex; mark it with
+  /// `set_root_port` (root-initiated traffic bypasses the IOMMU and sees
+  /// root-complex latency).
+  PortId add_port(std::string name, double link_gb_s);
+  void set_root_port(PortId p) { root_ = p; }
+  PortId root_port() const { return root_; }
+
+  /// Maps [base, base+size) in the global address space onto `target`,
+  /// owned by endpoint `owner` (whose RX link serializes inbound traffic).
+  void map(Addr base, std::uint64_t size, Target* target, PortId owner,
+           MemKind kind = MemKind::kDevice);
+  void unmap(Addr base);
+
+  /// Kind of the window containing `addr` (kDevice if unmapped).
+  MemKind kind_at(Addr addr) const;
+  /// Owner port of the window containing `addr` (kInvalidPort if unmapped).
+  PortId owner_at(Addr addr) const;
+
+  /// Initiates a memory read of `len` bytes at global address `addr`.
+  /// `control` marks protocol traffic (SQE fetches, PRP-list reads,
+  /// doorbell-adjacent reads): it interleaves with queued bulk data at TLP
+  /// granularity instead of waiting behind it, paying only its own wire
+  /// time. Data-path reads must leave it false so link bandwidth is
+  /// conserved.
+  sim::Future<ReadResult> read(PortId src, Addr addr, std::uint64_t len,
+                               bool control = false);
+
+  /// Initiates a posted memory write. The returned future completes when the
+  /// target has accepted the data (awaiting it is optional).
+  sim::Future<sim::Done> write(PortId src, Addr addr, Payload data);
+
+  Iommu& iommu() { return iommu_; }
+  const PcieProfile& profile() const { return profile_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  const PathStats& path(PortId src, PortId dst) const;
+  std::uint64_t total_bytes() const;
+  std::uint64_t unmapped_errors() const { return unmapped_errors_; }
+  const std::string& port_name(PortId p) const;
+  std::size_t port_count() const { return ports_.size(); }
+
+  /// Round-trip read latency from `src` to the port owning `addr`
+  /// (host-path vs peer-to-peer).
+  TimePs read_rtt(PortId src, PortId dst) const;
+
+ private:
+  struct Port {
+    std::string name;
+    sim::RateServer tx;
+    sim::RateServer rx;
+  };
+  struct Window {
+    Addr base;
+    std::uint64_t size;
+    Target* target;
+    PortId owner;
+    MemKind kind;
+  };
+
+  const Window* route(Addr addr, std::uint64_t len) const;
+  std::uint64_t wire_bytes(std::uint64_t payload_bytes) const;
+  sim::Task do_read(PortId src, Addr addr, std::uint64_t len, bool control,
+                    sim::Promise<ReadResult> done);
+  sim::Task do_write(PortId src, Addr addr, Payload data,
+                     sim::Promise<sim::Done> done);
+  PathStats& path_mut(PortId src, PortId dst);
+
+  sim::Simulator& sim_;
+  PcieProfile profile_;
+  Iommu iommu_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  std::map<Addr, Window> windows_;  // keyed by base, ordered for routing
+  std::map<std::pair<std::uint16_t, std::uint16_t>, PathStats> paths_;
+  PortId root_ = kInvalidPort;
+  std::uint64_t unmapped_errors_ = 0;
+};
+
+}  // namespace snacc::pcie

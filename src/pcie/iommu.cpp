@@ -1,0 +1,31 @@
+#include "pcie/iommu.hpp"
+
+#include <algorithm>
+
+namespace snacc::pcie {
+
+void Iommu::revoke_all(PortId initiator) {
+  std::erase_if(grants_,
+                [initiator](const IommuGrant& g) { return g.initiator == initiator; });
+}
+
+bool Iommu::allowed(PortId initiator, Addr addr, std::uint64_t len,
+                    bool write) const {
+  if (!enabled_) return true;
+  // A single grant must cover the whole range (grants are whole windows:
+  // BARs or pinned buffers, so partial coverage would be a setup bug).
+  for (const IommuGrant& g : grants_) {
+    if (g.initiator != initiator) continue;
+    if (addr < g.base || addr + len > g.base + g.size) continue;
+    if (write ? g.allow_write : g.allow_read) return true;
+  }
+  return false;
+}
+
+bool Iommu::check(PortId initiator, Addr addr, std::uint64_t len, bool write) {
+  if (allowed(initiator, addr, len, write)) return true;
+  ++faults_;
+  return false;
+}
+
+}  // namespace snacc::pcie

@@ -1,0 +1,77 @@
+// Ready-made fabric targets: a host-DRAM window and an adapter exposing any
+// mem::MemoryPort (URAM / on-board DRAM) as a BAR target.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "mem/memory_port.hpp"
+#include "mem/sparse_memory.hpp"
+#include "pcie/fabric.hpp"
+
+namespace snacc::pcie {
+
+/// Host DRAM as seen from the PCIe fabric (DMA to/from pinned buffers).
+/// Service time: DDR4 channel bandwidth plus a fixed access latency; the
+/// root-complex traversal is already charged by the fabric.
+class HostMemory final : public Target {
+ public:
+  HostMemory(sim::Simulator& sim, std::uint64_t size, double dram_gb_s = 38.0,
+             TimePs access_latency = ns(95))
+      : sim_(sim), store_(size), bus_(sim, dram_gb_s), latency_(access_latency) {}
+
+  sim::Future<Payload> mem_read(Addr local, std::uint64_t len) override {
+    sim::Promise<Payload> done(sim_);
+    auto fut = done.future();
+    sim_.spawn(serve_read(local, len, std::move(done)));
+    return fut;
+  }
+
+  sim::Future<sim::Done> mem_write(Addr local, Payload data) override {
+    sim::Promise<sim::Done> done(sim_);
+    auto fut = done.future();
+    sim_.spawn(serve_write(local, std::move(data), std::move(done)));
+    return fut;
+  }
+
+  mem::SparseMemory& store() { return store_; }
+
+ private:
+  sim::Task serve_read(Addr local, std::uint64_t len, sim::Promise<Payload> done) {
+    // Access latency pipelines with other requests; only the data transfer
+    // occupies the channel.
+    co_await bus_.acquire(len);
+    co_await sim_.delay(latency_);
+    done.set(store_.read(local, len));
+  }
+  sim::Task serve_write(Addr local, Payload data, sim::Promise<sim::Done> done) {
+    co_await bus_.acquire(data.size());
+    co_await sim_.delay(latency_);
+    store_.write(local, data);
+    done.set(sim::Done{});
+  }
+
+  sim::Simulator& sim_;
+  mem::SparseMemory store_;
+  sim::RateServer bus_;
+  TimePs latency_;
+};
+
+/// Adapts a mem::MemoryPort into a fabric Target (e.g. the FPGA's on-board
+/// DRAM window in BAR2, Sec. 4.5).
+class MemoryPortTarget final : public Target {
+ public:
+  explicit MemoryPortTarget(mem::MemoryPort& port) : port_(port) {}
+
+  sim::Future<Payload> mem_read(Addr local, std::uint64_t len) override {
+    return port_.read(local, len);
+  }
+  sim::Future<sim::Done> mem_write(Addr local, Payload data) override {
+    return port_.write(local, std::move(data));
+  }
+
+ private:
+  mem::MemoryPort& port_;
+};
+
+}  // namespace snacc::pcie

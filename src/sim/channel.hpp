@@ -1,0 +1,190 @@
+// Bounded FIFO channel with coroutine push/pop -- the backbone of all
+// stream plumbing (AXI4-Stream links, queue hand-off, pipeline stages).
+//
+// Backpressure: push suspends while the channel is full, pop suspends while
+// it is empty. Hand-offs between a waiting producer and consumer go through
+// the event queue (zero-delay events), never by direct reentrant resumption,
+// which keeps causality and stack depth bounded.
+//
+// IMPLEMENTATION NOTE: awaiter objects hold only trivially-copyable state
+// (a channel pointer and a std::list iterator); all values in flight live in
+// channel-owned nodes. GCC 12 miscompiles `co_await f()` when f returns an
+// awaiter carrying non-trivial members by value (the awaiter is duplicated
+// bitwise and destroyed twice, corrupting e.g. shared_ptr ownership); see
+// tests/sim_test.cpp:SharedOwnershipSurvivesHandoff for the regression test.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <list>
+#include <optional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace snacc::sim {
+
+template <class T>
+class Channel {
+ public:
+  Channel(Simulator& sim, std::size_t capacity)
+      : sim_(&sim), capacity_(capacity == 0 ? 1 : capacity) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  static constexpr std::size_t kUnbounded =
+      std::numeric_limits<std::size_t>::max();
+
+  std::size_t size() const { return items_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return items_.empty(); }
+  bool full() const { return items_.size() >= capacity_; }
+  bool closed() const { return closed_; }
+
+  /// Closes the channel: further pushes are forbidden; pops drain remaining
+  /// items and then return std::nullopt. Waiting consumers wake up.
+  void close() {
+    closed_ = true;
+    for (PopNode& node : pop_nodes_) {
+      if (!node.delivered && node.handle) schedule(node.handle);
+    }
+  }
+
+  /// Non-blocking push; returns false when no room. The value is consumed
+  /// only on success (callers may retry with the same object).
+  bool try_push(T& value) {
+    assert(!closed_);
+    if (PopNode* consumer = first_hungry_consumer()) {
+      deliver(*consumer, std::move(value));
+      return true;
+    }
+    if (items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    return true;
+  }
+  bool try_push(T&& value) { return try_push(value); }
+
+  std::optional<T> try_pop() {
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    admit_pushers();
+    return v;
+  }
+
+  /// co_await ch.push(v) -- completes when the value is accepted.
+  auto push(T value) {
+    struct Awaiter {
+      Channel* ch;
+      typename std::list<PushNode>::iterator node;
+      bool ready;
+      bool await_ready() const noexcept { return ready; }
+      void await_suspend(std::coroutine_handle<> h) { node->handle = h; }
+      void await_resume() {
+        if (!ready) ch->push_nodes_.erase(node);
+      }
+    };
+    assert(!closed_);
+    if (try_push(value)) {
+      return Awaiter{this, {}, true};
+    }
+    push_nodes_.push_back(PushNode(std::move(value)));
+    return Awaiter{this, std::prev(push_nodes_.end()), false};
+  }
+
+  /// co_await ch.pop() -- returns std::nullopt only if closed and drained.
+  auto pop() {
+    struct Awaiter {
+      Channel* ch;
+      typename std::list<PopNode>::iterator node;
+      bool await_ready() const noexcept {
+        return node->delivered || ch->closed_;
+      }
+      void await_suspend(std::coroutine_handle<> h) { node->handle = h; }
+      std::optional<T> await_resume() {
+        std::optional<T> result;
+        if (node->delivered) {
+          result = std::move(node->value);
+        } else {
+          // Woken by close (or ready-on-closed): drain leftovers first.
+          result = ch->try_pop();
+        }
+        ch->pop_nodes_.erase(node);
+        return result;
+      }
+    };
+    pop_nodes_.push_back(PopNode());
+    auto it = std::prev(pop_nodes_.end());
+    if (auto v = try_pop()) {
+      it->value = std::move(v);
+      it->delivered = true;
+    }
+    return Awaiter{this, it};
+  }
+
+ private:
+  // Non-aggregates by design: both nodes hold T and are constructed inside
+  // co_await full expressions (see the g++ 12 note above).
+  struct PopNode {
+    std::coroutine_handle<> handle{};
+    std::optional<T> value;
+    bool delivered = false;
+
+    PopNode() = default;
+    PopNode(PopNode&&) noexcept = default;
+    PopNode& operator=(PopNode&&) noexcept = default;
+  };
+  struct PushNode {
+    std::coroutine_handle<> handle{};
+    T value;
+    bool admitted = false;
+
+    explicit PushNode(T v) : value(std::move(v)) {}
+    PushNode(PushNode&&) noexcept = default;
+    PushNode& operator=(PushNode&&) noexcept = default;
+  };
+
+  void schedule(std::coroutine_handle<> h) {
+    sim_->after(0, [h] { h.resume(); });
+  }
+
+  PopNode* first_hungry_consumer() {
+    for (PopNode& node : pop_nodes_) {
+      if (!node.delivered) return &node;
+    }
+    return nullptr;
+  }
+
+  void deliver(PopNode& node, T&& value) {
+    node.value.emplace(std::move(value));
+    node.delivered = true;
+    // The handle is always set by the time a push can run: an undelivered
+    // node without a handle exists only synchronously inside pop().
+    if (node.handle) schedule(node.handle);
+  }
+
+  void admit_pushers() {
+    // Move pending producers' values into freed ring space, FIFO. Each node
+    // is erased by its own awaiter's await_resume after the wake-up.
+    for (PushNode& node : push_nodes_) {
+      if (items_.size() >= capacity_) break;
+      if (node.admitted) continue;
+      items_.push_back(std::move(node.value));
+      node.admitted = true;
+      if (node.handle) schedule(node.handle);
+    }
+  }
+
+  Simulator* sim_;
+  std::size_t capacity_;
+  std::deque<T> items_;
+  std::list<PopNode> pop_nodes_;
+  std::list<PushNode> push_nodes_;
+  bool closed_ = false;
+};
+
+}  // namespace snacc::sim

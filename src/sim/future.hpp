@@ -1,0 +1,187 @@
+// One-shot Future/Promise for RPC-style completion (e.g. a PCIe read that
+// returns data, an NVMe command completion). Multiple coroutines may await
+// the same Future; all are resumed through the event queue when the value is
+// set, preserving determinism and avoiding reentrancy.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace snacc::sim {
+
+template <class T>
+class Future;
+
+template <class T>
+class Promise {
+ public:
+  explicit Promise(Simulator& sim) : state_(std::make_shared<State>(&sim)) {}
+
+  Future<T> future() const { return Future<T>{state_}; }
+
+  void set(T value) {
+    assert(!state_->value.has_value() && "Promise set twice");
+    state_->value.emplace(std::move(value));
+    for (auto h : state_->waiters) state_->sim->after(0, [h] { h.resume(); });
+    state_->waiters.clear();
+  }
+
+  bool ready() const { return state_->value.has_value(); }
+
+ private:
+  friend class Future<T>;
+  struct State {
+    explicit State(Simulator* s) : sim(s) {}
+    Simulator* sim;
+    std::optional<T> value;
+    std::vector<std::coroutine_handle<>> waiters;
+  };
+  std::shared_ptr<State> state_;
+};
+
+template <class T>
+class Future {
+ public:
+  Future() = default;
+
+  bool ready() const { return state_ && state_->value.has_value(); }
+
+  bool await_ready() const noexcept { return ready(); }
+  void await_suspend(std::coroutine_handle<> h) { state_->waiters.push_back(h); }
+  T await_resume() {
+    assert(state_ && state_->value.has_value());
+    // Copy, not move: several awaiters may share this future.
+    return *state_->value;
+  }
+
+  /// Non-awaiting peek (for polled consumers).
+  const T* peek() const {
+    return state_ && state_->value ? &*state_->value : nullptr;
+  }
+
+ private:
+  friend class Promise<T>;
+  using State = typename Promise<T>::State;
+  explicit Future(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+/// Unit type for Future<void>-style signalling.
+struct Done {};
+
+/// Counts down to zero; used to join a group of spawned tasks.
+class WaitGroup {
+ public:
+  explicit WaitGroup(Simulator& sim) : sim_(&sim) {}
+
+  void add(int n = 1) { count_ += n; }
+  void done() {
+    assert(count_ > 0);
+    if (--count_ == 0) {
+      for (auto h : waiters_) sim_->after(0, [h] { h.resume(); });
+      waiters_.clear();
+    }
+  }
+
+  auto wait() {
+    struct Awaiter {
+      WaitGroup* wg;
+      bool await_ready() const noexcept { return wg->count_ == 0; }
+      void await_suspend(std::coroutine_handle<> h) { wg->waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  int pending() const { return count_; }
+
+ private:
+  Simulator* sim_;
+  int count_ = 0;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Level-triggered gate (e.g. Ethernet pause): tasks await `opened()`;
+/// close() blocks subsequent awaits until open() releases them.
+class Gate {
+ public:
+  explicit Gate(Simulator& sim, bool open = true) : sim_(&sim), open_(open) {}
+
+  void open() {
+    if (open_) return;
+    open_ = true;
+    for (auto h : waiters_) sim_->after(0, [h] { h.resume(); });
+    waiters_.clear();
+  }
+  void close() { open_ = false; }
+  bool is_open() const { return open_; }
+
+  auto opened() {
+    struct Awaiter {
+      Gate* g;
+      bool await_ready() const noexcept { return g->open_; }
+      void await_suspend(std::coroutine_handle<> h) { g->waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Simulator* sim_;
+  bool open_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Counting semaphore for bounded resources (DMA tags, queue slots).
+/// A permit is reserved at grant time -- either synchronously in
+/// await_ready or by release() before waking a waiter -- so a freshly
+/// released permit can never be stolen from a woken waiter.
+class Semaphore {
+ public:
+  Semaphore(Simulator& sim, int permits) : sim_(&sim), permits_(permits) {}
+
+  auto acquire() {
+    struct Awaiter {
+      Semaphore* s;
+      bool await_ready() const noexcept { return s->permits_ > 0; }
+      void await_suspend(std::coroutine_handle<> h) { s->waiters_.push_back(h); }
+      void await_resume() const {
+        // Either taken here (fast path) or pre-reserved by release().
+        if (!s->reserved_) {
+          assert(s->permits_ > 0);
+          --s->permits_;
+        } else {
+          --s->reserved_;
+        }
+      }
+    };
+    return Awaiter{this};
+  }
+
+  void release(int n = 1) {
+    permits_ += n;
+    while (!waiters_.empty() && permits_ > 0) {
+      auto h = waiters_.front();
+      waiters_.erase(waiters_.begin());
+      --permits_;
+      ++reserved_;
+      sim_->after(0, [h] { h.resume(); });
+    }
+  }
+
+  int available() const { return permits_; }
+
+ private:
+  Simulator* sim_;
+  int permits_;
+  int reserved_ = 0;  // permits handed to not-yet-resumed waiters
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace snacc::sim

@@ -1,0 +1,129 @@
+// Discrete-event simulation kernel.
+//
+// A Simulator owns a time-ordered event queue; model code is written as
+// C++20 coroutines (sim::Task) that `co_await` delays, channels, futures and
+// rate servers. Events at equal timestamps run in schedule order (stable
+// sequence numbers), which makes runs fully deterministic.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/trace.hpp"
+
+namespace snacc::sim {
+
+class Task;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePs now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (must be >= now()).
+  void at(TimePs t, std::function<void()> fn) {
+    assert(t >= now_);
+    queue_.push(Event{t, seq_++, std::move(fn)});
+  }
+
+  /// Schedules `fn` after a relative delay.
+  void after(TimePs delay, std::function<void()> fn) {
+    at(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules a coroutine resumption at absolute time `t`.
+  void resume_at(TimePs t, std::coroutine_handle<> h) {
+    at(t, [h] { h.resume(); });
+  }
+
+  /// Starts a coroutine task detached; the frame frees itself on completion.
+  /// Defined in task.hpp (needs the full Task type).
+  void spawn(Task task);
+
+  /// Runs a single event. Returns false when the queue is empty.
+  bool step() {
+    if (queue_.empty()) return false;
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    assert(ev.t >= now_);
+    now_ = ev.t;
+    ++events_processed_;
+    ev.fn();
+    return true;
+  }
+
+  /// Runs until the queue drains.
+  void run() {
+    while (step()) {
+    }
+  }
+
+  /// Runs until simulated time would exceed `t` (events at exactly `t` run).
+  /// Returns the new current time.
+  TimePs run_until(TimePs t) {
+    while (!queue_.empty() && queue_.top().t <= t) step();
+    now_ = std::max(now_, t);
+    return now_;
+  }
+
+  /// Runs until `pred()` becomes true or the queue drains.
+  template <class Pred>
+  bool run_while(Pred&& pred) {
+    while (pred()) {
+      if (!step()) return false;
+    }
+    return true;
+  }
+
+  std::uint64_t events_processed() const { return events_processed_; }
+  bool idle() const { return queue_.empty(); }
+
+  /// Event tracing (off by default); see sim/trace.hpp.
+  Tracer& tracer() { return tracer_; }
+  void trace(TraceCat cat, const char* label, std::uint64_t a = 0,
+             std::uint64_t b = 0) {
+    tracer_.record(now_, cat, label, a, b);
+  }
+
+  /// Awaitable: suspends the current coroutine for `delay`.
+  auto delay(TimePs d) { return DelayAwaiter{this, now_ + d}; }
+  /// Awaitable: suspends until absolute time `t` (no-op if in the past).
+  auto delay_until(TimePs t) { return DelayAwaiter{this, std::max(t, now_)}; }
+
+ private:
+  struct Event {
+    TimePs t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  struct DelayAwaiter {
+    Simulator* sim;
+    TimePs wake;
+    bool await_ready() const noexcept { return wake <= sim->now(); }
+    void await_suspend(std::coroutine_handle<> h) const { sim->resume_at(wake, h); }
+    void await_resume() const noexcept {}
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Tracer tracer_;
+  TimePs now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace snacc::sim

@@ -1,0 +1,101 @@
+// sim::Task -- the coroutine type all device/model processes are written in.
+//
+// Two usage modes:
+//   * `co_await some_task()`     -- structured: the caller suspends until the
+//                                   child finishes; the child frame is freed
+//                                   by the temporary Task's destructor.
+//   * `sim.spawn(some_task())`   -- detached: the frame frees itself when the
+//                                   coroutine runs to completion.
+// Tasks are lazy: nothing runs until awaited or spawned. Exceptions escaping
+// a model process are programming errors and terminate the simulation.
+#pragma once
+
+#include <coroutine>
+#include <cstdio>
+#include <exception>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace snacc::sim {
+
+class [[nodiscard]] Task {
+ public:
+  struct promise_type {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        promise_type& p = h.promise();
+        std::coroutine_handle<> next =
+            p.continuation ? p.continuation : std::noop_coroutine();
+        if (p.detached) h.destroy();  // frame owns itself in detached mode
+        return next;
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept {
+      std::fputs("snacc::sim: exception escaped a Task; aborting\n", stderr);
+      std::terminate();
+    }
+
+    std::coroutine_handle<> continuation;
+    bool detached = false;
+  };
+
+  Task() = default;
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      h_ = std::exchange(other.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(h_); }
+
+  /// Awaiting a Task starts it (lazy) with symmetric transfer and resumes
+  /// the awaiter when it completes.
+  bool await_ready() const noexcept { return !h_ || h_.done(); }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+    h_.promise().continuation = cont;
+    return h_;
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  friend class Simulator;
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+
+  std::coroutine_handle<promise_type> release() { return std::exchange(h_, {}); }
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> h_;
+};
+
+inline void Simulator::spawn(Task task) {
+  auto h = task.release();
+  if (!h) return;
+  h.promise().detached = true;
+  // Start through the event queue so spawn() never reenters model code.
+  after(0, [h] { h.resume(); });
+}
+
+}  // namespace snacc::sim

@@ -1,0 +1,137 @@
+// Buffer backends: where the streamer's payload buffers physically live
+// (Sec. 4.3) and how the FPGA-side data movers reach them.
+//
+//  * UramBackend        -- 4 MB on-die, dual-ported, lowest latency.
+//  * OnboardDramBackend -- 64+64 MB in the card's DRAM behind BAR2; shares
+//                          the single DRAM controller with the NVMe
+//                          controller's burst accesses.
+//  * HostDramBackend    -- pinned host memory reached over PCIe in 4 MB
+//                          chunks; readout issues MPS-sized read requests.
+//
+// The read-out engine ("drain") models the paper's observed asymmetry: a
+// single small drain is latency-bound (shallow request pipeline -- the
+// +7/+9 us read-latency deltas of Fig. 4c), while bulk drains ramp the
+// outstanding-request window and run at full bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/calibration.hpp"
+#include "common/payload.hpp"
+#include "mem/dram.hpp"
+#include "pcie/fabric.hpp"
+#include "snacc/prp_engine.hpp"
+
+namespace snacc::core {
+
+class BufferBackend {
+ public:
+  virtual ~BufferBackend() = default;
+
+  /// Stream-in: stores `data` at buffer offset `off` (PE -> buffer).
+  virtual sim::Task fill(std::uint64_t off, Payload data) = 0;
+
+  /// Read-out: loads [off, off+len) into `*out` (buffer -> PE).
+  virtual sim::Task drain(std::uint64_t off, std::uint64_t len, Payload* out) = 0;
+
+  /// Translator for PRP generation.
+  virtual const AddressTranslator& translator() const = 0;
+};
+
+class UramBackend final : public BufferBackend {
+ public:
+  UramBackend(mem::Uram& uram, pcie::Addr window_base)
+      : uram_(uram), xlat_(window_base) {}
+
+  sim::Task fill(std::uint64_t off, Payload data) override {
+    auto fut = uram_.write(off, std::move(data));
+    co_await fut;
+  }
+  sim::Task drain(std::uint64_t off, std::uint64_t len, Payload* out) override {
+    auto fut = uram_.read(off, len);
+    *out = co_await fut;
+  }
+  const AddressTranslator& translator() const override { return xlat_; }
+
+ private:
+  mem::Uram& uram_;
+  LinearTranslator xlat_;
+};
+
+class OnboardDramBackend final : public BufferBackend {
+ public:
+  /// `region_base` is the byte offset of this buffer's region within the
+  /// DRAM (read and write buffers are distinct regions, Sec. 4.3).
+  OnboardDramBackend(sim::Simulator& sim, mem::Dram& dram,
+                     std::uint64_t region_base, pcie::Addr bar2_base,
+                     const FpgaProfile& fpga)
+      : sim_(sim),
+        dram_(dram),
+        region_base_(region_base),
+        xlat_(bar2_base + region_base),
+        fpga_(fpga) {}
+
+  sim::Task fill(std::uint64_t off, Payload data) override;
+  sim::Task drain(std::uint64_t off, std::uint64_t len, Payload* out) override;
+  const AddressTranslator& translator() const override { return xlat_; }
+
+ private:
+  sim::Simulator& sim_;
+  mem::Dram& dram_;
+  std::uint64_t region_base_;
+  LinearTranslator xlat_;
+  FpgaProfile fpga_;
+};
+
+/// Sec. 7 HBM extension: buffers interleaved across independent HBM
+/// pseudo-channels. Fills and drains run at aggregate channel bandwidth and
+/// never share a controller with the NVMe controller's burst reads.
+class HbmBackend final : public BufferBackend {
+ public:
+  HbmBackend(sim::Simulator& sim, mem::Hbm& hbm, std::uint64_t region_base,
+             pcie::Addr bar2_base, const FpgaProfile& fpga)
+      : sim_(sim),
+        hbm_(hbm),
+        region_base_(region_base),
+        xlat_(bar2_base + region_base),
+        fpga_(fpga) {}
+
+  sim::Task fill(std::uint64_t off, Payload data) override;
+  sim::Task drain(std::uint64_t off, std::uint64_t len, Payload* out) override;
+  const AddressTranslator& translator() const override { return xlat_; }
+
+ private:
+  sim::Simulator& sim_;
+  mem::Hbm& hbm_;
+  std::uint64_t region_base_;
+  LinearTranslator xlat_;
+  FpgaProfile fpga_;
+};
+
+class HostDramBackend final : public BufferBackend {
+ public:
+  /// `chunks`: global addresses of the pinned 4 MB host-memory chunks.
+  HostDramBackend(sim::Simulator& sim, pcie::Fabric& fabric,
+                  pcie::PortId fpga_port, std::vector<pcie::Addr> chunks,
+                  std::uint64_t chunk_size, const FpgaProfile& fpga)
+      : sim_(sim),
+        fabric_(fabric),
+        fpga_port_(fpga_port),
+        xlat_(std::move(chunks), chunk_size),
+        fpga_(fpga) {}
+
+  sim::Task fill(std::uint64_t off, Payload data) override;
+  sim::Task drain(std::uint64_t off, std::uint64_t len, Payload* out) override;
+  const AddressTranslator& translator() const override { return xlat_; }
+
+ private:
+  sim::Simulator& sim_;
+  pcie::Fabric& fabric_;
+  pcie::PortId fpga_port_;
+  ChunkedTranslator xlat_;
+  FpgaProfile fpga_;
+};
+
+}  // namespace snacc::core

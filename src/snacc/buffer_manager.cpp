@@ -1,0 +1,41 @@
+#include "snacc/buffer_manager.hpp"
+
+namespace snacc::core {
+
+bool BufferRing::fits(std::uint64_t rounded, std::uint64_t* pad) const {
+  *pad = 0;
+  const std::uint64_t free_bytes = capacity_ - used_;
+  const std::uint64_t to_end = capacity_ - tail_;
+  if (rounded <= to_end) return rounded <= free_bytes;
+  // Must skip the ring tail remainder: charge it as padding.
+  *pad = to_end;
+  return rounded + to_end <= free_bytes;
+}
+
+sim::Task BufferRing::alloc(std::uint64_t bytes, std::uint64_t* offset_out) {
+  assert(bytes > 0);
+  const std::uint64_t rounded = (bytes + kPageSize - 1) & ~(kPageSize - 1);
+  assert(rounded <= capacity_);
+  std::uint64_t pad = 0;
+  while (!fits(rounded, &pad)) {
+    space_.close();
+    co_await space_.opened();
+  }
+  std::uint64_t offset = tail_;
+  if (pad != 0) offset = 0;  // wrapped
+  allocs_.push_back(Alloc{offset, rounded, pad});
+  used_ += rounded + pad;
+  tail_ = (offset + rounded) % capacity_;
+  *offset_out = offset;
+}
+
+void BufferRing::free_oldest() {
+  assert(!allocs_.empty());
+  const Alloc a = allocs_.front();
+  allocs_.pop_front();
+  used_ -= a.bytes + a.padding;
+  head_ = (a.offset + a.bytes) % capacity_;
+  space_.open();
+}
+
+}  // namespace snacc::core

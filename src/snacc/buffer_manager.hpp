@@ -1,0 +1,62 @@
+// Ring allocator for the streamer's data buffer (Sec. 4.3).
+//
+// Allocations are 4 kB-aligned ("each new read and write command starts at a
+// 4 kB boundary"). Because the streamer retires commands strictly in the
+// order they were issued, frees arrive in allocation order and the buffer is
+// managed as a ring: allocate at the tail, free from the head. When the
+// contiguous space at the end of the ring is too small for a request the
+// remainder is skipped (padding), mirroring what a hardware ring pointer
+// does. `alloc` backpressures (suspends) until space frees -- this is what
+// bounds the number of in-flight large commands to the buffer capacity.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+
+#include "common/units.hpp"
+#include "sim/future.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace snacc::core {
+
+class BufferRing {
+ public:
+  BufferRing(sim::Simulator& sim, std::uint64_t capacity)
+      : sim_(&sim), capacity_(capacity), space_(sim, /*open=*/true) {
+    assert(capacity % kPageSize == 0);
+  }
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t in_use() const { return used_; }
+
+  /// Allocates `bytes` (rounded up to 4 kB) of contiguous buffer space;
+  /// suspends while the ring is too full. Returns the byte offset.
+  sim::Task alloc(std::uint64_t bytes, std::uint64_t* offset_out);
+
+  /// Frees the oldest allocation; must match alloc order (in-order retire).
+  void free_oldest();
+
+  /// Number of outstanding allocations.
+  std::size_t outstanding() const { return allocs_.size(); }
+
+ private:
+  struct Alloc {
+    std::uint64_t offset;
+    std::uint64_t bytes;    // rounded size actually reserved
+    std::uint64_t padding;  // skipped tail-of-ring bytes charged to this alloc
+  };
+
+  bool fits(std::uint64_t rounded, std::uint64_t* pad) const;
+
+  sim::Simulator* sim_;
+  std::uint64_t capacity_;
+  std::uint64_t head_ = 0;  // oldest live byte
+  std::uint64_t tail_ = 0;  // next free byte
+  std::uint64_t used_ = 0;  // bytes reserved including padding
+  std::deque<Alloc> allocs_;
+  sim::Gate space_;
+};
+
+}  // namespace snacc::core

@@ -1,0 +1,75 @@
+// PeClient: convenience wrapper a user Processing Element (or a test/bench)
+// uses to drive the streamer's four AXI4-Stream ports (Sec. 4.1).
+//
+// Reads: send a 16-byte command beat, then collect data chunks until TLAST.
+// Writes: send the address beat, the data beats (TLAST on the final one),
+// then wait for the response token. Commands may be pipelined with
+// `start_read`/`collect_read` style usage by issuing from separate tasks; the
+// streamer retires strictly in issue order, so responses never interleave.
+#pragma once
+
+#include <cstdint>
+
+#include "axis/stream.hpp"
+#include "snacc/streamer.hpp"
+
+namespace snacc::core {
+
+class PeClient {
+ public:
+  explicit PeClient(NvmeStreamer& streamer) : s_(streamer) {}
+
+  NvmeStreamer& streamer() { return s_; }
+
+  /// Reads [addr, addr+len) device bytes into `*out` (nullptr: discard).
+  sim::Task read(std::uint64_t addr, std::uint64_t len, Payload* out) {
+    co_await s_.read_cmd_in().send(
+        axis::Chunk{encode_read_command(addr, len), true, 0});
+    co_await collect_read(out);
+  }
+
+  /// Issues a read command without waiting for data.
+  sim::Task start_read(std::uint64_t addr, std::uint64_t len) {
+    co_await s_.read_cmd_in().send(
+        axis::Chunk{encode_read_command(addr, len), true, 0});
+  }
+
+  /// Collects one read response (until TLAST).
+  sim::Task collect_read(Payload* out) {
+    std::vector<Payload> parts;
+    while (true) {
+      auto chunk = co_await s_.read_data_out().recv();
+      if (!chunk) break;  // stream closed
+      parts.push_back(std::move(chunk->data));
+      if (chunk->last) break;
+    }
+    if (out != nullptr) *out = Payload::gather(parts);
+  }
+
+  /// Writes `data` to device byte address `addr` (must be block-aligned)
+  /// and waits for the response token.
+  sim::Task write(std::uint64_t addr, Payload data,
+                  std::uint64_t chunk_bytes = 16 * KiB) {
+    co_await start_write(addr, std::move(data), chunk_bytes);
+    co_await wait_write_response();
+  }
+
+  /// Streams the write without waiting for the token.
+  sim::Task start_write(std::uint64_t addr, Payload data,
+                        std::uint64_t chunk_bytes = 16 * KiB) {
+    co_await s_.write_in().send(
+        axis::Chunk{encode_write_address(addr), false, 0});
+    co_await axis::send_chunked(s_.write_in(), std::move(data), chunk_bytes,
+                                /*final_last=*/true);
+  }
+
+  sim::Task wait_write_response() {
+    auto token = co_await s_.write_resp_out().recv();
+    (void)token;
+  }
+
+ private:
+  NvmeStreamer& s_;
+};
+
+}  // namespace snacc::core

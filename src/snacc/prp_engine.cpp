@@ -1,0 +1,110 @@
+#include "snacc/prp_engine.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace snacc::core {
+
+namespace {
+
+/// Synthesizes `len` bytes of PRP-list contents where the entry at 8-byte
+/// index n has value `entry_of(n)`.
+template <class EntryFn>
+Payload synthesize(std::uint64_t first_index, std::uint64_t len, EntryFn entry_of) {
+  const std::uint64_t count = (len + 7) / 8;
+  std::vector<std::byte> raw(count * 8);
+  for (std::uint64_t n = 0; n < count; ++n) {
+    const std::uint64_t v = entry_of(first_index + n);
+    std::memcpy(raw.data() + n * 8, &v, 8);
+  }
+  raw.resize(len);
+  return Payload::bytes(std::move(raw));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// UramPrpEngine
+
+UramPrpEngine::UramPrpEngine(pcie::Addr window_base, std::uint64_t buffer_bytes)
+    : window_base_(window_base),
+      buffer_bytes_(buffer_bytes),
+      select_bit_(buffer_bytes) {
+  assert((buffer_bytes & (buffer_bytes - 1)) == 0 && "buffer must be 2^k");
+  assert(window_base % (2 * buffer_bytes) == 0 &&
+         "window must be naturally aligned so the select bit is clean");
+}
+
+PrpPair UramPrpEngine::make(std::uint64_t buffer_offset, std::uint64_t len) const {
+  assert(buffer_offset % kPageSize == 0);
+  assert(buffer_offset + len <= buffer_bytes_);
+  PrpPair p;
+  p.prp1 = window_base_ + buffer_offset;
+  const std::uint64_t pages = (len + kPageSize - 1) / kPageSize;
+  if (pages <= 1) return p;
+  const std::uint64_t second = buffer_offset + kPageSize;
+  if (pages == 2) {
+    p.prp2 = window_base_ + second;
+  } else {
+    // Bit `select_bit_` redirects the controller's list read to the upper
+    // half of the window, where this engine synthesizes entries.
+    p.prp2 = window_base_ + (second | select_bit_);
+  }
+  return p;
+}
+
+Payload UramPrpEngine::serve(std::uint64_t local, std::uint64_t len) const {
+  assert(is_prp_read(local));
+  const std::uint64_t byte_off = local & (select_bit_ - 1);
+  const std::uint64_t second_page = byte_off & ~(kPageSize - 1);
+  const std::uint64_t first_index = (byte_off & (kPageSize - 1)) / 8;
+  return synthesize(first_index, len, [&](std::uint64_t n) {
+    // n-th list entry = (n+2)-th buffer page = second_page + n*4096,
+    // expressed as a global PCIe address into the data (lower) half.
+    return window_base_ + second_page + n * kPageSize;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// RegfilePrpEngine
+
+RegfilePrpEngine::RegfilePrpEngine(pcie::Addr prp_window_base,
+                                   const AddressTranslator& xlat,
+                                   std::uint16_t slots)
+    : prp_window_base_(prp_window_base), xlat_(xlat), regfile_(slots, 0) {}
+
+PrpPair RegfilePrpEngine::make(std::uint16_t slot, std::uint64_t buffer_offset,
+                               std::uint64_t len) {
+  assert(slot < regfile_.size());
+  assert(buffer_offset % kPageSize == 0);
+  PrpPair p;
+  p.prp1 = xlat_.translate(buffer_offset);
+  const std::uint64_t pages = (len + kPageSize - 1) / kPageSize;
+  if (pages <= 1) return p;
+  const std::uint64_t second = buffer_offset + kPageSize;
+  if (pages == 2) {
+    p.prp2 = xlat_.translate(second);
+  } else {
+    regfile_[slot] = second;  // logical offset; translated per list entry
+    p.prp2 = prp_window_base_ + static_cast<std::uint64_t>(slot) * kPageSize;
+  }
+  return p;
+}
+
+Payload RegfilePrpEngine::serve(std::uint64_t local, std::uint64_t len) const {
+  const std::uint64_t slot = local / kPageSize;
+  assert(slot < regfile_.size());
+  const std::uint64_t second = regfile_[slot];
+  const std::uint64_t first_index = (local & (kPageSize - 1)) / 8;
+  return synthesize(first_index, len, [&](std::uint64_t n) {
+    // Each page is translated individually: host-DRAM buffers may cross
+    // 4 MB chunk boundaries mid-command. The controller reads whole list
+    // pages, so entries past the command's buffer are synthesized but never
+    // used; clamp them instead of translating past the chunk table.
+    const std::uint64_t logical = second + n * kPageSize;
+    if (logical >= xlat_.capacity()) return std::uint64_t{0};
+    return xlat_.translate(logical);
+  });
+}
+
+}  // namespace snacc::core

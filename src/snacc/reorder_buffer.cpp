@@ -1,0 +1,48 @@
+#include "snacc/reorder_buffer.hpp"
+
+namespace snacc::core {
+
+sim::Task ReorderBuffer::alloc(RobEntry entry, std::uint16_t* slot_out) {
+  while (count_ == entries_.size()) {
+    slot_free_.close();
+    co_await slot_free_.opened();
+  }
+  const std::uint16_t slot = tail_;
+  entry.completed = false;
+  entry.fetch_started = false;
+  entry.fetched = false;
+  entries_[slot] = std::move(entry);
+  tail_ = static_cast<std::uint16_t>((tail_ + 1) % entries_.size());
+  ++count_;
+  refresh_head_gate();
+  *slot_out = slot;
+}
+
+void ReorderBuffer::complete(std::uint16_t slot, nvme::Status status) {
+  assert(slot < entries_.size());
+  RobEntry& e = entries_[slot];
+  assert(!e.completed && "duplicate completion for ROB slot");
+  e.completed = true;
+  e.status = status;
+  refresh_head_gate();
+}
+
+RobEntry ReorderBuffer::retire() {
+  assert(head_ready());
+  RobEntry e = entries_[head_];
+  head_ = static_cast<std::uint16_t>((head_ + 1) % entries_.size());
+  --count_;
+  slot_free_.open();
+  refresh_head_gate();
+  return e;
+}
+
+void ReorderBuffer::refresh_head_gate() {
+  if (head_ready()) {
+    head_complete_.open();
+  } else {
+    head_complete_.close();
+  }
+}
+
+}  // namespace snacc::core

@@ -1,0 +1,52 @@
+// FPGA resource model for Table 1.
+//
+// No synthesis tool is available offline, so resource utilization is
+// computed analytically from the streamer's structural parameters -- stream
+// interfaces, AXI masters, FIFOs/ROBs, PRP logic, burst engines -- with
+// per-feature costs calibrated to the paper's reported totals (Sec. 5.4).
+// The *relative* structure is what matters and is preserved: the URAM
+// variant is cheapest in LUT/FF but spends 13.3 % of the device's URAM; the
+// DRAM variants need 2-3x the LUT/FF (extra AXI masters, burst logic, the
+// PRP register file) and a few BRAM for burst FIFOs; the on-board variant
+// additionally reserves 128 MB of card DRAM, the host variant 128 MB of
+// pinned host memory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "snacc/streamer.hpp"
+
+namespace snacc::core {
+
+struct ResourceUsage {
+  std::uint32_t lut = 0;
+  std::uint32_t ff = 0;
+  double bram_36k = 0.0;  // 36 kb blocks (halves possible)
+  std::uint64_t uram_bytes = 0;
+  std::uint64_t dram_bytes = 0;
+  bool dram_is_host_pinned = false;
+
+  /// Utilization against the Alveo U280 (XCU280) totals.
+  double lut_pct() const;
+  double ff_pct() const;
+  double bram_pct() const;
+  double uram_pct() const;
+};
+
+/// Alveo U280 device totals.
+struct U280 {
+  static constexpr std::uint32_t kLut = 1'303'680;
+  static constexpr std::uint32_t kFf = 2'607'360;
+  static constexpr std::uint32_t kBram36 = 2'016;
+  static constexpr std::uint64_t kUramBytes = 960ull * 36 * KiB / 8 * 8;  // 960 blocks x 288 kb
+};
+
+/// Computes the NVMe Streamer's resource usage for a variant/configuration.
+ResourceUsage estimate_resources(const StreamerConfig& cfg,
+                                 std::uint64_t uram_buffer_bytes = 4 * MiB,
+                                 std::uint64_t dram_buffer_bytes = 64 * MiB);
+
+std::string format_table1_row(Variant v, const ResourceUsage& u);
+
+}  // namespace snacc::core

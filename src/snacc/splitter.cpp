@@ -1,0 +1,63 @@
+#include "snacc/splitter.hpp"
+
+#include <algorithm>
+
+namespace snacc::core {
+
+namespace {
+constexpr std::uint64_t kLba = nvme::kLbaSize;
+}
+
+std::vector<SubCommand> split_read(std::uint64_t addr, std::uint64_t len,
+                                   const SplitLimits& limits) {
+  std::vector<SubCommand> out;
+  if (len == 0) return out;
+  std::uint64_t remaining = len;
+  std::uint64_t cur = addr;
+  while (remaining > 0) {
+    // Align subsequent pieces to MDTS boundaries on the device so steady
+    // state issues maximal commands regardless of the starting offset.
+    const std::uint64_t to_boundary =
+        limits.max_transfer - (cur % limits.max_transfer);
+    const std::uint64_t piece = std::min(remaining, to_boundary);
+
+    SubCommand sc;
+    sc.slba = cur / kLba;
+    sc.trim_head = static_cast<std::uint32_t>(cur % kLba);
+    const std::uint64_t span = sc.trim_head + piece;  // device bytes covered
+    sc.blocks = static_cast<std::uint32_t>((span + kLba - 1) / kLba);
+    sc.payload_bytes = piece;
+    sc.last = piece == remaining;
+    out.push_back(sc);
+
+    cur += piece;
+    remaining -= piece;
+  }
+  return out;
+}
+
+std::vector<SubCommand> split_write(std::uint64_t addr, std::uint64_t len,
+                                    const SplitLimits& limits) {
+  std::vector<SubCommand> out;
+  if (len == 0) return out;
+  if (addr % kLba != 0 || len % kLba != 0) return out;  // caller checks
+  std::uint64_t remaining = len;
+  std::uint64_t cur = addr;
+  while (remaining > 0) {
+    const std::uint64_t to_boundary =
+        limits.max_transfer - (cur % limits.max_transfer);
+    const std::uint64_t piece = std::min(remaining, to_boundary);
+    SubCommand sc;
+    sc.slba = cur / kLba;
+    sc.trim_head = 0;
+    sc.blocks = static_cast<std::uint32_t>(piece / kLba);
+    sc.payload_bytes = piece;
+    sc.last = piece == remaining;
+    out.push_back(sc);
+    cur += piece;
+    remaining -= piece;
+  }
+  return out;
+}
+
+}  // namespace snacc::core

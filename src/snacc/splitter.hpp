@@ -1,0 +1,44 @@
+// Command splitting (Sec. 4.2): user commands of arbitrary byte address and
+// length are split into NVMe commands of at most the maximum transfer size
+// (1 MB), each buffered in 4 kB-aligned buffer space. Reads additionally
+// handle sub-LBA offsets by reading the covering blocks and trimming on
+// stream-out; writes require LBA alignment (the database controller always
+// produces block-aligned records).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "nvme/spec.hpp"
+
+namespace snacc::core {
+
+struct SubCommand {
+  std::uint64_t slba = 0;        // starting logical block on the device
+  std::uint32_t blocks = 0;      // whole blocks covered
+  std::uint32_t trim_head = 0;   // bytes to drop from the first block
+  std::uint64_t payload_bytes = 0;  // user-visible bytes of this piece
+  bool last = false;             // final piece of the user command
+
+  std::uint64_t buffer_bytes() const {
+    return static_cast<std::uint64_t>(blocks) * nvme::kLbaSize;
+  }
+};
+
+struct SplitLimits {
+  std::uint64_t max_transfer = 1 * MiB;  // device MDTS
+};
+
+/// Splits a read of [addr, addr+len) device bytes. Pieces after the first
+/// are MDTS-aligned on the device so the middle of a long transfer always
+/// issues full-size commands (the paper's "split at each 1 MB boundary").
+std::vector<SubCommand> split_read(std::uint64_t addr, std::uint64_t len,
+                                   const SplitLimits& limits);
+
+/// Splits a write of `len` bytes to device byte address `addr`. Both must be
+/// block-aligned (checked); returns an empty vector on violation.
+std::vector<SubCommand> split_write(std::uint64_t addr, std::uint64_t len,
+                                    const SplitLimits& limits);
+
+}  // namespace snacc::core

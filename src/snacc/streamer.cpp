@@ -1,0 +1,395 @@
+#include "snacc/streamer.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace snacc::core {
+
+namespace {
+
+/// Chunk size for streaming read data back to the PE.
+constexpr std::uint64_t kStreamChunk = 16 * KiB;
+
+std::uint64_t read_u64(const Payload& p, std::size_t off) {
+  std::uint64_t v = 0;
+  if (p.has_data() && p.size() >= off + 8) {
+    std::memcpy(&v, p.view().data() + off, 8);
+  }
+  return v;
+}
+
+Payload u32_payload(std::uint32_t v) {
+  std::vector<std::byte> raw(4);
+  std::memcpy(raw.data(), &v, 4);
+  return Payload::bytes(std::move(raw));
+}
+
+}  // namespace
+
+const char* variant_name(Variant v) {
+  switch (v) {
+    case Variant::kUram:
+      return "URAM";
+    case Variant::kOnboardDram:
+      return "On-board DRAM";
+    case Variant::kHostDram:
+      return "Host DRAM";
+    case Variant::kHbm:
+      return "HBM";
+  }
+  return "?";
+}
+
+Payload encode_read_command(std::uint64_t addr, std::uint64_t len) {
+  std::vector<std::byte> raw(16);
+  std::memcpy(raw.data(), &addr, 8);
+  std::memcpy(raw.data() + 8, &len, 8);
+  return Payload::bytes(std::move(raw));
+}
+
+bool decode_read_command(const Payload& p, std::uint64_t* addr,
+                         std::uint64_t* len) {
+  if (!p.has_data() || p.size() < 16) return false;
+  *addr = read_u64(p, 0);
+  *len = read_u64(p, 8);
+  return true;
+}
+
+Payload encode_write_address(std::uint64_t addr) {
+  std::vector<std::byte> raw(8);
+  std::memcpy(raw.data(), &addr, 8);
+  return Payload::bytes(std::move(raw));
+}
+
+std::uint64_t decode_write_address(const Payload& p) { return read_u64(p, 0); }
+
+// ---------------------------------------------------------------------------
+
+NvmeStreamer::NvmeStreamer(sim::Simulator& sim, pcie::Fabric& fabric,
+                           pcie::PortId fpga_port, const FpgaProfile& fpga,
+                           pcie::Addr ssd_bar, StreamerConfig cfg, Resources res)
+    : sim_(sim),
+      fabric_(fabric),
+      fpga_port_(fpga_port),
+      fpga_(fpga),
+      ssd_bar_(ssd_bar),
+      cfg_(cfg),
+      res_(res),
+      read_cmd_in_(sim, {fpga.stream_bytes_per_beat, fpga.clock_period, 16}),
+      read_data_out_(sim, {fpga.stream_bytes_per_beat, fpga.clock_period, 16}),
+      write_in_(sim, {fpga.stream_bytes_per_beat, fpga.clock_period, 16}),
+      write_resp_out_(sim, {fpga.stream_bytes_per_beat, fpga.clock_period, 16}),
+      sq_entries_(static_cast<std::uint16_t>(cfg.queue_depth + 1)),
+      sq_slots_(sq_entries_),
+      rob_(sim, cfg.out_of_order
+                    ? static_cast<std::uint16_t>(cfg.queue_depth * 4)
+                    : cfg.queue_depth),
+      fetch_progress_(sim, false) {
+  submit_queue_ = std::make_unique<sim::Channel<PendingSubmit>>(
+      sim_, cfg.queue_depth);
+  issue_credits_ = std::make_unique<sim::Semaphore>(sim_, cfg.queue_depth);
+  alloc_mutex_ = std::make_unique<sim::Semaphore>(sim_, 1);
+  prefetch_kick_ = std::make_unique<sim::Gate>(sim_, false);
+  assert((res_.uram_prp != nullptr) != (res_.regfile_prp != nullptr) &&
+         "exactly one PRP engine must be provided");
+}
+
+void NvmeStreamer::start() {
+  sim_.spawn(read_cmd_loop());
+  sim_.spawn(write_cmd_loop());
+  sim_.spawn(submit_committer());
+  sim_.spawn(retire_loop());
+  sim_.spawn(prefetch_loop());
+}
+
+// ---------------------------------------------------------------------------
+// FPGA BAR hooks
+
+Payload NvmeStreamer::serve_sq_read(std::uint64_t local, std::uint64_t len) const {
+  std::vector<std::byte> raw(len, std::byte{0});
+  for (std::uint64_t i = 0; i < len; ++i) {
+    const std::uint64_t a = local + i;
+    const std::uint64_t slot = a / nvme::kSqeSize;
+    if (slot >= sq_slots_.size()) break;
+    raw[i] = sq_slots_[slot][a % nvme::kSqeSize];
+  }
+  return Payload::bytes(std::move(raw));
+}
+
+void NvmeStreamer::on_cqe_write(std::uint64_t local, const Payload& data) {
+  assert(data.has_data() && data.size() >= nvme::kCqeSize);
+  const auto cqe = nvme::CompletionEntry::decode(data.view());
+  cq_head_ = static_cast<std::uint16_t>((local / nvme::kCqeSize + 1) % sq_entries_);
+  if (cqe.status != nvme::Status::kSuccess) ++errors_;
+  rob_.complete(cqe.cid, cqe.status);
+  if (cfg_.out_of_order) issue_credits_->release();
+  prefetch_kick_->open();
+}
+
+Payload NvmeStreamer::serve_prp_read(std::uint64_t local, std::uint64_t len) const {
+  if (res_.uram_prp != nullptr) return res_.uram_prp->serve(local, len);
+  return res_.regfile_prp->serve(local, len);
+}
+
+PrpPair NvmeStreamer::make_prps(std::uint16_t slot, std::uint64_t absolute_offset,
+                                std::uint64_t len) {
+  if (res_.uram_prp != nullptr) return res_.uram_prp->make(absolute_offset, len);
+  return res_.regfile_prp->make(slot, absolute_offset, len);
+}
+
+// ---------------------------------------------------------------------------
+// Submission
+
+sim::Task NvmeStreamer::submit(const SubCommand& sub, bool is_write,
+                               std::uint16_t slot,
+                               std::uint64_t absolute_buffer_offset) {
+  const PrpPair prps = make_prps(slot, absolute_buffer_offset, sub.buffer_bytes());
+  nvme::SubmissionEntry sqe;
+  sqe.opcode = static_cast<std::uint8_t>(is_write ? nvme::IoOpcode::kWrite
+                                                  : nvme::IoOpcode::kRead);
+  sqe.cid = slot;
+  sqe.slba = sub.slba;
+  sqe.nlb = static_cast<std::uint16_t>(sub.blocks - 1);
+  sqe.prp1 = prps.prp1;
+  sqe.prp2 = prps.prp2;
+  sq_slots_[sq_tail_] = sqe.encode();
+  sq_tail_ = static_cast<std::uint16_t>((sq_tail_ + 1) % sq_entries_);
+  ++commands_submitted_;
+  sim_.trace(sim::TraceCat::kStreamerCmd, is_write ? "submit-write" : "submit-read",
+             slot, sub.slba);
+  // Posted doorbell: the SQE is already visible in the FIFO window.
+  (void)fabric_.write(fpga_port_,
+                      ssd_bar_ + nvme::reg::sq_tail_doorbell(cfg_.nvme_qid),
+                      u32_payload(sq_tail_));
+  co_return;
+}
+
+sim::Task NvmeStreamer::ring_cq_doorbell() {
+  (void)fabric_.write(fpga_port_,
+                      ssd_bar_ + nvme::reg::cq_head_doorbell(cfg_.nvme_qid),
+                      u32_payload(cq_head_));
+  co_return;
+}
+
+// ---------------------------------------------------------------------------
+// Read command path
+
+sim::Task NvmeStreamer::read_cmd_loop() {
+  while (true) {
+    auto chunk = co_await read_cmd_in_.recv();
+    if (!chunk) co_return;
+    std::uint64_t addr = 0;
+    std::uint64_t len = 0;
+    if (!decode_read_command(chunk->data, &addr, &len) || len == 0) {
+      ++errors_;
+      continue;
+    }
+    const std::uint64_t tag = next_user_tag_++;
+    const auto subs = split_read(addr, len, SplitLimits{});
+    for (const SubCommand& sub : subs) {
+      co_await issue_credits_->acquire();
+      co_await alloc_mutex_->acquire();
+      std::uint64_t off = 0;
+      co_await res_.read_ring->alloc(sub.buffer_bytes(), &off);
+      RobEntry entry;
+      entry.is_write = false;
+      entry.sub = sub;
+      entry.buffer_offset = off;
+      entry.user_tag = tag;
+      std::uint16_t slot = 0;
+      co_await rob_.alloc(std::move(entry), &slot);
+      alloc_mutex_->release();
+      co_await sim_.delay(clock_cycles(fpga_.read_submit_cycles));
+      co_await submit(sub, /*is_write=*/false, slot,
+                      res_.read_region_base + off);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Write command path
+
+sim::Task NvmeStreamer::write_cmd_loop() {
+  std::optional<axis::Chunk> spill;
+  while (true) {
+    auto first = co_await write_in_.recv();
+    if (!first) co_return;
+    const std::uint64_t addr = decode_write_address(first->data);
+    if (addr % nvme::kLbaSize != 0 || first->last) {
+      ++errors_;
+      continue;  // malformed packet: misaligned or missing data beats
+    }
+    const std::uint64_t tag = next_user_tag_++;
+    std::uint64_t dev_cursor = addr;
+    bool last_seen = false;
+
+    while (!last_seen) {
+      const std::uint64_t boundary =
+          SplitLimits{}.max_transfer - (dev_cursor % SplitLimits{}.max_transfer);
+      std::vector<Payload> parts;
+      std::uint64_t acc = 0;
+      while (acc < boundary && !last_seen) {
+        axis::Chunk piece;
+        if (spill) {
+          piece = std::move(*spill);
+          spill.reset();
+        } else {
+          auto c = co_await write_in_.recv();
+          if (!c) co_return;  // stream closed mid-packet
+          piece = std::move(*c);
+        }
+        const std::uint64_t room = boundary - acc;
+        if (piece.data.size() > room) {
+          // Split the chunk at the 1 MB boundary; remainder spills over.
+          axis::Chunk rest;
+          rest.data = piece.data.slice(room, piece.data.size() - room);
+          rest.last = piece.last;
+          spill = std::move(rest);
+          parts.push_back(piece.data.slice(0, room));
+          acc += room;
+        } else {
+          acc += piece.data.size();
+          last_seen = piece.last;
+          parts.push_back(std::move(piece.data));
+        }
+      }
+      // Pad the tail to a whole block (devices write whole LBAs). Real
+      // payloads get real zero padding -- phantom padding would degrade the
+      // whole gathered buffer and corrupt stored contents.
+      const std::uint64_t padded =
+          (acc + nvme::kLbaSize - 1) & ~(nvme::kLbaSize - 1);
+      if (padded != acc) {
+        bool all_real = true;
+        for (const Payload& p : parts) all_real = all_real && p.has_data();
+        parts.push_back(all_real ? Payload::filled(padded - acc, 0)
+                                 : Payload::phantom(padded - acc));
+      }
+
+      SubCommand sub;
+      sub.slba = dev_cursor / nvme::kLbaSize;
+      sub.blocks = static_cast<std::uint32_t>(padded / nvme::kLbaSize);
+      sub.payload_bytes = acc;
+      sub.last = last_seen;
+
+      co_await issue_credits_->acquire();
+      co_await alloc_mutex_->acquire();
+      std::uint64_t off = 0;
+      co_await res_.write_ring->alloc(padded, &off);
+      RobEntry entry;
+      entry.is_write = true;
+      entry.sub = sub;
+      entry.buffer_offset = off;
+      entry.user_tag = tag;
+      std::uint16_t slot = 0;
+      co_await rob_.alloc(std::move(entry), &slot);
+      alloc_mutex_->release();
+      co_await sim_.delay(clock_cycles(fpga_.write_submit_cycles));
+      // "Write commands are forwarded to the NVMe device as soon as all
+      // data from the user PE has been received and buffered" (Sec. 4.2).
+      // The buffer fill overlaps with accepting the next command; the
+      // committer submits strictly in order once the fill lands.
+      sim::Promise<sim::Done> fill_done(sim_);
+      auto fill_fut = fill_done.future();
+      sim_.spawn(run_fill(res_.write_backend, off, Payload::gather(parts),
+                          std::move(fill_done)));
+      co_await submit_queue_->push(PendingSubmit(
+          sub, slot, res_.write_region_base + off, std::move(fill_fut)));
+
+      bytes_written_ += acc;
+      dev_cursor += padded;
+    }
+  }
+}
+
+sim::Task NvmeStreamer::run_fill(BufferBackend* backend, std::uint64_t off,
+                                 Payload data, sim::Promise<sim::Done> done) {
+  co_await backend->fill(off, std::move(data));
+  done.set(sim::Done{});
+}
+
+sim::Task NvmeStreamer::submit_committer() {
+  while (true) {
+    auto pending = co_await submit_queue_->pop();
+    if (!pending) co_return;
+    co_await pending->fill_done;
+    co_await submit(pending->sub, /*is_write=*/true, pending->slot,
+                    pending->absolute_offset);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Retirement (strictly in order) and read-out prefetch
+
+sim::Task NvmeStreamer::retire_loop() {
+  while (true) {
+    co_await rob_.wait_head();
+    RobEntry& head = rob_.head();
+    if (!head.is_write) {
+      while (!head.fetched) {
+        fetch_progress_.close();
+        co_await fetch_progress_.opened();
+      }
+      const TimePs gap =
+          cfg_.out_of_order ? cfg_.ooo_retire_gap : fpga_.retire_gap_read;
+      co_await sim_.delay(gap);
+      Payload out = head.data.slice(head.sub.trim_head, head.sub.payload_bytes);
+      const bool last = head.sub.last;
+      bytes_read_ += out.size();
+      sim_.trace(sim::TraceCat::kStreamerRetire, "retire-read", head.user_tag,
+                 out.size());
+      res_.read_ring->free_oldest();
+      rob_.retire();
+      ++commands_retired_;
+      if (!cfg_.out_of_order) issue_credits_->release();
+      co_await ring_cq_doorbell();
+      prefetch_kick_->open();
+      // Stream to the PE; TLAST closes the user command.
+      co_await axis::send_chunked(read_data_out_, std::move(out), kStreamChunk,
+                                  last);
+    } else {
+      const TimePs gap =
+          cfg_.out_of_order ? cfg_.ooo_retire_gap : fpga_.retire_gap_write;
+      co_await sim_.delay(gap);
+      const bool last = head.sub.last;
+      const std::uint64_t tag = head.user_tag;
+      sim_.trace(sim::TraceCat::kStreamerRetire, "retire-write", tag,
+                 head.sub.payload_bytes);
+      res_.write_ring->free_oldest();
+      rob_.retire();
+      ++commands_retired_;
+      if (!cfg_.out_of_order) issue_credits_->release();
+      co_await ring_cq_doorbell();
+      prefetch_kick_->open();
+      if (last) co_await write_resp_out_.send_token(tag);
+    }
+  }
+}
+
+sim::Task NvmeStreamer::fetch_entry(RobEntry* entry) {
+  Payload out;
+  co_await res_.read_backend->drain(entry->buffer_offset,
+                                    entry->sub.buffer_bytes(), &out);
+  entry->data = std::move(out);
+  entry->fetched = true;
+  fetch_progress_.open();
+}
+
+sim::Task NvmeStreamer::prefetch_loop() {
+  while (true) {
+    prefetch_kick_->close();
+    // Scan the retirement window and start read-outs for completed reads.
+    const std::uint16_t window =
+        static_cast<std::uint16_t>(fpga_.readout_prefetch);
+    for (std::uint16_t i = 0; i < window; ++i) {
+      RobEntry* e = rob_.peek(i);
+      if (e == nullptr) break;
+      if (!e->is_write && e->completed && !e->fetch_started) {
+        e->fetch_started = true;
+        sim_.spawn(fetch_entry(e));
+      }
+    }
+    co_await prefetch_kick_->opened();
+  }
+}
+
+}  // namespace snacc::core

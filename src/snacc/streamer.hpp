@@ -1,0 +1,178 @@
+// The SNAcc NVMe Streamer (Sec. 4.2) -- the paper's core contribution.
+//
+// User-PE interface (Sec. 4.1): four AXI4-Stream ports.
+//   read_cmd_in  : one 16-byte beat per read command (device address, length)
+//   read_data_out: the read payload, TLAST on the user command's final beat
+//   write_in     : an 8-byte address beat, then data beats, TLAST terminates
+//   write_resp_out: one token per completed user write command
+//
+// Pipeline: commands are split at 1 MB boundaries, buffer space is allocated
+// from a 4 kB-aligned ring, SQEs are placed in the FPGA-resident submission
+// FIFO (the NVMe controller fetches them over PCIe P2P), PRP list reads are
+// answered on the fly by the PRP engine, completions land in the reorder
+// buffer out of order, and the retirement engine processes them strictly in
+// order -- streaming read data back to the PE and freeing buffer space.
+//
+// The Sec. 7 out-of-order extension is available via
+// StreamerConfig::out_of_order: issue credits are returned at completion
+// instead of retirement and the retirement engine is pipelined.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "axis/stream.hpp"
+#include "common/calibration.hpp"
+#include "nvme/queues.hpp"
+#include "nvme/spec.hpp"
+#include "pcie/fabric.hpp"
+#include "snacc/buffer_backend.hpp"
+#include "snacc/buffer_manager.hpp"
+#include "snacc/prp_engine.hpp"
+#include "snacc/reorder_buffer.hpp"
+#include "snacc/splitter.hpp"
+
+namespace snacc::core {
+
+/// Buffer placement. kHbm is the Sec. 7 "HBM" extension: multi-bank
+/// on-card memory that removes the single-DRAM-controller bottleneck.
+enum class Variant { kUram, kOnboardDram, kHostDram, kHbm };
+
+const char* variant_name(Variant v);
+
+struct StreamerConfig {
+  Variant variant = Variant::kUram;
+  std::uint16_t queue_depth = 64;
+  std::uint16_t nvme_qid = 1;
+  bool out_of_order = false;           // Sec. 7 extension
+  TimePs ooo_retire_gap = ns(500);     // pipelined retirement engine
+};
+
+/// Stream-protocol helpers for the user PE side.
+Payload encode_read_command(std::uint64_t addr, std::uint64_t len);
+bool decode_read_command(const Payload& p, std::uint64_t* addr,
+                         std::uint64_t* len);
+Payload encode_write_address(std::uint64_t addr);
+std::uint64_t decode_write_address(const Payload& p);
+
+class NvmeStreamer {
+ public:
+  /// Buffer/PRP plumbing assembled per variant by host::SnaccDevice.
+  struct Resources {
+    BufferBackend* read_backend = nullptr;
+    BufferBackend* write_backend = nullptr;
+    BufferRing* read_ring = nullptr;
+    BufferRing* write_ring = nullptr;  // == read_ring for the shared URAM ring
+    std::uint64_t read_region_base = 0;   // logical offset of the read region
+    std::uint64_t write_region_base = 0;  // logical offset of the write region
+    UramPrpEngine* uram_prp = nullptr;       // exactly one engine is set
+    RegfilePrpEngine* regfile_prp = nullptr;
+  };
+
+  NvmeStreamer(sim::Simulator& sim, pcie::Fabric& fabric, pcie::PortId fpga_port,
+               const FpgaProfile& fpga, pcie::Addr ssd_bar, StreamerConfig cfg,
+               Resources res);
+
+  /// Spawns the command, retirement and prefetch processes.
+  void start();
+
+  // User-PE streams.
+  axis::Stream& read_cmd_in() { return read_cmd_in_; }
+  axis::Stream& read_data_out() { return read_data_out_; }
+  axis::Stream& write_in() { return write_in_; }
+  axis::Stream& write_resp_out() { return write_resp_out_; }
+
+  // FPGA BAR hooks (wired up by the device's Target adapters).
+  Payload serve_sq_read(std::uint64_t local, std::uint64_t len) const;
+  void on_cqe_write(std::uint64_t local, const Payload& data);
+  Payload serve_prp_read(std::uint64_t local, std::uint64_t len) const;
+
+  const StreamerConfig& config() const { return cfg_; }
+  std::uint16_t sq_entries() const { return sq_entries_; }
+  std::uint64_t sq_window_bytes() const {
+    return static_cast<std::uint64_t>(sq_entries_) * nvme::kSqeSize;
+  }
+  std::uint64_t cq_window_bytes() const {
+    return static_cast<std::uint64_t>(sq_entries_) * nvme::kCqeSize;
+  }
+
+  // Statistics.
+  std::uint64_t bytes_read() const { return bytes_read_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t commands_submitted() const { return commands_submitted_; }
+  std::uint64_t commands_retired() const { return commands_retired_; }
+  std::uint64_t errors() const { return errors_; }
+
+ private:
+  /// A write sub-command whose buffer fill is in flight; the committer
+  /// submits strictly in this order once the fill completes, so a doorbell
+  /// never exposes an SQE whose payload is not yet buffered.
+  struct PendingSubmit {
+    SubCommand sub;
+    std::uint16_t slot = 0;
+    std::uint64_t absolute_offset = 0;
+    sim::Future<sim::Done> fill_done;
+
+    PendingSubmit() = default;
+    PendingSubmit(SubCommand s, std::uint16_t sl, std::uint64_t off,
+                  sim::Future<sim::Done> f)
+        : sub(s), slot(sl), absolute_offset(off), fill_done(std::move(f)) {}
+    PendingSubmit(PendingSubmit&&) noexcept = default;
+    PendingSubmit& operator=(PendingSubmit&&) noexcept = default;
+  };
+
+  sim::Task read_cmd_loop();
+  sim::Task write_cmd_loop();
+  sim::Task submit_committer();
+  sim::Task run_fill(BufferBackend* backend, std::uint64_t off, Payload data,
+                     sim::Promise<sim::Done> done);
+  sim::Task retire_loop();
+  sim::Task prefetch_loop();
+  sim::Task fetch_entry(RobEntry* entry);
+
+  /// Places the SQE in the FIFO, rings the SSD's SQ tail doorbell.
+  sim::Task submit(const SubCommand& sub, bool is_write, std::uint16_t slot,
+                   std::uint64_t absolute_buffer_offset);
+  PrpPair make_prps(std::uint16_t slot, std::uint64_t absolute_offset,
+                    std::uint64_t len);
+  sim::Task ring_cq_doorbell();
+  TimePs clock_cycles(std::uint32_t n) const {
+    return static_cast<TimePs>(n) * fpga_.clock_period;
+  }
+
+  sim::Simulator& sim_;
+  pcie::Fabric& fabric_;
+  pcie::PortId fpga_port_;
+  FpgaProfile fpga_;
+  pcie::Addr ssd_bar_;
+  StreamerConfig cfg_;
+  Resources res_;
+
+  axis::Stream read_cmd_in_;
+  axis::Stream read_data_out_;
+  axis::Stream write_in_;
+  axis::Stream write_resp_out_;
+
+  std::uint16_t sq_entries_;  // queue_depth + 1
+  std::vector<std::array<std::byte, nvme::kSqeSize>> sq_slots_;
+  std::uint16_t sq_tail_ = 0;
+  std::uint16_t cq_head_ = 0;
+
+  ReorderBuffer rob_;
+  std::unique_ptr<sim::Channel<PendingSubmit>> submit_queue_;
+  std::unique_ptr<sim::Semaphore> issue_credits_;
+  std::unique_ptr<sim::Semaphore> alloc_mutex_;  // keeps ring/ROB orders equal
+  std::unique_ptr<sim::Gate> prefetch_kick_;
+  sim::Gate fetch_progress_;
+  std::uint64_t next_user_tag_ = 1;
+
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t commands_submitted_ = 0;
+  std::uint64_t commands_retired_ = 0;
+  std::uint64_t errors_ = 0;
+};
+
+}  // namespace snacc::core

@@ -1,0 +1,145 @@
+// StripedClient: the Sec. 7 multi-SSD extension's "single address space"
+// flavour -- one logical device striped across N NVMe streamers (one queue
+// pair per SSD), stripe size = the 1 MB command granularity so every SSD
+// receives maximal commands.
+//
+// Each device's command stream is strictly ordered (the streamer retires in
+// order), so per device one issuer pipelines the stripe commands and one
+// collector drains the responses in the same order; across devices
+// everything runs concurrently. Bandwidth adds across SSDs until the FPGA's
+// own PCIe link saturates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "snacc/pe_client.hpp"
+
+namespace snacc::core {
+
+class StripedClient {
+ public:
+  explicit StripedClient(std::vector<NvmeStreamer*> streamers,
+                         std::uint64_t stripe_bytes = 1 * MiB)
+      : stripe_(stripe_bytes) {
+    for (NvmeStreamer* s : streamers) clients_.emplace_back(*s);
+  }
+
+  std::size_t device_count() const { return clients_.size(); }
+  std::uint64_t stripe_bytes() const { return stripe_; }
+
+  /// Logical address -> (device, device-local address).
+  struct Location {
+    std::size_t device;
+    std::uint64_t addr;
+  };
+  Location locate(std::uint64_t logical) const {
+    const std::uint64_t stripe_index = logical / stripe_;
+    return Location{static_cast<std::size_t>(stripe_index % clients_.size()),
+                    (stripe_index / clients_.size()) * stripe_ +
+                        logical % stripe_};
+  }
+
+  /// Writes `data` at logical byte address `addr` (block-aligned).
+  sim::Task write(std::uint64_t addr, Payload data) {
+    auto plan = make_plan(addr, data.size());
+    sim::Simulator& sim = simulator();
+    sim::WaitGroup wg(sim);
+    wg.add(static_cast<int>(clients_.size()));
+    for (std::size_t d = 0; d < clients_.size(); ++d) {
+      sim.spawn(device_writer(&sim, &clients_[d], plan[d], data, &wg));
+    }
+    co_await wg.wait();
+  }
+
+  /// Reads [addr, addr+len) into `*out` (nullptr: discard). Stripes land in
+  /// logical order in the output regardless of completion order.
+  sim::Task read(std::uint64_t addr, std::uint64_t len, Payload* out) {
+    auto plan = make_plan(addr, len);
+    std::size_t total_stripes = 0;
+    for (const auto& d : plan) total_stripes += d.size();
+    std::vector<Payload> parts(total_stripes);
+    sim::Simulator& sim = simulator();
+    sim::WaitGroup wg(sim);
+    wg.add(static_cast<int>(clients_.size()));
+    for (std::size_t d = 0; d < clients_.size(); ++d) {
+      sim.spawn(device_reader(&sim, &clients_[d], plan[d], &parts, &wg));
+    }
+    co_await wg.wait();
+    if (out != nullptr) *out = Payload::gather(parts);
+  }
+
+ private:
+  struct Stripe {
+    std::uint64_t device_addr;
+    std::uint64_t logical_off;  // offset within the caller's buffer
+    std::uint64_t len;
+    std::size_t part_index;     // logical-order slot in the gather vector
+  };
+
+  /// Splits [addr, addr+len) into per-device ordered stripe lists.
+  std::vector<std::vector<Stripe>> make_plan(std::uint64_t addr,
+                                             std::uint64_t len) const {
+    std::vector<std::vector<Stripe>> plan(clients_.size());
+    std::uint64_t off = 0;
+    std::size_t idx = 0;
+    while (off < len) {
+      const std::uint64_t n =
+          std::min(len - off, stripe_ - (addr + off) % stripe_);
+      const Location loc = locate(addr + off);
+      plan[loc.device].push_back(Stripe{loc.addr, off, n, idx});
+      off += n;
+      ++idx;
+    }
+    return plan;
+  }
+
+  sim::Simulator& simulator() {
+    return clients_.front().streamer().read_cmd_in().simulator();
+  }
+
+  static sim::Task device_writer(sim::Simulator* sim, PeClient* client,
+                                 std::vector<Stripe> stripes, Payload data,
+                                 sim::WaitGroup* wg) {
+    // The response tokens must be drained *while* stripes stream in: the
+    // token FIFO is shallow and a full FIFO backpressures retirement.
+    struct Issuer {
+      static sim::Task run(PeClient* client, const std::vector<Stripe>* list,
+                           const Payload* data) {
+        for (const Stripe& s : *list) {
+          co_await client->start_write(s.device_addr,
+                                       data->slice(s.logical_off, s.len));
+        }
+      }
+    };
+    sim->spawn(Issuer::run(client, &stripes, &data));
+    for (std::size_t i = 0; i < stripes.size(); ++i) {
+      co_await client->wait_write_response();
+    }
+    wg->done();
+  }
+
+  static sim::Task device_reader(sim::Simulator* sim, PeClient* client,
+                                 std::vector<Stripe> stripes,
+                                 std::vector<Payload>* parts,
+                                 sim::WaitGroup* wg) {
+    struct Issuer {
+      static sim::Task run(PeClient* client, const std::vector<Stripe>* list) {
+        for (const Stripe& s : *list) {
+          co_await client->start_read(s.device_addr, s.len);
+        }
+      }
+    };
+    sim->spawn(Issuer::run(client, &stripes));
+    // Responses arrive in issue order (in-order retirement).
+    for (const Stripe& s : stripes) {
+      co_await client->collect_read(&(*parts)[s.part_index]);
+    }
+    wg->done();
+  }
+
+  std::vector<PeClient> clients_;
+  std::uint64_t stripe_;
+};
+
+}  // namespace snacc::core

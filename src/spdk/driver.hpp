@@ -1,0 +1,157 @@
+// SPDK-style host polled-mode NVMe driver (the paper's baseline, Sec. 5.1).
+//
+// Faithful to SPDK's architecture: queues and pinned data buffers live in
+// host DRAM, the driver runs in "user space" (no syscalls modeled), keeps the
+// submission queue as full as the configured queue depth allows, harvests
+// completions *out of order* by polling the CQ phase bit, and burns a CPU
+// thread doing so. PRP lists are materialized in memory ("the naive
+// implementation" the paper contrasts the streamer's on-the-fly scheme with).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/calibration.hpp"
+#include "common/cpu_account.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "nvme/queues.hpp"
+#include "nvme/spec.hpp"
+#include "nvme/ssd.hpp"
+#include "pcie/memory_target.hpp"
+#include "sim/future.hpp"
+
+namespace snacc::spdk {
+
+struct DriverConfig {
+  std::uint16_t queue_depth = 64;     // in-flight I/O commands
+  TimePs poll_interval = ns(150);     // CQ poll loop period
+  TimePs submit_overhead = ns(350);   // per-command software cost
+  std::uint64_t region_offset = 0;    // where in host memory the driver lives
+};
+
+struct WorkloadResult {
+  TimePs elapsed = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t commands = 0;
+  LatencyStats latency;
+  double bandwidth_gb_s() const { return gb_per_s(bytes, elapsed); }
+};
+
+class Driver {
+ public:
+  Driver(sim::Simulator& sim, pcie::Fabric& fabric, pcie::HostMemory& host_mem,
+         pcie::Addr host_window_base, nvme::Ssd& ssd, const HostProfile& host,
+         DriverConfig cfg = {});
+
+  /// Full controller bring-up through real admin commands: register setup,
+  /// CSTS poll, Identify, Create I/O CQ + SQ. Must complete before I/O.
+  sim::Task init();
+  bool initialized() const { return initialized_; }
+  const nvme::IdentifyController& identify_data() const { return identify_; }
+
+  /// Single blocking read/write (splits at the device MDTS). `out` receives
+  /// the data when non-null.
+  sim::Task read(std::uint64_t lba, std::uint64_t bytes, Payload* out,
+                 nvme::Status* status = nullptr);
+  sim::Task write(std::uint64_t lba, Payload data,
+                  nvme::Status* status = nullptr);
+
+  /// Pipelined sequential workload: `total_bytes` in `cmd_bytes` commands,
+  /// queue depth kept full, completions harvested out of order.
+  sim::Task run_sequential(bool is_write, std::uint64_t start_lba,
+                           std::uint64_t total_bytes, std::uint64_t cmd_bytes,
+                           WorkloadResult* result);
+
+  /// Pipelined random workload: uniformly random block addresses within
+  /// `region_blocks`.
+  sim::Task run_random(bool is_write, std::uint64_t total_bytes,
+                       std::uint64_t cmd_bytes, std::uint64_t region_blocks,
+                       std::uint64_t seed, WorkloadResult* result);
+
+  CpuAccount& cpu() { return cpu_; }
+
+ private:
+  struct Slot {
+    bool in_use = false;
+    sim::Promise<nvme::Status>* completion = nullptr;  // owned by submitter
+    TimePs submitted_at = 0;
+  };
+
+  struct IoDesc {
+    bool is_write = false;
+    std::uint64_t lba = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  // Region layout (local offsets inside the driver's host-memory region).
+  std::uint64_t local(std::uint64_t off) const { return cfg_.region_offset + off; }
+  pcie::Addr global(std::uint64_t off) const {
+    return host_window_base_ + local(off);
+  }
+  static std::uint64_t page_align(std::uint64_t v) {
+    return (v + kPageSize - 1) & ~(kPageSize - 1);
+  }
+  std::uint64_t admin_sq_off() const { return 0; }
+  std::uint64_t admin_cq_off() const { return 4 * KiB; }
+  std::uint64_t identify_off() const { return 8 * KiB; }
+  // The I/O rings scale with the configured queue depth (qd+1 entries).
+  std::uint64_t io_sq_off() const { return 12 * KiB; }
+  std::uint64_t io_cq_off() const {
+    return io_sq_off() +
+           page_align((cfg_.queue_depth + 1ull) * nvme::kSqeSize);
+  }
+  std::uint64_t prp_list_off(std::uint16_t slot) const {
+    return io_cq_off() +
+           page_align((cfg_.queue_depth + 1ull) * nvme::kCqeSize) +
+           static_cast<std::uint64_t>(slot) * kPageSize;
+  }
+  std::uint64_t buffer_off(std::uint16_t slot) const {
+    return prp_list_off(cfg_.queue_depth) +
+           static_cast<std::uint64_t>(slot) * max_transfer_;
+  }
+
+  sim::Task admin_cmd(nvme::SubmissionEntry sqe, nvme::Status* status,
+                      std::uint32_t* dw0 = nullptr);
+  sim::Task ring_sq_doorbell(std::uint16_t qid, std::uint16_t tail);
+  sim::Task ring_cq_doorbell(std::uint16_t qid, std::uint16_t head);
+
+  /// Writes the SQE + PRP list into host memory and rings the doorbell.
+  /// The slot must already be claimed.
+  sim::Task submit_io(const IoDesc& io, std::uint16_t slot,
+                      sim::Promise<nvme::Status>* completion);
+
+  /// Polls the I/O CQ until `pending_` drains to zero and `draining_` is set.
+  sim::Task poller();
+
+  /// Shared engine for run_sequential / run_random.
+  sim::Task run_workload(const std::vector<IoDesc>& ios, WorkloadResult* result);
+
+  sim::Simulator& sim_;
+  pcie::Fabric& fabric_;
+  pcie::HostMemory& host_mem_;
+  pcie::Addr host_window_base_;
+  nvme::Ssd& ssd_;
+  HostProfile host_;
+  DriverConfig cfg_;
+  std::uint64_t max_transfer_ = 1 * MiB;
+
+  nvme::IdentifyController identify_;
+  bool initialized_ = false;
+
+  nvme::SqRing admin_sq_;
+  nvme::CqRing admin_cq_;
+  nvme::SqRing io_sq_;
+  nvme::CqRing io_cq_;
+
+  std::vector<Slot> slots_;
+  std::unique_ptr<sim::Semaphore> slot_sem_;
+  int pending_ = 0;
+  bool poller_running_ = false;
+
+  CpuAccount cpu_{"spdk-thread"};
+  std::uint16_t next_cid_ = 0;
+};
+
+}  // namespace snacc::spdk

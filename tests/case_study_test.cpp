@@ -1,0 +1,126 @@
+// End-to-end case-study tests (Sec. 6): real image data flows over Ethernet,
+// through the classifier, into the NVMe database -- for all three SNAcc
+// variants and both host-based references. Verifies record layout, image
+// integrity, classification correctness (against the pure reference
+// function), flow-control engagement and the CPU-load contrast of Sec. 6.3.
+#include <gtest/gtest.h>
+
+#include "apps/case_study.hpp"
+
+namespace snacc::apps {
+namespace {
+
+ImageStreamConfig small_real_config() {
+  ImageStreamConfig cfg;
+  cfg.width = 448;
+  cfg.height = 448;
+  cfg.count = 6;
+  cfg.real_data = true;
+  return cfg;
+}
+
+TEST(ImageModel, DownscaleProducesExpectedSizeAndDeterminism) {
+  ImageStreamConfig cfg = small_real_config();
+  Image a = make_image(cfg, 3);
+  Image b = make_image(cfg, 3);
+  EXPECT_TRUE(a.data.content_equals(b.data));
+  Payload sa = downscale(a);
+  EXPECT_EQ(sa.size(), kScaledBytes);
+  EXPECT_TRUE(sa.content_equals(downscale(b)));
+  // Different images classify (usually) differently and always
+  // deterministically.
+  auto ca = classify_reference(sa, 3);
+  auto cb = classify_reference(sa, 3);
+  EXPECT_EQ(ca.class_id, cb.class_id);
+  EXPECT_LT(ca.class_id, kNumClasses);
+}
+
+TEST(ImageModel, HeaderRoundTrip) {
+  Payload h = DbRecord::make_header(42, 7, 123456);
+  std::uint64_t id = 0;
+  std::uint32_t cls = 0;
+  std::uint64_t bytes = 0;
+  ASSERT_TRUE(DbRecord::parse_header(h, &id, &cls, &bytes));
+  EXPECT_EQ(id, 42u);
+  EXPECT_EQ(cls, 7u);
+  EXPECT_EQ(bytes, 123456u);
+  EXPECT_FALSE(DbRecord::parse_header(Payload::filled(4096, 0), &id, &cls, &bytes));
+}
+
+class SnaccCaseStudy : public ::testing::TestWithParam<core::Variant> {};
+
+TEST_P(SnaccCaseStudy, StoresVerifiedDatabase) {
+  // Note: run_snacc_case_study owns its System; to verify we need the media,
+  // so replicate the call with verification plumbed through media shared...
+  // The public API returns only results; verification runs inside via a
+  // fresh system. Here: run and check the aggregate numbers.
+  ImageStreamConfig cfg = small_real_config();
+  CaseStudyResult r = run_snacc_case_study(GetParam(), cfg);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.images, cfg.count);
+  EXPECT_EQ(r.bytes_ingested, cfg.total_bytes());
+  EXPECT_EQ(r.cpu_utilization, 0.0);  // Sec. 6.3: autonomous after setup
+  EXPECT_TRUE(r.db_verified) << r.db_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, SnaccCaseStudy,
+                         ::testing::Values(core::Variant::kUram,
+                                           core::Variant::kOnboardDram,
+                                           core::Variant::kHostDram),
+                         [](const auto& info) {
+                           return std::string(core::variant_name(info.param) ==
+                                                      std::string("URAM")
+                                                  ? "Uram"
+                                              : info.param ==
+                                                      core::Variant::kOnboardDram
+                                                  ? "OnboardDram"
+                                                  : "HostDram");
+                         });
+
+TEST(SpdkCaseStudy, StoresAllImagesAndBurnsCpu) {
+  ImageStreamConfig cfg = small_real_config();
+  CaseStudyResult r = run_spdk_case_study(cfg);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.images, cfg.count);
+  EXPECT_GT(r.cpu_utilization, 0.0);
+  EXPECT_TRUE(r.db_verified) << r.db_error;
+}
+
+TEST(GpuCaseStudy, StoresAllImagesAndBurnsCpu) {
+  ImageStreamConfig cfg = small_real_config();
+  cfg.count = 40;  // > one batch of 32 to exercise batch + remainder
+  cfg.real_data = false;
+  CaseStudyResult r = run_gpu_case_study(cfg);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.images, cfg.count);
+  EXPECT_GT(r.cpu_utilization, 0.5);
+}
+
+TEST(CaseStudyBandwidth, SnaccHostDramIsStorageBound) {
+  ImageStreamConfig cfg;  // phantom 9 MB images
+  cfg.count = 128;
+  CaseStudyResult r = run_snacc_case_study(core::Variant::kHostDram, cfg);
+  ASSERT_TRUE(r.ok);
+  // Paper Fig. 6: ~6.1 GB/s (the NVMe write path limits, not the 12.5 GB/s
+  // Ethernet); flow control must have engaged to throttle the sender.
+  EXPECT_GT(r.bandwidth_gb_s(), 5.3);
+  EXPECT_LT(r.bandwidth_gb_s(), 6.6);
+  EXPECT_GT(r.pause_frames, 0u);
+}
+
+TEST(CaseStudyTraffic, FpgaVariantsMoveDataOverPcieOnce) {
+  ImageStreamConfig cfg;
+  cfg.count = 64;
+  CaseStudyResult uram = run_snacc_case_study(core::Variant::kUram, cfg);
+  CaseStudyResult host = run_snacc_case_study(core::Variant::kHostDram, cfg);
+  ASSERT_TRUE(uram.ok);
+  ASSERT_TRUE(host.ok);
+  // URAM: payload crosses PCIe once (SSD pulls from FPGA); host-DRAM
+  // variant crosses twice (FPGA -> host, host -> SSD). Fig. 7.
+  const double total = static_cast<double>(cfg.total_bytes());
+  EXPECT_NEAR(uram.pcie_total_bytes / total, 1.0, 0.15);
+  EXPECT_NEAR(host.pcie_total_bytes / total, 2.0, 0.2);
+}
+
+}  // namespace
+}  // namespace snacc::apps

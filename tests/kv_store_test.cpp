@@ -1,0 +1,224 @@
+// KvStore tests: put/get round trips, overwrite semantics (latest wins),
+// values spanning multiple NVMe commands, index recovery from the on-device
+// log, and capacity handling.
+#include <gtest/gtest.h>
+
+#include "apps/kv_store.hpp"
+#include "common/rng.hpp"
+#include "host/snacc_device.hpp"
+#include "host/system.hpp"
+
+namespace snacc::apps {
+namespace {
+
+struct KvFixture : ::testing::Test {
+  KvFixture() {
+    host::SnaccDeviceConfig cfg;
+    cfg.streamer.variant = core::Variant::kUram;
+    dev = std::make_unique<host::SnaccDevice>(sys, cfg);
+    bool booted = false;
+    auto boot = [](host::SnaccDevice* d, bool* f) -> sim::Task {
+      co_await d->init();
+      *f = true;
+    };
+    sys.sim().spawn(boot(dev.get(), &booted));
+    sys.sim().run_until(seconds(1));
+    EXPECT_TRUE(booted);
+    store = std::make_unique<KvStore>(dev->streamer(), /*log_base=*/0,
+                                      /*log_capacity=*/256 * MiB);
+  }
+
+  void run(sim::Task t, std::uint64_t budget_s = 10) {
+    sys.sim().spawn(std::move(t));
+    sys.sim().run_until(sys.sim().now() + seconds(budget_s));
+  }
+
+  host::System sys;
+  std::unique_ptr<host::SnaccDevice> dev;
+  std::unique_ptr<KvStore> store;
+};
+
+TEST_F(KvFixture, PutGetRoundTrip) {
+  bool done = false;
+  auto t = [&]() -> sim::Task {
+    bool ok = false;
+    co_await store->put("alpha", Payload::filled(1000, 0xA1), &ok);
+    EXPECT_TRUE(ok);
+    Payload got;
+    bool found = false;
+    co_await store->get("alpha", &got, &found);
+    EXPECT_TRUE(found);
+    EXPECT_TRUE(got.content_equals(Payload::filled(1000, 0xA1)));
+    co_await store->get("missing", nullptr, &found);
+    EXPECT_FALSE(found);
+    done = true;
+  };
+  run(t());
+  ASSERT_TRUE(done);
+  EXPECT_EQ(store->entries(), 1u);
+}
+
+TEST_F(KvFixture, OverwriteReturnsLatestVersion) {
+  bool done = false;
+  auto t = [&]() -> sim::Task {
+    co_await store->put("key", Payload::filled(500, 0x01));
+    co_await store->put("key", Payload::filled(900, 0x02));
+    Payload got;
+    bool found = false;
+    co_await store->get("key", &got, &found);
+    EXPECT_TRUE(found);
+    EXPECT_EQ(got.size(), 900u);
+    EXPECT_TRUE(got.content_equals(Payload::filled(900, 0x02)));
+    done = true;
+  };
+  run(t());
+  ASSERT_TRUE(done);
+  EXPECT_EQ(store->entries(), 1u);  // one live key, two log records
+  EXPECT_EQ(store->log_bytes_used(), KvStore::record_span(500) +
+                                         KvStore::record_span(900));
+}
+
+TEST_F(KvFixture, LargeValueSpansMultipleCommands) {
+  Xoshiro256 rng(3);
+  std::vector<std::byte> big(2 * MiB + 5000);
+  for (auto& b : big) b = static_cast<std::byte>(rng.next() & 0xFF);
+  Payload value = Payload::bytes(std::move(big));
+  bool done = false;
+  auto t = [&]() -> sim::Task {
+    co_await store->put("blob", value);
+    Payload got;
+    bool found = false;
+    co_await store->get("blob", &got, &found);
+    EXPECT_TRUE(found);
+    EXPECT_TRUE(got.content_equals(value));
+    done = true;
+  };
+  run(t());
+  ASSERT_TRUE(done);
+}
+
+TEST_F(KvFixture, RecoveryRebuildsIndexFromLog) {
+  bool done = false;
+  auto t = [&]() -> sim::Task {
+    for (int i = 0; i < 20; ++i) {
+      co_await store->put("key-" + std::to_string(i),
+                          Payload::filled(100 + i * 37,
+                                          static_cast<std::uint8_t>(i)));
+    }
+    done = true;
+  };
+  run(t());
+  ASSERT_TRUE(done);
+
+  // A fresh store instance (lost in-memory index) recovers from the log.
+  KvStore recovered(dev->streamer(), 0, 256 * MiB);
+  bool done2 = false;
+  auto t2 = [&]() -> sim::Task {
+    std::uint64_t records = 0;
+    co_await recovered.recover(&records);
+    EXPECT_EQ(records, 20u);
+    Payload got;
+    bool found = false;
+    co_await recovered.get("key-7", &got, &found);
+    EXPECT_TRUE(found);
+    EXPECT_TRUE(got.content_equals(Payload::filled(100 + 7 * 37, 7)));
+    done2 = true;
+  };
+  run(t2());
+  ASSERT_TRUE(done2);
+  EXPECT_EQ(recovered.entries(), 20u);
+  EXPECT_EQ(recovered.log_bytes_used(), store->log_bytes_used());
+}
+
+TEST_F(KvFixture, CompactionReclaimsOverwrittenSpace) {
+  bool done = false;
+  auto t = [&]() -> sim::Task {
+    // 10 keys, each overwritten 4 times: 50 records, 10 live.
+    for (int round = 0; round < 5; ++round) {
+      for (int i = 0; i < 10; ++i) {
+        co_await store->put(
+            "k" + std::to_string(i),
+            Payload::filled(1000 + i * 100,
+                            static_cast<std::uint8_t>(round * 16 + i)));
+      }
+    }
+    const std::uint64_t before = store->log_bytes_used();
+    std::uint64_t reclaimed = 0;
+    co_await store->compact(/*scratch_base=*/512 * MiB, 256 * MiB, &reclaimed);
+    EXPECT_GT(reclaimed, 0u);
+    EXPECT_EQ(store->log_bytes_used(), before - reclaimed);
+    EXPECT_EQ(store->entries(), 10u);
+    // Every key still returns its latest version.
+    for (int i = 0; i < 10; ++i) {
+      Payload got;
+      bool found = false;
+      co_await store->get("k" + std::to_string(i), &got, &found);
+      EXPECT_TRUE(found);
+      EXPECT_TRUE(got.content_equals(Payload::filled(
+          1000 + i * 100, static_cast<std::uint8_t>(4 * 16 + i))));
+    }
+    done = true;
+  };
+  run(t());
+  ASSERT_TRUE(done);
+
+  // The compacted log is recoverable from its new location.
+  KvStore recovered(dev->streamer(), 512 * MiB, 256 * MiB);
+  bool done2 = false;
+  auto t2 = [&]() -> sim::Task {
+    std::uint64_t records = 0;
+    co_await recovered.recover(&records);
+    EXPECT_EQ(records, 10u);
+    done2 = true;
+  };
+  run(t2());
+  ASSERT_TRUE(done2);
+}
+
+TEST_F(KvFixture, CompactionAbortsWhenScratchTooSmall) {
+  bool done = false;
+  auto t = [&]() -> sim::Task {
+    co_await store->put("a", Payload::filled(64 * KiB, 1));
+    co_await store->put("b", Payload::filled(64 * KiB, 2));
+    const std::uint64_t before = store->log_bytes_used();
+    std::uint64_t reclaimed = 123;
+    co_await store->compact(512 * MiB, 8 * KiB, &reclaimed);
+    EXPECT_EQ(reclaimed, 0u);
+    EXPECT_EQ(store->log_bytes_used(), before);  // unchanged, still valid
+    Payload got;
+    bool found = false;
+    co_await store->get("a", &got, &found);
+    EXPECT_TRUE(found);
+    done = true;
+  };
+  run(t());
+  ASSERT_TRUE(done);
+}
+
+TEST_F(KvFixture, OversizedKeyAndFullLogAreRejected) {
+  bool done = false;
+  auto t = [&]() -> sim::Task {
+    bool ok = true;
+    co_await store->put(std::string(4000, 'k'), Payload::filled(10, 1), &ok);
+    EXPECT_FALSE(ok);
+    done = true;
+  };
+  run(t());
+  ASSERT_TRUE(done);
+
+  KvStore tiny(dev->streamer(), 512 * MiB, 16 * KiB);
+  bool done2 = false;
+  auto t2 = [&]() -> sim::Task {
+    bool ok = false;
+    co_await tiny.put("fits", Payload::filled(100, 1), &ok);
+    EXPECT_TRUE(ok);
+    co_await tiny.put("does-not", Payload::filled(100 * KiB, 2), &ok);
+    EXPECT_FALSE(ok);
+    done2 = true;
+  };
+  run(t2());
+  ASSERT_TRUE(done2);
+}
+
+}  // namespace
+}  // namespace snacc::apps

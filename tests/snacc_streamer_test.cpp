@@ -1,0 +1,278 @@
+// End-to-end tests of the SNAcc streamer through the full simulated system:
+// PE streams -> streamer -> PCIe P2P -> NVMe SSD, for all three buffer
+// variants (parameterized), plus the out-of-order retirement extension.
+#include <gtest/gtest.h>
+
+#include "host/snacc_device.hpp"
+#include "host/system.hpp"
+#include "snacc/pe_client.hpp"
+
+namespace snacc {
+namespace {
+
+using core::PeClient;
+using core::Variant;
+using host::SnaccDevice;
+using host::SnaccDeviceConfig;
+using host::System;
+
+class StreamerFixture : public ::testing::TestWithParam<Variant> {
+ protected:
+  void build(bool out_of_order = false) {
+    SnaccDeviceConfig cfg;
+    cfg.streamer.variant = GetParam();
+    cfg.streamer.out_of_order = out_of_order;
+    dev_ = std::make_unique<SnaccDevice>(sys_, cfg);
+    bool done = false;
+    auto boot = [&]() -> sim::Task {
+      co_await dev_->init();
+      done = true;
+    };
+    sys_.sim().spawn(boot());
+    run_for(seconds(1));
+    ASSERT_TRUE(done) << "SNAcc init did not finish";
+    client_ = std::make_unique<PeClient>(dev_->streamer());
+  }
+
+  void run_for(TimePs d) { sys_.sim().run_until(sys_.sim().now() + d); }
+
+  Payload random_payload(std::uint64_t size, std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    std::vector<std::byte> v(size);
+    for (auto& b : v) b = static_cast<std::byte>(rng.next() & 0xFF);
+    return Payload::bytes(std::move(v));
+  }
+
+  System sys_;
+  std::unique_ptr<SnaccDevice> dev_;
+  std::unique_ptr<PeClient> client_;
+};
+
+TEST_P(StreamerFixture, InitCreatesQueuesAutonomously) {
+  build();
+  EXPECT_TRUE(dev_->initialized());
+  EXPECT_TRUE(sys_.ssd().ready());
+}
+
+TEST_P(StreamerFixture, SmallWriteReadRoundTrip) {
+  build();
+  Payload data = random_payload(4096, 1);
+  bool done = false;
+  Payload got;
+  auto io = [&]() -> sim::Task {
+    co_await client_->write(40960, data);
+    co_await client_->read(40960, 4096, &got);
+    done = true;
+  };
+  sys_.sim().spawn(io());
+  run_for(seconds(1));
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(got.has_data());
+  EXPECT_TRUE(got.content_equals(data));
+}
+
+TEST_P(StreamerFixture, MegabyteCommandRoundTripExercisesPrpList) {
+  build();
+  Payload data = random_payload(1 * MiB, 2);
+  bool done = false;
+  Payload got;
+  auto io = [&]() -> sim::Task {
+    co_await client_->write(8 * MiB, data);
+    co_await client_->read(8 * MiB, 1 * MiB, &got);
+    done = true;
+  };
+  sys_.sim().spawn(io());
+  run_for(seconds(2));
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(got.has_data());
+  EXPECT_TRUE(got.content_equals(data));
+  // One write + one read NVMe command, both 1 MiB.
+  EXPECT_EQ(dev_->streamer().commands_submitted(), 2u);
+}
+
+TEST_P(StreamerFixture, MultiMegabyteWriteSplitsAtBoundaries) {
+  build();
+  Payload data = random_payload(3 * MiB + 8 * KiB, 3);
+  bool done = false;
+  Payload got;
+  auto io = [&]() -> sim::Task {
+    co_await client_->write(0, data);
+    co_await client_->read(0, data.size(), &got);
+    done = true;
+  };
+  sys_.sim().spawn(io());
+  run_for(seconds(3));
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(got.content_equals(data));
+  // Write: 4 sub-commands (1+1+1+8k); read: 4.
+  EXPECT_EQ(dev_->streamer().commands_submitted(), 8u);
+}
+
+TEST_P(StreamerFixture, UnalignedReadReturnsExactBytes) {
+  build();
+  Payload data = random_payload(64 * KiB, 4);
+  bool done = false;
+  Payload got;
+  auto io = [&]() -> sim::Task {
+    co_await client_->write(1 * MiB, data);
+    // Read 100 bytes starting 5000 bytes into the written region.
+    co_await client_->read(1 * MiB + 5000, 100, &got);
+    done = true;
+  };
+  sys_.sim().spawn(io());
+  run_for(seconds(1));
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(got.has_data());
+  EXPECT_TRUE(got.content_equals(data.slice(5000, 100)));
+}
+
+TEST_P(StreamerFixture, PipelinedReadsReturnInIssueOrder) {
+  build();
+  // Prime the device.
+  bool primed = false;
+  auto prime = [&]() -> sim::Task {
+    co_await client_->write(0, random_payload(256 * KiB, 5));
+    primed = true;
+  };
+  sys_.sim().spawn(prime());
+  run_for(seconds(1));
+  ASSERT_TRUE(primed);
+
+  bool done = false;
+  std::vector<Payload> results(8);
+  auto io = [&]() -> sim::Task {
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      co_await client_->start_read(i * 32 * KiB % (224 * KiB), 16 * KiB);
+    }
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      co_await client_->collect_read(&results[i]);
+    }
+    done = true;
+  };
+  sys_.sim().spawn(io());
+  run_for(seconds(1));
+  ASSERT_TRUE(done);
+  for (const auto& r : results) EXPECT_EQ(r.size(), 16 * KiB);
+}
+
+TEST_P(StreamerFixture, SequentialWriteBandwidthMatchesVariant) {
+  build();
+  sys_.ssd().nand().force_mode(/*fast=*/true);
+  bool done = false;
+  TimePs t0 = 0;
+  TimePs t1 = 0;
+  const std::uint64_t total = 256 * MiB;
+  auto io = [&]() -> sim::Task {
+    t0 = sys_.sim().now();
+    co_await client_->write(0, Payload::phantom(total));
+    t1 = sys_.sim().now();
+    done = true;
+  };
+  sys_.sim().spawn(io());
+  run_for(seconds(5));
+  ASSERT_TRUE(done);
+  const double gbs = gb_per_s(total, t1 - t0);
+  // Paper Fig. 4a fast-mode targets: host 6.24, URAM 5.6, on-board 4.8.
+  switch (GetParam()) {
+    case Variant::kHostDram:
+      EXPECT_NEAR(gbs, 6.24, 0.45);
+      break;
+    case Variant::kUram:
+      EXPECT_NEAR(gbs, 5.60, 0.45);
+      break;
+    case Variant::kOnboardDram:
+      EXPECT_NEAR(gbs, 4.80, 0.45);
+      break;
+  }
+}
+
+TEST_P(StreamerFixture, SequentialReadSaturatesLink) {
+  build();
+  bool done = false;
+  TimePs t0 = 0;
+  TimePs t1 = 0;
+  const std::uint64_t total = 256 * MiB;
+  auto io = [&]() -> sim::Task {
+    co_await client_->write(0, Payload::phantom(total));
+    t0 = sys_.sim().now();
+    co_await client_->read(0, total, nullptr);
+    t1 = sys_.sim().now();
+    done = true;
+  };
+  sys_.sim().spawn(io());
+  run_for(seconds(10));
+  ASSERT_TRUE(done);
+  const double gbs = gb_per_s(total, t1 - t0);
+  // Paper Fig. 4a: ~6.9 GB/s for every variant.
+  EXPECT_GT(gbs, 6.2);
+  EXPECT_LT(gbs, 7.2);
+}
+
+TEST_P(StreamerFixture, WritesToDeviceMatchMediaContents) {
+  build();
+  Payload data = random_payload(128 * KiB, 6);
+  bool done = false;
+  auto io = [&]() -> sim::Task {
+    co_await client_->write(2 * MiB, data);
+    done = true;
+  };
+  sys_.sim().spawn(io());
+  run_for(seconds(1));
+  ASSERT_TRUE(done);
+  Payload media = sys_.ssd().media().read(2 * MiB, 128 * KiB);
+  ASSERT_TRUE(media.has_data());
+  EXPECT_TRUE(media.content_equals(data));
+}
+
+TEST_P(StreamerFixture, NoCpuInvolvementAfterInit) {
+  build();
+  const std::uint64_t root_writes_before =
+      sys_.fabric().path(sys_.root_port(), sys_.ssd().port()).writes;
+  bool done = false;
+  auto io = [&]() -> sim::Task {
+    co_await client_->write(0, Payload::phantom(32 * MiB));
+    co_await client_->read(0, 32 * MiB, nullptr);
+    done = true;
+  };
+  sys_.sim().spawn(io());
+  run_for(seconds(5));
+  ASSERT_TRUE(done);
+  // Sec. 6.3: after setup the host CPU issues no further transactions.
+  EXPECT_EQ(sys_.fabric().path(sys_.root_port(), sys_.ssd().port()).writes,
+            root_writes_before);
+}
+
+TEST_P(StreamerFixture, OutOfOrderExtensionPreservesDataAndOrder) {
+  build(/*out_of_order=*/true);
+  Payload data = random_payload(512 * KiB, 7);
+  bool done = false;
+  Payload got;
+  auto io = [&]() -> sim::Task {
+    co_await client_->write(0, data);
+    co_await client_->read(0, 512 * KiB, &got);
+    done = true;
+  };
+  sys_.sim().spawn(io());
+  run_for(seconds(2));
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(got.content_equals(data));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, StreamerFixture,
+                         ::testing::Values(Variant::kUram,
+                                           Variant::kOnboardDram,
+                                           Variant::kHostDram),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Variant::kUram:
+                               return "Uram";
+                             case Variant::kOnboardDram:
+                               return "OnboardDram";
+                             case Variant::kHostDram:
+                               return "HostDram";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace snacc
