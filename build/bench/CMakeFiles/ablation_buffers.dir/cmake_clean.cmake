@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_buffers.dir/ablation_buffers.cpp.o"
+  "CMakeFiles/ablation_buffers.dir/ablation_buffers.cpp.o.d"
+  "ablation_buffers"
+  "ablation_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_future_100g.dir/ablation_future_100g.cpp.o"
+  "CMakeFiles/ablation_future_100g.dir/ablation_future_100g.cpp.o.d"
+  "ablation_future_100g"
+  "ablation_future_100g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_future_100g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_iommu.dir/ablation_iommu.cpp.o"
+  "CMakeFiles/ablation_iommu.dir/ablation_iommu.cpp.o.d"
+  "ablation_iommu"
+  "ablation_iommu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_iommu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

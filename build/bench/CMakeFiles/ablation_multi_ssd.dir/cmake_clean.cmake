@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multi_ssd.dir/ablation_multi_ssd.cpp.o"
+  "CMakeFiles/ablation_multi_ssd.dir/ablation_multi_ssd.cpp.o.d"
+  "ablation_multi_ssd"
+  "ablation_multi_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multi_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

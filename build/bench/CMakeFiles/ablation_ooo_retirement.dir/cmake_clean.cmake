@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ooo_retirement.dir/ablation_ooo_retirement.cpp.o"
+  "CMakeFiles/ablation_ooo_retirement.dir/ablation_ooo_retirement.cpp.o.d"
+  "ablation_ooo_retirement"
+  "ablation_ooo_retirement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ooo_retirement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_seq_bandwidth.dir/fig4a_seq_bandwidth.cpp.o"
+  "CMakeFiles/fig4a_seq_bandwidth.dir/fig4a_seq_bandwidth.cpp.o.d"
+  "fig4a_seq_bandwidth"
+  "fig4a_seq_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_seq_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

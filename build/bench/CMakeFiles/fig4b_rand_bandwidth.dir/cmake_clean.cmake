@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_rand_bandwidth.dir/fig4b_rand_bandwidth.cpp.o"
+  "CMakeFiles/fig4b_rand_bandwidth.dir/fig4b_rand_bandwidth.cpp.o.d"
+  "fig4b_rand_bandwidth"
+  "fig4b_rand_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_rand_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

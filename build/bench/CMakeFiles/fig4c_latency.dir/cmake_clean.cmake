@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4c_latency.dir/fig4c_latency.cpp.o"
+  "CMakeFiles/fig4c_latency.dir/fig4c_latency.cpp.o.d"
+  "fig4c_latency"
+  "fig4c_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4c_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

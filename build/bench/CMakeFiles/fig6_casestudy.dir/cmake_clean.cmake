@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_casestudy.dir/fig6_casestudy.cpp.o"
+  "CMakeFiles/fig6_casestudy.dir/fig6_casestudy.cpp.o.d"
+  "fig6_casestudy"
+  "fig6_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

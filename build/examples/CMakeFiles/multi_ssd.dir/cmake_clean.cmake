@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_ssd.dir/multi_ssd.cpp.o"
+  "CMakeFiles/multi_ssd.dir/multi_ssd.cpp.o.d"
+  "multi_ssd"
+  "multi_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snaccfio.dir/snaccfio.cpp.o"
+  "CMakeFiles/snaccfio.dir/snaccfio.cpp.o.d"
+  "snaccfio"
+  "snaccfio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snaccfio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_etl.dir/streaming_etl.cpp.o"
+  "CMakeFiles/streaming_etl.dir/streaming_etl.cpp.o.d"
+  "streaming_etl"
+  "streaming_etl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_etl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snacc_apps.dir/apps/case_study.cpp.o"
+  "CMakeFiles/snacc_apps.dir/apps/case_study.cpp.o.d"
+  "CMakeFiles/snacc_apps.dir/apps/image.cpp.o"
+  "CMakeFiles/snacc_apps.dir/apps/image.cpp.o.d"
+  "CMakeFiles/snacc_apps.dir/apps/kv_store.cpp.o"
+  "CMakeFiles/snacc_apps.dir/apps/kv_store.cpp.o.d"
+  "libsnacc_apps.a"
+  "libsnacc_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snacc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

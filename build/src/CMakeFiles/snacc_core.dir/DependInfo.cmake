@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/snacc/buffer_backend.cpp" "src/CMakeFiles/snacc_core.dir/snacc/buffer_backend.cpp.o" "gcc" "src/CMakeFiles/snacc_core.dir/snacc/buffer_backend.cpp.o.d"
+  "/root/repo/src/snacc/buffer_manager.cpp" "src/CMakeFiles/snacc_core.dir/snacc/buffer_manager.cpp.o" "gcc" "src/CMakeFiles/snacc_core.dir/snacc/buffer_manager.cpp.o.d"
+  "/root/repo/src/snacc/prp_engine.cpp" "src/CMakeFiles/snacc_core.dir/snacc/prp_engine.cpp.o" "gcc" "src/CMakeFiles/snacc_core.dir/snacc/prp_engine.cpp.o.d"
+  "/root/repo/src/snacc/reorder_buffer.cpp" "src/CMakeFiles/snacc_core.dir/snacc/reorder_buffer.cpp.o" "gcc" "src/CMakeFiles/snacc_core.dir/snacc/reorder_buffer.cpp.o.d"
+  "/root/repo/src/snacc/resource_model.cpp" "src/CMakeFiles/snacc_core.dir/snacc/resource_model.cpp.o" "gcc" "src/CMakeFiles/snacc_core.dir/snacc/resource_model.cpp.o.d"
+  "/root/repo/src/snacc/splitter.cpp" "src/CMakeFiles/snacc_core.dir/snacc/splitter.cpp.o" "gcc" "src/CMakeFiles/snacc_core.dir/snacc/splitter.cpp.o.d"
+  "/root/repo/src/snacc/streamer.cpp" "src/CMakeFiles/snacc_core.dir/snacc/streamer.cpp.o" "gcc" "src/CMakeFiles/snacc_core.dir/snacc/streamer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/snacc_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snacc_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snacc_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

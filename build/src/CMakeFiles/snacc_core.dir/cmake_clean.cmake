@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snacc_core.dir/snacc/buffer_backend.cpp.o"
+  "CMakeFiles/snacc_core.dir/snacc/buffer_backend.cpp.o.d"
+  "CMakeFiles/snacc_core.dir/snacc/buffer_manager.cpp.o"
+  "CMakeFiles/snacc_core.dir/snacc/buffer_manager.cpp.o.d"
+  "CMakeFiles/snacc_core.dir/snacc/prp_engine.cpp.o"
+  "CMakeFiles/snacc_core.dir/snacc/prp_engine.cpp.o.d"
+  "CMakeFiles/snacc_core.dir/snacc/reorder_buffer.cpp.o"
+  "CMakeFiles/snacc_core.dir/snacc/reorder_buffer.cpp.o.d"
+  "CMakeFiles/snacc_core.dir/snacc/resource_model.cpp.o"
+  "CMakeFiles/snacc_core.dir/snacc/resource_model.cpp.o.d"
+  "CMakeFiles/snacc_core.dir/snacc/splitter.cpp.o"
+  "CMakeFiles/snacc_core.dir/snacc/splitter.cpp.o.d"
+  "CMakeFiles/snacc_core.dir/snacc/streamer.cpp.o"
+  "CMakeFiles/snacc_core.dir/snacc/streamer.cpp.o.d"
+  "libsnacc_core.a"
+  "libsnacc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snacc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

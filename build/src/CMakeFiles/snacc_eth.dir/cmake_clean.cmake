@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snacc_eth.dir/eth/mac.cpp.o"
+  "CMakeFiles/snacc_eth.dir/eth/mac.cpp.o.d"
+  "libsnacc_eth.a"
+  "libsnacc_eth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snacc_eth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

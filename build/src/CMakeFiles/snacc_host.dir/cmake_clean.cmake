@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snacc_host.dir/host/nvme_admin.cpp.o"
+  "CMakeFiles/snacc_host.dir/host/nvme_admin.cpp.o.d"
+  "CMakeFiles/snacc_host.dir/host/snacc_device.cpp.o"
+  "CMakeFiles/snacc_host.dir/host/snacc_device.cpp.o.d"
+  "libsnacc_host.a"
+  "libsnacc_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snacc_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

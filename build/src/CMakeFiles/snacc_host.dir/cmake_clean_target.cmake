@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsnacc_host.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snacc_mem.dir/mem/dram.cpp.o"
+  "CMakeFiles/snacc_mem.dir/mem/dram.cpp.o.d"
+  "CMakeFiles/snacc_mem.dir/mem/sparse_memory.cpp.o"
+  "CMakeFiles/snacc_mem.dir/mem/sparse_memory.cpp.o.d"
+  "libsnacc_mem.a"
+  "libsnacc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snacc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvme/nand.cpp" "src/CMakeFiles/snacc_nvme.dir/nvme/nand.cpp.o" "gcc" "src/CMakeFiles/snacc_nvme.dir/nvme/nand.cpp.o.d"
+  "/root/repo/src/nvme/prp.cpp" "src/CMakeFiles/snacc_nvme.dir/nvme/prp.cpp.o" "gcc" "src/CMakeFiles/snacc_nvme.dir/nvme/prp.cpp.o.d"
+  "/root/repo/src/nvme/ssd.cpp" "src/CMakeFiles/snacc_nvme.dir/nvme/ssd.cpp.o" "gcc" "src/CMakeFiles/snacc_nvme.dir/nvme/ssd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/snacc_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snacc_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snacc_nvme.dir/nvme/nand.cpp.o"
+  "CMakeFiles/snacc_nvme.dir/nvme/nand.cpp.o.d"
+  "CMakeFiles/snacc_nvme.dir/nvme/prp.cpp.o"
+  "CMakeFiles/snacc_nvme.dir/nvme/prp.cpp.o.d"
+  "CMakeFiles/snacc_nvme.dir/nvme/ssd.cpp.o"
+  "CMakeFiles/snacc_nvme.dir/nvme/ssd.cpp.o.d"
+  "libsnacc_nvme.a"
+  "libsnacc_nvme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snacc_nvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

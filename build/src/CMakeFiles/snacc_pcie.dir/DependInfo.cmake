@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcie/fabric.cpp" "src/CMakeFiles/snacc_pcie.dir/pcie/fabric.cpp.o" "gcc" "src/CMakeFiles/snacc_pcie.dir/pcie/fabric.cpp.o.d"
+  "/root/repo/src/pcie/iommu.cpp" "src/CMakeFiles/snacc_pcie.dir/pcie/iommu.cpp.o" "gcc" "src/CMakeFiles/snacc_pcie.dir/pcie/iommu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/snacc_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

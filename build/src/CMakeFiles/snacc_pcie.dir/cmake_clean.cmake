@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snacc_pcie.dir/pcie/fabric.cpp.o"
+  "CMakeFiles/snacc_pcie.dir/pcie/fabric.cpp.o.d"
+  "CMakeFiles/snacc_pcie.dir/pcie/iommu.cpp.o"
+  "CMakeFiles/snacc_pcie.dir/pcie/iommu.cpp.o.d"
+  "libsnacc_pcie.a"
+  "libsnacc_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snacc_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

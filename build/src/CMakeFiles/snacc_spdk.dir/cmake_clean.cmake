@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snacc_spdk.dir/spdk/driver.cpp.o"
+  "CMakeFiles/snacc_spdk.dir/spdk/driver.cpp.o.d"
+  "libsnacc_spdk.a"
+  "libsnacc_spdk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snacc_spdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

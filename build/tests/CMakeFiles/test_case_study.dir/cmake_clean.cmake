@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_case_study.dir/case_study_test.cpp.o"
+  "CMakeFiles/test_case_study.dir/case_study_test.cpp.o.d"
+  "test_case_study"
+  "test_case_study.pdb"
+  "test_case_study[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eth.dir/eth_test.cpp.o"
+  "CMakeFiles/test_eth.dir/eth_test.cpp.o.d"
+  "test_eth"
+  "test_eth.pdb"
+  "test_eth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

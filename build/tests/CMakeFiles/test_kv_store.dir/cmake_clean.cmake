@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kv_store.dir/kv_store_test.cpp.o"
+  "CMakeFiles/test_kv_store.dir/kv_store_test.cpp.o.d"
+  "test_kv_store"
+  "test_kv_store.pdb"
+  "test_kv_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kv_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_axis.dir/mem_axis_test.cpp.o"
+  "CMakeFiles/test_mem_axis.dir/mem_axis_test.cpp.o.d"
+  "test_mem_axis"
+  "test_mem_axis.pdb"
+  "test_mem_axis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_axis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

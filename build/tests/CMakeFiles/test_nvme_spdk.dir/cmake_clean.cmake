@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvme_spdk.dir/nvme_spdk_test.cpp.o"
+  "CMakeFiles/test_nvme_spdk.dir/nvme_spdk_test.cpp.o.d"
+  "test_nvme_spdk"
+  "test_nvme_spdk.pdb"
+  "test_nvme_spdk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvme_spdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nvme_unit_test.cpp" "tests/CMakeFiles/test_nvme_unit.dir/nvme_unit_test.cpp.o" "gcc" "tests/CMakeFiles/test_nvme_unit.dir/nvme_unit_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/snacc_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snacc_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snacc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snacc_spdk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snacc_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snacc_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snacc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/snacc_eth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvme_unit.dir/nvme_unit_test.cpp.o"
+  "CMakeFiles/test_nvme_unit.dir/nvme_unit_test.cpp.o.d"
+  "test_nvme_unit"
+  "test_nvme_unit.pdb"
+  "test_nvme_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvme_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snacc_streamer.dir/snacc_streamer_test.cpp.o"
+  "CMakeFiles/test_snacc_streamer.dir/snacc_streamer_test.cpp.o.d"
+  "test_snacc_streamer"
+  "test_snacc_streamer.pdb"
+  "test_snacc_streamer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snacc_streamer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

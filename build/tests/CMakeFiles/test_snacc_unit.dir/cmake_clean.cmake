@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snacc_unit.dir/snacc_unit_test.cpp.o"
+  "CMakeFiles/test_snacc_unit.dir/snacc_unit_test.cpp.o.d"
+  "test_snacc_unit"
+  "test_snacc_unit.pdb"
+  "test_snacc_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snacc_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

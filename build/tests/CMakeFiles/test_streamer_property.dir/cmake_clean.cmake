@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_streamer_property.dir/streamer_property_test.cpp.o"
+  "CMakeFiles/test_streamer_property.dir/streamer_property_test.cpp.o.d"
+  "test_streamer_property"
+  "test_streamer_property.pdb"
+  "test_streamer_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_streamer_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_nvme_spdk[1]_include.cmake")
+include("/root/repo/build/tests/test_snacc_unit[1]_include.cmake")
+include("/root/repo/build/tests/test_snacc_streamer[1]_include.cmake")
+include("/root/repo/build/tests/test_eth[1]_include.cmake")
+include("/root/repo/build/tests/test_case_study[1]_include.cmake")
+include("/root/repo/build/tests/test_pcie[1]_include.cmake")
+include("/root/repo/build/tests/test_nvme_unit[1]_include.cmake")
+include("/root/repo/build/tests/test_mem_axis[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_kv_store[1]_include.cmake")
+include("/root/repo/build/tests/test_streamer_property[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
