@@ -85,6 +85,12 @@ struct PcieProfile {
   std::uint32_t tlp_header_bytes = 24;
   /// Largest single TLP payload (max payload size).
   std::uint32_t max_payload = 512;
+  /// How long an initiator waits before a lost non-posted request (injected
+  /// by the fault layer) is reported as a completion timeout. Real ports
+  /// allow 50 us - 50 ms; we model the aggressive end so recovery tests and
+  /// fault benches stay fast. MODELED (PCIe Base Spec completion-timeout
+  /// ranges), only reachable with fault injection armed.
+  TimePs completion_timeout = us(50);
 
   // Non-overlapped fetch overhead per byte when the NVMe controller pulls
   // write payload over PCIe, by source. Derived from Fig. 4a: the write

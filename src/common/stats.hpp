@@ -95,4 +95,32 @@ struct Counter {
   void add(std::uint64_t v) { value += v; }
 };
 
+/// Cross-layer fault/recovery accounting snapshot (docs/FAULTS.md). Each
+/// field mirrors one component counter; host::SnaccDevice::fault_stats() and
+/// the fault benches assemble and print it. `injected()` vs. the recovery
+/// counters is the books-balance check: every injected fault must end up
+/// either recovered or quarantined (never silently lost).
+struct FaultStats {
+  // Injection sites (how many faults each injector fired).
+  std::uint64_t nand_read_faults = 0;
+  std::uint64_t nand_program_faults = 0;
+  std::uint64_t ssd_internal_faults = 0;
+  std::uint64_t iommu_injected_faults = 0;
+  std::uint64_t fabric_injected_timeouts = 0;
+  // Device-side effects.
+  std::uint64_t ssd_error_cqes = 0;
+  // Streamer recovery path.
+  std::uint64_t streamer_errors = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t recovered = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t watchdog_timeouts = 0;
+  std::uint64_t stale_completions = 0;
+
+  std::uint64_t injected() const {
+    return nand_read_faults + nand_program_faults + ssd_internal_faults +
+           iommu_injected_faults + fabric_injected_timeouts;
+  }
+};
+
 }  // namespace snacc

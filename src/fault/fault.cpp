@@ -1,0 +1,41 @@
+#include "fault/fault.hpp"
+
+namespace snacc::fault {
+
+FaultPlan FaultPlan::at(std::vector<std::uint64_t> indices) {
+  FaultPlan p;
+  p.enabled = true;
+  p.schedule = std::move(indices);
+  std::sort(p.schedule.begin(), p.schedule.end());
+  return p;
+}
+
+FaultPlan FaultPlan::rate(double probability, std::uint64_t seed) {
+  FaultPlan p;
+  p.enabled = true;
+  p.probability = probability;
+  p.seed = seed;
+  return p;
+}
+
+Injector::Injector(FaultPlan plan) : plan_(std::move(plan)), rng_(plan_.seed) {
+  std::sort(plan_.schedule.begin(), plan_.schedule.end());
+}
+
+bool Injector::fire() {
+  if (!plan_.enabled) return false;
+  const std::uint64_t idx = events_++;
+  bool hit = false;
+  if (next_scheduled_ < plan_.schedule.size() &&
+      plan_.schedule[next_scheduled_] == idx) {
+    ++next_scheduled_;
+    hit = true;
+  }
+  // The probabilistic draw happens even on a scheduled hit so mixing the two
+  // sources does not shift the probabilistic stream.
+  if (plan_.probability > 0.0 && rng_.chance(plan_.probability)) hit = true;
+  if (hit) ++fired_;
+  return hit;
+}
+
+}  // namespace snacc::fault

@@ -1,0 +1,67 @@
+// Fault-injection layer: seeded, deterministic, per-component fault plans.
+//
+// Every injectable component (NAND backend, SSD controller, PCIe fabric,
+// IOMMU) owns one or more `Injector`s. A disabled injector (the default) is
+// a single branch: it draws no random numbers, keeps no event count and
+// charges no simulated time, so the fault machinery is exactly zero-cost
+// when off -- bench and figure numbers stay bit-identical to a build that
+// never heard of faults.
+//
+// An armed injector decides per *event* (one page read, one command, one
+// IOMMU check, ...) whether to fire, from two composable sources:
+//   - `schedule`: explicit 0-based event indices that always fire --
+//     deterministic single-shot faults for tests ("fail the 3rd page read");
+//   - `probability`: an independent per-event Bernoulli draw from the plan's
+//     own seeded Xoshiro256 stream -- reproducible fault *rates* for benches.
+// The decision never consults global state, so the same plan + seed yields
+// the same fault schedule run-to-run regardless of what else the simulation
+// does (see docs/FAULTS.md).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace snacc::fault {
+
+struct FaultPlan {
+  bool enabled = false;
+  /// Per-event fire probability (0 disables the probabilistic source).
+  double probability = 0.0;
+  /// Sorted 0-based event indices that always fire.
+  std::vector<std::uint64_t> schedule;
+  /// Seed for the probabilistic source; independent of every model RNG.
+  std::uint64_t seed = 0xFA017;
+
+  /// Plan firing exactly at the given event indices.
+  static FaultPlan at(std::vector<std::uint64_t> indices);
+  /// Plan firing each event independently with probability `p`.
+  static FaultPlan rate(double p, std::uint64_t seed = 0xFA017);
+};
+
+class Injector {
+ public:
+  Injector() = default;
+  explicit Injector(FaultPlan plan);
+
+  /// Disabled injectors are a single branch on this flag.
+  bool armed() const { return plan_.enabled; }
+
+  /// Advances the event count and decides whether this event faults.
+  /// Returns false (with zero side effects) when disarmed.
+  bool fire();
+
+  std::uint64_t events() const { return events_; }
+  std::uint64_t fired() const { return fired_; }
+
+ private:
+  FaultPlan plan_;
+  Xoshiro256 rng_{0};
+  std::uint64_t events_ = 0;
+  std::uint64_t fired_ = 0;
+  std::size_t next_scheduled_ = 0;
+};
+
+}  // namespace snacc::fault

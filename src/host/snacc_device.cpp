@@ -301,4 +301,22 @@ sim::Task SnaccDevice::init() {
   initialized_ = true;
 }
 
+FaultStats SnaccDevice::fault_stats() const {
+  FaultStats fs;
+  nvme::Ssd& ssd = sys_.ssd(cfg_.ssd_index);
+  fs.nand_read_faults = ssd.nand().read_faults_injected();
+  fs.nand_program_faults = ssd.nand().program_faults_injected();
+  fs.ssd_internal_faults = ssd.internal_faults_injected();
+  fs.iommu_injected_faults = sys_.fabric().iommu().injected_faults();
+  fs.fabric_injected_timeouts = sys_.fabric().injected_timeouts();
+  fs.ssd_error_cqes = ssd.error_cqes();
+  fs.streamer_errors = streamer_->errors();
+  fs.retries = streamer_->retries();
+  fs.recovered = streamer_->recovered();
+  fs.quarantined = streamer_->quarantined();
+  fs.watchdog_timeouts = streamer_->watchdog_timeouts();
+  fs.stale_completions = streamer_->stale_completions();
+  return fs;
+}
+
 }  // namespace snacc::host

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "host/nvme_admin.hpp"
 #include "host/system.hpp"
 #include "mem/dram.hpp"
@@ -75,6 +76,10 @@ class SnaccDevice {
   pcie::PortId fpga_port() const { return fpga_port_; }
   core::Variant variant() const { return cfg_.streamer.variant; }
   mem::Dram* onboard_dram() { return dram_.get(); }
+
+  /// Snapshot of fault-injection and recovery counters across every layer
+  /// this device touches (NAND, SSD controller, fabric, IOMMU, streamer).
+  FaultStats fault_stats() const;
 
  private:
   // BAR target adapters: thin routers into the streamer / memories.

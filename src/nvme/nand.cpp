@@ -13,7 +13,7 @@ NandBackend::NandBackend(sim::Simulator& sim, const SsdProfile& ssd,
       dies_(ssd.dies),
       write_pipe_(sim, ssd.write_rate_fast_gb_s, ssd.write_cmd_overhead) {}
 
-sim::Task NandBackend::read_page(std::uint64_t lba) {
+sim::Task NandBackend::read_page(std::uint64_t lba, bool* uncorrectable) {
   Die& die = dies_[lba % dies_.size()];
   // A page following the previous access on this die streams from the same
   // block via multi-plane reads; a random page pays the full random II.
@@ -32,6 +32,11 @@ sim::Task NandBackend::read_page(std::uint64_t lba) {
                  : ssd_.nand_read_base + jitter;
   const TimePs ready = start + access_latency;
   ++pages_read_;
+  // The die timing is charged either way: an uncorrectable page costs the
+  // full access (the controller reads it, then ECC decode fails).
+  if (read_faults_.armed() && read_faults_.fire() && uncorrectable != nullptr) {
+    *uncorrectable = true;
+  }
   co_await sim_.delay_until(ready);
 }
 
@@ -55,7 +60,8 @@ void NandBackend::maybe_toggle_mode() {
   }
 }
 
-sim::Task NandBackend::ingest_write(std::uint64_t bytes, FetchPath path) {
+sim::Task NandBackend::ingest_write(std::uint64_t bytes, FetchPath path,
+                                    bool* program_failed) {
   maybe_toggle_mode();
   write_pipe_.set_rate(current_write_rate());
   // Non-overlapped fetch time: 0 for host-resident buffers (fully pipelined
@@ -66,6 +72,12 @@ sim::Task NandBackend::ingest_write(std::uint64_t bytes, FetchPath path) {
   co_await write_pipe_.acquire(bytes, extra);
   bytes_ingested_ += bytes;
   last_write_end_ = std::max(last_write_end_, sim_.now());
+  // One program-fault event per ingested command; the pipeline time is
+  // charged either way (the failure surfaces at program-status check).
+  if (program_faults_.armed() && program_faults_.fire() &&
+      program_failed != nullptr) {
+    *program_failed = true;
+  }
 }
 
 }  // namespace snacc::nvme

@@ -18,6 +18,7 @@
 
 #include "common/calibration.hpp"
 #include "common/rng.hpp"
+#include "fault/fault.hpp"
 #include "sim/rate_server.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
@@ -33,12 +34,28 @@ class NandBackend {
   NandBackend(sim::Simulator& sim, const SsdProfile& ssd,
               const PcieProfile& pcie, std::uint64_t seed = 0x990);
 
-  /// Completes when the page at `lba` has been read out of the array.
-  sim::Task read_page(std::uint64_t lba);
+  /// Completes when the page at `lba` has been read out of the array. When
+  /// an armed read-fault plan fires, `*uncorrectable` (if non-null) is set:
+  /// the page's ECC failed and its data must not be transferred.
+  sim::Task read_page(std::uint64_t lba, bool* uncorrectable = nullptr);
 
   /// Completes when `bytes` of a write command have been ingested (cache
-  /// acknowledged). `path` selects the fetch-overhead term.
-  sim::Task ingest_write(std::uint64_t bytes, FetchPath path);
+  /// acknowledged). `path` selects the fetch-overhead term. When an armed
+  /// program-fault plan fires, `*program_failed` (if non-null) is set.
+  sim::Task ingest_write(std::uint64_t bytes, FetchPath path,
+                         bool* program_failed = nullptr);
+
+  /// Fault injection (one event per page read / per ingested command).
+  void set_read_fault_plan(const fault::FaultPlan& plan) {
+    read_faults_ = fault::Injector(plan);
+  }
+  void set_program_fault_plan(const fault::FaultPlan& plan) {
+    program_faults_ = fault::Injector(plan);
+  }
+  std::uint64_t read_faults_injected() const { return read_faults_.fired(); }
+  std::uint64_t program_faults_injected() const {
+    return program_faults_.fired();
+  }
 
   /// The program mode flips whenever the write path goes idle long enough --
   /// so each large transfer lands wholly in one mode, alternating across
@@ -77,6 +94,8 @@ class NandBackend {
   bool forced_mode_ = false;
   std::uint64_t pages_read_ = 0;
   std::uint64_t bytes_ingested_ = 0;
+  fault::Injector read_faults_;
+  fault::Injector program_faults_;
 
   /// Idle gap after which the next write burst re-rolls the program mode.
   static constexpr TimePs kModeIdleGap = us(200);

@@ -45,6 +45,13 @@ enum class Status : std::uint16_t {
   kInvalidQueueId = 0x101,
   kInvalidQueueSize = 0x102,
   kLbaOutOfRange = 0x180,
+  // Media & Data Integrity errors (SCT=2), as (sct << 8) | sc like the
+  // generic codes above: a failed NAND program and an uncorrectable read.
+  kWriteFault = 0x280,
+  kUnrecoveredReadError = 0x281,
+  // Synthesized locally by the SNAcc watchdog when a completion is lost
+  // (e.g. the CQE's posted write was dropped); never appears on the wire.
+  kWatchdogTimeout = 0x3F0,
 };
 
 /// Submission queue entry. Field offsets follow the spec layout: CDW0 holds

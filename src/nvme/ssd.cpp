@@ -317,6 +317,13 @@ sim::Task Ssd::execute_io(IoQueue& q, SubmissionEntry sqe) {
     exec_slots_->release();
     co_return;
   }
+  if (internal_faults_.armed() && internal_faults_.fire()) {
+    // Injected controller-internal failure: the command dies before touching
+    // media, completing with a generic internal error.
+    co_await post_cqe(q, sqe.cid, Status::kInternalError);
+    exec_slots_->release();
+    co_return;
+  }
 
   switch (static_cast<IoOpcode>(sqe.opcode)) {
     case IoOpcode::kRead:
@@ -337,10 +344,17 @@ sim::Task Ssd::execute_io(IoQueue& q, SubmissionEntry sqe) {
 }
 
 sim::Task Ssd::page_read_to_buffer(std::uint64_t lba, pcie::Addr dst,
-                                   sim::WaitGroup& wg) {
-  co_await nand_.read_page(lba);
-  Payload page = media_.read(lba * kLbaSize, kLbaSize);
-  co_await fabric_.write(port_, dst, std::move(page));
+                                   sim::WaitGroup& wg, bool& uncorrectable) {
+  bool bad = false;
+  co_await nand_.read_page(lba, &bad);
+  if (bad) {
+    // ECC failed: nothing is transferred for this page (real controllers
+    // abort the transfer and report an unrecovered read error).
+    uncorrectable = true;
+  } else {
+    Payload page = media_.read(lba * kLbaSize, kLbaSize);
+    co_await fabric_.write(port_, dst, std::move(page));
+  }
   wg.done();
 }
 
@@ -361,12 +375,18 @@ sim::Task Ssd::execute_read(IoQueue& q, SubmissionEntry sqe) {
     co_await post_cqe(q, sqe.cid, Status::kDataTransferError);
     co_return;
   }
+  bool uncorrectable = false;
   sim::WaitGroup wg(sim_);
   wg.add(static_cast<int>(blocks));
   for (std::uint64_t i = 0; i < blocks; ++i) {
-    sim_.spawn(page_read_to_buffer(sqe.slba + i, pages[i], wg));
+    sim_.spawn(page_read_to_buffer(sqe.slba + i, pages[i], wg, uncorrectable));
   }
   co_await wg.wait();
+  if (uncorrectable) {
+    ++read_errors_;
+    co_await post_cqe(q, sqe.cid, Status::kUnrecoveredReadError);
+    co_return;
+  }
   co_await post_cqe(q, sqe.cid, Status::kSuccess);
 }
 
@@ -388,10 +408,19 @@ sim::Task Ssd::execute_write(IoQueue& q, SubmissionEntry sqe) {
   // The payload fetch streams into the program pipeline: the fetch-path
   // non-overlap (P2P pacing, DRAM turnaround) is charged inside
   // ingest_write per source, so the fetch itself runs concurrently.
-  co_await nand_.ingest_write(sqe.data_bytes(), classify_source(pages[0]));
+  bool program_failed = false;
+  co_await nand_.ingest_write(sqe.data_bytes(), classify_source(pages[0]),
+                              &program_failed);
   co_await wg.wait();
   if (!ok) {
     co_await post_cqe(q, sqe.cid, Status::kDataTransferError);
+    co_return;
+  }
+  if (program_failed) {
+    // Media contents for the command's LBA range are undefined after a
+    // program failure (see docs/FAULTS.md); a retry rewrites them whole.
+    ++write_errors_;
+    co_await post_cqe(q, sqe.cid, Status::kWriteFault);
     co_return;
   }
   co_await sim_.delay(profile_.write_ack_base);
@@ -423,6 +452,7 @@ sim::Task Ssd::post_cqe(IoQueue& q, std::uint16_t cid, Status status,
   co_await sim_.delay(profile_.cqe_post);
   co_await fabric_.write(port_, dst, Payload::bytes(std::move(bytes)));
   ++commands_completed_;
+  if (status != Status::kSuccess) ++error_cqes_;
   sim_.trace(sim::TraceCat::kNvmeComplete, "cqe-posted", cid,
              static_cast<std::uint64_t>(status));
 }

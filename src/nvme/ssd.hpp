@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/calibration.hpp"
+#include "fault/fault.hpp"
 #include "mem/sparse_memory.hpp"
 #include "nvme/nand.hpp"
 #include "nvme/prp.hpp"
@@ -59,7 +60,19 @@ class Ssd final : public pcie::Target {
   bool ready() const { return csts_ready_; }
   std::uint64_t commands_completed() const { return commands_completed_; }
   std::uint64_t read_errors() const { return read_errors_; }
+  std::uint64_t write_errors() const { return write_errors_; }
+  std::uint64_t error_cqes() const { return error_cqes_; }
   std::uint64_t namespace_blocks() const { return media_.size() / kLbaSize; }
+
+  // --- fault injection -----------------------------------------------------
+  /// Controller-internal failures: one event per I/O command; a fired event
+  /// completes the command with Status::kInternalError without executing.
+  void set_internal_fault_plan(const fault::FaultPlan& plan) {
+    internal_faults_ = fault::Injector(plan);
+  }
+  std::uint64_t internal_faults_injected() const {
+    return internal_faults_.fired();
+  }
 
  private:
   struct IoQueue {
@@ -97,7 +110,7 @@ class Ssd final : public pcie::Target {
                      std::uint32_t dw0 = 0);
 
   sim::Task page_read_to_buffer(std::uint64_t lba, pcie::Addr dst,
-                                sim::WaitGroup& wg);
+                                sim::WaitGroup& wg, bool& uncorrectable);
   sim::Task page_fetch_from_buffer(std::uint64_t lba, pcie::Addr src,
                                    sim::WaitGroup& wg, bool& ok);
   sim::Task resolve_prps(const SubmissionEntry& sqe,
@@ -126,6 +139,9 @@ class Ssd final : public pcie::Target {
 
   std::uint64_t commands_completed_ = 0;
   std::uint64_t read_errors_ = 0;
+  std::uint64_t write_errors_ = 0;
+  std::uint64_t error_cqes_ = 0;
+  fault::Injector internal_faults_;
 };
 
 }  // namespace snacc::nvme

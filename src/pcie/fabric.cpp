@@ -8,14 +8,71 @@ namespace snacc::pcie {
 Fabric::Fabric(sim::Simulator& sim, const PcieProfile& profile)
     : sim_(sim), profile_(profile) {}
 
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kUnmappedRead:
+      return "unmapped-read";
+    case FaultKind::kUnmappedWrite:
+      return "unmapped-write";
+    case FaultKind::kIommuRead:
+      return "iommu-read";
+    case FaultKind::kIommuWriteDrop:
+      return "iommu-write-drop";
+    case FaultKind::kCompletionTimeout:
+      return "completion-timeout";
+  }
+  return "?";
+}
+
 PortId Fabric::add_port(std::string name, double link_gb_s) {
   auto port = std::make_unique<Port>(Port{
       std::move(name),
       sim::RateServer(sim_, link_gb_s),
       sim::RateServer(sim_, link_gb_s),
+      link_gb_s,
   });
   ports_.push_back(std::move(port));
+  port_faults_.emplace_back();
   return PortId{static_cast<std::uint16_t>(ports_.size() - 1)};
+}
+
+const PortFaultStats& Fabric::port_faults(PortId p) const {
+  return port_faults_.at(static_cast<std::size_t>(p));
+}
+
+void Fabric::record_fault(FaultKind kind, PortId initiator, Addr addr,
+                          std::uint64_t len) {
+  last_fault_ = FaultRecord{kind, initiator, addr, len, sim_.now()};
+  PortFaultStats& pf = port_faults_.at(static_cast<std::size_t>(initiator));
+  switch (kind) {
+    case FaultKind::kUnmappedRead:
+    case FaultKind::kUnmappedWrite:
+      ++pf.unmapped;
+      break;
+    case FaultKind::kIommuRead:
+      ++pf.iommu_read_faults;
+      break;
+    case FaultKind::kIommuWriteDrop:
+      ++pf.iommu_write_drops;
+      break;
+    case FaultKind::kCompletionTimeout:
+      ++pf.completion_timeouts;
+      break;
+  }
+}
+
+void Fabric::degrade_link(PortId p, double factor, TimePs duration) {
+  Port& port = *ports_.at(static_cast<std::size_t>(p));
+  port.tx.set_rate(port.base_gb_s * factor);
+  port.rx.set_rate(port.base_gb_s * factor);
+  sim_.spawn(restore_link(p, sim_.now() + duration));
+}
+
+sim::Task Fabric::restore_link(PortId p, TimePs at) {
+  co_await sim_.delay_until(at);
+  Port& port = *ports_.at(static_cast<std::size_t>(p));
+  port.tx.set_rate(port.base_gb_s);
+  port.rx.set_rate(port.base_gb_s);
 }
 
 void Fabric::map(Addr base, std::uint64_t size, Target* target, PortId owner,
@@ -116,12 +173,22 @@ sim::Task Fabric::do_read(PortId src, Addr addr, std::uint64_t len,
   const Window* w = route(addr, len);
   if (w == nullptr) {
     ++unmapped_errors_;
+    record_fault(FaultKind::kUnmappedRead, src, addr, len);
     co_await sim_.delay(profile_.host_read_rtt);
     done.set(ReadResult{Payload::phantom(len), false});
     co_return;
   }
   if (src != root_ && !iommu_.check(src, addr, len, /*write=*/false)) {
+    record_fault(FaultKind::kIommuRead, src, addr, len);
     co_await sim_.delay(profile_.host_read_rtt);
+    done.set(ReadResult{Payload::phantom(len), false});
+    co_return;
+  }
+  if (read_loss_.armed() && read_loss_.fire()) {
+    // Lost non-posted TLP: no completion ever arrives; the initiator's
+    // completion timer expires and the transaction fails like a UR/CA.
+    record_fault(FaultKind::kCompletionTimeout, src, addr, len);
+    co_await sim_.delay(profile_.completion_timeout);
     done.set(ReadResult{Payload::phantom(len), false});
     co_return;
   }
@@ -161,11 +228,17 @@ sim::Task Fabric::do_write(PortId src, Addr addr, Payload data,
   const Window* w = route(addr, len);
   if (w == nullptr) {
     ++unmapped_errors_;
+    record_fault(FaultKind::kUnmappedWrite, src, addr, len);
     done.set(sim::Done{});
     co_return;
   }
   if (src != root_ && !iommu_.check(src, addr, len, /*write=*/true)) {
-    done.set(sim::Done{});  // posted write silently dropped, fault counted
+    // Posted writes have no completion to fail: the TLP vanishes at the
+    // IOMMU exactly as on hardware. The drop is *observable* though --
+    // counted per initiator and exposed via last_fault() -- so watchdogs
+    // and tests can see what the wire never reports.
+    record_fault(FaultKind::kIommuWriteDrop, src, addr, len);
+    done.set(sim::Done{});
     co_return;
   }
 

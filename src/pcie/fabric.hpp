@@ -19,8 +19,11 @@
 #include <string>
 #include <vector>
 
+#include <optional>
+
 #include "common/calibration.hpp"
 #include "common/payload.hpp"
+#include "fault/fault.hpp"
 #include "pcie/iommu.hpp"
 #include "sim/future.hpp"
 #include "sim/rate_server.hpp"
@@ -65,6 +68,39 @@ struct PathStats {
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
   std::uint64_t bytes() const { return read_bytes + write_bytes; }
+};
+
+/// What went wrong with a transaction the fabric had to fail or drop.
+enum class FaultKind {
+  kUnmappedRead,
+  kUnmappedWrite,
+  kIommuRead,        // non-posted: the initiator sees !ok
+  kIommuWriteDrop,   // posted write silently dropped on the wire
+  kCompletionTimeout // injected lost non-posted TLP
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// Record of the most recent fabric-level fault, for tests and watchdogs
+/// that need to observe what a real system would log in AER/IOMMU registers.
+struct FaultRecord {
+  FaultKind kind = FaultKind::kUnmappedRead;
+  PortId initiator = kInvalidPort;
+  Addr addr = 0;
+  std::uint64_t len = 0;
+  TimePs time = 0;
+};
+
+/// Per-initiator fault accounting (one entry per port).
+struct PortFaultStats {
+  std::uint64_t iommu_write_drops = 0;
+  std::uint64_t iommu_read_faults = 0;
+  std::uint64_t unmapped = 0;
+  std::uint64_t completion_timeouts = 0;
+  std::uint64_t total() const {
+    return iommu_write_drops + iommu_read_faults + unmapped +
+           completion_timeouts;
+  }
 };
 
 class Fabric {
@@ -113,6 +149,27 @@ class Fabric {
   const std::string& port_name(PortId p) const;
   std::size_t port_count() const { return ports_.size(); }
 
+  // --- fault observation & injection ---------------------------------------
+  /// Most recent fabric-level fault (IOMMU drop, unmapped access, injected
+  /// timeout); nullopt while the fabric has been fault-free.
+  const std::optional<FaultRecord>& last_fault() const { return last_fault_; }
+  /// Fault counts for transactions initiated by `p`.
+  const PortFaultStats& port_faults(PortId p) const;
+
+  /// Arms lost-TLP injection on non-posted requests (reads): a fired event
+  /// makes the read miss its completion -- the initiator stalls for
+  /// `profile().completion_timeout` and then sees !ok, like a real
+  /// completion-timeout AER event.
+  void set_read_loss_plan(const fault::FaultPlan& plan) {
+    read_loss_ = fault::Injector(plan);
+  }
+  std::uint64_t injected_timeouts() const { return read_loss_.fired(); }
+
+  /// Opens a link-degradation window: both directions of `p` run at
+  /// `factor` of nominal rate for `duration`, then recover. Overlapping
+  /// windows simply extend/override each other (last restore wins).
+  void degrade_link(PortId p, double factor, TimePs duration);
+
   /// Round-trip read latency from `src` to the port owning `addr`
   /// (host-path vs peer-to-peer).
   TimePs read_rtt(PortId src, PortId dst) const;
@@ -122,6 +179,7 @@ class Fabric {
     std::string name;
     sim::RateServer tx;
     sim::RateServer rx;
+    double base_gb_s = 0.0;  // nominal rate, restored after degradation
   };
   struct Window {
     Addr base;
@@ -137,7 +195,10 @@ class Fabric {
                     sim::Promise<ReadResult> done);
   sim::Task do_write(PortId src, Addr addr, Payload data,
                      sim::Promise<sim::Done> done);
+  sim::Task restore_link(PortId p, TimePs at);
   PathStats& path_mut(PortId src, PortId dst);
+  void record_fault(FaultKind kind, PortId initiator, Addr addr,
+                    std::uint64_t len);
 
   sim::Simulator& sim_;
   PcieProfile profile_;
@@ -147,6 +208,9 @@ class Fabric {
   std::map<std::pair<std::uint16_t, std::uint16_t>, PathStats> paths_;
   PortId root_ = kInvalidPort;
   std::uint64_t unmapped_errors_ = 0;
+  std::optional<FaultRecord> last_fault_;
+  std::vector<PortFaultStats> port_faults_;
+  fault::Injector read_loss_;
 };
 
 }  // namespace snacc::pcie

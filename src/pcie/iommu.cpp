@@ -9,6 +9,13 @@ void Iommu::revoke_all(PortId initiator) {
                 [initiator](const IommuGrant& g) { return g.initiator == initiator; });
 }
 
+void Iommu::set_fault_plan(const fault::FaultPlan& plan, Addr window_base,
+                           std::uint64_t window_size) {
+  flip_ = fault::Injector(plan);
+  flip_base_ = window_base;
+  flip_size_ = window_size;
+}
+
 bool Iommu::allowed(PortId initiator, Addr addr, std::uint64_t len,
                     bool write) const {
   if (!enabled_) return true;
@@ -22,9 +29,25 @@ bool Iommu::allowed(PortId initiator, Addr addr, std::uint64_t len,
   return false;
 }
 
+std::uint64_t Iommu::faults_for(PortId initiator) const {
+  auto it = faults_by_initiator_.find(static_cast<std::uint16_t>(initiator));
+  return it == faults_by_initiator_.end() ? 0 : it->second;
+}
+
 bool Iommu::check(PortId initiator, Addr addr, std::uint64_t len, bool write) {
-  if (allowed(initiator, addr, len, write)) return true;
+  bool ok = allowed(initiator, addr, len, write);
+  if (ok && flip_.armed()) {
+    const bool in_window =
+        flip_size_ == 0 ||
+        (addr >= flip_base_ && addr + len <= flip_base_ + flip_size_);
+    if (in_window && flip_.fire()) {
+      ok = false;
+      ++injected_faults_;
+    }
+  }
+  if (ok) return true;
   ++faults_;
+  ++faults_by_initiator_[static_cast<std::uint16_t>(initiator)];
   return false;
 }
 

@@ -1,15 +1,23 @@
 // IOMMU model: device-initiated transactions are validated against a grant
 // table (Sec. 4: "For Direct Peer-to-Peer accesses to function properly,
 // permissions must be granted by the IOMMU"). Host-CPU-initiated traffic is
-// never checked. Faults are counted and fail the transaction; the paper's
-// observation that disabling the IOMMU has no bandwidth effect holds here by
-// construction (lookup is modeled as free) and is demonstrated by
-// bench/ablation_iommu.
+// never checked. Faults are counted globally and per initiator and fail the
+// transaction; the paper's observation that disabling the IOMMU has no
+// bandwidth effect holds here by construction (lookup is modeled as free)
+// and is demonstrated by bench/ablation_iommu.
+//
+// Fault injection: an armed fault plan flips otherwise-allowed checks to
+// denials, optionally restricted to an address window (e.g. only the
+// streamer's CQ window, to model a dropped completion). Injected denials are
+// counted separately so tests can distinguish them from real policy faults.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
+
+#include "fault/fault.hpp"
 
 namespace snacc::pcie {
 
@@ -36,21 +44,35 @@ class Iommu {
   void grant(IommuGrant g) { grants_.push_back(g); }
   void revoke_all(PortId initiator);
 
+  /// Arms injected permission flips: checks that would be allowed are denied
+  /// when the plan fires. With `window_size` nonzero only checks entirely
+  /// inside [window_base, window_base+window_size) consume plan events.
+  void set_fault_plan(const fault::FaultPlan& plan, Addr window_base = 0,
+                      std::uint64_t window_size = 0);
+
   /// True if `initiator` may access [addr, addr+len). Always true when the
   /// IOMMU is disabled (passthrough) or for host-originated traffic (the
   /// caller skips the check for the root port).
   bool allowed(PortId initiator, Addr addr, std::uint64_t len, bool write) const;
 
-  /// Like allowed(), but counts a fault on denial.
+  /// Like allowed(), but counts a fault on denial and applies the injected
+  /// permission flips.
   bool check(PortId initiator, Addr addr, std::uint64_t len, bool write);
 
   std::uint64_t faults() const { return faults_; }
+  std::uint64_t faults_for(PortId initiator) const;
+  std::uint64_t injected_faults() const { return injected_faults_; }
   std::size_t grant_count() const { return grants_.size(); }
 
  private:
   bool enabled_ = true;
   std::vector<IommuGrant> grants_;
   std::uint64_t faults_ = 0;
+  std::uint64_t injected_faults_ = 0;
+  std::unordered_map<std::uint16_t, std::uint64_t> faults_by_initiator_;
+  fault::Injector flip_;
+  Addr flip_base_ = 0;
+  std::uint64_t flip_size_ = 0;
 };
 
 }  // namespace snacc::pcie

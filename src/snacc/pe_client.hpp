@@ -22,10 +22,13 @@ class PeClient {
   NvmeStreamer& streamer() { return s_; }
 
   /// Reads [addr, addr+len) device bytes into `*out` (nullptr: discard).
-  sim::Task read(std::uint64_t addr, std::uint64_t len, Payload* out) {
+  /// With recovery enabled, `*error` (if non-null) reports whether any beat
+  /// carried the quarantine TUSER tag -- the data is then placeholder bytes.
+  sim::Task read(std::uint64_t addr, std::uint64_t len, Payload* out,
+                 bool* error = nullptr) {
     co_await s_.read_cmd_in().send(
         axis::Chunk{encode_read_command(addr, len), true, 0});
-    co_await collect_read(out);
+    co_await collect_read(out, error);
   }
 
   /// Issues a read command without waiting for data.
@@ -35,23 +38,27 @@ class PeClient {
   }
 
   /// Collects one read response (until TLAST).
-  sim::Task collect_read(Payload* out) {
+  sim::Task collect_read(Payload* out, bool* error = nullptr) {
     std::vector<Payload> parts;
+    bool saw_error = false;
     while (true) {
       auto chunk = co_await s_.read_data_out().recv();
       if (!chunk) break;  // stream closed
+      saw_error = saw_error || (chunk->user & kReadErrorUser) != 0;
       parts.push_back(std::move(chunk->data));
       if (chunk->last) break;
     }
     if (out != nullptr) *out = Payload::gather(parts);
+    if (error != nullptr) *error = saw_error;
   }
 
   /// Writes `data` to device byte address `addr` (must be block-aligned)
-  /// and waits for the response token.
+  /// and waits for the response token. `*error` (if non-null) reports the
+  /// response token's data-loss bit (recovery quarantine).
   sim::Task write(std::uint64_t addr, Payload data,
-                  std::uint64_t chunk_bytes = 16 * KiB) {
+                  std::uint64_t chunk_bytes = 16 * KiB, bool* error = nullptr) {
     co_await start_write(addr, std::move(data), chunk_bytes);
-    co_await wait_write_response();
+    co_await wait_write_response(error);
   }
 
   /// Streams the write without waiting for the token.
@@ -63,9 +70,11 @@ class PeClient {
                                 /*final_last=*/true);
   }
 
-  sim::Task wait_write_response() {
+  sim::Task wait_write_response(bool* error = nullptr) {
     auto token = co_await s_.write_resp_out().recv();
-    (void)token;
+    if (error != nullptr) {
+      *error = token && (token->user & kWriteRespErrorBit) != 0;
+    }
   }
 
  private:

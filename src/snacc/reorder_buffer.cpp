@@ -18,13 +18,22 @@ sim::Task ReorderBuffer::alloc(RobEntry entry, std::uint16_t* slot_out) {
   *slot_out = slot;
 }
 
-void ReorderBuffer::complete(std::uint16_t slot, nvme::Status status) {
+bool ReorderBuffer::complete(std::uint16_t slot, nvme::Status status) {
   assert(slot < entries_.size());
+  // A completion for a slot that is not in the current window, or that is
+  // already completed, is stale: the watchdog declared the original command
+  // lost and a retry (or retirement) has since moved on. Absorb it.
+  const std::uint16_t offset = static_cast<std::uint16_t>(
+      (slot + entries_.size() - head_) % entries_.size());
   RobEntry& e = entries_[slot];
-  assert(!e.completed && "duplicate completion for ROB slot");
+  if (count_ == 0 || offset >= count_ || e.completed) {
+    ++stale_completions_;
+    return false;
+  }
   e.completed = true;
   e.status = status;
   refresh_head_gate();
+  return true;
 }
 
 RobEntry ReorderBuffer::retire() {

@@ -35,6 +35,8 @@ struct RobEntry {
   bool fetched = false;        // read-out prefetch done (read commands)
   Payload data;                // prefetched read data awaiting stream-out
   nvme::Status status = nvme::Status::kSuccess;
+  std::uint8_t retries = 0;    // resubmissions of this slot (recovery path)
+  TimePs submitted_at = 0;     // last SQE submission time; 0 = not yet sent
 
   // User-provided special members: entries travel through coroutine
   // parameters; see the g++ 12 aggregate-move note in sim/channel.hpp.
@@ -64,7 +66,11 @@ class ReorderBuffer {
   sim::Task alloc(RobEntry entry, std::uint16_t* slot_out);
 
   /// Marks `slot` complete (called when the controller's CQE arrives).
-  void complete(std::uint16_t slot, nvme::Status status);
+  /// Returns false for a *stale* completion -- a slot not in flight or
+  /// already completed, which only happens when the recovery path timed the
+  /// original command out and resubmitted it; stale CQEs are absorbed here
+  /// instead of corrupting the retried command's state.
+  bool complete(std::uint16_t slot, nvme::Status status);
 
   /// True when the head (oldest) entry exists and is complete.
   bool head_ready() const {
@@ -78,6 +84,39 @@ class ReorderBuffer {
     assert(count_ > 0);
     return entries_[head_];
   }
+
+  /// Slot index of the head entry (== the CID a retry must reuse).
+  std::uint16_t head_slot() const {
+    assert(count_ > 0);
+    return head_;
+  }
+
+  /// Direct slot access (the streamer stamps submission times).
+  RobEntry& at(std::uint16_t slot) { return entries_.at(slot); }
+
+  /// Marks the head entry completed with `status` without a CQE -- the
+  /// watchdog path for a lost completion.
+  void fail_head(nvme::Status status) {
+    assert(count_ > 0 && !entries_[head_].completed);
+    entries_[head_].completed = true;
+    entries_[head_].status = status;
+    refresh_head_gate();
+  }
+
+  /// Re-opens the head entry for a retry: clears completion and fetch state
+  /// so the resubmitted command's CQE completes it afresh.
+  void reopen_head() {
+    assert(head_ready());
+    RobEntry& e = entries_[head_];
+    e.completed = false;
+    e.status = nvme::Status::kSuccess;
+    e.fetch_started = false;
+    e.fetched = false;
+    e.data = Payload{};
+    refresh_head_gate();
+  }
+
+  std::uint64_t stale_completions() const { return stale_completions_; }
 
   /// Entry `n` positions after the head (for the read-out prefetcher);
   /// nullptr when fewer than n+1 entries are in flight.
@@ -99,6 +138,7 @@ class ReorderBuffer {
   std::uint16_t count_ = 0;
   sim::Gate slot_free_;
   sim::Gate head_complete_;
+  std::uint64_t stale_completions_ = 0;
 };
 
 }  // namespace snacc::core

@@ -100,6 +100,12 @@ void NvmeStreamer::start() {
   sim_.spawn(submit_committer());
   sim_.spawn(retire_loop());
   sim_.spawn(prefetch_loop());
+  // The watchdog is a periodic process; spawning it unconditionally would
+  // keep the event queue non-empty forever (breaking sim.run()-to-quiescence
+  // callers) and perturb event ordering of fault-free runs. Recovery only.
+  if (cfg_.recovery && cfg_.cmd_timeout > 0) {
+    sim_.spawn(watchdog_loop());
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -121,8 +127,11 @@ void NvmeStreamer::on_cqe_write(std::uint64_t local, const Payload& data) {
   const auto cqe = nvme::CompletionEntry::decode(data.view());
   cq_head_ = static_cast<std::uint16_t>((local / nvme::kCqeSize + 1) % sq_entries_);
   if (cqe.status != nvme::Status::kSuccess) ++errors_;
-  rob_.complete(cqe.cid, cqe.status);
-  if (cfg_.out_of_order) issue_credits_->release();
+  // A stale CQE (for a command the watchdog already declared lost and the
+  // retirement engine resubmitted) is absorbed by the ROB and must not
+  // release an issue credit it never held.
+  const bool accepted = rob_.complete(cqe.cid, cqe.status);
+  if (cfg_.out_of_order && accepted) issue_credits_->release();
   prefetch_kick_->open();
 }
 
@@ -155,6 +164,7 @@ sim::Task NvmeStreamer::submit(const SubCommand& sub, bool is_write,
   sq_slots_[sq_tail_] = sqe.encode();
   sq_tail_ = static_cast<std::uint16_t>((sq_tail_ + 1) % sq_entries_);
   ++commands_submitted_;
+  rob_.at(slot).submitted_at = sim_.now();
   sim_.trace(sim::TraceCat::kStreamerCmd, is_write ? "submit-write" : "submit-read",
              slot, sub.slba);
   // Posted doorbell: the SQE is already visible in the FIFO window.
@@ -324,15 +334,57 @@ sim::Task NvmeStreamer::retire_loop() {
   while (true) {
     co_await rob_.wait_head();
     RobEntry& head = rob_.head();
+    bool failed = false;
+    if (cfg_.recovery && head.status != nvme::Status::kSuccess) {
+      if (head.retries < cfg_.max_retries) {
+        // Bounded retry: a fresh SQE reuses the same ROB slot (CID) and the
+        // same buffer range, with exponential backoff between attempts.
+        const std::uint16_t slot = rob_.head_slot();
+        const bool is_write = head.is_write;
+        const SubCommand sub = head.sub;
+        const std::uint64_t abs_off =
+            (is_write ? res_.write_region_base : res_.read_region_base) +
+            head.buffer_offset;
+        // An error CQE released this command's OOO issue credit on arrival;
+        // re-acquire it so the window stays bounded. A watchdog timeout had
+        // no CQE -- the command still holds its credit, so acquiring again
+        // would leak one per timeout.
+        const bool had_cqe = head.status != nvme::Status::kWatchdogTimeout;
+        const std::uint8_t attempt = ++head.retries;
+        ++retries_;
+        sim_.trace(sim::TraceCat::kStreamerRetire, "retry", slot, attempt);
+        rob_.reopen_head();
+        if (cfg_.out_of_order && had_cqe) co_await issue_credits_->acquire();
+        co_await sim_.delay(cfg_.retry_backoff << (attempt - 1));
+        co_await submit(sub, is_write, slot, abs_off);
+        continue;
+      }
+      // Retries exhausted: quarantine the poisoned entry. It retires like a
+      // successful one -- keeping delivery strictly in order and the window
+      // moving -- but its data is replaced by an error-tagged placeholder.
+      failed = true;
+      ++quarantined_;
+      if (cfg_.out_of_order &&
+          head.status == nvme::Status::kWatchdogTimeout) {
+        // The lost command's CQE never arrived to release its OOO credit.
+        issue_credits_->release();
+      }
+      sim_.trace(sim::TraceCat::kStreamerRetire, "quarantine", rob_.head_slot(),
+                 head.user_tag);
+    }
+    if (cfg_.recovery && !failed && head.retries > 0) ++recovered_;
     if (!head.is_write) {
-      while (!head.fetched) {
+      while (!failed && !head.fetched) {
         fetch_progress_.close();
         co_await fetch_progress_.opened();
       }
       const TimePs gap =
           cfg_.out_of_order ? cfg_.ooo_retire_gap : fpga_.retire_gap_read;
       co_await sim_.delay(gap);
-      Payload out = head.data.slice(head.sub.trim_head, head.sub.payload_bytes);
+      Payload out = failed
+                        ? Payload::phantom(head.sub.payload_bytes)
+                        : head.data.slice(head.sub.trim_head,
+                                          head.sub.payload_bytes);
       const bool last = head.sub.last;
       bytes_read_ += out.size();
       sim_.trace(sim::TraceCat::kStreamerRetire, "retire-read", head.user_tag,
@@ -343,9 +395,10 @@ sim::Task NvmeStreamer::retire_loop() {
       if (!cfg_.out_of_order) issue_credits_->release();
       co_await ring_cq_doorbell();
       prefetch_kick_->open();
-      // Stream to the PE; TLAST closes the user command.
+      // Stream to the PE; TLAST closes the user command. Quarantined data
+      // carries the error TUSER tag on every beat so the PE can discard it.
       co_await axis::send_chunked(read_data_out_, std::move(out), kStreamChunk,
-                                  last);
+                                  last, failed ? kReadErrorUser : 0);
     } else {
       const TimePs gap =
           cfg_.out_of_order ? cfg_.ooo_retire_gap : fpga_.retire_gap_write;
@@ -354,14 +407,39 @@ sim::Task NvmeStreamer::retire_loop() {
       const std::uint64_t tag = head.user_tag;
       sim_.trace(sim::TraceCat::kStreamerRetire, "retire-write", tag,
                  head.sub.payload_bytes);
+      if (failed) failed_write_tags_.insert(tag);
       res_.write_ring->free_oldest();
       rob_.retire();
       ++commands_retired_;
       if (!cfg_.out_of_order) issue_credits_->release();
       co_await ring_cq_doorbell();
       prefetch_kick_->open();
-      if (last) co_await write_resp_out_.send_token(tag);
+      if (last) {
+        // Any quarantined sub of this user command poisons its response.
+        const bool resp_error =
+            cfg_.recovery && failed_write_tags_.erase(tag) > 0;
+        co_await write_resp_out_.send_token(
+            resp_error ? (tag | kWriteRespErrorBit) : tag);
+      }
     }
+  }
+}
+
+sim::Task NvmeStreamer::watchdog_loop() {
+  while (true) {
+    co_await sim_.delay(cfg_.watchdog_period);
+    if (rob_.empty()) continue;
+    // Only the head is checked: in-order retirement means a lost completion
+    // anywhere in the window eventually becomes the head blocker, and its
+    // submitted_at keeps accumulating age while it waits.
+    RobEntry& head = rob_.head();
+    if (head.completed || head.submitted_at == 0) continue;
+    if (sim_.now() - head.submitted_at < cfg_.cmd_timeout) continue;
+    ++watchdog_timeouts_;
+    ++errors_;
+    sim_.trace(sim::TraceCat::kStreamerRetire, "watchdog-timeout",
+               rob_.head_slot(), head.user_tag);
+    rob_.fail_head(nvme::Status::kWatchdogTimeout);
   }
 }
 
@@ -383,7 +461,11 @@ sim::Task NvmeStreamer::prefetch_loop() {
     for (std::uint16_t i = 0; i < window; ++i) {
       RobEntry* e = rob_.peek(i);
       if (e == nullptr) break;
-      if (!e->is_write && e->completed && !e->fetch_started) {
+      // With recovery on, an error-completed read has no valid buffer
+      // contents and is about to be reopened for retry (or quarantined);
+      // fetching it would race with the retirement engine's reopen.
+      if (!e->is_write && e->completed && !e->fetch_started &&
+          !(cfg_.recovery && e->status != nvme::Status::kSuccess)) {
         e->fetch_started = true;
         sim_.spawn(fetch_entry(e));
       }

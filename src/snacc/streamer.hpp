@@ -21,6 +21,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "axis/stream.hpp"
@@ -48,7 +49,35 @@ struct StreamerConfig {
   std::uint16_t nvme_qid = 1;
   bool out_of_order = false;           // Sec. 7 extension
   TimePs ooo_retire_gap = ns(500);     // pipelined retirement engine
+
+  // --- Error recovery (docs/FAULTS.md) -------------------------------------
+  // Off by default and zero-cost when off: no watchdog process is spawned
+  // and the retirement engine's recovery branch is never taken, so runs
+  // without fault injection are bit-identical to a recovery-less build.
+  bool recovery = false;
+  /// Resubmissions of a failed sub-command before its ROB slot is
+  /// quarantined (error reported to the PE, window keeps moving).
+  std::uint8_t max_retries = 3;
+  /// Backoff before the first retry; doubles per attempt.
+  TimePs retry_backoff = us(5);
+  /// Watchdog deadline for the head (oldest) command, measured from its SQE
+  /// submission; expiry synthesizes Status::kWatchdogTimeout. Must exceed
+  /// the worst-case legitimate head-completion latency (ms-scale covers a
+  /// full 64 x 1 MB window with margin). 0 disables the watchdog even with
+  /// recovery on.
+  TimePs cmd_timeout = ms(5);
+  /// Watchdog scan period.
+  TimePs watchdog_period = us(250);
 };
+
+/// TUSER tag carried on every read_data_out beat of a quarantined (failed)
+/// read sub-command; the payload beats are phantom filler so stream framing
+/// (and TLAST) stays intact for the PE.
+inline constexpr std::uint64_t kReadErrorUser = 1;
+
+/// Set on a write_resp_out token's user word when any sub-command of the
+/// user write was quarantined (data loss).
+inline constexpr std::uint64_t kWriteRespErrorBit = 1ull << 63;
 
 /// Stream-protocol helpers for the user PE side.
 Payload encode_read_command(std::uint64_t addr, std::uint64_t len);
@@ -105,6 +134,13 @@ class NvmeStreamer {
   std::uint64_t commands_retired() const { return commands_retired_; }
   std::uint64_t errors() const { return errors_; }
 
+  // Recovery statistics (all zero unless cfg.recovery and faults fired).
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t recovered() const { return recovered_; }
+  std::uint64_t quarantined() const { return quarantined_; }
+  std::uint64_t watchdog_timeouts() const { return watchdog_timeouts_; }
+  std::uint64_t stale_completions() const { return rob_.stale_completions(); }
+
  private:
   /// A write sub-command whose buffer fill is in flight; the committer
   /// submits strictly in this order once the fill completes, so a doorbell
@@ -131,6 +167,10 @@ class NvmeStreamer {
   sim::Task retire_loop();
   sim::Task prefetch_loop();
   sim::Task fetch_entry(RobEntry* entry);
+  /// Recovery only: periodically checks the head (oldest in-flight) command
+  /// against cmd_timeout and synthesizes a kWatchdogTimeout completion for a
+  /// lost one so the retirement engine can retry or quarantine it.
+  sim::Task watchdog_loop();
 
   /// Places the SQE in the FIFO, rings the SSD's SQ tail doorbell.
   sim::Task submit(const SubCommand& sub, bool is_write, std::uint16_t slot,
@@ -173,6 +213,15 @@ class NvmeStreamer {
   std::uint64_t commands_submitted_ = 0;
   std::uint64_t commands_retired_ = 0;
   std::uint64_t errors_ = 0;
+
+  // Recovery state. A mid-command sub failure must surface on the *last*
+  // sub's response token, so quarantined write tags are remembered until
+  // their user command's final sub retires.
+  std::unordered_set<std::uint64_t> failed_write_tags_;
+  std::uint64_t retries_ = 0;
+  std::uint64_t recovered_ = 0;
+  std::uint64_t quarantined_ = 0;
+  std::uint64_t watchdog_timeouts_ = 0;
 };
 
 }  // namespace snacc::core

@@ -246,6 +246,25 @@ sim::Task Driver::poller() {
   poller_running_ = false;
 }
 
+sim::Task Driver::resubmit_one(IoDesc io, std::uint32_t attempt, Payload stage,
+                               nvme::Status* status, std::uint16_t* slot_out) {
+  ++io_retries_;
+  co_await sim_.delay(cfg_.retry_backoff << (attempt - 1));
+  co_await slot_sem_->acquire();
+  std::uint16_t slot = 0;
+  while (slots_[slot].in_use) ++slot;
+  if (slot_out != nullptr) *slot_out = slot;
+  if (stage.size() > 0) {
+    host_mem_.store().write(local(buffer_off(slot)), std::move(stage));
+  }
+  sim::Promise<nvme::Status> promise(sim_);
+  auto fut = promise.future();
+  co_await submit_io(io, slot, &promise);
+  const nvme::Status st = co_await fut;
+  if (st != nvme::Status::kSuccess) ++io_errors_;
+  *status = st;
+}
+
 sim::Task Driver::read(std::uint64_t lba, std::uint64_t bytes, Payload* out,
                        nvme::Status* status) {
   nvme::Status final_status = nvme::Status::kSuccess;
@@ -260,8 +279,23 @@ sim::Task Driver::read(std::uint64_t lba, std::uint64_t bytes, Payload* out,
     auto fut = promise.future();
     co_await submit_io(IoDesc{false, lba + done_bytes / nvme::kLbaSize, n}, slot,
                        &promise);
-    const nvme::Status st = co_await fut;
-    if (st != nvme::Status::kSuccess) final_status = st;
+    nvme::Status st = co_await fut;
+    if (st != nvme::Status::kSuccess) {
+      ++io_errors_;
+      for (std::uint32_t attempt = 1;
+           st != nvme::Status::kSuccess && attempt <= cfg_.max_retries;
+           ++attempt) {
+        // The retry claims a fresh slot; `slot` tracks it so the buffer
+        // read-back below picks up the retried command's data.
+        co_await resubmit_one(
+            IoDesc{false, lba + done_bytes / nvme::kLbaSize, n}, attempt,
+            Payload{}, &st, &slot);
+      }
+      if (st != nvme::Status::kSuccess) {
+        ++io_failed_;
+        final_status = st;
+      }
+    }
     // Completion-path software cost (poll pickup, buffer handoff). This is
     // the calibrated host-stack term of Fig. 4c.
     co_await sim_.delay(host_.spdk_read_stack);
@@ -292,8 +326,22 @@ sim::Task Driver::write(std::uint64_t lba, Payload data, nvme::Status* status) {
     auto fut = promise.future();
     co_await submit_io(IoDesc{true, lba + done_bytes / nvme::kLbaSize, n}, slot,
                        &promise);
-    const nvme::Status st = co_await fut;
-    if (st != nvme::Status::kSuccess) final_status = st;
+    nvme::Status st = co_await fut;
+    if (st != nvme::Status::kSuccess) {
+      ++io_errors_;
+      for (std::uint32_t attempt = 1;
+           st != nvme::Status::kSuccess && attempt <= cfg_.max_retries;
+           ++attempt) {
+        // Restage the chunk: the failed attempt's buffer slot was recycled.
+        co_await resubmit_one(
+            IoDesc{true, lba + done_bytes / nvme::kLbaSize, n}, attempt,
+            data.slice(done_bytes, n), &st, nullptr);
+      }
+      if (st != nvme::Status::kSuccess) {
+        ++io_failed_;
+        final_status = st;
+      }
+    }
     co_await sim_.delay(host_.spdk_write_stack);
     done_bytes += n;
   }
@@ -314,7 +362,7 @@ sim::Task Driver::run_workload(const std::vector<IoDesc>& ios,
   struct Tracker {
     sim::Promise<nvme::Status> promise;
     TimePs submitted;
-    bool is_write;
+    IoDesc io;
   };
   std::vector<std::unique_ptr<Tracker>> trackers;
   trackers.reserve(ios.size());
@@ -322,9 +370,19 @@ sim::Task Driver::run_workload(const std::vector<IoDesc>& ios,
   auto finisher = [](Driver* self, Tracker* t, WorkloadResult* res,
                      sim::WaitGroup* group) -> sim::Task {
     auto fut = t->promise.future();
-    co_await fut;
-    const TimePs stack = t->is_write ? self->host_.spdk_write_stack
-                                     : self->host_.spdk_read_stack;
+    nvme::Status st = co_await fut;
+    if (st != nvme::Status::kSuccess) {
+      ++self->io_errors_;
+      for (std::uint32_t attempt = 1;
+           st != nvme::Status::kSuccess && attempt <= self->cfg_.max_retries;
+           ++attempt) {
+        co_await self->resubmit_one(t->io, attempt, Payload{}, &st, nullptr);
+      }
+      if (st != nvme::Status::kSuccess) ++self->io_failed_;
+    }
+    const TimePs stack = t->io.is_write ? self->host_.spdk_write_stack
+                                        : self->host_.spdk_read_stack;
+    // Latency includes any retries: it is the delivered completion time.
     res->latency.add(self->sim_.now() - t->submitted + stack);
     group->done();
   };
@@ -334,7 +392,7 @@ sim::Task Driver::run_workload(const std::vector<IoDesc>& ios,
     std::uint16_t slot = 0;
     while (slots_[slot].in_use) ++slot;
     auto tracker = std::make_unique<Tracker>(
-        Tracker{sim::Promise<nvme::Status>(sim_), sim_.now(), io.is_write});
+        Tracker{sim::Promise<nvme::Status>(sim_), sim_.now(), io});
     sim_.spawn(finisher(this, tracker.get(), result, &wg));
     co_await submit_io(io, slot, &tracker->promise);
     trackers.push_back(std::move(tracker));

@@ -29,6 +29,12 @@ struct DriverConfig {
   TimePs poll_interval = ns(150);     // CQ poll loop period
   TimePs submit_overhead = ns(350);   // per-command software cost
   std::uint64_t region_offset = 0;    // where in host memory the driver lives
+
+  // Error recovery (docs/FAULTS.md). 0 retries = report the error status to
+  // the caller, exactly the pre-recovery behaviour (bit-identical when no
+  // faults fire: the retry branch is only reached on an error completion).
+  std::uint32_t max_retries = 0;      // resubmissions per failed command
+  TimePs retry_backoff = us(5);       // first backoff; doubles per attempt
 };
 
 struct WorkloadResult {
@@ -72,6 +78,11 @@ class Driver {
 
   CpuAccount& cpu() { return cpu_; }
 
+  // Recovery statistics (zero unless faults fired).
+  std::uint64_t io_errors() const { return io_errors_; }    // error completions
+  std::uint64_t io_retries() const { return io_retries_; }  // resubmissions
+  std::uint64_t io_failed() const { return io_failed_; }    // retries exhausted
+
  private:
   struct Slot {
     bool in_use = false;
@@ -84,6 +95,11 @@ class Driver {
     std::uint64_t lba = 0;
     std::uint64_t bytes = 0;
   };
+
+  /// One retry attempt: backoff, claim a fresh slot, optionally restage
+  /// `stage` into the slot's pinned buffer (writes), resubmit and wait.
+  sim::Task resubmit_one(IoDesc io, std::uint32_t attempt, Payload stage,
+                         nvme::Status* status, std::uint16_t* slot_out);
 
   // Region layout (local offsets inside the driver's host-memory region).
   std::uint64_t local(std::uint64_t off) const { return cfg_.region_offset + off; }
@@ -152,6 +168,10 @@ class Driver {
 
   CpuAccount cpu_{"spdk-thread"};
   std::uint16_t next_cid_ = 0;
+
+  std::uint64_t io_errors_ = 0;
+  std::uint64_t io_retries_ = 0;
+  std::uint64_t io_failed_ = 0;
 };
 
 }  // namespace snacc::spdk

@@ -1,0 +1,279 @@
+// Fault-injection framework tests (ctest label: faults): injector plan
+// semantics and determinism, fabric-level fault records and injections
+// (IOMMU drops, lost completions, link degradation), and the reorder
+// buffer's stale-completion absorption that backs the streamer's watchdog.
+#include <gtest/gtest.h>
+
+#include "fault/fault.hpp"
+#include "pcie/fabric.hpp"
+#include "pcie/memory_target.hpp"
+#include "sim/task.hpp"
+#include "snacc/reorder_buffer.hpp"
+
+namespace snacc {
+namespace {
+
+using fault::FaultPlan;
+using fault::Injector;
+
+// ---------------------------------------------------------------------------
+// Injector semantics
+
+TEST(Injector, DisabledIsInertAndCountsNothing) {
+  Injector inj;  // default: no plan, disarmed
+  EXPECT_FALSE(inj.armed());
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(inj.fire());
+  EXPECT_EQ(inj.events(), 0u);
+  EXPECT_EQ(inj.fired(), 0u);
+}
+
+TEST(Injector, ScheduleFiresExactlyAtGivenIndices) {
+  Injector inj(FaultPlan::at({0, 3, 5}));
+  ASSERT_TRUE(inj.armed());
+  std::vector<bool> fired;
+  for (int i = 0; i < 8; ++i) fired.push_back(inj.fire());
+  const std::vector<bool> want = {true, false, false, true,
+                                  false, true, false, false};
+  EXPECT_EQ(fired, want);
+  EXPECT_EQ(inj.events(), 8u);
+  EXPECT_EQ(inj.fired(), 3u);
+}
+
+TEST(Injector, RateDrawsAreDeterministicPerSeed) {
+  Injector a(FaultPlan::rate(0.3, 42));
+  Injector b(FaultPlan::rate(0.3, 42));
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const bool fa = a.fire();
+    ASSERT_EQ(fa, b.fire()) << "same plan+seed must fire identically, i=" << i;
+    fired += fa ? 1 : 0;
+  }
+  // Law of large numbers sanity: ~600 expected.
+  EXPECT_GT(fired, 450u);
+  EXPECT_LT(fired, 750u);
+
+  // A different seed yields a different (but equally deterministic) stream.
+  Injector c(FaultPlan::rate(0.3, 43));
+  bool any_diff = false;
+  Injector a2(FaultPlan::rate(0.3, 42));
+  for (int i = 0; i < 2000; ++i) any_diff |= a2.fire() != c.fire();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Injector, ScheduleDoesNotShiftTheProbabilisticStream) {
+  // The probability draw happens on every event even when the schedule
+  // already fired it, so mixing sources keeps the random stream aligned.
+  FaultPlan plain = FaultPlan::rate(0.5, 7);
+  FaultPlan mixed = FaultPlan::rate(0.5, 7);
+  mixed.schedule = {2};
+  Injector a(plain);
+  Injector b(mixed);
+  for (int i = 0; i < 64; ++i) {
+    const bool fa = a.fire();
+    const bool fb = b.fire();
+    if (i == 2) {
+      EXPECT_TRUE(fb);
+    } else {
+      EXPECT_EQ(fa, fb) << "event " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fabric-level faults
+
+struct FabricFixture : ::testing::Test {
+  FabricFixture()
+      : fabric(sim, PcieProfile{}), host_mem(sim, 64 * MiB) {
+    root = fabric.add_port("root", 64.0);
+    fabric.set_root_port(root);
+    dev = fabric.add_port("dev", 13.0);
+    fabric.map(0x0, 64 * MiB, &host_mem, root, pcie::MemKind::kHostDram);
+  }
+
+  sim::Simulator sim;
+  pcie::Fabric fabric;
+  pcie::HostMemory host_mem;
+  pcie::PortId root{};
+  pcie::PortId dev{};
+};
+
+TEST_F(FabricFixture, IommuWriteDropIsRecordedPerDeviceWithLastFault) {
+  // Read-only grant: device writes are silently dropped on the wire (posted
+  // semantics) -- but no longer silently *unaccounted*.
+  fabric.iommu().grant({dev, 0x0, 64 * MiB, true, false});
+  auto io = [&]() -> sim::Task {
+    co_await fabric.write(dev, 0x3000, Payload::filled(4096, 7));
+  };
+  sim.spawn(io());
+  sim.run();
+  EXPECT_EQ(fabric.iommu().faults(), 1u);
+  EXPECT_EQ(fabric.iommu().faults_for(dev), 1u);
+  EXPECT_EQ(fabric.iommu().faults_for(root), 0u);
+  EXPECT_EQ(fabric.port_faults(dev).iommu_write_drops, 1u);
+  EXPECT_EQ(fabric.port_faults(dev).total(), 1u);
+  EXPECT_EQ(fabric.port_faults(root).total(), 0u);
+  ASSERT_TRUE(fabric.last_fault().has_value());
+  const pcie::FaultRecord& rec = *fabric.last_fault();
+  EXPECT_EQ(rec.kind, pcie::FaultKind::kIommuWriteDrop);
+  EXPECT_EQ(rec.initiator, dev);
+  EXPECT_EQ(rec.addr, 0x3000u);
+  EXPECT_EQ(rec.len, 4096u);
+  EXPECT_STREQ(pcie::fault_kind_name(rec.kind), "iommu-write-drop");
+}
+
+TEST_F(FabricFixture, UnmappedAccessesAreRecordedToo) {
+  auto io = [&]() -> sim::Task {
+    auto rr = co_await fabric.read(root, 0x9999'0000'0000, 64);
+    EXPECT_FALSE(rr.ok);
+  };
+  sim.spawn(io());
+  sim.run();
+  EXPECT_EQ(fabric.port_faults(root).unmapped, 1u);
+  ASSERT_TRUE(fabric.last_fault().has_value());
+  EXPECT_EQ(fabric.last_fault()->kind, pcie::FaultKind::kUnmappedRead);
+}
+
+TEST_F(FabricFixture, InjectedReadLossStallsForCompletionTimeout) {
+  fabric.iommu().set_enabled(false);
+  fabric.set_read_loss_plan(FaultPlan::at({0}));
+  bool first_ok = true;
+  bool second_ok = false;
+  TimePs first_elapsed = 0;
+  auto io = [&]() -> sim::Task {
+    const TimePs t0 = sim.now();
+    auto rr1 = co_await fabric.read(root, 0x1000, 512);
+    first_elapsed = sim.now() - t0;
+    first_ok = rr1.ok;
+    auto rr2 = co_await fabric.read(root, 0x1000, 512);
+    second_ok = rr2.ok;
+  };
+  sim.spawn(io());
+  sim.run();
+  EXPECT_FALSE(first_ok);
+  EXPECT_TRUE(second_ok);
+  EXPECT_GE(first_elapsed, fabric.profile().completion_timeout);
+  EXPECT_EQ(fabric.injected_timeouts(), 1u);
+  EXPECT_EQ(fabric.port_faults(root).completion_timeouts, 1u);
+  ASSERT_TRUE(fabric.last_fault().has_value());
+  EXPECT_EQ(fabric.last_fault()->kind, pcie::FaultKind::kCompletionTimeout);
+}
+
+TEST_F(FabricFixture, LinkDegradationSlowsTransfersThenRecovers) {
+  fabric.iommu().set_enabled(false);
+  const std::uint64_t bytes = 8 * MiB;
+  TimePs healthy = 0;
+  TimePs degraded = 0;
+  TimePs recovered = 0;
+  auto io = [&]() -> sim::Task {
+    TimePs t0 = sim.now();
+    co_await fabric.write(dev, 0x0, Payload::phantom(bytes));
+    healthy = sim.now() - t0;
+
+    fabric.degrade_link(dev, 0.25, seconds(10));
+    t0 = sim.now();
+    co_await fabric.write(dev, 0x0, Payload::phantom(bytes));
+    degraded = sim.now() - t0;
+
+    co_await sim.delay(seconds(11));  // window expired, rate restored
+    t0 = sim.now();
+    co_await fabric.write(dev, 0x0, Payload::phantom(bytes));
+    recovered = sim.now() - t0;
+  };
+  sim.spawn(io());
+  sim.run();
+  // 4x rate cut: the paced portion takes ~4x longer while the window is
+  // open (the fixed per-TLP latency component is unaffected, so the
+  // end-to-end ratio lands a little under 4x).
+  EXPECT_GT(degraded, 2 * healthy);
+  EXPECT_LT(recovered, 2 * healthy);
+}
+
+TEST_F(FabricFixture, WindowedIommuFlipOnlyFiresInsideTheWindow) {
+  fabric.iommu().grant({dev, 0x0, 64 * MiB, true, true});
+  // Flip verdicts only for writes landing in [0x10000, 0x11000).
+  fabric.iommu().set_fault_plan(FaultPlan::rate(1.0), 0x10000, 0x1000);
+  bool outside_ok = false;
+  auto io = [&]() -> sim::Task {
+    co_await fabric.write(dev, 0x10000, Payload::filled(512, 1));  // dropped
+    co_await fabric.write(dev, 0x20000, Payload::filled(512, 2));  // passes
+    auto rr = co_await fabric.read(dev, 0x20000, 512);
+    outside_ok = rr.ok && rr.data.content_equals(Payload::filled(512, 2));
+  };
+  sim.spawn(io());
+  sim.run();
+  EXPECT_TRUE(outside_ok);
+  EXPECT_EQ(fabric.iommu().injected_faults(), 1u);
+  EXPECT_EQ(fabric.port_faults(dev).iommu_write_drops, 1u);
+  EXPECT_EQ(host_mem.store().read(0x10000, 512).has_data(), false);
+}
+
+// ---------------------------------------------------------------------------
+// Reorder buffer recovery support
+
+TEST(ReorderBuffer, StaleCompletionsAreAbsorbedNotAsserted) {
+  sim::Simulator sim;
+  core::ReorderBuffer rob(sim, 4);
+  std::uint16_t slot = 0;
+  auto setup = [&]() -> sim::Task {
+    core::RobEntry e;
+    co_await rob.alloc(std::move(e), &slot);
+  };
+  sim.spawn(setup());
+  sim.run();
+
+  // First completion lands.
+  EXPECT_TRUE(rob.complete(slot, nvme::Status::kSuccess));
+  // A duplicate (e.g. the original command's CQE arriving after a watchdog
+  // retry already completed the slot) is absorbed.
+  EXPECT_FALSE(rob.complete(slot, nvme::Status::kSuccess));
+  // A completion for a slot outside the in-flight window is stale too.
+  EXPECT_FALSE(rob.complete(2, nvme::Status::kSuccess));
+  EXPECT_EQ(rob.stale_completions(), 2u);
+  EXPECT_TRUE(rob.head_ready());
+}
+
+TEST(ReorderBuffer, ReopenHeadClearsCompletionForRetry) {
+  sim::Simulator sim;
+  core::ReorderBuffer rob(sim, 4);
+  std::uint16_t slot = 0;
+  auto setup = [&]() -> sim::Task {
+    core::RobEntry e;
+    co_await rob.alloc(std::move(e), &slot);
+  };
+  sim.spawn(setup());
+  sim.run();
+
+  rob.complete(slot, nvme::Status::kUnrecoveredReadError);
+  ASSERT_TRUE(rob.head_ready());
+  EXPECT_EQ(rob.head().status, nvme::Status::kUnrecoveredReadError);
+  rob.reopen_head();
+  EXPECT_FALSE(rob.head_ready());
+  EXPECT_EQ(rob.head().status, nvme::Status::kSuccess);
+  // The retried command's completion closes it again.
+  EXPECT_TRUE(rob.complete(slot, nvme::Status::kSuccess));
+  EXPECT_TRUE(rob.head_ready());
+}
+
+TEST(ReorderBuffer, FailHeadSynthesizesWatchdogCompletion) {
+  sim::Simulator sim;
+  core::ReorderBuffer rob(sim, 4);
+  std::uint16_t slot = 0;
+  auto setup = [&]() -> sim::Task {
+    core::RobEntry e;
+    co_await rob.alloc(std::move(e), &slot);
+  };
+  sim.spawn(setup());
+  sim.run();
+
+  ASSERT_FALSE(rob.head_ready());
+  rob.fail_head(nvme::Status::kWatchdogTimeout);
+  ASSERT_TRUE(rob.head_ready());
+  EXPECT_EQ(rob.head().status, nvme::Status::kWatchdogTimeout);
+  // The genuinely-late CQE for the failed command is now stale.
+  EXPECT_FALSE(rob.complete(slot, nvme::Status::kSuccess));
+  EXPECT_EQ(rob.stale_completions(), 1u);
+}
+
+}  // namespace
+}  // namespace snacc

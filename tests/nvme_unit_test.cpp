@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "fault/fault.hpp"
 #include "host/system.hpp"
 #include "nvme/prp.hpp"
 #include "nvme/queues.hpp"
@@ -318,6 +319,136 @@ TEST_F(CtrlFixture, MediaReflectsWritesExactly) {
   Payload media = sys.ssd().media().read(1000 * kLbaSize, 3 * kLbaSize);
   EXPECT_TRUE(media.content_equals(data));
   EXPECT_EQ(sys.ssd().media().resident_pages(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: NAND-level failures surface as real NVMe error CQEs.
+
+TEST_F(CtrlFixture, InjectedNandReadFaultSurfacesUnrecoveredReadError) {
+  bool done = false;
+  Status wr{};
+  Status rd{};
+  auto io = [&]() -> sim::Task {
+    co_await driver->write(2000, Payload::filled(8 * kLbaSize, 0x5A), &wr);
+    sys.ssd().nand().set_read_fault_plan(fault::FaultPlan::at({0}));
+    co_await driver->read(2000, 8 * kLbaSize, nullptr, &rd);
+    done = true;
+  };
+  sys.sim().spawn(io());
+  run_for(seconds(1));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(wr, Status::kSuccess);
+  EXPECT_EQ(rd, Status::kUnrecoveredReadError);
+  EXPECT_EQ(sys.ssd().read_errors(), 1u);
+  EXPECT_EQ(sys.ssd().error_cqes(), 1u);
+  EXPECT_EQ(sys.ssd().nand().read_faults_injected(), 1u);
+  // Retries are disabled by default: the error reaches the caller.
+  EXPECT_EQ(driver->io_errors(), 1u);
+  EXPECT_EQ(driver->io_failed(), 1u);
+  EXPECT_EQ(driver->io_retries(), 0u);
+}
+
+TEST_F(CtrlFixture, InjectedProgramFailureSurfacesWriteFault) {
+  bool done = false;
+  Status st{};
+  auto io = [&]() -> sim::Task {
+    sys.ssd().nand().set_program_fault_plan(fault::FaultPlan::at({0}));
+    co_await driver->write(3000, Payload::filled(4096, 0x11), &st);
+    done = true;
+  };
+  sys.sim().spawn(io());
+  run_for(seconds(1));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(st, Status::kWriteFault);
+  EXPECT_EQ(sys.ssd().write_errors(), 1u);
+  EXPECT_EQ(sys.ssd().nand().program_faults_injected(), 1u);
+}
+
+TEST(CtrlFault, DriverRetryRecoversTransientNandFault) {
+  host::System sys;
+  spdk::DriverConfig dcfg;
+  dcfg.max_retries = 2;
+  dcfg.retry_backoff = us(2);
+  spdk::Driver driver(sys.sim(), sys.fabric(), sys.host_mem(),
+                      host::addr_map::kHostDramBase, sys.ssd(),
+                      sys.config().profile.host, dcfg);
+  Payload data = Payload::filled(16 * kLbaSize, 0x42);
+  bool done = false;
+  Status st{};
+  Payload got;
+  auto io = [&]() -> sim::Task {
+    co_await driver.init();
+    co_await driver.write(500, data);
+    // Fail the 4th page of the first read attempt; the retry reads cleanly.
+    sys.ssd().nand().set_read_fault_plan(fault::FaultPlan::at({3}));
+    co_await driver.read(500, 16 * kLbaSize, &got, &st);
+    done = true;
+  };
+  sys.sim().spawn(io());
+  sys.sim().run_until(seconds(2));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(st, Status::kSuccess);
+  EXPECT_TRUE(got.content_equals(data));
+  EXPECT_EQ(driver.io_errors(), 1u);
+  EXPECT_EQ(driver.io_retries(), 1u);
+  EXPECT_EQ(driver.io_failed(), 0u);
+  EXPECT_EQ(sys.ssd().read_errors(), 1u);
+}
+
+TEST(CtrlRaw, ErrorCqeCarriesCorrectPhaseTag) {
+  // Handcrafted SQE through a directly-created queue pair in host memory:
+  // checks the raw CQE bytes of an *error* completion -- status code, CID and
+  // the phase tag of the first CQ pass.
+  host::System sys;
+  auto& ssd = sys.ssd();
+  const std::uint64_t sq_off = 64 * MiB;
+  const std::uint64_t cq_off = 65 * MiB;
+  const std::uint64_t buf_off = 66 * MiB;
+  const pcie::Addr base = host::addr_map::kHostDramBase;
+  ssd.create_io_queues_direct(QueueConfig{1, base + sq_off, 4},
+                              QueueConfig{1, base + cq_off, 4});
+  ssd.nand().set_read_fault_plan(fault::FaultPlan::rate(1.0));
+
+  SubmissionEntry sqe;
+  sqe.opcode = static_cast<std::uint8_t>(IoOpcode::kRead);
+  sqe.cid = 7;
+  sqe.slba = 0;
+  sqe.nlb = 0;
+  sqe.prp1 = base + buf_off;
+  auto raw = sqe.encode();
+  sys.host_mem().store().write(sq_off, Payload::bytes({raw.begin(), raw.end()}));
+
+  bool done = false;
+  CompletionEntry cqe;
+  auto io = [&]() -> sim::Task {
+    std::vector<std::byte> db(4);
+    const std::uint32_t tail = 1;
+    std::memcpy(db.data(), &tail, 4);
+    co_await sys.fabric().write(sys.root_port(),
+                                ssd.bar_base() + reg::sq_tail_doorbell(1),
+                                Payload::bytes(std::move(db)));
+    while (true) {
+      Payload p = sys.host_mem().store().read(cq_off, kCqeSize);
+      if (p.has_data()) {
+        const auto e = CompletionEntry::decode(p.view());
+        if (e.phase) {
+          cqe = e;
+          break;
+        }
+      }
+      co_await sys.sim().delay(us(1));
+    }
+    done = true;
+  };
+  sys.sim().spawn(io());
+  sys.sim().run_until(seconds(1));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(cqe.cid, 7);
+  EXPECT_TRUE(cqe.phase);  // first pass through the CQ posts phase 1
+  EXPECT_EQ(cqe.status, Status::kUnrecoveredReadError);
+  EXPECT_EQ(cqe.sq_id, 1);
+  EXPECT_EQ(ssd.read_errors(), 1u);
+  EXPECT_EQ(ssd.error_cqes(), 1u);
 }
 
 }  // namespace

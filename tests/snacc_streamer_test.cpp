@@ -3,6 +3,7 @@
 // variants (parameterized), plus the out-of-order retirement extension.
 #include <gtest/gtest.h>
 
+#include "fault/fault.hpp"
 #include "host/snacc_device.hpp"
 #include "host/system.hpp"
 #include "snacc/pe_client.hpp"
@@ -22,6 +23,21 @@ class StreamerFixture : public ::testing::TestWithParam<Variant> {
     SnaccDeviceConfig cfg;
     cfg.streamer.variant = GetParam();
     cfg.streamer.out_of_order = out_of_order;
+    build_with(cfg);
+  }
+
+  /// Recovery-enabled variant with fast retry/watchdog knobs for tests.
+  void build_recovery(bool out_of_order = false, std::uint8_t max_retries = 3) {
+    SnaccDeviceConfig cfg;
+    cfg.streamer.variant = GetParam();
+    cfg.streamer.out_of_order = out_of_order;
+    cfg.streamer.recovery = true;
+    cfg.streamer.max_retries = max_retries;
+    cfg.streamer.retry_backoff = us(2);
+    build_with(cfg);
+  }
+
+  void build_with(SnaccDeviceConfig cfg) {
     dev_ = std::make_unique<SnaccDevice>(sys_, cfg);
     bool done = false;
     auto boot = [&]() -> sim::Task {
@@ -256,6 +272,167 @@ TEST_P(StreamerFixture, OutOfOrderExtensionPreservesDataAndOrder) {
   run_for(seconds(2));
   ASSERT_TRUE(done);
   EXPECT_TRUE(got.content_equals(data));
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection + recovery (docs/FAULTS.md)
+
+TEST_P(StreamerFixture, MidStreamNandFaultRecoversInOrder) {
+  build_recovery();
+  Payload data = random_payload(256 * KiB, 21);
+  bool done = false;
+  bool err = true;
+  Payload got;
+  auto io = [&]() -> sim::Task {
+    co_await client_->write(0, data);
+    // Fail the 6th page read of the read phase: the command's error CQE
+    // triggers one streamer retry, which re-reads the range cleanly.
+    sys_.ssd().nand().set_read_fault_plan(fault::FaultPlan::at({5}));
+    co_await client_->read(0, 256 * KiB, &got, &err);
+    done = true;
+  };
+  sys_.sim().spawn(io());
+  run_for(seconds(2));
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(err);
+  EXPECT_TRUE(got.content_equals(data));
+  EXPECT_EQ(dev_->streamer().retries(), 1u);
+  EXPECT_EQ(dev_->streamer().recovered(), 1u);
+  EXPECT_EQ(dev_->streamer().quarantined(), 0u);
+  EXPECT_EQ(dev_->streamer().errors(), 1u);
+  EXPECT_EQ(sys_.ssd().read_errors(), 1u);
+}
+
+TEST_P(StreamerFixture, ExhaustedRetriesDeliverErrorNotHang) {
+  build_recovery(/*out_of_order=*/false, /*max_retries=*/2);
+  bool done = false;
+  bool err = false;
+  Payload got;
+  auto io = [&]() -> sim::Task {
+    co_await client_->write(0, random_payload(16 * KiB, 22));
+    // Every page read fails: retries exhaust and the entry is quarantined.
+    sys_.ssd().nand().set_read_fault_plan(fault::FaultPlan::rate(1.0));
+    co_await client_->read(0, 16 * KiB, &got, &err);
+    done = true;
+  };
+  sys_.sim().spawn(io());
+  run_for(seconds(2));
+  ASSERT_TRUE(done) << "exhausted retries must not hang the stream";
+  EXPECT_TRUE(err);
+  // Stream framing stays intact: placeholder beats with the error TUSER tag.
+  EXPECT_EQ(got.size(), 16 * KiB);
+  EXPECT_EQ(dev_->streamer().retries(), 2u);
+  EXPECT_EQ(dev_->streamer().quarantined(), 1u);
+  EXPECT_EQ(dev_->streamer().recovered(), 0u);
+  EXPECT_EQ(dev_->streamer().errors(), 3u);  // initial attempt + 2 retries
+}
+
+TEST_P(StreamerFixture, TransientProgramFailureRecoversWrite) {
+  build_recovery();
+  Payload data = random_payload(8 * KiB, 23);
+  bool done = false;
+  bool err = true;
+  auto io = [&]() -> sim::Task {
+    // First NAND ingest fails; the retry rewrites the same buffer slot.
+    sys_.ssd().nand().set_program_fault_plan(fault::FaultPlan::at({0}));
+    co_await client_->write(128 * KiB, data, 16 * KiB, &err);
+    done = true;
+  };
+  sys_.sim().spawn(io());
+  run_for(seconds(2));
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(err);
+  EXPECT_EQ(dev_->streamer().retries(), 1u);
+  EXPECT_EQ(dev_->streamer().recovered(), 1u);
+  Payload media = sys_.ssd().media().read(128 * KiB, 8 * KiB);
+  ASSERT_TRUE(media.has_data());
+  EXPECT_TRUE(media.content_equals(data));
+}
+
+TEST_P(StreamerFixture, PersistentProgramFailurePoisonsResponseToken) {
+  build_recovery(/*out_of_order=*/false, /*max_retries=*/1);
+  bool done = false;
+  bool err = false;
+  auto io = [&]() -> sim::Task {
+    sys_.ssd().nand().set_program_fault_plan(fault::FaultPlan::rate(1.0));
+    co_await client_->write(0, Payload::filled(8 * KiB, 0x3C), 16 * KiB, &err);
+    done = true;
+  };
+  sys_.sim().spawn(io());
+  run_for(seconds(2));
+  ASSERT_TRUE(done) << "a quarantined write must still produce its token";
+  EXPECT_TRUE(err);
+  EXPECT_EQ(dev_->streamer().quarantined(), 1u);
+  EXPECT_EQ(sys_.ssd().write_errors(), 2u);  // initial + 1 retry
+}
+
+TEST_P(StreamerFixture, WatchdogRecoversDroppedCompletion) {
+  SnaccDeviceConfig cfg;
+  cfg.streamer.variant = GetParam();
+  cfg.streamer.recovery = true;
+  cfg.streamer.retry_backoff = us(2);
+  cfg.streamer.cmd_timeout = us(400);
+  cfg.streamer.watchdog_period = us(50);
+  build_with(cfg);
+  Payload data = random_payload(4 * KiB, 24);
+  bool done = false;
+  bool err = true;
+  Payload got;
+  auto io = [&]() -> sim::Task {
+    co_await client_->write(64 * KiB, data);
+    // Drop exactly the next CQE posted into the FPGA's CQ window: the IOMMU
+    // permission flip is windowed to the reorder buffer's CQE landing zone,
+    // so the completion is lost in flight and only the watchdog can save it.
+    sys_.fabric().iommu().set_fault_plan(fault::FaultPlan::at({0}),
+                                         dev_->bar0() + SnaccDevice::kCqWindow,
+                                         dev_->streamer().cq_window_bytes());
+    co_await client_->read(64 * KiB, 4 * KiB, &got, &err);
+    done = true;
+  };
+  sys_.sim().spawn(io());
+  run_for(seconds(2));
+  ASSERT_TRUE(done) << "a lost completion must not hang the stream";
+  EXPECT_FALSE(err);
+  EXPECT_TRUE(got.content_equals(data));
+  EXPECT_EQ(dev_->streamer().watchdog_timeouts(), 1u);
+  EXPECT_EQ(dev_->streamer().retries(), 1u);
+  EXPECT_EQ(dev_->streamer().recovered(), 1u);
+  EXPECT_EQ(sys_.fabric().iommu().injected_faults(), 1u);
+  // Satellite: the silent posted-write drop is now observable.
+  ASSERT_TRUE(sys_.fabric().last_fault().has_value());
+  EXPECT_EQ(sys_.fabric().last_fault()->kind, pcie::FaultKind::kIommuWriteDrop);
+  EXPECT_EQ(sys_.fabric().last_fault()->initiator, sys_.ssd().port());
+}
+
+TEST_P(StreamerFixture, OutOfOrderRecoveryKeepsPipelinedReadsInOrder) {
+  build_recovery(/*out_of_order=*/true);
+  Payload data = random_payload(256 * KiB, 25);
+  bool done = false;
+  std::vector<Payload> results(8);
+  std::vector<bool> errs(8, true);
+  auto io = [&]() -> sim::Task {
+    co_await client_->write(0, data);
+    sys_.ssd().nand().set_read_fault_plan(fault::FaultPlan::at({9}));
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      co_await client_->start_read(i * 32 * KiB, 32 * KiB);
+    }
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      bool e = true;
+      co_await client_->collect_read(&results[i], &e);
+      errs[i] = e;
+    }
+    done = true;
+  };
+  sys_.sim().spawn(io());
+  run_for(seconds(2));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(dev_->streamer().retries(), 1u);
+  EXPECT_EQ(dev_->streamer().quarantined(), 0u);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_FALSE(errs[i]) << "read " << i;
+    EXPECT_TRUE(results[i].content_equals(data.slice(i * 32 * KiB, 32 * KiB)))
+        << "read " << i;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllVariants, StreamerFixture,

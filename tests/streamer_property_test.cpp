@@ -7,6 +7,7 @@
 #include <map>
 
 #include "common/rng.hpp"
+#include "fault/fault.hpp"
 #include "host/snacc_device.hpp"
 #include "host/system.hpp"
 #include "snacc/pe_client.hpp"
@@ -128,6 +129,113 @@ TEST_P(MixedWorkload, RandomizedInterleavedIoMatchesReference) {
   // At least a few reads must have validated data (seed-dependent).
   EXPECT_GT(checks, 10);
 }
+
+// Same randomized workload under NAND read faults with recovery enabled: a
+// low probabilistic fault rate plus one scheduled hit (so every seed sees at
+// least one fault) must not cost any data integrity, and the streamer's
+// counters must account for every error -- no lost commands, no hangs.
+class FaultedWorkload : public ::testing::TestWithParam<Config> {};
+
+TEST_P(FaultedWorkload, RecoveryPreservesIntegrityAndAccountsForFaults) {
+  const Config cfg = GetParam();
+  host::System sys;
+  sys.ssd().nand().force_mode(true);
+  fault::FaultPlan plan = fault::FaultPlan::rate(2e-3, cfg.seed);
+  plan.schedule = {10};  // guarantee at least one mid-stream fault
+  sys.ssd().nand().set_read_fault_plan(plan);
+  host::SnaccDeviceConfig dcfg;
+  dcfg.streamer.variant = cfg.variant;
+  dcfg.streamer.out_of_order = cfg.out_of_order;
+  dcfg.streamer.recovery = true;
+  dcfg.streamer.max_retries = 6;
+  dcfg.streamer.retry_backoff = us(2);
+  host::SnaccDevice dev(sys, dcfg);
+  bool booted = false;
+  auto boot = [&]() -> sim::Task {
+    co_await dev.init();
+    booted = true;
+  };
+  sys.sim().spawn(boot());
+  sys.sim().run_until(seconds(1));
+  ASSERT_TRUE(booted);
+
+  core::PeClient pe(dev.streamer());
+  Reference ref(64 * MiB);
+  Xoshiro256 rng(cfg.seed);
+  bool done = false;
+  int checks = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> extents;
+  auto workload = [&]() -> sim::Task {
+    const std::uint64_t region = 64 * MiB;
+    for (int op = 0; op < 60; ++op) {
+      if (extents.empty() || rng.chance(0.6)) {
+        const std::uint64_t len = kPageSize * (1 + rng.below(384));
+        const std::uint64_t addr =
+            (rng.below((region - len) / kPageSize)) * kPageSize;
+        std::vector<std::byte> data(len);
+        const std::uint8_t tag = static_cast<std::uint8_t>(rng.next());
+        for (std::uint64_t i = 0; i < len; i += 512) {
+          data[i] = static_cast<std::byte>(tag ^ (i >> 9));
+        }
+        Payload p = Payload::bytes(std::move(data));
+        ref.write(addr, p);
+        extents.emplace_back(addr, len);
+        bool err = false;
+        co_await pe.write(addr, std::move(p), 16 * KiB, &err);
+        EXPECT_FALSE(err) << "write quarantined (op " << op << ")";
+      } else {
+        const auto [w_addr, w_len] = extents[rng.below(extents.size())];
+        const std::uint64_t off = rng.below(w_len);
+        const std::uint64_t len = 1 + rng.below(w_len - off);
+        const std::uint64_t addr = w_addr + off;
+        if (!ref.covered(addr, len)) continue;
+        Payload got;
+        bool err = false;
+        co_await pe.read(addr, len, &got, &err);
+        EXPECT_FALSE(err) << "read quarantined (op " << op << ")";
+        std::string err_msg;
+        EXPECT_TRUE(ref.check(addr, got, &err_msg))
+            << err_msg << " (op " << op << ")";
+        ++checks;
+      }
+    }
+    done = true;
+  };
+  sys.sim().spawn(workload());
+  sys.sim().run_until(sys.sim().now() + seconds(60));
+  ASSERT_TRUE(done);
+  EXPECT_GT(checks, 10);
+
+  const auto& s = dev.streamer();
+  // The scheduled fault guarantees at least one recovery happened.
+  EXPECT_GE(s.retries(), 1u);
+  EXPECT_GE(s.recovered(), 1u);
+  EXPECT_EQ(s.quarantined(), 0u) << "retry budget must absorb all faults";
+  // Every error CQE was either retried or quarantined -- nothing leaked.
+  EXPECT_EQ(s.errors(), s.retries() + s.quarantined());
+  // Every submission (first attempt or retry) was retired exactly once.
+  EXPECT_EQ(s.commands_submitted(), s.commands_retired() + s.retries());
+  // The injected NAND faults explain the device-side error CQEs. A command
+  // spanning several pages can fault on more than one of them but posts a
+  // single error CQE, so the injected count bounds the CQE count from above.
+  EXPECT_GE(sys.ssd().nand().read_faults_injected(), sys.ssd().read_errors());
+  EXPECT_GE(sys.ssd().read_errors(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultSweep, FaultedWorkload,
+    ::testing::Values(Config{Variant::kUram, false, 11},
+                      Config{Variant::kUram, true, 12},
+                      Config{Variant::kHostDram, false, 13},
+                      Config{Variant::kHbm, true, 14}),
+    [](const ::testing::TestParamInfo<Config>& info) {
+      std::string name = core::variant_name(info.param.variant);
+      for (auto& c : name) {
+        if (c == ' ' || c == '-') c = '_';
+      }
+      return name + (info.param.out_of_order ? "_ooo" : "_inorder") + "_s" +
+             std::to_string(info.param.seed);
+    });
 
 std::string config_name(const ::testing::TestParamInfo<Config>& info) {
   std::string name = core::variant_name(info.param.variant);
