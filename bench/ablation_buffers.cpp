@@ -17,19 +17,19 @@ struct SeqResult {
 
 SeqResult run(core::Variant variant, std::uint64_t uram_bytes = 4 * MiB) {
   host::SnaccDeviceConfig cfg;
-  cfg.uram_bytes = uram_bytes;
+  cfg.uram_bytes = Bytes{uram_bytes};
   auto bed = SnaccBed::make(variant, cfg);
   bed.sys->ssd().nand().force_mode(true);
-  TimePs t0 = 0;
-  TimePs tw = 0;
-  TimePs tr = 0;
+  TimePs t0;
+  TimePs tw;
+  TimePs tr;
   bool done = false;
   auto io = [](SnaccBed* bed, TimePs* a, TimePs* b, TimePs* c,
                bool* flag) -> sim::Task {
     *a = bed->sys->sim().now();
-    co_await bed->pe->write(0, Payload::phantom(kTotal));
+    co_await bed->pe->write(Bytes{0}, Payload::phantom(kTotal));
     *b = bed->sys->sim().now();
-    co_await bed->pe->read(0, kTotal, nullptr);
+    co_await bed->pe->read(Bytes{0}, Bytes{kTotal}, nullptr);
     *c = bed->sys->sim().now();
     *flag = true;
   };

@@ -37,13 +37,13 @@ Result run_snacc(double rate) {
   bed.sys->ssd().nand().force_mode(true);
 
   Result r;
-  TimePs t0 = 0;
-  TimePs t1 = 0;
+  TimePs t0;
+  TimePs t1;
   bool done = false;
   auto io = [&]() -> sim::Task {
     // Populate the region first (no program faults armed), then arm the
     // read-fault plan so only the measured reads see it.
-    co_await bed.pe->write(0, Payload::phantom(kRegion));
+    co_await bed.pe->write(Bytes{0}, Payload::phantom(kRegion));
     if (rate > 0.0) {
       bed.sys->ssd().nand().set_read_fault_plan(
           fault::FaultPlan::rate(rate, /*seed=*/99));
@@ -54,7 +54,7 @@ Result run_snacc(double rate) {
       const std::uint64_t addr = rng.below(kRegion / kIoBytes) * kIoBytes;
       Payload got;
       bool err = false;
-      co_await bed.pe->read(addr, kIoBytes, &got, &err);
+      co_await bed.pe->read(Bytes{addr}, Bytes{kIoBytes}, &got, &err);
       if (err) {
         ++r.failed;
       } else {
@@ -90,11 +90,11 @@ Result run_spdk(double rate) {
   bed.sys->ssd().nand().force_mode(true);
 
   Result r;
-  TimePs t0 = 0;
-  TimePs t1 = 0;
+  TimePs t0;
+  TimePs t1;
   bool done = false;
   auto io = [&]() -> sim::Task {
-    co_await bed.driver->write(0, Payload::phantom(kRegion));
+    co_await bed.driver->write(Lba{}, Payload::phantom(kRegion));
     if (rate > 0.0) {
       bed.sys->ssd().nand().set_read_fault_plan(
           fault::FaultPlan::rate(rate, /*seed=*/99));
@@ -102,11 +102,10 @@ Result run_spdk(double rate) {
     Xoshiro256 rng(17);
     t0 = bed.sys->sim().now();
     for (int i = 0; i < kReads; ++i) {
-      const std::uint64_t lba =
-          rng.below(kRegion / kIoBytes) * (kIoBytes / 512);
+      const Lba lba{rng.below(kRegion / kIoBytes) * (kIoBytes / 512)};
       Payload got;
       nvme::Status st = nvme::Status::kSuccess;
-      co_await bed.driver->read(lba, kIoBytes, &got, &st);
+      co_await bed.driver->read(lba, Bytes{kIoBytes}, &got, &st);
       if (st == nvme::Status::kSuccess) r.delivered += kIoBytes;
     }
     t1 = bed.sys->sim().now();

@@ -48,13 +48,13 @@ double multi_ssd_gen5_write(std::uint32_t n) {
   for (auto& dev : devices) streamers.push_back(&dev->streamer());
   core::StripedClient striped(streamers);
   const std::uint64_t total = 512 * MiB;
-  TimePs t0 = 0;
-  TimePs t1 = 0;
+  TimePs t0;
+  TimePs t1;
   bool done = false;
   auto io = [](host::System* sys, core::StripedClient* striped, TimePs* a,
                TimePs* b, bool* flag) -> sim::Task {
     *a = sys->sim().now();
-    co_await striped->write(0, Payload::phantom(total));
+    co_await striped->write(Bytes{}, Payload::phantom(total));
     *b = sys->sim().now();
     *flag = true;
   };

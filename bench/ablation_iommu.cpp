@@ -14,12 +14,12 @@ double run(core::Variant variant, bool iommu) {
   sys_cfg.iommu_enabled = iommu;
   auto bed = SnaccBed::make(variant, {}, sys_cfg);
   bed.sys->ssd().nand().force_mode(true);
-  TimePs t0 = 0;
-  TimePs t1 = 0;
+  TimePs t0;
+  TimePs t1;
   bool done = false;
   auto io = [](SnaccBed* bed, TimePs* a, TimePs* b, bool* flag) -> sim::Task {
     *a = bed->sys->sim().now();
-    co_await bed->pe->write(0, Payload::phantom(kTotal));
+    co_await bed->pe->write(Bytes{0}, Payload::phantom(kTotal));
     *b = bed->sys->sim().now();
     *flag = true;
   };

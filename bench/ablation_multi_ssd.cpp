@@ -48,16 +48,16 @@ Result run(std::uint32_t n) {
   core::StripedClient striped(streamers);
 
   const std::uint64_t total = 512 * MiB;
-  TimePs t0 = 0;
-  TimePs tw = 0;
-  TimePs tr = 0;
+  TimePs t0;
+  TimePs tw;
+  TimePs tr;
   bool done = false;
   auto io = [](host::System* sys, core::StripedClient* striped, TimePs* a,
                TimePs* b, TimePs* c, bool* flag) -> sim::Task {
     *a = sys->sim().now();
-    co_await striped->write(0, Payload::phantom(total));
+    co_await striped->write(Bytes{}, Payload::phantom(total));
     *b = sys->sim().now();
-    co_await striped->read(0, total, nullptr);
+    co_await striped->read(Bytes{}, Bytes{total}, nullptr);
     *c = sys->sim().now();
     *flag = true;
   };

@@ -19,8 +19,8 @@ double run(core::Variant variant, bool ooo) {
   cfg.streamer.out_of_order = ooo;
   auto bed = SnaccBed::make(variant, cfg);
   bed.sys->ssd().nand().force_mode(true);
-  TimePs t0 = 0;
-  TimePs t1 = 0;
+  TimePs t0;
+  TimePs t1;
   bool done = false;
   auto harness = [](SnaccBed* bed, TimePs* a, TimePs* b, bool* flag) -> sim::Task {
     auto* pe = bed->pe.get();
@@ -29,7 +29,7 @@ double run(core::Variant variant, bool ooo) {
       static sim::Task run(core::PeClient* pe) {
         Xoshiro256 rng(99);
         for (std::uint64_t i = 0; i < kCommands; ++i) {
-          co_await pe->start_read(rng.below(kRegionBlocks) * kIo, kIo);
+          co_await pe->start_read(Bytes{rng.below(kRegionBlocks) * kIo}, Bytes{kIo});
         }
       }
     };

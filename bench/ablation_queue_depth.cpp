@@ -21,7 +21,8 @@ double run_spdk(std::uint16_t qd) {
   spdk::WorkloadResult res;
   bool done = false;
   auto io = [](SpdkBed* bed, spdk::WorkloadResult* out, bool* flag) -> sim::Task {
-    co_await bed->driver->run_random(false, kTotal, kIo, kRegionBlocks, 4242,
+    co_await bed->driver->run_random(false, Bytes{kTotal}, Bytes{kIo},
+                                     kRegionBlocks, 4242,
                                      out);
     *flag = true;
   };
@@ -35,8 +36,8 @@ double run_snacc(std::uint16_t qd) {
   auto bed = SnaccBed::make(core::Variant::kHostDram, cfg);
   bed.sys->ssd().nand().force_mode(true);
   const std::uint64_t commands = kTotal / kIo;
-  TimePs t0 = 0;
-  TimePs t1 = 0;
+  TimePs t0;
+  TimePs t1;
   bool done = false;
   auto harness = [](SnaccBed* bed, std::uint64_t n, TimePs* a, TimePs* b,
                     bool* flag) -> sim::Task {
@@ -46,7 +47,7 @@ double run_snacc(std::uint16_t qd) {
       static sim::Task run(core::PeClient* pe, std::uint64_t count) {
         Xoshiro256 rng(4242);
         for (std::uint64_t i = 0; i < count; ++i) {
-          co_await pe->start_read(rng.below(kRegionBlocks) * kIo, kIo);
+          co_await pe->start_read(Bytes{rng.below(kRegionBlocks) * kIo}, Bytes{kIo});
         }
       }
     };

@@ -24,15 +24,15 @@ SeqResult run_snacc(core::Variant variant) {
   for (int mode = 0; mode < 2; ++mode) {
     auto bed = SnaccBed::make(variant);
     bed.sys->ssd().nand().force_mode(mode == 0);
-    TimePs t0 = 0;
-    TimePs t1 = 0;
-    TimePs t2 = 0;
+    TimePs t0;
+    TimePs t1;
+    TimePs t2;
     auto io = [](core::PeClient* pe, TimePs* a, TimePs* b, TimePs* c,
                  sim::Simulator* sim) -> sim::Task {
       *a = sim->now();
-      co_await pe->write(0, Payload::phantom(kTotal));
+      co_await pe->write(Bytes{0}, Payload::phantom(kTotal));
       *b = sim->now();
-      co_await pe->read(0, kTotal, nullptr);
+      co_await pe->read(Bytes{0}, Bytes{kTotal}, nullptr);
       *c = sim->now();
     };
     bed.run(io(bed.pe.get(), &t0, &t1, &t2, &bed.sys->sim()), 10);
@@ -55,8 +55,10 @@ SeqResult run_spdk() {
     spdk::WorkloadResult rr;
     auto io = [](spdk::Driver* d, spdk::WorkloadResult* w,
                  spdk::WorkloadResult* rd) -> sim::Task {
-      co_await d->run_sequential(/*is_write=*/true, 0, kTotal, 1 * MiB, w);
-      co_await d->run_sequential(/*is_write=*/false, 0, kTotal, 1 * MiB, rd);
+      co_await d->run_sequential(/*is_write=*/true, Lba{}, Bytes{kTotal},
+                                 Bytes{1 * MiB}, w);
+      co_await d->run_sequential(/*is_write=*/false, Lba{}, Bytes{kTotal},
+                                 Bytes{1 * MiB}, rd);
     };
     bed.run(io(bed.driver.get(), &wr, &rr), 10);
     if (mode == 0) {

@@ -33,7 +33,7 @@ sim::Task snacc_rand_reads(core::PeClient* pe, sim::Simulator* sim,
       Xoshiro256 rng(1234);
       for (std::uint64_t i = 0; i < kCommands; ++i) {
         const std::uint64_t lba = rng.below(kRegionBlocks);
-        co_await pe->start_read(lba * kIo, kIo);
+        co_await pe->start_read(Bytes{lba * kIo}, Bytes{kIo});
       }
     }
   };
@@ -52,7 +52,8 @@ sim::Task snacc_rand_writes(core::PeClient* pe, sim::Simulator* sim,
       Xoshiro256 rng(5678);
       for (std::uint64_t i = 0; i < kCommands; ++i) {
         const std::uint64_t lba = rng.below(kRegionBlocks);
-        co_await pe->start_write(lba * kIo, Payload::phantom(kIo), kIo);
+        co_await pe->start_write(Bytes{lba * kIo}, Payload::phantom(kIo),
+                                 Bytes{kIo});
       }
     }
   };
@@ -90,7 +91,8 @@ RandResult run_spdk() {
     bed.sys->ssd().nand().force_mode(true);
     spdk::WorkloadResult res;
     auto io = [](spdk::Driver* d, spdk::WorkloadResult* out) -> sim::Task {
-      co_await d->run_random(false, kTotal, kIo, kRegionBlocks, 1234, out);
+      co_await d->run_random(false, Bytes{kTotal}, Bytes{kIo}, kRegionBlocks,
+                             1234, out);
     };
     bed.run(io(bed.driver.get(), &res), 30);
     r.read_gb_s = res.bandwidth_gb_s();
@@ -100,7 +102,8 @@ RandResult run_spdk() {
     bed.sys->ssd().nand().force_mode(true);
     spdk::WorkloadResult res;
     auto io = [](spdk::Driver* d, spdk::WorkloadResult* out) -> sim::Task {
-      co_await d->run_random(true, kTotal, kIo, kRegionBlocks, 5678, out);
+      co_await d->run_random(true, Bytes{kTotal}, Bytes{kIo}, kRegionBlocks,
+                             5678, out);
     };
     bed.run(io(bed.driver.get(), &res), 30);
     r.write_gb_s = res.bandwidth_gb_s();

@@ -35,10 +35,10 @@ LatencyResult run_snacc(core::Variant variant) {
     for (int i = 0; i < kSamples; ++i) {
       const std::uint64_t addr = rng.below(kRegionBlocks) * kIo;
       TimePs t0 = sim->now();
-      co_await pe->write(addr, Payload::phantom(kIo), kIo);
+      co_await pe->write(Bytes{addr}, Payload::phantom(kIo), Bytes{kIo});
       wr->add(sim->now() - t0);
       t0 = sim->now();
-      co_await pe->read(addr, kIo, nullptr);
+      co_await pe->read(Bytes{addr}, Bytes{kIo}, nullptr);
       rd->add(sim->now() - t0);
       // Space commands out so each is a cold, isolated access.
       co_await sim->delay(us(300));
@@ -59,10 +59,10 @@ LatencyResult run_spdk() {
     for (int i = 0; i < kSamples; ++i) {
       const std::uint64_t lba = rng.below(kRegionBlocks);
       TimePs t0 = sim->now();
-      co_await d->write(lba, Payload::phantom(kIo));
+      co_await d->write(Lba{lba}, Payload::phantom(kIo));
       wr->add(sim->now() - t0);
       t0 = sim->now();
-      co_await d->read(lba, kIo, nullptr);
+      co_await d->read(Lba{lba}, Bytes{kIo}, nullptr);
       rd->add(sim->now() - t0);
       co_await sim->delay(us(300));
     }

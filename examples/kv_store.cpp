@@ -27,8 +27,8 @@ int main() {
   sys.sim().run_until(seconds(1));
   if (!ready) return 1;
 
-  apps::KvStore store(dev.streamer(), /*log_base=*/0,
-                      /*log_capacity=*/1 * GiB);
+  apps::KvStore store(dev.streamer(), /*log_base=*/Bytes{},
+                      /*log_capacity=*/Bytes{1 * GiB});
   bool done = false;
   auto workload = [&]() -> sim::Task {
     Xoshiro256 rng(2026);
@@ -64,7 +64,7 @@ int main() {
 
     // Simulated restart: a new store instance rebuilds its index from the
     // on-device log.
-    apps::KvStore recovered(dev.streamer(), 0, 1 * GiB);
+    apps::KvStore recovered(dev.streamer(), Bytes{}, Bytes{1 * GiB});
     std::uint64_t records = 0;
     t0 = sys.sim().now();
     co_await recovered.recover(&records);

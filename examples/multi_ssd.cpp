@@ -57,14 +57,14 @@ int main(int argc, char** argv) {
 
     const std::uint64_t total = 512 * MiB;
     bool done = false;
-    TimePs t0 = 0;
-    TimePs t_write = 0;
-    TimePs t_read = 0;
+    TimePs t0;
+    TimePs t_write;
+    TimePs t_read;
     auto io = [&]() -> sim::Task {
       t0 = sys.sim().now();
-      co_await striped.write(0, Payload::phantom(total));
+      co_await striped.write(Bytes{}, Payload::phantom(total));
       t_write = sys.sim().now();
-      co_await striped.read(0, total, nullptr);
+      co_await striped.read(Bytes{}, Bytes{total}, nullptr);
       t_read = sys.sim().now();
       done = true;
     };

@@ -87,7 +87,7 @@ bool parse(int argc, char** argv, Options* opt) {
 }
 
 struct RunStats {
-  TimePs elapsed = 0;
+  TimePs elapsed;
   std::uint64_t bytes = 0;
   LatencyStats latency;
 };
@@ -128,14 +128,15 @@ sim::Task snacc_run(host::System* sys, core::PeClient* pe, const Options* opt,
                 : i * opt->bs;
         (*issue_times)[i] = pe->streamer().read_cmd_in().simulator().now();
         if (opt->is_write) {
-          co_await pe->start_write(addr, Payload::phantom(opt->bs), opt->bs);
+          co_await pe->start_write(Bytes{addr}, Payload::phantom(opt->bs),
+                                   Bytes{opt->bs});
         } else {
-          co_await pe->start_read(addr, opt->bs);
+          co_await pe->start_read(Bytes{addr}, Bytes{opt->bs});
         }
       }
     }
   };
-  std::vector<TimePs> issue_times(commands, 0);
+  std::vector<TimePs> issue_times(commands);
   sys->sim().spawn(Issuer::run(pe, opt, commands, region_blocks, &issue_times));
   for (std::uint64_t i = 0; i < commands; ++i) {
     if (opt->is_write) {
@@ -155,10 +156,11 @@ sim::Task spdk_run(host::System* sys, spdk::Driver* driver, const Options* opt,
   spdk::WorkloadResult res;
   const TimePs t0 = sys->sim().now();
   if (opt->random) {
-    co_await driver->run_random(opt->is_write, opt->size, opt->bs,
+    co_await driver->run_random(opt->is_write, Bytes{opt->size}, Bytes{opt->bs},
                                 (8ull * GiB) / nvme::kLbaSize, 42, &res);
   } else {
-    co_await driver->run_sequential(opt->is_write, 0, opt->size, opt->bs, &res);
+    co_await driver->run_sequential(opt->is_write, Lba{}, Bytes{opt->size},
+                                    Bytes{opt->bs}, &res);
   }
   st->elapsed = sys->sim().now() - t0;
   st->bytes = res.bytes;

@@ -78,8 +78,8 @@ int main(int argc, char** argv) {
   std::uint64_t digest = 0;
   std::uint64_t segments = 0;
   bool done = false;
-  TimePs t0 = 0;
-  TimePs t1 = 0;
+  TimePs t0;
+  TimePs t1;
 
   // Source: batches of records per Ethernet frame.
   auto source = [&]() -> sim::Task {
@@ -125,7 +125,7 @@ int main(int argc, char** argv) {
         }
       }
       if (segment_bytes >= 1 * MiB || (eos && segment_bytes > 0)) {
-        co_await pe.start_write(cursor, Payload::gather(segment));
+        co_await pe.start_write(Bytes{cursor}, Payload::gather(segment));
         segment.clear();
         cursor += (segment_bytes + kPageSize - 1) & ~(kPageSize - 1);
         segment_bytes = 0;

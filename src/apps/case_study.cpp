@@ -89,7 +89,7 @@ struct FinnPe {
   FinnPe(sim::Simulator& sim, const FinnProfile& profile,
          const ImageStreamConfig& cfg)
       : cfg_(cfg),
-        ii_(static_cast<TimePs>(1e12 / profile.inference_fps)),
+        ii_(TimePs{static_cast<std::uint64_t>(1e12 / profile.inference_fps)}),
         latency_(profile.pipeline_latency),
         records(sim, 2) {}
 
@@ -173,8 +173,8 @@ CaseStudyResult run_snacc_case_study(core::Variant variant,
 
   core::PeClient pe(dev.streamer());
   bool done = false;
-  TimePs t0 = 0;
-  TimePs t1 = 0;
+  TimePs t0;
+  TimePs t1;
 
   // Database controller: header + image per record, sequential on-device
   // layout, write responses reaped concurrently.
@@ -182,7 +182,7 @@ CaseStudyResult run_snacc_case_study(core::Variant variant,
     static sim::Task writer(core::PeClient* pe, sim::Channel<Record>* in,
                             CaseStudyResult* res, sim::WaitGroup* pending,
                             std::uint64_t expected_images, sim::Simulator* sim) {
-      std::uint64_t cursor = 0;
+      Bytes cursor;
       // The Ethernet stream has no end-of-stream marker (a real deployment
       // runs forever); the run terminates after the configured image count.
       while (res->images < expected_images) {
@@ -191,13 +191,12 @@ CaseStudyResult run_snacc_case_study(core::Variant variant,
         Payload header = DbRecord::make_header(rec->cls.image_id,
                                                rec->cls.class_id,
                                                rec->image.data.size());
-        const std::uint64_t record_span =
-            DbRecord::padded_bytes(rec->image.data.size());
+        const Bytes record_span{DbRecord::padded_bytes(rec->image.data.size())};
         pending->add(2);
         co_await pe->start_write(cursor, std::move(header));
-        co_await pe->start_write(cursor + DbRecord::kHeaderBytes,
+        co_await pe->start_write(cursor + Bytes{DbRecord::kHeaderBytes},
                                  std::move(rec->image.data));
-        res->bytes_stored += record_span;
+        res->bytes_stored += record_span.value();
         res->bytes_ingested += rec->image.data.size();
         ++res->images;
         cursor += record_span;
@@ -262,7 +261,7 @@ CaseStudyResult run_spdk_case_study(const ImageStreamConfig& cfg) {
   // The kernel driver pins the staging buffers and grants the accelerator
   // DMA access to host memory.
   sys.fabric().iommu().grant(
-      {acc_port, host::addr_map::kHostDramBase, sys_cfg.host_memory_bytes,
+      {acc_port, host::addr_map::kHostDramBase, Bytes{sys_cfg.host_memory_bytes},
        true, true});
 
   spdk::Driver driver(sys.sim(), sys.fabric(), sys.host_mem(),
@@ -287,8 +286,8 @@ CaseStudyResult run_spdk_case_study(const ImageStreamConfig& cfg) {
   constexpr std::uint32_t kBatch = 32;
 
   bool done = false;
-  TimePs t0 = 0;
-  TimePs t1 = 0;
+  TimePs t0;
+  TimePs t1;
 
   struct HostSide {
     static sim::Task run(host::System* sys, spdk::Driver* driver,
@@ -298,7 +297,7 @@ CaseStudyResult run_spdk_case_study(const ImageStreamConfig& cfg) {
                          TimePs* t1, bool* done) {
       sim::Semaphore write_slots(sys->sim(), 6);
       sim::WaitGroup writes(sys->sim());
-      std::uint64_t cursor_lba = 0;
+      Lba cursor_lba;
       std::uint64_t slot = 0;
       while (res->images < cfg->count) {
         auto rec = co_await in->pop();
@@ -306,8 +305,8 @@ CaseStudyResult run_spdk_case_study(const ImageStreamConfig& cfg) {
         // DMA the image into the staging slot (double-buffered batches):
         // this is the FPGA->host hop SNAcc avoids.
         const pcie::Addr dst =
-            host::addr_map::kHostDramBase + staging_base +
-            (slot % (2 * kBatch)) * slot_bytes;
+            host::addr_map::kHostDramBase +
+            Bytes{staging_base + (slot % (2 * kBatch)) * slot_bytes};
         ++slot;
         auto dma = sys->fabric().write(acc_port, dst, rec->image.data);
         co_await dma;
@@ -325,7 +324,7 @@ CaseStudyResult run_spdk_case_study(const ImageStreamConfig& cfg) {
         res->bytes_stored += record_span;
         res->bytes_ingested += rec->image.data.size();
         ++res->images;
-        cursor_lba += record_span / nvme::kLbaSize;
+        cursor_lba = cursor_lba + record_span / nvme::kLbaSize;
       }
       co_await writes.wait();
       (void)cfg;
@@ -333,7 +332,7 @@ CaseStudyResult run_spdk_case_study(const ImageStreamConfig& cfg) {
       *done = true;
     }
 
-    static sim::Task write_record(spdk::Driver* driver, std::uint64_t lba,
+    static sim::Task write_record(spdk::Driver* driver, Lba lba,
                                   Payload record, sim::Semaphore* slots,
                                   sim::WaitGroup* writes) {
       co_await driver->write(lba, std::move(record));
@@ -387,11 +386,13 @@ CaseStudyResult run_gpu_case_study(const ImageStreamConfig& cfg) {
   auto gpu_mem = std::make_unique<pcie::HostMemory>(sys.sim(), 1 * GiB,
                                                     /*dram_gb_s=*/600.0,
                                                     ns(300));
-  const pcie::Addr gpu_base = 0x0060'0000'0000ull;
-  sys.fabric().map(gpu_base, 1 * GiB, gpu_mem.get(), gpu_port,
+  const pcie::Addr gpu_base{0x0060'0000'0000ull};
+  sys.fabric().map(gpu_base, Bytes{1 * GiB}, gpu_mem.get(), gpu_port,
                    pcie::MemKind::kDevice);
-  sys.fabric().iommu().grant({gpu_port, 0, ~0ull, true, true});
-  sys.fabric().iommu().grant({acc_port, 0, ~0ull, true, true});
+  sys.fabric().iommu().grant(
+      {gpu_port, pcie::Addr{}, Bytes{~std::uint64_t{0}}, true, true});
+  sys.fabric().iommu().grant(
+      {acc_port, pcie::Addr{}, Bytes{~std::uint64_t{0}}, true, true});
 
   spdk::Driver driver(sys.sim(), sys.fabric(), sys.host_mem(),
                       host::addr_map::kHostDramBase, sys.ssd(),
@@ -419,15 +420,15 @@ CaseStudyResult run_gpu_case_study(const ImageStreamConfig& cfg) {
         if (!img) break;
         img->width = cfg->width;
         img->height = cfg->height;
-        const pcie::Addr dst = host::addr_map::kHostDramBase + staging_base +
-                               (slot % 64) * slot_bytes;
+        const pcie::Addr dst = host::addr_map::kHostDramBase +
+                               Bytes{staging_base + (slot % 64) * slot_bytes};
         ++slot;
         // Full image + thumbnail to host DRAM.
         auto dma = sys->fabric().write(acc_port, dst, img->data);
         co_await dma;
         Payload thumb = downscale(*img);
         auto dma2 = sys->fabric().write(
-            acc_port, dst + slot_bytes - kScaledBytes, std::move(thumb));
+            acc_port, dst + Bytes{slot_bytes - kScaledBytes}, std::move(thumb));
         co_await dma2;
         co_await out->push(Record(std::move(*img), Classification{}));
       }
@@ -447,7 +448,7 @@ CaseStudyResult run_gpu_case_study(const ImageStreamConfig& cfg) {
       sim::RateServer memcpy_server(sys->sim(), memcpy_gb_s);
       sim::Semaphore write_slots(sys->sim(), 6);
       sim::WaitGroup writes(sys->sim());
-      std::uint64_t cursor_lba = 0;
+      Lba cursor_lba;
       std::vector<Record> batch;
       bool draining = true;
       while (draining) {
@@ -470,10 +471,11 @@ CaseStudyResult run_gpu_case_study(const ImageStreamConfig& cfg) {
         driver->cpu().charge(gpu->batch_dispatch_overhead);
         co_await sys->sim().delay(
             gpu->batch_dispatch_overhead +
-            static_cast<TimePs>(batch.size() * 1e12 / gpu->inference_fps));
+            TimePs{static_cast<std::uint64_t>(batch.size() * 1e12 /
+                                              gpu->inference_fps)});
         // Classifications back to host (tiny DMA from the GPU).
         auto d2h = sys->fabric().write(
-            gpu_port, host::addr_map::kHostDramBase + 700 * MiB,
+            gpu_port, host::addr_map::kHostDramBase + Bytes{700 * MiB},
             Payload::phantom(batch.size() * 16));
         co_await d2h;
 
@@ -496,7 +498,7 @@ CaseStudyResult run_gpu_case_study(const ImageStreamConfig& cfg) {
           res->bytes_stored += record_span;
           res->bytes_ingested += rec.image.data.size();
           ++res->images;
-          cursor_lba += record_span / nvme::kLbaSize;
+          cursor_lba = cursor_lba + record_span / nvme::kLbaSize;
         }
       }
       co_await writes.wait();
@@ -504,7 +506,7 @@ CaseStudyResult run_gpu_case_study(const ImageStreamConfig& cfg) {
       *done = true;
     }
 
-    static sim::Task write_record(spdk::Driver* driver, std::uint64_t lba,
+    static sim::Task write_record(spdk::Driver* driver, Lba lba,
                                   Payload record, sim::Semaphore* slots,
                                   sim::WaitGroup* writes) {
       co_await driver->write(lba, std::move(record));
@@ -521,8 +523,8 @@ CaseStudyResult run_gpu_case_study(const ImageStreamConfig& cfg) {
   sim::Channel<Record> nic_out(sys.sim(), 64);
 
   bool done = false;
-  TimePs t0 = 0;
-  TimePs t1 = 0;
+  TimePs t0;
+  TimePs t1;
   auto orchestrate = [](host::System* sys, EthIngest* ingest,
                         const ImageStreamConfig* cfg, TimePs* t0) -> sim::Task {
     *t0 = sys->sim().now();

@@ -32,7 +32,7 @@ struct PcieTraffic {
 };
 
 struct CaseStudyResult {
-  TimePs elapsed = 0;
+  TimePs elapsed;
   std::uint64_t images = 0;
   std::uint64_t bytes_ingested = 0;
   std::uint64_t bytes_stored = 0;
@@ -48,7 +48,7 @@ struct CaseStudyResult {
 
   double bandwidth_gb_s() const { return gb_per_s(bytes_ingested, elapsed); }
   double fps() const {
-    return elapsed ? static_cast<double>(images) / to_s(elapsed) : 0.0;
+    return elapsed.is_zero() ? 0.0 : static_cast<double>(images) / to_s(elapsed);
   }
 };
 

@@ -1,11 +1,12 @@
 #include "apps/kv_store.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace snacc::apps {
 
-KvStore::KvStore(core::NvmeStreamer& streamer, std::uint64_t log_base,
-                 std::uint64_t log_capacity)
+KvStore::KvStore(core::NvmeStreamer& streamer, Bytes log_base,
+                 Bytes log_capacity)
     : pe_(streamer), base_(log_base), capacity_(log_capacity), head_(log_base) {}
 
 Payload KvStore::make_header(const std::string& key, std::uint64_t value_bytes,
@@ -38,17 +39,17 @@ bool KvStore::parse_header(const Payload& header, std::string* key,
 }
 
 sim::Task KvStore::put(std::string key, Payload value, bool* ok) {
-  const std::uint64_t span = record_span(value.size());
+  const Bytes span = record_span(Bytes{value.size()});
   if (key.size() > kMaxKeyBytes || head_ + span > base_ + capacity_) {
     if (ok != nullptr) *ok = false;
     co_return;
   }
-  const std::uint64_t addr = head_;
+  const Bytes addr = head_;
   head_ += span;
   const std::uint64_t seq = sequence_++;
-  const std::uint64_t value_bytes = value.size();
-  Payload record =
-      Payload::concat(make_header(key, value_bytes, seq), std::move(value));
+  const Bytes value_bytes{value.size()};
+  Payload record = Payload::concat(make_header(key, value_bytes.value(), seq),
+                                   std::move(value));
   co_await pe_.write(addr, std::move(record));
   index_[std::move(key)] = Entry{addr, value_bytes};
   ++puts_;
@@ -64,33 +65,42 @@ sim::Task KvStore::get(const std::string& key, Payload* out, bool* found) {
   }
   *found = true;
   if (out != nullptr) {
-    co_await pe_.read(it->second.record_addr + kHeaderBytes,
+    co_await pe_.read(it->second.record_addr + Bytes{kHeaderBytes},
                       it->second.value_bytes, out);
   }
 }
 
-sim::Task KvStore::compact(std::uint64_t scratch_base,
-                           std::uint64_t scratch_capacity,
-                           std::uint64_t* reclaimed_bytes) {
-  const std::uint64_t before = log_bytes_used();
-  std::uint64_t new_head = scratch_base;
+sim::Task KvStore::compact(Bytes scratch_base, Bytes scratch_capacity,
+                           Bytes* reclaimed_bytes) {
+  const Bytes before = log_bytes_used();
+  Bytes new_head = scratch_base;
   std::uint64_t new_seq = 0;
   std::unordered_map<std::string, Entry> new_index;
   // Stream every live record to the scratch log. Device-to-device copy goes
   // through the PE (read stream in, write stream out), so compaction runs on
-  // the FPGA path like everything else.
-  for (const auto& [key, entry] : index_) {
+  // the FPGA path like everything else. Walk the keys in sorted order: the
+  // index is an unordered_map, and letting hash-iteration order decide the
+  // rewritten log layout would make post-compaction timing and on-device
+  // placement nondeterministic.
+  std::vector<const std::string*> keys;
+  keys.reserve(index_.size());
+  for (const auto& [key, entry] : index_) keys.push_back(&key);
+  std::sort(keys.begin(), keys.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  for (const std::string* kp : keys) {
+    const std::string& key = *kp;
+    const Entry& entry = index_.at(key);
     Payload value;
-    co_await pe_.read(entry.record_addr + kHeaderBytes, entry.value_bytes,
-                      &value);
-    const std::uint64_t span = record_span(entry.value_bytes);
+    co_await pe_.read(entry.record_addr + Bytes{kHeaderBytes},
+                      entry.value_bytes, &value);
+    const Bytes span = record_span(entry.value_bytes);
     if (new_head + span > scratch_base + scratch_capacity) {
       // Scratch too small: abort without switching over.
-      if (reclaimed_bytes != nullptr) *reclaimed_bytes = 0;
+      if (reclaimed_bytes != nullptr) *reclaimed_bytes = Bytes{};
       co_return;
     }
-    Payload record = Payload::concat(make_header(key, entry.value_bytes, new_seq),
-                                     std::move(value));
+    Payload record = Payload::concat(
+        make_header(key, entry.value_bytes.value(), new_seq), std::move(value));
     co_await pe_.write(new_head, std::move(record));
     new_index[key] = Entry{new_head, entry.value_bytes};
     new_head += span;
@@ -111,15 +121,15 @@ sim::Task KvStore::recover(std::uint64_t* records_out) {
   head_ = base_;
   sequence_ = 0;
   std::uint64_t records = 0;
-  while (head_ + kHeaderBytes <= base_ + capacity_) {
+  while (head_ + Bytes{kHeaderBytes} <= base_ + capacity_) {
     Payload header;
-    co_await pe_.read(head_, kHeaderBytes, &header);
+    co_await pe_.read(head_, Bytes{kHeaderBytes}, &header);
     std::string key;
     std::uint64_t value_bytes = 0;
     std::uint64_t seq = 0;
     if (!parse_header(header, &key, &value_bytes, &seq)) break;  // log end
-    index_[std::move(key)] = Entry{head_, value_bytes};
-    head_ += record_span(value_bytes);
+    index_[std::move(key)] = Entry{head_, Bytes{value_bytes}};
+    head_ += record_span(Bytes{value_bytes});
     sequence_ = std::max(sequence_, seq + 1);
     ++records;
   }

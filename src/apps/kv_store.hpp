@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "snacc/pe_client.hpp"
 
@@ -28,8 +29,7 @@ class KvStore {
   static constexpr std::uint64_t kMaxKeyBytes = 3 * KiB;
 
   /// `log_base`/`log_capacity`: device byte range owned by this store.
-  KvStore(core::NvmeStreamer& streamer, std::uint64_t log_base,
-          std::uint64_t log_capacity);
+  KvStore(core::NvmeStreamer& streamer, Bytes log_base, Bytes log_capacity);
 
   /// Appends key/value to the log and indexes it. Fails (returns false via
   /// *ok) when the key is oversized or the log is full.
@@ -46,22 +46,22 @@ class KvStore {
   /// Log compaction: copies only the *live* version of every key into a
   /// fresh log at `scratch_base` (which must not overlap the current log),
   /// then switches over to it. Overwritten record versions are reclaimed.
-  sim::Task compact(std::uint64_t scratch_base, std::uint64_t scratch_capacity,
-                    std::uint64_t* reclaimed_bytes = nullptr);
+  sim::Task compact(Bytes scratch_base, Bytes scratch_capacity,
+                    Bytes* reclaimed_bytes = nullptr);
 
   std::uint64_t entries() const { return index_.size(); }
-  std::uint64_t log_bytes_used() const { return head_ - base_; }
+  Bytes log_bytes_used() const { return head_ - base_; }
   std::uint64_t puts() const { return puts_; }
   std::uint64_t gets() const { return gets_; }
 
-  static std::uint64_t record_span(std::uint64_t value_bytes) {
-    return kHeaderBytes + ((value_bytes + kPageSize - 1) & ~(kPageSize - 1));
+  static Bytes record_span(Bytes value_bytes) {
+    return Bytes{kHeaderBytes} + page_align_up(value_bytes);
   }
 
  private:
   struct Entry {
-    std::uint64_t record_addr;
-    std::uint64_t value_bytes;
+    Bytes record_addr;
+    Bytes value_bytes;
   };
 
   Payload make_header(const std::string& key, std::uint64_t value_bytes,
@@ -70,10 +70,12 @@ class KvStore {
                            std::uint64_t* value_bytes, std::uint64_t* sequence);
 
   core::PeClient pe_;
-  std::uint64_t base_;
-  std::uint64_t capacity_;
-  std::uint64_t head_;
+  Bytes base_;
+  Bytes capacity_;
+  Bytes head_;
   std::uint64_t sequence_ = 0;
+  // Keyed lookups on the hot path; compact() sorts the keys before walking
+  // so the rewritten log layout is deterministic.
   std::unordered_map<std::string, Entry> index_;
   std::uint64_t puts_ = 0;
   std::uint64_t gets_ = 0;

@@ -76,7 +76,8 @@ class Stream {
 
   static double rate_gb_s(const StreamConfig& cfg) {
     return static_cast<double>(cfg.width_bytes) / 1e9 /
-           (static_cast<double>(cfg.clock_period) / kPsPerS);
+           (static_cast<double>(cfg.clock_period.value()) /
+            static_cast<double>(kPsPerS));
   }
 
   /// Beats needed for `bytes` (minimum one: command-only transfers still

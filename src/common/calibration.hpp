@@ -34,7 +34,7 @@ struct SsdProfile {
   /// Completion-queue-entry post cost (16 B write + bookkeeping).
   TimePs cqe_post = ns(300);
   /// Maximum data transfer size the device accepts per command (MDTS).
-  std::uint64_t max_transfer = 1 * MiB;
+  Bytes max_transfer{1 * MiB};
   std::uint32_t max_queue_entries = 1024;
 
   // --- NAND read path -----------------------------------------------------

@@ -17,19 +17,20 @@ class CpuAccount {
   explicit CpuAccount(std::string name = "cpu") : name_(std::move(name)) {}
 
   void charge(TimePs t) { busy_ += t; }
-  void reset() { busy_ = 0; }
+  void reset() { busy_ = TimePs{}; }
 
   TimePs busy() const { return busy_; }
   double utilization(TimePs window) const {
-    if (window == 0) return 0.0;
-    const double u = static_cast<double>(busy_) / static_cast<double>(window);
+    if (window.is_zero()) return 0.0;
+    const double u = static_cast<double>(busy_.value()) /
+                     static_cast<double>(window.value());
     return u > 1.0 ? 1.0 : u;
   }
   const std::string& name() const { return name_; }
 
  private:
   std::string name_;
-  TimePs busy_ = 0;
+  TimePs busy_;
 };
 
 }  // namespace snacc

@@ -55,7 +55,7 @@ class LatencyStats {
   std::uint64_t count() const { return samples_.size(); }
 
   TimePs percentile(double p) {
-    if (samples_.empty()) return 0;
+    if (samples_.empty()) return TimePs{};
     sort_if_needed();
     const double idx = p / 100.0 * static_cast<double>(samples_.size() - 1);
     return samples_[static_cast<std::size_t>(idx + 0.5)];
@@ -70,11 +70,11 @@ class LatencyStats {
 
   TimePs min() {
     sort_if_needed();
-    return samples_.empty() ? 0 : samples_.front();
+    return samples_.empty() ? TimePs{} : samples_.front();
   }
   TimePs max() {
     sort_if_needed();
-    return samples_.empty() ? 0 : samples_.back();
+    return samples_.empty() ? TimePs{} : samples_.back();
   }
 
  private:

@@ -1,35 +1,197 @@
-// Basic unit types and literals shared across the SNAcc simulation framework.
+// Strong domain types shared across the SNAcc simulation framework.
+//
+// Every domain quantity the simulator juggles -- picosecond timestamps,
+// global PCIe bus addresses, byte counts / window-local offsets, logical
+// block addresses, NVMe command identifiers, reorder-buffer slot indices --
+// gets its own zero-cost wrapper type. Construction from a raw integer is
+// explicit and only meaningful arithmetic compiles:
+//
+//   TimePs  + TimePs  -> TimePs      TimePs  * n      -> TimePs
+//   Bytes   + Bytes   -> Bytes       BusAddr + Bytes  -> BusAddr
+//   BusAddr - BusAddr -> Bytes       Lba     + count  -> Lba
+//   BusAddr + BusAddr -> (error)     TimePs  + Bytes  -> (error)
 //
 // All simulated time is kept in integer picoseconds (`TimePs`) to avoid
 // floating-point drift in event ordering; helpers convert to/from the
 // human-facing units (ns/us/ms) used throughout the paper.
+//
+// Domain conventions (enforced by tools/snacc-lint on the public headers):
+//  * `BusAddr` -- an address in the *global* PCIe memory map (host DRAM
+//    windows, device BARs). Produced by the address map / translators only.
+//  * `Bytes`   -- a byte count, and also a *window-local* offset (BAR-local
+//    register offsets, buffer-ring offsets, device byte offsets). Subtracting
+//    two `BusAddr` yields the `Bytes` offset into the window.
+//  * `Lba`     -- a logical block address on an NVMe namespace.
+//  * `Cid`     -- an NVMe command identifier (wire-level, 16 bit).
+//  * `SlotIdx` -- a reorder-buffer / PRP-regfile slot index. Converting
+//    between `Cid` and `SlotIdx` is an explicit, documented step.
 #pragma once
 
+#include <compare>
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 
 namespace snacc {
 
-/// Simulated time in picoseconds.
-using TimePs = std::uint64_t;
+/// Simulated time in picoseconds. Zero-initialized by default.
+class TimePs {
+ public:
+  constexpr TimePs() = default;
+  constexpr explicit TimePs(std::uint64_t v) : v_(v) {}
 
-inline constexpr TimePs kPsPerNs = 1'000;
-inline constexpr TimePs kPsPerUs = 1'000'000;
-inline constexpr TimePs kPsPerMs = 1'000'000'000;
-inline constexpr TimePs kPsPerS = 1'000'000'000'000ULL;
+  constexpr std::uint64_t value() const { return v_; }
+  constexpr bool is_zero() const { return v_ == 0; }
 
-constexpr TimePs ps(std::uint64_t v) { return v; }
-constexpr TimePs ns(std::uint64_t v) { return v * kPsPerNs; }
-constexpr TimePs us(std::uint64_t v) { return v * kPsPerUs; }
-constexpr TimePs ms(std::uint64_t v) { return v * kPsPerMs; }
-constexpr TimePs seconds(std::uint64_t v) { return v * kPsPerS; }
+  friend constexpr auto operator<=>(TimePs, TimePs) = default;
 
-constexpr double to_ns(TimePs t) { return static_cast<double>(t) / kPsPerNs; }
-constexpr double to_us(TimePs t) { return static_cast<double>(t) / kPsPerUs; }
-constexpr double to_ms(TimePs t) { return static_cast<double>(t) / kPsPerMs; }
-constexpr double to_s(TimePs t) { return static_cast<double>(t) / kPsPerS; }
+  constexpr TimePs& operator+=(TimePs o) { v_ += o.v_; return *this; }
+  constexpr TimePs& operator-=(TimePs o) { v_ -= o.v_; return *this; }
+  friend constexpr TimePs operator+(TimePs a, TimePs b) { return TimePs{a.v_ + b.v_}; }
+  friend constexpr TimePs operator-(TimePs a, TimePs b) { return TimePs{a.v_ - b.v_}; }
+  friend constexpr TimePs operator*(TimePs a, std::uint64_t n) { return TimePs{a.v_ * n}; }
+  friend constexpr TimePs operator*(std::uint64_t n, TimePs a) { return TimePs{a.v_ * n}; }
+  friend constexpr TimePs operator/(TimePs a, std::uint64_t n) { return TimePs{a.v_ / n}; }
+  /// Ratio of two durations (how many `b` fit in `a`).
+  friend constexpr std::uint64_t operator/(TimePs a, TimePs b) { return a.v_ / b.v_; }
+  friend constexpr TimePs operator%(TimePs a, TimePs b) { return TimePs{a.v_ % b.v_}; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+/// A byte count; also used for window-local byte offsets (see file header).
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::uint64_t v) : v_(v) {}
+
+  constexpr std::uint64_t value() const { return v_; }
+  constexpr bool is_zero() const { return v_ == 0; }
+
+  friend constexpr auto operator<=>(Bytes, Bytes) = default;
+
+  constexpr Bytes& operator+=(Bytes o) { v_ += o.v_; return *this; }
+  constexpr Bytes& operator-=(Bytes o) { v_ -= o.v_; return *this; }
+  friend constexpr Bytes operator+(Bytes a, Bytes b) { return Bytes{a.v_ + b.v_}; }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) { return Bytes{a.v_ - b.v_}; }
+  friend constexpr Bytes operator*(Bytes a, std::uint64_t n) { return Bytes{a.v_ * n}; }
+  friend constexpr Bytes operator*(std::uint64_t n, Bytes a) { return Bytes{a.v_ * n}; }
+  friend constexpr Bytes operator/(Bytes a, std::uint64_t n) { return Bytes{a.v_ / n}; }
+  /// How many `b`-sized pieces fit in `a` (floor).
+  friend constexpr std::uint64_t operator/(Bytes a, Bytes b) { return a.v_ / b.v_; }
+  friend constexpr Bytes operator%(Bytes a, Bytes b) { return Bytes{a.v_ % b.v_}; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+/// An address in the global PCIe memory map.
+class BusAddr {
+ public:
+  constexpr BusAddr() = default;
+  constexpr explicit BusAddr(std::uint64_t v) : v_(v) {}
+
+  constexpr std::uint64_t value() const { return v_; }
+
+  friend constexpr auto operator<=>(BusAddr, BusAddr) = default;
+
+  constexpr BusAddr& operator+=(Bytes o) { v_ += o.value(); return *this; }
+  constexpr BusAddr& operator-=(Bytes o) { v_ -= o.value(); return *this; }
+  friend constexpr BusAddr operator+(BusAddr a, Bytes b) { return BusAddr{a.v_ + b.value()}; }
+  friend constexpr BusAddr operator-(BusAddr a, Bytes b) { return BusAddr{a.v_ - b.value()}; }
+  /// Offset between two addresses in the same window (a must be >= b).
+  friend constexpr Bytes operator-(BusAddr a, BusAddr b) { return Bytes{a.v_ - b.v_}; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+/// Logical block address on an NVMe namespace.
+class Lba {
+ public:
+  constexpr Lba() = default;
+  constexpr explicit Lba(std::uint64_t v) : v_(v) {}
+
+  constexpr std::uint64_t value() const { return v_; }
+
+  friend constexpr auto operator<=>(Lba, Lba) = default;
+
+  constexpr Lba& operator++() { ++v_; return *this; }
+  friend constexpr Lba operator+(Lba a, std::uint64_t blocks) { return Lba{a.v_ + blocks}; }
+  /// Block count between two LBAs (a must be >= b).
+  friend constexpr std::uint64_t operator-(Lba a, Lba b) { return a.v_ - b.v_; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+/// NVMe command identifier (CDW0 bits 31:16 on the wire).
+class Cid {
+ public:
+  constexpr Cid() = default;
+  constexpr explicit Cid(std::uint16_t v) : v_(v) {}
+
+  constexpr std::uint16_t value() const { return v_; }
+
+  friend constexpr auto operator<=>(Cid, Cid) = default;
+
+ private:
+  std::uint16_t v_ = 0;
+};
+
+/// Reorder-buffer / PRP-regfile slot index. In the SNAcc streamer a slot
+/// index doubles as the NVMe CID of the command occupying it; the
+/// conversion is explicit via `cid_of` / `slot_of` below.
+class SlotIdx {
+ public:
+  constexpr SlotIdx() = default;
+  constexpr explicit SlotIdx(std::uint16_t v) : v_(v) {}
+
+  constexpr std::uint16_t value() const { return v_; }
+
+  friend constexpr auto operator<=>(SlotIdx, SlotIdx) = default;
+
+ private:
+  std::uint16_t v_ = 0;
+};
+
+/// Slot index <-> CID, the streamer's "slot doubles as CID" identity
+/// (Sec. 4.2). Explicit so accidental CID/slot mixing stays a type error.
+constexpr Cid cid_of(SlotIdx s) { return Cid{s.value()}; }
+constexpr SlotIdx slot_of(Cid c) { return SlotIdx{c.value()}; }
+
+inline constexpr std::uint64_t kPsPerNs = 1'000;
+inline constexpr std::uint64_t kPsPerUs = 1'000'000;
+inline constexpr std::uint64_t kPsPerMs = 1'000'000'000;
+inline constexpr std::uint64_t kPsPerS = 1'000'000'000'000ULL;
+
+/// Saturating literal helpers: `seconds(20'000'000)` would silently wrap
+/// std::uint64_t (2^64 ps is only ~213 days); a saturated "forever" is the
+/// useful semantics for timeouts and run_until() deadlines.
+constexpr TimePs saturating_scale(std::uint64_t v, std::uint64_t unit_ps) {
+  constexpr std::uint64_t kMax = ~std::uint64_t{0};
+  if (v > kMax / unit_ps) return TimePs{kMax};
+  return TimePs{v * unit_ps};
+}
+
+constexpr TimePs ps(std::uint64_t v) { return TimePs{v}; }
+constexpr TimePs ns(std::uint64_t v) { return saturating_scale(v, kPsPerNs); }
+constexpr TimePs us(std::uint64_t v) { return saturating_scale(v, kPsPerUs); }
+constexpr TimePs ms(std::uint64_t v) { return saturating_scale(v, kPsPerMs); }
+constexpr TimePs seconds(std::uint64_t v) {
+  return saturating_scale(v, kPsPerS);
+}
+
+constexpr double to_ns(TimePs t) { return static_cast<double>(t.value()) / static_cast<double>(kPsPerNs); }
+constexpr double to_us(TimePs t) { return static_cast<double>(t.value()) / static_cast<double>(kPsPerUs); }
+constexpr double to_ms(TimePs t) { return static_cast<double>(t.value()) / static_cast<double>(kPsPerMs); }
+constexpr double to_s(TimePs t) { return static_cast<double>(t.value()) / static_cast<double>(kPsPerS); }
 
 /// Sizes. Powers of two, as used for buffers/pages; storage vendors' GB
-/// (1e9) is used only when reporting bandwidth.
+/// (1e9) is used only when reporting bandwidth. Kept as raw integers so
+/// size expressions like `4 * MiB` stay natural; wrap the result in
+/// `Bytes{...}` at a typed boundary.
 inline constexpr std::uint64_t KiB = 1024;
 inline constexpr std::uint64_t MiB = 1024 * KiB;
 inline constexpr std::uint64_t GiB = 1024 * MiB;
@@ -37,17 +199,73 @@ inline constexpr std::uint64_t GiB = 1024 * MiB;
 /// NVMe memory page size used throughout (PRP granularity).
 inline constexpr std::uint64_t kPageSize = 4 * KiB;
 
+/// Page-granular helpers for the two address-ish domains.
+constexpr Bytes page_align_up(Bytes b) {
+  return Bytes{(b.value() + kPageSize - 1) & ~(kPageSize - 1)};
+}
+constexpr Bytes page_align_down(Bytes b) {
+  return Bytes{b.value() & ~(kPageSize - 1)};
+}
+constexpr Bytes page_offset(BusAddr a) { return Bytes{a.value() & (kPageSize - 1)}; }
+constexpr BusAddr page_base(BusAddr a) {
+  return BusAddr{a.value() & ~(kPageSize - 1)};
+}
+
 /// Converts a (bytes, duration) pair into GB/s (decimal GB as in the paper).
 constexpr double gb_per_s(std::uint64_t bytes, TimePs elapsed) {
-  if (elapsed == 0) return 0.0;
+  if (elapsed.is_zero()) return 0.0;
   return static_cast<double>(bytes) / 1e9 / to_s(elapsed);
+}
+constexpr double gb_per_s(Bytes bytes, TimePs elapsed) {
+  return gb_per_s(bytes.value(), elapsed);
 }
 
 /// Time to move `bytes` at `gbps` decimal-GB/s, rounded up to whole ps.
 constexpr TimePs transfer_time(std::uint64_t bytes, double gb_s) {
-  if (gb_s <= 0.0) return 0;
+  if (gb_s <= 0.0) return TimePs{};
   const double s = static_cast<double>(bytes) / (gb_s * 1e9);
-  return static_cast<TimePs>(s * static_cast<double>(kPsPerS) + 0.5);
+  return TimePs{static_cast<std::uint64_t>(s * static_cast<double>(kPsPerS) + 0.5)};
+}
+constexpr TimePs transfer_time(Bytes bytes, double gb_s) {
+  return transfer_time(bytes.value(), gb_s);
 }
 
 }  // namespace snacc
+
+// Hash support so strong types drop into unordered containers.
+template <>
+struct std::hash<snacc::TimePs> {
+  std::size_t operator()(snacc::TimePs t) const noexcept {
+    return std::hash<std::uint64_t>{}(t.value());
+  }
+};
+template <>
+struct std::hash<snacc::Bytes> {
+  std::size_t operator()(snacc::Bytes b) const noexcept {
+    return std::hash<std::uint64_t>{}(b.value());
+  }
+};
+template <>
+struct std::hash<snacc::BusAddr> {
+  std::size_t operator()(snacc::BusAddr a) const noexcept {
+    return std::hash<std::uint64_t>{}(a.value());
+  }
+};
+template <>
+struct std::hash<snacc::Lba> {
+  std::size_t operator()(snacc::Lba l) const noexcept {
+    return std::hash<std::uint64_t>{}(l.value());
+  }
+};
+template <>
+struct std::hash<snacc::Cid> {
+  std::size_t operator()(snacc::Cid c) const noexcept {
+    return std::hash<std::uint16_t>{}(c.value());
+  }
+};
+template <>
+struct std::hash<snacc::SlotIdx> {
+  std::size_t operator()(snacc::SlotIdx s) const noexcept {
+    return std::hash<std::uint16_t>{}(s.value());
+  }
+};

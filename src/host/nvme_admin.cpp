@@ -25,7 +25,7 @@ Payload u64_payload(std::uint64_t v) {
 
 NvmeAdmin::NvmeAdmin(sim::Simulator& sim, pcie::Fabric& fabric,
                      pcie::HostMemory& host_mem, pcie::Addr host_window_base,
-                     nvme::Ssd& ssd, std::uint64_t region_local)
+                     nvme::Ssd& ssd, Bytes region_local)
     : sim_(sim),
       fabric_(fabric),
       host_mem_(host_mem),
@@ -33,19 +33,21 @@ NvmeAdmin::NvmeAdmin(sim::Simulator& sim, pcie::Fabric& fabric,
       ssd_(ssd),
       region_(region_local),
       sq_(nvme::QueueConfig{0, host_window_base + region_local, kEntries}),
-      cq_(nvme::QueueConfig{0, host_window_base + region_local + kPageSize,
-                            kEntries}) {}
+      cq_(nvme::QueueConfig{
+          0, host_window_base + region_local + Bytes{kPageSize}, kEntries}) {}
 
 sim::Task NvmeAdmin::bring_up() {
   const pcie::PortId root = fabric_.root_port();
   const pcie::Addr bar = ssd_.bar_base();
-  co_await fabric_.write(root, bar + nvme::reg::kAsq, u64_payload(sq_.config().base));
-  co_await fabric_.write(root, bar + nvme::reg::kAcq, u64_payload(cq_.config().base));
+  co_await fabric_.write(root, bar + nvme::reg::kAsq,
+                         u64_payload(sq_.config().base.value()));
+  co_await fabric_.write(root, bar + nvme::reg::kAcq,
+                         u64_payload(cq_.config().base.value()));
   const std::uint32_t aqa = (kEntries - 1) | ((kEntries - 1u) << 16);
   co_await fabric_.write(root, bar + nvme::reg::kAqa, u32_payload(aqa));
   co_await fabric_.write(root, bar + nvme::reg::kCc, u32_payload(1));
   while (true) {
-    auto rr = co_await fabric_.read(root, bar + nvme::reg::kCsts, 4);
+    auto rr = co_await fabric_.read(root, bar + nvme::reg::kCsts, Bytes{4});
     std::uint32_t csts = 0;
     if (rr.data.has_data()) std::memcpy(&csts, rr.data.view().data(), 4);
     if (csts & 1) co_return;
@@ -56,13 +58,13 @@ sim::Task NvmeAdmin::bring_up() {
 sim::Task NvmeAdmin::identify(nvme::IdentifyController* out) {
   nvme::SubmissionEntry sqe;
   sqe.opcode = static_cast<std::uint8_t>(nvme::AdminOpcode::kIdentify);
-  sqe.prp1 = host_window_base_ + region_ + 2 * kPageSize;
+  sqe.prp1 = host_window_base_ + region_ + Bytes{2 * kPageSize};
   sqe.cdw10 = 1;
   nvme::Status st = nvme::Status::kSuccess;
   co_await submit_and_wait(sqe, &st);
   assert(st == nvme::Status::kSuccess);
   *out = nvme::IdentifyController::decode(
-      host_mem_.store().read(region_ + 2 * kPageSize, kPageSize));
+      host_mem_.store().read(region_.value() + 2 * kPageSize, kPageSize));
 }
 
 sim::Task NvmeAdmin::create_io_queues(std::uint16_t qid, pcie::Addr sq_base,
@@ -92,17 +94,17 @@ sim::Task NvmeAdmin::command(nvme::SubmissionEntry sqe, nvme::Status* status,
 
 sim::Task NvmeAdmin::submit_and_wait(nvme::SubmissionEntry sqe,
                                      nvme::Status* status) {
-  sqe.cid = next_cid_++;
+  sqe.cid = Cid{next_cid_++};
   auto raw = sqe.encode();
-  host_mem_.store().write(sq_.next_slot_addr() - host_window_base_,
+  host_mem_.store().write((sq_.next_slot_addr() - host_window_base_).value(),
                           Payload::bytes({raw.begin(), raw.end()}));
   const std::uint16_t tail = sq_.advance_tail();
   co_await fabric_.write(fabric_.root_port(),
                          ssd_.bar_base() + nvme::reg::sq_tail_doorbell(0),
                          u32_payload(tail));
   while (true) {
-    Payload raw_cqe =
-        host_mem_.store().read(cq_.head_addr() - host_window_base_, nvme::kCqeSize);
+    Payload raw_cqe = host_mem_.store().read(
+        (cq_.head_addr() - host_window_base_).value(), nvme::kCqeSize);
     if (raw_cqe.has_data()) {
       auto cqe = nvme::CompletionEntry::decode(raw_cqe.view());
       if (cq_.is_new(cqe) && cqe.cid == sqe.cid) {

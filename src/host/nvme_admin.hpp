@@ -26,7 +26,7 @@ class NvmeAdmin {
   /// buffer (three pages).
   NvmeAdmin(sim::Simulator& sim, pcie::Fabric& fabric,
             pcie::HostMemory& host_mem, pcie::Addr host_window_base,
-            nvme::Ssd& ssd, std::uint64_t region_local);
+            nvme::Ssd& ssd, Bytes region_local);
 
   /// Writes AQA/ASQ/ACQ, enables the controller and polls CSTS.RDY.
   sim::Task bring_up();
@@ -55,7 +55,7 @@ class NvmeAdmin {
   pcie::HostMemory& host_mem_;
   pcie::Addr host_window_base_;
   nvme::Ssd& ssd_;
-  std::uint64_t region_;
+  Bytes region_;
   nvme::SqRing sq_;
   nvme::CqRing cq_;
   std::uint16_t next_cid_ = 0;

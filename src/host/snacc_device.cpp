@@ -12,12 +12,12 @@ namespace snacc::host {
 class SnaccDevice::SqTarget final : public pcie::Target {
  public:
   explicit SqTarget(SnaccDevice& dev) : dev_(dev) {}
-  sim::Future<Payload> mem_read(pcie::Addr local, std::uint64_t len) override {
+  sim::Future<Payload> mem_read(Bytes local, Bytes len) override {
     sim::Promise<Payload> p(dev_.sys_.sim());
     p.set(dev_.streamer_->serve_sq_read(local, len));
     return p.future();
   }
-  sim::Future<sim::Done> mem_write(pcie::Addr, Payload) override {
+  sim::Future<sim::Done> mem_write(Bytes, Payload) override {
     sim::Promise<sim::Done> p(dev_.sys_.sim());
     p.set(sim::Done{});  // writes to the SQ window are ignored
     return p.future();
@@ -31,12 +31,12 @@ class SnaccDevice::SqTarget final : public pcie::Target {
 class SnaccDevice::CqTarget final : public pcie::Target {
  public:
   explicit CqTarget(SnaccDevice& dev) : dev_(dev) {}
-  sim::Future<Payload> mem_read(pcie::Addr, std::uint64_t len) override {
+  sim::Future<Payload> mem_read(Bytes, Bytes len) override {
     sim::Promise<Payload> p(dev_.sys_.sim());
-    p.set(Payload::phantom(len));
+    p.set(Payload::phantom(len.value()));
     return p.future();
   }
-  sim::Future<sim::Done> mem_write(pcie::Addr local, Payload data) override {
+  sim::Future<sim::Done> mem_write(Bytes local, Payload data) override {
     dev_.streamer_->on_cqe_write(local, data);
     sim::Promise<sim::Done> p(dev_.sys_.sim());
     p.set(sim::Done{});
@@ -51,12 +51,12 @@ class SnaccDevice::CqTarget final : public pcie::Target {
 class SnaccDevice::PrpTarget final : public pcie::Target {
  public:
   explicit PrpTarget(SnaccDevice& dev) : dev_(dev) {}
-  sim::Future<Payload> mem_read(pcie::Addr local, std::uint64_t len) override {
+  sim::Future<Payload> mem_read(Bytes local, Bytes len) override {
     sim::Promise<Payload> p(dev_.sys_.sim());
     p.set(dev_.streamer_->serve_prp_read(local, len));
     return p.future();
   }
-  sim::Future<sim::Done> mem_write(pcie::Addr, Payload) override {
+  sim::Future<sim::Done> mem_write(Bytes, Payload) override {
     sim::Promise<sim::Done> p(dev_.sys_.sim());
     p.set(sim::Done{});
     return p.future();
@@ -71,17 +71,17 @@ class SnaccDevice::PrpTarget final : public pcie::Target {
 class SnaccDevice::UramWindowTarget final : public pcie::Target {
  public:
   explicit UramWindowTarget(SnaccDevice& dev) : dev_(dev) {}
-  sim::Future<Payload> mem_read(pcie::Addr local, std::uint64_t len) override {
+  sim::Future<Payload> mem_read(Bytes local, Bytes len) override {
     if (dev_.uram_prp_->is_prp_read(local)) {
       sim::Promise<Payload> p(dev_.sys_.sim());
       p.set(dev_.streamer_->serve_prp_read(local, len));
       return p.future();
     }
-    return dev_.uram_->read(local, len);
+    return dev_.uram_->read(local.value(), len.value());
   }
-  sim::Future<sim::Done> mem_write(pcie::Addr local, Payload data) override {
+  sim::Future<sim::Done> mem_write(Bytes local, Payload data) override {
     assert(!dev_.uram_prp_->is_prp_read(local));
-    return dev_.uram_->write(local, std::move(data));
+    return dev_.uram_->write(local.value(), std::move(data));
   }
 
  private:
@@ -147,10 +147,10 @@ SnaccDevice::~SnaccDevice() = default;
 
 void SnaccDevice::build_uram_variant() {
   const auto& fpga = sys_.config().profile.fpga;
-  uram_ = std::make_unique<mem::Uram>(sys_.sim(), cfg_.uram_bytes, fpga);
+  uram_ = std::make_unique<mem::Uram>(sys_.sim(), cfg_.uram_bytes.value(), fpga);
   uram_target_ = std::make_unique<UramWindowTarget>(*this);
   // The 8 MB window (4 MB data + 4 MB PRP half) sits 8 MB-aligned in BAR0.
-  sys_.fabric().map(bar0() + kUramWindow, 2 * cfg_.uram_bytes,
+  sys_.fabric().map(bar0() + kUramWindow, cfg_.uram_bytes * 2,
                     uram_target_.get(), fpga_port_, pcie::MemKind::kFpgaUram);
   uram_prp_ =
       std::make_unique<core::UramPrpEngine>(bar0() + kUramWindow, cfg_.uram_bytes);
@@ -159,14 +159,14 @@ void SnaccDevice::build_uram_variant() {
   write_backend_.reset();  // shared backend: use the read one
   read_ring_ = std::make_unique<core::BufferRing>(sys_.sim(), cfg_.uram_bytes);
   write_ring_.reset();  // shared ring (Sec. 4.3: URAM shared between rd/wr)
-  read_region_base_ = 0;
-  write_region_base_ = 0;
+  read_region_base_ = Bytes{};
+  write_region_base_ = Bytes{};
 }
 
 void SnaccDevice::build_onboard_dram_variant() {
   const auto& fpga = sys_.config().profile.fpga;
-  const std::uint64_t total = 2 * cfg_.dram_buffer_bytes;
-  dram_ = std::make_unique<mem::Dram>(sys_.sim(), total, fpga);
+  const Bytes total = cfg_.dram_buffer_bytes * 2;
+  dram_ = std::make_unique<mem::Dram>(sys_.sim(), total.value(), fpga);
   dram_target_ = std::make_unique<pcie::MemoryPortTarget>(*dram_);
   sys_.fabric().map(bar2(), total, dram_target_.get(), fpga_port_,
                     pcie::MemKind::kFpgaDram);
@@ -175,12 +175,12 @@ void SnaccDevice::build_onboard_dram_variant() {
   regfile_prp_ = std::make_unique<core::RegfilePrpEngine>(
       bar0() + kPrpWindow, *combined_xlat_, prp_slots);
   read_backend_ = std::make_unique<core::OnboardDramBackend>(
-      sys_.sim(), *dram_, /*region_base=*/0, bar2(), fpga);
+      sys_.sim(), *dram_, /*region_base=*/Bytes{}, bar2(), fpga);
   write_backend_ = std::make_unique<core::OnboardDramBackend>(
       sys_.sim(), *dram_, /*region_base=*/cfg_.dram_buffer_bytes, bar2(), fpga);
   read_ring_ = std::make_unique<core::BufferRing>(sys_.sim(), cfg_.dram_buffer_bytes);
   write_ring_ = std::make_unique<core::BufferRing>(sys_.sim(), cfg_.dram_buffer_bytes);
-  read_region_base_ = 0;
+  read_region_base_ = Bytes{};
   write_region_base_ = cfg_.dram_buffer_bytes;
 }
 
@@ -189,8 +189,9 @@ void SnaccDevice::build_hbm_variant() {
   // interleaved across independent HBM pseudo-channels; the concurrent
   // fill/fetch streams no longer share one controller.
   const auto& fpga = sys_.config().profile.fpga;
-  const std::uint64_t total = 2 * cfg_.dram_buffer_bytes;
-  hbm_ = std::make_unique<mem::Hbm>(sys_.sim(), total, fpga, /*channels=*/8);
+  const Bytes total = cfg_.dram_buffer_bytes * 2;
+  hbm_ = std::make_unique<mem::Hbm>(sys_.sim(), total.value(), fpga,
+                                    /*channels=*/8);
   dram_target_ = std::make_unique<pcie::MemoryPortTarget>(*hbm_);
   sys_.fabric().map(bar2(), total, dram_target_.get(), fpga_port_,
                     pcie::MemKind::kFpgaHbm);
@@ -199,21 +200,22 @@ void SnaccDevice::build_hbm_variant() {
   regfile_prp_ = std::make_unique<core::RegfilePrpEngine>(
       bar0() + kPrpWindow, *combined_xlat_, prp_slots);
   read_backend_ = std::make_unique<core::HbmBackend>(
-      sys_.sim(), *hbm_, /*region_base=*/0, bar2(), fpga);
+      sys_.sim(), *hbm_, /*region_base=*/Bytes{}, bar2(), fpga);
   write_backend_ = std::make_unique<core::HbmBackend>(
       sys_.sim(), *hbm_, /*region_base=*/cfg_.dram_buffer_bytes, bar2(), fpga);
   read_ring_ = std::make_unique<core::BufferRing>(sys_.sim(), cfg_.dram_buffer_bytes);
   write_ring_ = std::make_unique<core::BufferRing>(sys_.sim(), cfg_.dram_buffer_bytes);
-  read_region_base_ = 0;
+  read_region_base_ = Bytes{};
   write_region_base_ = cfg_.dram_buffer_bytes;
 }
 
 void SnaccDevice::build_host_dram_variant() {
   const auto& profile = sys_.config().profile;
-  const std::uint64_t chunk = profile.host.dma_chunk;
-  const std::uint64_t total = 2 * cfg_.dram_buffer_bytes;
+  const Bytes chunk{profile.host.dma_chunk};
+  const Bytes total = cfg_.dram_buffer_bytes * 2;
   const std::size_t n_chunks = static_cast<std::size_t>(total / chunk);
-  assert(cfg_.effective_pinned_base() + total <= sys_.config().host_memory_bytes);
+  assert((cfg_.effective_pinned_base() + total).value() <=
+         sys_.config().host_memory_bytes);
   // The kernel driver allocates DMA-capable 4 MB chunks (Sec. 4.6). In a
   // real system these land at scattered physical addresses; we shuffle them
   // deterministically to keep the chunk-table translation honest.
@@ -221,9 +223,10 @@ void SnaccDevice::build_host_dram_variant() {
   for (std::size_t i = 0; i < n_chunks; ++i) {
     const std::size_t shuffled = (i * 7 + 3) % n_chunks;
     pinned_chunks_[i] =
-        addr_map::kHostDramBase + cfg_.effective_pinned_base() + shuffled * chunk;
+        addr_map::kHostDramBase + cfg_.effective_pinned_base() + chunk * shuffled;
   }
-  combined_xlat_ = std::make_unique<core::ChunkedTranslator>(pinned_chunks_, chunk);
+  combined_xlat_ =
+      std::make_unique<core::ChunkedTranslator>(pinned_chunks_, chunk);
   const std::uint16_t prp_slots = streamer_rob_capacity();
   regfile_prp_ = std::make_unique<core::RegfilePrpEngine>(
       bar0() + kPrpWindow, *combined_xlat_, prp_slots);
@@ -240,7 +243,7 @@ void SnaccDevice::build_host_dram_variant() {
       profile.fpga);
   read_ring_ = std::make_unique<core::BufferRing>(sys_.sim(), cfg_.dram_buffer_bytes);
   write_ring_ = std::make_unique<core::BufferRing>(sys_.sim(), cfg_.dram_buffer_bytes);
-  read_region_base_ = 0;
+  read_region_base_ = Bytes{};
   write_region_base_ = cfg_.dram_buffer_bytes;
 }
 
@@ -260,15 +263,16 @@ void SnaccDevice::grant_iommu() {
   // SSD -> data buffers.
   switch (cfg_.streamer.variant) {
     case core::Variant::kUram:
-      iommu.grant({ssd_port, bar0() + kUramWindow, 2 * cfg_.uram_bytes, true, true});
+      iommu.grant({ssd_port, bar0() + kUramWindow, cfg_.uram_bytes * 2, true, true});
       break;
     case core::Variant::kOnboardDram:
     case core::Variant::kHbm:
-      iommu.grant({ssd_port, bar2(), 2 * cfg_.dram_buffer_bytes, true, true});
+      iommu.grant({ssd_port, bar2(), cfg_.dram_buffer_bytes * 2, true, true});
       break;
     case core::Variant::kHostDram:
       for (pcie::Addr base : pinned_chunks_) {
-        iommu.grant({ssd_port, base, sys_.config().profile.host.dma_chunk, true, true});
+        iommu.grant({ssd_port, base, Bytes{sys_.config().profile.host.dma_chunk},
+                     true, true});
       }
       break;
   }
@@ -277,8 +281,8 @@ void SnaccDevice::grant_iommu() {
   // FPGA -> pinned host buffers (host-DRAM variant fill/drain).
   if (cfg_.streamer.variant == core::Variant::kHostDram) {
     for (pcie::Addr base : pinned_chunks_) {
-      iommu.grant(
-          {fpga_port_, base, sys_.config().profile.host.dma_chunk, true, true});
+      iommu.grant({fpga_port_, base,
+                   Bytes{sys_.config().profile.host.dma_chunk}, true, true});
     }
   }
 }

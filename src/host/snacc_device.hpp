@@ -31,39 +31,39 @@ struct SnaccDeviceConfig {
   /// Reuse an existing FPGA port (multi-SSD designs share one PCIe link);
   /// kInvalidPort creates a fresh one.
   pcie::PortId shared_fpga_port = pcie::kInvalidPort;
-  std::uint64_t uram_bytes = 4 * MiB;            // URAM variant buffer
-  std::uint64_t dram_buffer_bytes = 64 * MiB;    // per direction (DRAM variants)
+  Bytes uram_bytes{4 * MiB};          // URAM variant buffer
+  Bytes dram_buffer_bytes{64 * MiB};  // per direction (DRAM variants)
   /// Host-memory offsets used by this driver (pinned buffers + admin region).
-  std::uint64_t pinned_base = 256 * MiB;
-  std::uint64_t admin_region = 192 * MiB;
+  Bytes pinned_base{256 * MiB};
+  Bytes admin_region{192 * MiB};
 
   /// Effective offsets for this instance.
-  std::uint64_t effective_pinned_base() const {
-    return pinned_base + instance * 256ull * MiB;
+  Bytes effective_pinned_base() const {
+    return pinned_base + Bytes{instance * 256ull * MiB};
   }
-  std::uint64_t effective_admin_region() const {
-    return admin_region + instance * 16ull * MiB;
+  Bytes effective_admin_region() const {
+    return admin_region + Bytes{instance * 16ull * MiB};
   }
 };
 
 class SnaccDevice {
  public:
   /// BAR0 window layout (local offsets).
-  static constexpr std::uint64_t kSqWindow = 0x0001'0000;
-  static constexpr std::uint64_t kCqWindow = 0x0002'0000;
-  static constexpr std::uint64_t kPrpWindow = 0x0010'0000;
-  static constexpr std::uint64_t kPrpWindowSize = 1 * MiB;
-  static constexpr std::uint64_t kUramWindow = 0x0080'0000;  // 8 MB aligned
+  static constexpr Bytes kSqWindow{0x0001'0000};
+  static constexpr Bytes kCqWindow{0x0002'0000};
+  static constexpr Bytes kPrpWindow{0x0010'0000};
+  static constexpr Bytes kPrpWindowSize{1 * MiB};
+  static constexpr Bytes kUramWindow{0x0080'0000};  // 8 MB aligned
 
   SnaccDevice(System& sys, SnaccDeviceConfig cfg = {});
   ~SnaccDevice();
 
   /// Base addresses of this instance's BAR windows.
   pcie::Addr bar0() const {
-    return addr_map::kFpgaBar0 + cfg_.instance * 0x0100'0000ull;
+    return addr_map::kFpgaBar0 + Bytes{cfg_.instance * 0x0100'0000ull};
   }
   pcie::Addr bar2() const {
-    return addr_map::kFpgaBar2 + cfg_.instance * 0x1000'0000ull;
+    return addr_map::kFpgaBar2 + Bytes{cfg_.instance * 0x1000'0000ull};
   }
   nvme::Ssd& ssd() { return sys_.ssd(cfg_.ssd_index); }
 
@@ -119,8 +119,8 @@ class SnaccDevice {
 
   std::unique_ptr<core::NvmeStreamer> streamer_;
   std::unique_ptr<NvmeAdmin> admin_;
-  std::uint64_t read_region_base_ = 0;
-  std::uint64_t write_region_base_ = 0;
+  Bytes read_region_base_;
+  Bytes write_region_base_;
   bool initialized_ = false;
 };
 

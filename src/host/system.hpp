@@ -16,10 +16,10 @@ namespace snacc::host {
 
 /// Global PCIe address map.
 namespace addr_map {
-inline constexpr pcie::Addr kHostDramBase = 0x0000'0000'0000ull;
-inline constexpr pcie::Addr kSsdBar = 0x0040'0000'0000ull;
-inline constexpr pcie::Addr kFpgaBar0 = 0x0050'0000'0000ull;  // regs + URAM
-inline constexpr pcie::Addr kFpgaBar2 = 0x0051'0000'0000ull;  // on-board DRAM
+inline constexpr pcie::Addr kHostDramBase{0x0000'0000'0000ull};
+inline constexpr pcie::Addr kSsdBar{0x0040'0000'0000ull};
+inline constexpr pcie::Addr kFpgaBar0{0x0050'0000'0000ull};  // regs + URAM
+inline constexpr pcie::Addr kFpgaBar2{0x0051'0000'0000ull};  // on-board DRAM
 }  // namespace addr_map
 
 struct SystemConfig {
@@ -41,25 +41,25 @@ class System {
     root_port_ = fabric_.add_port("host-root", 64.0);
     fabric_.set_root_port(root_port_);
     fabric_.iommu().set_enabled(cfg.iommu_enabled);
-    fabric_.map(addr_map::kHostDramBase, cfg.host_memory_bytes, &host_mem_,
-                root_port_, pcie::MemKind::kHostDram);
+    fabric_.map(addr_map::kHostDramBase, Bytes{cfg.host_memory_bytes},
+                &host_mem_, root_port_, pcie::MemKind::kHostDram);
 
     for (std::uint32_t i = 0; i < cfg.ssd_count; ++i) {
       auto ssd = std::make_unique<nvme::Ssd>(sim_, fabric_, cfg.profile.ssd,
                                              cfg.ssd_capacity_bytes,
                                              cfg.seed + i * 0x101);
-      ssd->attach(addr_map::kSsdBar + i * kSsdBarStride,
+      ssd->attach(addr_map::kSsdBar + kSsdBarStride * i,
                   cfg.profile.ssd.link_gb_s);
       // The kernel grants each SSD DMA access to host memory (queues +
       // pinned buffers); SPDK relies on this mapping existing.
       fabric_.iommu().grant(pcie::IommuGrant{
-          ssd->port(), addr_map::kHostDramBase, cfg.host_memory_bytes, true,
-          true});
+          ssd->port(), addr_map::kHostDramBase, Bytes{cfg.host_memory_bytes},
+          true, true});
       ssds_.push_back(std::move(ssd));
     }
   }
 
-  static constexpr pcie::Addr kSsdBarStride = 0x10'0000;  // 1 MB apart
+  static constexpr Bytes kSsdBarStride{0x10'0000};  // 1 MB apart
 
   sim::Simulator& sim() { return sim_; }
   pcie::Fabric& fabric() { return fabric_; }

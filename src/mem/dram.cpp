@@ -14,8 +14,11 @@ Uram::Uram(sim::Simulator& sim, std::uint64_t size, const FpgaProfile& fpga)
       store_(size),
       latency_(fpga.uram_latency),
       // One 64 B word per cycle per port.
-      read_port_(sim, static_cast<double>(fpga.stream_bytes_per_beat) /
-                          (static_cast<double>(fpga.clock_period) / kPsPerS) / 1e9),
+      read_port_(sim,
+                 static_cast<double>(fpga.stream_bytes_per_beat) /
+                     (static_cast<double>(fpga.clock_period.value()) /
+                      static_cast<double>(kPsPerS)) /
+                     1e9),
       write_port_(sim, read_port_.rate()) {}
 
 sim::Future<Payload> Uram::read(std::uint64_t addr, std::uint64_t len) {
@@ -69,7 +72,7 @@ TimePs Dram::occupy(Dir dir, std::uint64_t /*bytes*/) {
   // Only a direction switch serializes extra bus time (tRTW/tWTR); the
   // closed-row access latency pipelines with subsequent bursts and is added
   // to the requester-visible completion below.
-  TimePs extra = 0;
+  TimePs extra;
   if (last_dir_ != dir && last_dir_ != Dir::kIdle) {
     extra = fpga_.dram_turnaround;
     ++turnarounds_;

@@ -43,6 +43,8 @@ class SparseMemory {
   Page& page_for(std::uint64_t page_index);
 
   std::uint64_t size_;
+  // Accessed by page index only (never iterated), so unordered iteration
+  // order cannot leak into simulated behaviour or output.
   std::unordered_map<std::uint64_t, Page> pages_;
   std::uint64_t bytes_written_ = 0;
   mutable std::uint64_t bytes_read_ = 0;

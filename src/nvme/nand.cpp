@@ -13,18 +13,19 @@ NandBackend::NandBackend(sim::Simulator& sim, const SsdProfile& ssd,
       dies_(ssd.dies),
       write_pipe_(sim, ssd.write_rate_fast_gb_s, ssd.write_cmd_overhead) {}
 
-sim::Task NandBackend::read_page(std::uint64_t lba, bool* uncorrectable) {
-  Die& die = dies_[lba % dies_.size()];
+sim::Task NandBackend::read_page(Lba lba, bool* uncorrectable) {
+  Die& die = dies_[lba.value() % dies_.size()];
   // A page following the previous access on this die streams from the same
   // block via multi-plane reads; a random page pays the full random II.
-  const bool sequential = die.last_lba != ~0ull && lba == die.last_lba + dies_.size();
+  const bool sequential =
+      die.last_lba != Lba{~0ull} && lba == die.last_lba + dies_.size();
   die.last_lba = lba;
   const TimePs ii = sequential ? ssd_.nand_read_ii_seq : ssd_.nand_read_ii_random;
   const TimePs start = std::max(sim_.now(), die.next_free);
   die.next_free = start + ii;
-  const TimePs jitter = ssd_.nand_read_jitter
-                            ? rng_.below(ssd_.nand_read_jitter)
-                            : 0;
+  const TimePs jitter = ssd_.nand_read_jitter.is_zero()
+                            ? TimePs{}
+                            : TimePs{rng_.below(ssd_.nand_read_jitter.value())};
   // Sequential streams hit the controller's read-ahead: only the stream's
   // first pages pay the full tR; the rest are staged ahead of the request.
   const TimePs access_latency =
@@ -60,7 +61,7 @@ void NandBackend::maybe_toggle_mode() {
   }
 }
 
-sim::Task NandBackend::ingest_write(std::uint64_t bytes, FetchPath path,
+sim::Task NandBackend::ingest_write(Bytes bytes, FetchPath path,
                                     bool* program_failed) {
   maybe_toggle_mode();
   write_pipe_.set_rate(current_write_rate());
@@ -68,9 +69,9 @@ sim::Task NandBackend::ingest_write(std::uint64_t bytes, FetchPath path,
   // through the root complex), finite for P2P sources (Sec. 5.2).
   const double overhead_rate = fetch_overhead_rate(path);
   const TimePs extra =
-      overhead_rate > 0.0 ? transfer_time(bytes, overhead_rate) : 0;
-  co_await write_pipe_.acquire(bytes, extra);
-  bytes_ingested_ += bytes;
+      overhead_rate > 0.0 ? transfer_time(bytes, overhead_rate) : TimePs{};
+  co_await write_pipe_.acquire(bytes.value(), extra);
+  bytes_ingested_ += bytes.value();
   last_write_end_ = std::max(last_write_end_, sim_.now());
   // One program-fault event per ingested command; the pipeline time is
   // charged either way (the failure surfaces at program-status check).

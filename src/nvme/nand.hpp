@@ -37,12 +37,12 @@ class NandBackend {
   /// Completes when the page at `lba` has been read out of the array. When
   /// an armed read-fault plan fires, `*uncorrectable` (if non-null) is set:
   /// the page's ECC failed and its data must not be transferred.
-  sim::Task read_page(std::uint64_t lba, bool* uncorrectable = nullptr);
+  sim::Task read_page(Lba lba, bool* uncorrectable = nullptr);
 
   /// Completes when `bytes` of a write command have been ingested (cache
   /// acknowledged). `path` selects the fetch-overhead term. When an armed
   /// program-fault plan fires, `*program_failed` (if non-null) is set.
-  sim::Task ingest_write(std::uint64_t bytes, FetchPath path,
+  sim::Task ingest_write(Bytes bytes, FetchPath path,
                          bool* program_failed = nullptr);
 
   /// Fault injection (one event per page read / per ingested command).
@@ -76,8 +76,8 @@ class NandBackend {
 
  private:
   struct Die {
-    TimePs next_free = 0;
-    std::uint64_t last_lba = ~0ull;
+    TimePs next_free;
+    Lba last_lba{~0ull};  // ~0 = no previous access
   };
 
   double fetch_overhead_rate(FetchPath path) const;
@@ -89,7 +89,7 @@ class NandBackend {
   Xoshiro256 rng_;
   std::vector<Die> dies_;
   sim::RateServer write_pipe_;
-  TimePs last_write_end_ = 0;
+  TimePs last_write_end_;
   bool fast_mode_ = true;
   bool forced_mode_ = false;
   std::uint64_t pages_read_ = 0;

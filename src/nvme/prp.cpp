@@ -3,7 +3,7 @@
 namespace snacc::nvme {
 
 std::vector<std::vector<std::uint64_t>> build_prp_lists(
-    std::uint64_t buffer_base, std::uint64_t len, std::uint64_t list_page_base) {
+    BusAddr buffer_base, Bytes len, BusAddr list_page_base) {
   std::vector<std::vector<std::uint64_t>> lists;
   const std::uint64_t pages = prp_page_count(len);
   if (pages <= 2) return lists;  // direct PRP1/PRP2, no list needed
@@ -11,7 +11,7 @@ std::vector<std::vector<std::uint64_t>> build_prp_lists(
   // Entries for pages [1, pages): page 0 is PRP1. Each list page holds up to
   // 512 entries, but when more remain, the last slot chains to the next list.
   std::uint64_t next_page = 1;
-  std::uint64_t list_addr = list_page_base;
+  BusAddr list_addr = list_page_base;
   while (next_page < pages) {
     std::vector<std::uint64_t> list;
     const std::uint64_t remaining = pages - next_page;
@@ -19,20 +19,20 @@ std::vector<std::vector<std::uint64_t>> build_prp_lists(
     const std::uint64_t take =
         needs_chain ? kPrpEntriesPerList - 1 : remaining;
     for (std::uint64_t i = 0; i < take; ++i) {
-      list.push_back(buffer_base + (next_page + i) * kPageSize);
+      list.push_back((buffer_base + Bytes{(next_page + i) * kPageSize}).value());
     }
     next_page += take;
     if (needs_chain) {
-      list_addr += kPageSize;
-      list.push_back(list_addr);  // chain pointer in the final slot
+      list_addr += Bytes{kPageSize};
+      list.push_back(list_addr.value());  // chain pointer in the final slot
     }
     lists.push_back(std::move(list));
   }
   return lists;
 }
 
-sim::Task PrpWalker::walk(std::uint64_t prp1, std::uint64_t prp2,
-                          std::uint64_t len, std::vector<std::uint64_t>& out) {
+sim::Task PrpWalker::walk(BusAddr prp1, BusAddr prp2, Bytes len,
+                          std::vector<BusAddr>& out) {
   const std::uint64_t pages = prp_page_count(len);
   out.clear();
   out.reserve(pages);
@@ -48,21 +48,21 @@ sim::Task PrpWalker::walk(std::uint64_t prp1, std::uint64_t prp2,
   // PRP2 points to a list page. Fetch entries one by one (the controller
   // actually bursts these; the burst is modeled by the reader's rate
   // charging, see Ssd::read_prp_entry).
-  std::uint64_t list_base = prp2;
+  BusAddr list_base = prp2;
   std::uint64_t index_in_list = 0;
   while (out.size() < pages) {
-    const std::uint64_t entry_addr = list_base + index_in_list * 8;
+    const BusAddr entry_addr = list_base + Bytes{index_in_list * 8};
     auto fut = reader_(entry_addr);
     const std::uint64_t entry = co_await fut;
     const bool last_slot = index_in_list == kPrpEntriesPerList - 1;
     const bool more_needed = out.size() < pages;
     if (last_slot && more_needed && out.size() + 1 < pages) {
       // Chain pointer to the next list page.
-      list_base = entry;
+      list_base = BusAddr{entry};
       index_in_list = 0;
       continue;
     }
-    out.push_back(entry);
+    out.push_back(BusAddr{entry});
     ++index_in_list;
   }
 }

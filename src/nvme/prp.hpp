@@ -32,21 +32,22 @@ inline constexpr std::uint32_t kPrpEntriesPerList =
 /// Number of PRP pages needed for a transfer of `len` bytes starting at a
 /// page-aligned address. (SNAcc always issues page-aligned buffers,
 /// Sec. 4.3: "each new read and write command starts at a 4 kB boundary".)
-constexpr std::uint64_t prp_page_count(std::uint64_t len) {
-  return (len + kPageSize - 1) / kPageSize;
+constexpr std::uint64_t prp_page_count(Bytes len) {
+  return (len.value() + kPageSize - 1) / kPageSize;
 }
 
 /// Builds the in-memory PRP list pages for a contiguous buffer -- the
 /// "naive implementation" the paper contrasts with on-the-fly computation.
 /// Returns the list pages' contents; used by the SPDK baseline and by tests
 /// as the reference layout.
-std::vector<std::vector<std::uint64_t>> build_prp_lists(std::uint64_t buffer_base,
-                                                        std::uint64_t len,
-                                                        std::uint64_t list_page_base);
+std::vector<std::vector<std::uint64_t>> build_prp_lists(BusAddr buffer_base,
+                                                        Bytes len,
+                                                        BusAddr list_page_base);
 
-/// Asynchronous reader for one 8-byte PRP entry at a physical address.
+/// Asynchronous reader for one 8-byte PRP entry at a physical address. The
+/// wire value is a raw little-endian word; the walker re-types it.
 using PrpEntryReader =
-    std::function<sim::Future<std::uint64_t>(std::uint64_t entry_addr)>;
+    std::function<sim::Future<std::uint64_t>(BusAddr entry_addr)>;
 
 /// Walks the PRP structure of one command and produces the page addresses in
 /// transfer order. List entries are fetched via `reader` (PCIe in the real
@@ -58,8 +59,8 @@ class PrpWalker {
 
   /// Resolves all page addresses for a transfer. co_awaits entry fetches.
   /// On malformed PRPs (unaligned mid-list entries) the result is truncated.
-  sim::Task walk(std::uint64_t prp1, std::uint64_t prp2, std::uint64_t len,
-                 std::vector<std::uint64_t>& out);
+  sim::Task walk(BusAddr prp1, BusAddr prp2, Bytes len,
+                 std::vector<BusAddr>& out);
 
  private:
   sim::Simulator* sim_;

@@ -16,7 +16,7 @@ namespace snacc::nvme {
 
 struct QueueConfig {
   std::uint16_t qid = 0;
-  std::uint64_t base = 0;   // global PCIe address of slot 0
+  BusAddr base;             // global PCIe address of slot 0
   std::uint16_t entries = 64;
 };
 
@@ -40,8 +40,8 @@ class SqRing {
   }
 
   /// Address of the slot the next entry goes into.
-  std::uint64_t next_slot_addr() const {
-    return cfg_.base + static_cast<std::uint64_t>(tail_) * kSqeSize;
+  BusAddr next_slot_addr() const {
+    return cfg_.base + Bytes{static_cast<std::uint64_t>(tail_) * kSqeSize};
   }
 
   /// Claims the tail slot; returns the new tail to write to the doorbell.
@@ -69,8 +69,8 @@ class CqRing {
   bool expected_phase() const { return phase_; }
 
   /// Address of the next entry to poll.
-  std::uint64_t head_addr() const {
-    return cfg_.base + static_cast<std::uint64_t>(head_) * kCqeSize;
+  BusAddr head_addr() const {
+    return cfg_.base + Bytes{static_cast<std::uint64_t>(head_) * kCqeSize};
   }
 
   /// True if a freshly-read entry at the head is new (phase matches).

@@ -59,17 +59,17 @@ enum class Status : std::uint16_t {
 /// the 0-based logical block count.
 struct SubmissionEntry {
   std::uint8_t opcode = 0;
-  std::uint16_t cid = 0;
+  Cid cid;
   std::uint32_t nsid = 1;
-  std::uint64_t prp1 = 0;
-  std::uint64_t prp2 = 0;
-  std::uint64_t slba = 0;
+  BusAddr prp1;
+  BusAddr prp2;
+  Lba slba;
   std::uint16_t nlb = 0;      // 0-based: nlb=0 -> 1 block
   std::uint32_t cdw10 = 0;    // admin commands reuse these directly
   std::uint32_t cdw11 = 0;
 
-  std::uint64_t data_bytes() const {
-    return (static_cast<std::uint64_t>(nlb) + 1) * kLbaSize;
+  Bytes data_bytes() const {
+    return Bytes{(static_cast<std::uint64_t>(nlb) + 1) * kLbaSize};
   }
 
   std::array<std::byte, kSqeSize> encode() const {
@@ -78,15 +78,15 @@ struct SubmissionEntry {
       std::memcpy(raw.data() + off, &v, sizeof(v));
     };
     const std::uint32_t cdw0 = static_cast<std::uint32_t>(opcode) |
-                               (static_cast<std::uint32_t>(cid) << 16);
+                               (static_cast<std::uint32_t>(cid.value()) << 16);
     put(0, cdw0);
     put(4, nsid);
-    put(24, prp1);
-    put(32, prp2);
+    put(24, prp1.value());
+    put(32, prp2.value());
     // For I/O commands CDW10/11 encode the SLBA; admin commands carry their
     // own CDW10/11. Both views share the same bytes, so encode SLBA first
     // and let explicit cdw10/11 (nonzero) win for admin commands.
-    put(40, slba);
+    put(40, slba.value());
     if (cdw10 != 0 || cdw11 != 0) {
       put(40, cdw10);
       put(44, cdw11);
@@ -104,11 +104,15 @@ struct SubmissionEntry {
     std::uint32_t cdw0 = 0;
     get(0, cdw0);
     e.opcode = static_cast<std::uint8_t>(cdw0 & 0xFF);
-    e.cid = static_cast<std::uint16_t>(cdw0 >> 16);
+    e.cid = Cid{static_cast<std::uint16_t>(cdw0 >> 16)};
     get(4, e.nsid);
-    get(24, e.prp1);
-    get(32, e.prp2);
-    get(40, e.slba);
+    std::uint64_t prp1 = 0, prp2 = 0, slba = 0;
+    get(24, prp1);
+    get(32, prp2);
+    get(40, slba);
+    e.prp1 = BusAddr{prp1};
+    e.prp2 = BusAddr{prp2};
+    e.slba = Lba{slba};
     get(40, e.cdw10);
     get(44, e.cdw11);
     std::uint32_t cdw12 = 0;
@@ -124,7 +128,7 @@ struct CompletionEntry {
   std::uint32_t dw0 = 0;
   std::uint16_t sq_head = 0;
   std::uint16_t sq_id = 0;
-  std::uint16_t cid = 0;
+  Cid cid;
   Status status = Status::kSuccess;
   bool phase = false;
 
@@ -136,7 +140,7 @@ struct CompletionEntry {
     put(0, dw0);
     put(8, sq_head);
     put(10, sq_id);
-    put(12, cid);
+    put(12, cid.value());
     const std::uint16_t sf = static_cast<std::uint16_t>(
         (static_cast<std::uint16_t>(status) << 1) | (phase ? 1 : 0));
     put(14, sf);
@@ -151,7 +155,9 @@ struct CompletionEntry {
     get(0, e.dw0);
     get(8, e.sq_head);
     get(10, e.sq_id);
-    get(12, e.cid);
+    std::uint16_t cid = 0;
+    get(12, cid);
+    e.cid = Cid{cid};
     std::uint16_t sf = 0;
     get(14, sf);
     e.phase = (sf & 1) != 0;
@@ -160,22 +166,24 @@ struct CompletionEntry {
   }
 };
 
-/// Controller register offsets within BAR0.
+/// Controller register offsets within BAR0 (BAR-local byte offsets).
 namespace reg {
-inline constexpr std::uint64_t kCap = 0x00;    // capabilities (RO)
-inline constexpr std::uint64_t kCc = 0x14;     // controller configuration
-inline constexpr std::uint64_t kCsts = 0x1C;   // controller status
-inline constexpr std::uint64_t kAqa = 0x24;    // admin queue attributes
-inline constexpr std::uint64_t kAsq = 0x28;    // admin SQ base
-inline constexpr std::uint64_t kAcq = 0x30;    // admin CQ base
-inline constexpr std::uint64_t kDoorbellBase = 0x1000;
+inline constexpr Bytes kCap{0x00};    // capabilities (RO)
+inline constexpr Bytes kCc{0x14};     // controller configuration
+inline constexpr Bytes kCsts{0x1C};   // controller status
+inline constexpr Bytes kAqa{0x24};    // admin queue attributes
+inline constexpr Bytes kAsq{0x28};    // admin SQ base
+inline constexpr Bytes kAcq{0x30};    // admin CQ base
+inline constexpr Bytes kDoorbellBase{0x1000};
 inline constexpr std::uint64_t kDoorbellStride = 8;  // CAP.DSTRD = 0
 
-constexpr std::uint64_t sq_tail_doorbell(std::uint16_t qid) {
-  return kDoorbellBase + 2ull * qid * kDoorbellStride;
+/// The *only* sanctioned way to form a doorbell offset; snacc-lint flags
+/// raw `kDoorbellBase + ...` arithmetic outside this header.
+constexpr Bytes sq_tail_doorbell(std::uint16_t qid) {
+  return kDoorbellBase + Bytes{2ull * qid * kDoorbellStride};
 }
-constexpr std::uint64_t cq_head_doorbell(std::uint16_t qid) {
-  return kDoorbellBase + (2ull * qid + 1) * kDoorbellStride;
+constexpr Bytes cq_head_doorbell(std::uint16_t qid) {
+  return kDoorbellBase + Bytes{(2ull * qid + 1) * kDoorbellStride};
 }
 }  // namespace reg
 

@@ -42,11 +42,11 @@ class Ssd final : public pcie::Target {
 
   pcie::PortId port() const { return port_; }
   pcie::Addr bar_base() const { return bar_base_; }
-  static constexpr std::uint64_t kBarSize = 16 * KiB;
+  static constexpr Bytes kBarSize{16 * KiB};
 
   // --- pcie::Target --------------------------------------------------------
-  sim::Future<Payload> mem_read(pcie::Addr local, std::uint64_t len) override;
-  sim::Future<sim::Done> mem_write(pcie::Addr local, Payload data) override;
+  sim::Future<Payload> mem_read(Bytes local, Bytes len) override;
+  sim::Future<sim::Done> mem_write(Bytes local, Payload data) override;
 
   // --- direct (test) configuration ----------------------------------------
   /// Creates an I/O queue pair without going through the admin queue; used
@@ -78,8 +78,8 @@ class Ssd final : public pcie::Target {
   struct IoQueue {
     std::uint16_t sqid = 0;
     std::uint16_t cqid = 0;
-    pcie::Addr sq_base = 0;
-    pcie::Addr cq_base = 0;
+    pcie::Addr sq_base;
+    pcie::Addr cq_base;
     std::uint16_t sq_entries = 0;
     std::uint16_t cq_entries = 0;
     std::uint16_t sq_head = 0;     // controller fetch position
@@ -94,8 +94,8 @@ class Ssd final : public pcie::Target {
   };
 
   // Register / doorbell plumbing.
-  sim::Task handle_register_write(pcie::Addr local, Payload data);
-  Payload read_register(pcie::Addr local, std::uint64_t len) const;
+  sim::Task handle_register_write(Bytes local, Payload data);
+  Payload read_register(Bytes local, Bytes len) const;
   void enable_controller();
 
   // Queue workers.
@@ -106,15 +106,15 @@ class Ssd final : public pcie::Target {
   sim::Task execute_write(IoQueue& q, SubmissionEntry sqe);
   /// Posts a completion; `sq_head` is read from the queue at post time
   /// (monotonic fetch progress, as real controllers report).
-  sim::Task post_cqe(IoQueue& q, std::uint16_t cid, Status status,
+  sim::Task post_cqe(IoQueue& q, Cid cid, Status status,
                      std::uint32_t dw0 = 0);
 
-  sim::Task page_read_to_buffer(std::uint64_t lba, pcie::Addr dst,
-                                sim::WaitGroup& wg, bool& uncorrectable);
-  sim::Task page_fetch_from_buffer(std::uint64_t lba, pcie::Addr src,
-                                   sim::WaitGroup& wg, bool& ok);
+  sim::Task page_read_to_buffer(Lba lba, pcie::Addr dst, sim::WaitGroup& wg,
+                                bool& uncorrectable);
+  sim::Task page_fetch_from_buffer(Lba lba, pcie::Addr src, sim::WaitGroup& wg,
+                                   bool& ok);
   sim::Task resolve_prps(const SubmissionEntry& sqe,
-                         std::vector<std::uint64_t>& pages);
+                         std::vector<BusAddr>& pages);
   FetchPath classify_source(pcie::Addr addr) const;
 
   sim::Simulator& sim_;
@@ -123,14 +123,14 @@ class Ssd final : public pcie::Target {
   mem::SparseMemory media_;
   NandBackend nand_;
   pcie::PortId port_ = pcie::kInvalidPort;
-  pcie::Addr bar_base_ = 0;
+  pcie::Addr bar_base_;
 
   // Registers.
   std::uint32_t cc_ = 0;
   bool csts_ready_ = false;
   std::uint32_t aqa_ = 0;
-  std::uint64_t asq_ = 0;
-  std::uint64_t acq_ = 0;
+  pcie::Addr asq_;
+  pcie::Addr acq_;
 
   std::map<std::uint16_t, std::unique_ptr<IoQueue>> queues_;  // by sqid; 0=admin
   std::map<std::uint16_t, QueueConfig> created_cqs_;  // CQs awaiting their SQ

@@ -41,7 +41,7 @@ const PortFaultStats& Fabric::port_faults(PortId p) const {
 }
 
 void Fabric::record_fault(FaultKind kind, PortId initiator, Addr addr,
-                          std::uint64_t len) {
+                          Bytes len) {
   last_fault_ = FaultRecord{kind, initiator, addr, len, sim_.now()};
   PortFaultStats& pf = port_faults_.at(static_cast<std::size_t>(initiator));
   switch (kind) {
@@ -75,7 +75,7 @@ sim::Task Fabric::restore_link(PortId p, TimePs at) {
   port.rx.set_rate(port.base_gb_s);
 }
 
-void Fabric::map(Addr base, std::uint64_t size, Target* target, PortId owner,
+void Fabric::map(Addr base, Bytes size, Target* target, PortId owner,
                  MemKind kind) {
   assert(target != nullptr);
   // Reject overlapping windows: they would make routing ambiguous.
@@ -89,18 +89,18 @@ void Fabric::map(Addr base, std::uint64_t size, Target* target, PortId owner,
 }
 
 MemKind Fabric::kind_at(Addr addr) const {
-  const Window* w = route(addr, 1);
+  const Window* w = route(addr, Bytes{1});
   return w ? w->kind : MemKind::kDevice;
 }
 
 PortId Fabric::owner_at(Addr addr) const {
-  const Window* w = route(addr, 1);
+  const Window* w = route(addr, Bytes{1});
   return w ? w->owner : kInvalidPort;
 }
 
 void Fabric::unmap(Addr base) { windows_.erase(base); }
 
-const Fabric::Window* Fabric::route(Addr addr, std::uint64_t len) const {
+const Fabric::Window* Fabric::route(Addr addr, Bytes len) const {
   auto it = windows_.upper_bound(addr);
   if (it == windows_.begin()) return nullptr;
   --it;
@@ -144,7 +144,7 @@ const std::string& Fabric::port_name(PortId p) const {
   return ports_.at(static_cast<std::size_t>(p))->name;
 }
 
-sim::Future<ReadResult> Fabric::read(PortId src, Addr addr, std::uint64_t len,
+sim::Future<ReadResult> Fabric::read(PortId src, Addr addr, Bytes len,
                                      bool control) {
   sim::Promise<ReadResult> done(sim_);
   auto fut = done.future();
@@ -168,20 +168,20 @@ namespace {
 constexpr std::uint64_t kInterleaveBypassBytes = 512;
 }  // namespace
 
-sim::Task Fabric::do_read(PortId src, Addr addr, std::uint64_t len,
-                          bool control, sim::Promise<ReadResult> done) {
+sim::Task Fabric::do_read(PortId src, Addr addr, Bytes len, bool control,
+                          sim::Promise<ReadResult> done) {
   const Window* w = route(addr, len);
   if (w == nullptr) {
     ++unmapped_errors_;
     record_fault(FaultKind::kUnmappedRead, src, addr, len);
     co_await sim_.delay(profile_.host_read_rtt);
-    done.set(ReadResult{Payload::phantom(len), false});
+    done.set(ReadResult{Payload::phantom(len.value()), false});
     co_return;
   }
   if (src != root_ && !iommu_.check(src, addr, len, /*write=*/false)) {
     record_fault(FaultKind::kIommuRead, src, addr, len);
     co_await sim_.delay(profile_.host_read_rtt);
-    done.set(ReadResult{Payload::phantom(len), false});
+    done.set(ReadResult{Payload::phantom(len.value()), false});
     co_return;
   }
   if (read_loss_.armed() && read_loss_.fire()) {
@@ -189,7 +189,7 @@ sim::Task Fabric::do_read(PortId src, Addr addr, std::uint64_t len,
     // completion timer expires and the transaction fails like a UR/CA.
     record_fault(FaultKind::kCompletionTimeout, src, addr, len);
     co_await sim_.delay(profile_.completion_timeout);
-    done.set(ReadResult{Payload::phantom(len), false});
+    done.set(ReadResult{Payload::phantom(len.value()), false});
     co_return;
   }
 
@@ -206,25 +206,25 @@ sim::Task Fabric::do_read(PortId src, Addr addr, std::uint64_t len,
 
   // Completion(s) with data serialize on the target's TX link, then travel
   // back. (A same-port read -- e.g. SSD reading its own BAR -- never happens.)
-  if (control || len <= kInterleaveBypassBytes) {
-    co_await sim_.delay(transfer_time(wire_bytes(len), dp.tx.rate()));
+  if (control || len.value() <= kInterleaveBypassBytes) {
+    co_await sim_.delay(transfer_time(wire_bytes(len.value()), dp.tx.rate()));
   } else {
-    co_await dp.tx.acquire(wire_bytes(len));
+    co_await dp.tx.acquire(wire_bytes(len.value()));
     // The completion also lands on the initiator's RX lane -- this is what
     // caps aggregate inbound bandwidth when one port reads many sources.
-    co_await sp.rx.acquire(wire_bytes(len));
+    co_await sp.rx.acquire(wire_bytes(len.value()));
   }
   co_await sim_.delay(rtt / 2);
 
   PathStats& ps = path_mut(src, w->owner);
-  ps.read_bytes += len;
+  ps.read_bytes += len.value();
   ps.reads += 1;
   done.set(ReadResult{std::move(data), true});
 }
 
 sim::Task Fabric::do_write(PortId src, Addr addr, Payload data,
                            sim::Promise<sim::Done> done) {
-  const std::uint64_t len = data.size();
+  const Bytes len{data.size()};
   const Window* w = route(addr, len);
   if (w == nullptr) {
     ++unmapped_errors_;
@@ -245,18 +245,18 @@ sim::Task Fabric::do_write(PortId src, Addr addr, Payload data,
   Port& sp = *ports_.at(static_cast<std::size_t>(src));
   Port& dp = *ports_.at(static_cast<std::size_t>(w->owner));
 
-  if (len <= kInterleaveBypassBytes) {
+  if (len.value() <= kInterleaveBypassBytes) {
     // Doorbells and small control writes interleave with bulk traffic.
-    co_await sim_.delay(transfer_time(wire_bytes(len), sp.tx.rate()));
+    co_await sim_.delay(transfer_time(wire_bytes(len.value()), sp.tx.rate()));
     co_await sim_.delay(profile_.posted_write_latency);
   } else {
-    co_await sp.tx.acquire(wire_bytes(len));
+    co_await sp.tx.acquire(wire_bytes(len.value()));
     co_await sim_.delay(profile_.posted_write_latency);
-    co_await dp.rx.acquire(wire_bytes(len));
+    co_await dp.rx.acquire(wire_bytes(len.value()));
   }
 
   PathStats& ps = path_mut(src, w->owner);
-  ps.write_bytes += len;
+  ps.write_bytes += len.value();
   ps.writes += 1;
 
   co_await w->target->mem_write(addr - w->base, std::move(data));

@@ -38,8 +38,8 @@ namespace snacc::pcie {
 class Target {
  public:
   virtual ~Target() = default;
-  virtual sim::Future<Payload> mem_read(Addr local_addr, std::uint64_t len) = 0;
-  virtual sim::Future<sim::Done> mem_write(Addr local_addr, Payload data) = 0;
+  virtual sim::Future<Payload> mem_read(Bytes local_off, Bytes len) = 0;
+  virtual sim::Future<sim::Done> mem_write(Bytes local_off, Payload data) = 0;
 };
 
 /// What backs a mapped window -- used by the NVMe controller model to select
@@ -86,9 +86,9 @@ const char* fault_kind_name(FaultKind kind);
 struct FaultRecord {
   FaultKind kind = FaultKind::kUnmappedRead;
   PortId initiator = kInvalidPort;
-  Addr addr = 0;
-  std::uint64_t len = 0;
-  TimePs time = 0;
+  Addr addr;
+  Bytes len;
+  TimePs time;
 };
 
 /// Per-initiator fault accounting (one entry per port).
@@ -117,7 +117,7 @@ class Fabric {
 
   /// Maps [base, base+size) in the global address space onto `target`,
   /// owned by endpoint `owner` (whose RX link serializes inbound traffic).
-  void map(Addr base, std::uint64_t size, Target* target, PortId owner,
+  void map(Addr base, Bytes size, Target* target, PortId owner,
            MemKind kind = MemKind::kDevice);
   void unmap(Addr base);
 
@@ -132,7 +132,7 @@ class Fabric {
   /// granularity instead of waiting behind it, paying only its own wire
   /// time. Data-path reads must leave it false so link bandwidth is
   /// conserved.
-  sim::Future<ReadResult> read(PortId src, Addr addr, std::uint64_t len,
+  sim::Future<ReadResult> read(PortId src, Addr addr, Bytes len,
                                bool control = false);
 
   /// Initiates a posted memory write. The returned future completes when the
@@ -183,22 +183,21 @@ class Fabric {
   };
   struct Window {
     Addr base;
-    std::uint64_t size;
+    Bytes size;
     Target* target;
     PortId owner;
     MemKind kind;
   };
 
-  const Window* route(Addr addr, std::uint64_t len) const;
+  const Window* route(Addr addr, Bytes len) const;
   std::uint64_t wire_bytes(std::uint64_t payload_bytes) const;
-  sim::Task do_read(PortId src, Addr addr, std::uint64_t len, bool control,
+  sim::Task do_read(PortId src, Addr addr, Bytes len, bool control,
                     sim::Promise<ReadResult> done);
   sim::Task do_write(PortId src, Addr addr, Payload data,
                      sim::Promise<sim::Done> done);
   sim::Task restore_link(PortId p, TimePs at);
   PathStats& path_mut(PortId src, PortId dst);
-  void record_fault(FaultKind kind, PortId initiator, Addr addr,
-                    std::uint64_t len);
+  void record_fault(FaultKind kind, PortId initiator, Addr addr, Bytes len);
 
   sim::Simulator& sim_;
   PcieProfile profile_;

@@ -10,14 +10,13 @@ void Iommu::revoke_all(PortId initiator) {
 }
 
 void Iommu::set_fault_plan(const fault::FaultPlan& plan, Addr window_base,
-                           std::uint64_t window_size) {
+                           Bytes window_size) {
   flip_ = fault::Injector(plan);
   flip_base_ = window_base;
   flip_size_ = window_size;
 }
 
-bool Iommu::allowed(PortId initiator, Addr addr, std::uint64_t len,
-                    bool write) const {
+bool Iommu::allowed(PortId initiator, Addr addr, Bytes len, bool write) const {
   if (!enabled_) return true;
   // A single grant must cover the whole range (grants are whole windows:
   // BARs or pinned buffers, so partial coverage would be a setup bug).
@@ -34,11 +33,19 @@ std::uint64_t Iommu::faults_for(PortId initiator) const {
   return it == faults_by_initiator_.end() ? 0 : it->second;
 }
 
-bool Iommu::check(PortId initiator, Addr addr, std::uint64_t len, bool write) {
+std::vector<std::pair<std::uint16_t, std::uint64_t>>
+Iommu::faults_by_initiator() const {
+  std::vector<std::pair<std::uint16_t, std::uint64_t>> out(
+      faults_by_initiator_.begin(), faults_by_initiator_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Iommu::check(PortId initiator, Addr addr, Bytes len, bool write) {
   bool ok = allowed(initiator, addr, len, write);
   if (ok && flip_.armed()) {
     const bool in_window =
-        flip_size_ == 0 ||
+        flip_size_.is_zero() ||
         (addr >= flip_base_ && addr + len <= flip_base_ + flip_size_);
     if (in_window && flip_.fire()) {
       ok = false;

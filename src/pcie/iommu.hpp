@@ -15,13 +15,16 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/units.hpp"
 #include "fault/fault.hpp"
 
 namespace snacc::pcie {
 
-using Addr = std::uint64_t;
+/// Global PCIe bus address (see common/units.hpp for the domain rules).
+using Addr = BusAddr;
 
 /// Identifies an endpoint port on the fabric.
 enum class PortId : std::uint16_t {};
@@ -30,8 +33,8 @@ inline constexpr PortId kInvalidPort{0xFFFF};
 
 struct IommuGrant {
   PortId initiator;
-  Addr base = 0;
-  std::uint64_t size = 0;
+  Addr base;
+  Bytes size;
   bool allow_read = true;
   bool allow_write = true;
 };
@@ -47,20 +50,25 @@ class Iommu {
   /// Arms injected permission flips: checks that would be allowed are denied
   /// when the plan fires. With `window_size` nonzero only checks entirely
   /// inside [window_base, window_base+window_size) consume plan events.
-  void set_fault_plan(const fault::FaultPlan& plan, Addr window_base = 0,
-                      std::uint64_t window_size = 0);
+  void set_fault_plan(const fault::FaultPlan& plan, Addr window_base = Addr{},
+                      Bytes window_size = Bytes{});
 
   /// True if `initiator` may access [addr, addr+len). Always true when the
   /// IOMMU is disabled (passthrough) or for host-originated traffic (the
   /// caller skips the check for the root port).
-  bool allowed(PortId initiator, Addr addr, std::uint64_t len, bool write) const;
+  bool allowed(PortId initiator, Addr addr, Bytes len, bool write) const;
 
   /// Like allowed(), but counts a fault on denial and applies the injected
   /// permission flips.
-  bool check(PortId initiator, Addr addr, std::uint64_t len, bool write);
+  bool check(PortId initiator, Addr addr, Bytes len, bool write);
 
   std::uint64_t faults() const { return faults_; }
   std::uint64_t faults_for(PortId initiator) const;
+
+  /// Per-initiator fault counts with keys sorted ascending, so dumps and
+  /// bench reports are deterministic regardless of hash-map iteration order.
+  std::vector<std::pair<std::uint16_t, std::uint64_t>> faults_by_initiator()
+      const;
   std::uint64_t injected_faults() const { return injected_faults_; }
   std::size_t grant_count() const { return grants_.size(); }
 
@@ -69,10 +77,12 @@ class Iommu {
   std::vector<IommuGrant> grants_;
   std::uint64_t faults_ = 0;
   std::uint64_t injected_faults_ = 0;
+  // Keyed lookups only; any dump must go through faults_by_initiator(),
+  // which sorts, so unordered iteration order never reaches output.
   std::unordered_map<std::uint16_t, std::uint64_t> faults_by_initiator_;
   fault::Injector flip_;
-  Addr flip_base_ = 0;
-  std::uint64_t flip_size_ = 0;
+  Addr flip_base_;
+  Bytes flip_size_;
 };
 
 }  // namespace snacc::pcie

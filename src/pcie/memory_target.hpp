@@ -16,18 +16,20 @@ namespace snacc::pcie {
 /// root-complex traversal is already charged by the fabric.
 class HostMemory final : public Target {
  public:
+  // Backing-store capacities stay raw by convention: the mem layer is below
+  // the typed domain boundary.  snacc-lint: allow(bare-uint-signature)
   HostMemory(sim::Simulator& sim, std::uint64_t size, double dram_gb_s = 38.0,
              TimePs access_latency = ns(95))
       : sim_(sim), store_(size), bus_(sim, dram_gb_s), latency_(access_latency) {}
 
-  sim::Future<Payload> mem_read(Addr local, std::uint64_t len) override {
+  sim::Future<Payload> mem_read(Bytes local, Bytes len) override {
     sim::Promise<Payload> done(sim_);
     auto fut = done.future();
     sim_.spawn(serve_read(local, len, std::move(done)));
     return fut;
   }
 
-  sim::Future<sim::Done> mem_write(Addr local, Payload data) override {
+  sim::Future<sim::Done> mem_write(Bytes local, Payload data) override {
     sim::Promise<sim::Done> done(sim_);
     auto fut = done.future();
     sim_.spawn(serve_write(local, std::move(data), std::move(done)));
@@ -37,17 +39,17 @@ class HostMemory final : public Target {
   mem::SparseMemory& store() { return store_; }
 
  private:
-  sim::Task serve_read(Addr local, std::uint64_t len, sim::Promise<Payload> done) {
+  sim::Task serve_read(Bytes local, Bytes len, sim::Promise<Payload> done) {
     // Access latency pipelines with other requests; only the data transfer
     // occupies the channel.
-    co_await bus_.acquire(len);
+    co_await bus_.acquire(len.value());
     co_await sim_.delay(latency_);
-    done.set(store_.read(local, len));
+    done.set(store_.read(local.value(), len.value()));
   }
-  sim::Task serve_write(Addr local, Payload data, sim::Promise<sim::Done> done) {
+  sim::Task serve_write(Bytes local, Payload data, sim::Promise<sim::Done> done) {
     co_await bus_.acquire(data.size());
     co_await sim_.delay(latency_);
-    store_.write(local, data);
+    store_.write(local.value(), data);
     done.set(sim::Done{});
   }
 
@@ -63,11 +65,11 @@ class MemoryPortTarget final : public Target {
  public:
   explicit MemoryPortTarget(mem::MemoryPort& port) : port_(port) {}
 
-  sim::Future<Payload> mem_read(Addr local, std::uint64_t len) override {
-    return port_.read(local, len);
+  sim::Future<Payload> mem_read(Bytes local, Bytes len) override {
+    return port_.read(local.value(), len.value());
   }
-  sim::Future<sim::Done> mem_write(Addr local, Payload data) override {
-    return port_.write(local, std::move(data));
+  sim::Future<sim::Done> mem_write(Bytes local, Payload data) override {
+    return port_.write(local.value(), std::move(data));
   }
 
  private:

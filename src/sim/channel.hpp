@@ -111,7 +111,8 @@ class Channel {
           result = std::move(node->value);
         } else {
           // Woken by close (or ready-on-closed): drain leftovers first.
-          result = ch->try_pop();
+          // Not a poll loop -- runs once per wakeup inside the primitive.
+          result = ch->try_pop();  // snacc-lint: allow(unbounded-poll)
         }
         ch->pop_nodes_.erase(node);
         return result;
@@ -149,7 +150,7 @@ class Channel {
   };
 
   void schedule(std::coroutine_handle<> h) {
-    sim_->after(0, [h] { h.resume(); });
+    sim_->after(TimePs{}, [h] { h.resume(); });
   }
 
   PopNode* first_hungry_consumer() {

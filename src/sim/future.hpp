@@ -28,7 +28,7 @@ class Promise {
   void set(T value) {
     assert(!state_->value.has_value() && "Promise set twice");
     state_->value.emplace(std::move(value));
-    for (auto h : state_->waiters) state_->sim->after(0, [h] { h.resume(); });
+    for (auto h : state_->waiters) state_->sim->after(TimePs{}, [h] { h.resume(); });
     state_->waiters.clear();
   }
 
@@ -84,7 +84,7 @@ class WaitGroup {
   void done() {
     assert(count_ > 0);
     if (--count_ == 0) {
-      for (auto h : waiters_) sim_->after(0, [h] { h.resume(); });
+      for (auto h : waiters_) sim_->after(TimePs{}, [h] { h.resume(); });
       waiters_.clear();
     }
   }
@@ -116,7 +116,7 @@ class Gate {
   void open() {
     if (open_) return;
     open_ = true;
-    for (auto h : waiters_) sim_->after(0, [h] { h.resume(); });
+    for (auto h : waiters_) sim_->after(TimePs{}, [h] { h.resume(); });
     waiters_.clear();
   }
   void close() { open_ = false; }
@@ -171,7 +171,7 @@ class Semaphore {
       waiters_.erase(waiters_.begin());
       --permits_;
       ++reserved_;
-      sim_->after(0, [h] { h.resume(); });
+      sim_->after(TimePs{}, [h] { h.resume(); });
     }
   }
 

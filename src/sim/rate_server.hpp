@@ -19,14 +19,14 @@ namespace snacc::sim {
 class RateServer {
  public:
   /// `gb_s` is decimal GB/s; `per_op` a fixed per-acquisition overhead.
-  RateServer(Simulator& sim, double gb_s, TimePs per_op = 0)
+  RateServer(Simulator& sim, double gb_s, TimePs per_op = TimePs{})
       : sim_(&sim), gb_s_(gb_s), per_op_(per_op) {}
 
   void set_rate(double gb_s) { gb_s_ = gb_s; }
   double rate() const { return gb_s_; }
 
   /// Awaitable: completes when the server has finished serializing `bytes`.
-  auto acquire(std::uint64_t bytes, TimePs extra = 0) {
+  auto acquire(std::uint64_t bytes, TimePs extra = TimePs{}) {
     const TimePs start = std::max(sim_->now(), next_free_);
     const TimePs occupy = per_op_ + transfer_time(bytes, gb_s_) + extra;
     next_free_ = start + occupy;
@@ -46,10 +46,10 @@ class RateServer {
   Simulator* sim_;
   double gb_s_;
   TimePs per_op_;
-  TimePs next_free_ = 0;
+  TimePs next_free_;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t total_ops_ = 0;
-  TimePs busy_time_ = 0;
+  TimePs busy_time_;
 };
 
 }  // namespace snacc::sim

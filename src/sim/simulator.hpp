@@ -23,9 +23,33 @@ class Task;
 
 class Simulator {
  public:
+  /// Intrusive registry node for detached (spawned) coroutine frames; lives
+  /// inside the frame's promise. A task that runs to completion unlinks
+  /// itself in Task's FinalAwaiter; anything still linked when the Simulator
+  /// dies is a suspended process (server loop blocked on a channel, worker
+  /// parked on a semaphore) whose frame would otherwise leak.
+  struct DetachedNode {
+    DetachedNode* prev = nullptr;
+    DetachedNode* next = nullptr;
+    std::coroutine_handle<> frame;
+  };
+
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  ~Simulator() {
+    // Destroy still-suspended spawned frames, newest first. Unlink before
+    // destroy: the node lives inside the frame being freed. Pending queue_
+    // events that capture handles are discarded without running, so nothing
+    // resumes into a freed frame.
+    while (detached_) {
+      DetachedNode* n = detached_;
+      detached_ = n->next;
+      if (detached_) detached_->prev = nullptr;
+      n->frame.destroy();
+    }
+  }
 
   TimePs now() const { return now_; }
 
@@ -45,9 +69,22 @@ class Simulator {
     at(t, [h] { h.resume(); });
   }
 
-  /// Starts a coroutine task detached; the frame frees itself on completion.
-  /// Defined in task.hpp (needs the full Task type).
+  /// Starts a coroutine task detached; the frame frees itself on completion
+  /// and is registered here so a frame suspended at simulation end is freed
+  /// by ~Simulator. Defined in task.hpp (needs the full Task type).
   void spawn(Task task);
+
+  void adopt_detached(DetachedNode* n) {
+    n->prev = nullptr;
+    n->next = detached_;
+    if (detached_) detached_->prev = n;
+    detached_ = n;
+  }
+  void drop_detached(DetachedNode* n) {
+    if (n->prev) n->prev->next = n->next;
+    else detached_ = n->next;
+    if (n->next) n->next->prev = n->prev;
+  }
 
   /// Runs a single event. Returns false when the queue is empty.
   bool step() {
@@ -120,8 +157,9 @@ class Simulator {
   };
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  DetachedNode* detached_ = nullptr;  // spawned frames still in flight
   Tracer tracer_;
-  TimePs now_ = 0;
+  TimePs now_;
   std::uint64_t seq_ = 0;
   std::uint64_t events_processed_ = 0;
 };

@@ -34,7 +34,12 @@ class [[nodiscard]] Task {
         promise_type& p = h.promise();
         std::coroutine_handle<> next =
             p.continuation ? p.continuation : std::noop_coroutine();
-        if (p.detached) h.destroy();  // frame owns itself in detached mode
+        if (p.detached) {
+          // Frame owns itself in detached mode; deregister from the
+          // simulator's end-of-life registry before freeing.
+          p.sim->drop_detached(&p.node);
+          h.destroy();
+        }
         return next;
       }
       void await_resume() const noexcept {}
@@ -48,6 +53,8 @@ class [[nodiscard]] Task {
     }
 
     std::coroutine_handle<> continuation;
+    Simulator* sim = nullptr;          // set by spawn(), with node
+    Simulator::DetachedNode node;
     bool detached = false;
   };
 
@@ -93,9 +100,13 @@ class [[nodiscard]] Task {
 inline void Simulator::spawn(Task task) {
   auto h = task.release();
   if (!h) return;
-  h.promise().detached = true;
+  auto& p = h.promise();
+  p.detached = true;
+  p.sim = this;
+  p.node.frame = h;
+  adopt_detached(&p.node);
   // Start through the event queue so spawn() never reenters model code.
-  after(0, [h] { h.resume(); });
+  after(TimePs{}, [h] { h.resume(); });
 }
 
 }  // namespace snacc::sim

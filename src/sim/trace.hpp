@@ -35,7 +35,7 @@ constexpr std::uint32_t operator|(std::uint32_t a, TraceCat b) {
 }
 
 struct TraceEvent {
-  TimePs t = 0;
+  TimePs t;
   TraceCat cat = TraceCat::kUser;
   const char* label = "";  // must be a string literal / static string
   std::uint64_t a = 0;

@@ -31,10 +31,10 @@ class BufferBackend {
   virtual ~BufferBackend() = default;
 
   /// Stream-in: stores `data` at buffer offset `off` (PE -> buffer).
-  virtual sim::Task fill(std::uint64_t off, Payload data) = 0;
+  virtual sim::Task fill(Bytes off, Payload data) = 0;
 
   /// Read-out: loads [off, off+len) into `*out` (buffer -> PE).
-  virtual sim::Task drain(std::uint64_t off, std::uint64_t len, Payload* out) = 0;
+  virtual sim::Task drain(Bytes off, Bytes len, Payload* out) = 0;
 
   /// Translator for PRP generation.
   virtual const AddressTranslator& translator() const = 0;
@@ -45,12 +45,12 @@ class UramBackend final : public BufferBackend {
   UramBackend(mem::Uram& uram, pcie::Addr window_base)
       : uram_(uram), xlat_(window_base) {}
 
-  sim::Task fill(std::uint64_t off, Payload data) override {
-    auto fut = uram_.write(off, std::move(data));
+  sim::Task fill(Bytes off, Payload data) override {
+    auto fut = uram_.write(off.value(), std::move(data));
     co_await fut;
   }
-  sim::Task drain(std::uint64_t off, std::uint64_t len, Payload* out) override {
-    auto fut = uram_.read(off, len);
+  sim::Task drain(Bytes off, Bytes len, Payload* out) override {
+    auto fut = uram_.read(off.value(), len.value());
     *out = co_await fut;
   }
   const AddressTranslator& translator() const override { return xlat_; }
@@ -64,23 +64,22 @@ class OnboardDramBackend final : public BufferBackend {
  public:
   /// `region_base` is the byte offset of this buffer's region within the
   /// DRAM (read and write buffers are distinct regions, Sec. 4.3).
-  OnboardDramBackend(sim::Simulator& sim, mem::Dram& dram,
-                     std::uint64_t region_base, pcie::Addr bar2_base,
-                     const FpgaProfile& fpga)
+  OnboardDramBackend(sim::Simulator& sim, mem::Dram& dram, Bytes region_base,
+                     pcie::Addr bar2_base, const FpgaProfile& fpga)
       : sim_(sim),
         dram_(dram),
         region_base_(region_base),
         xlat_(bar2_base + region_base),
         fpga_(fpga) {}
 
-  sim::Task fill(std::uint64_t off, Payload data) override;
-  sim::Task drain(std::uint64_t off, std::uint64_t len, Payload* out) override;
+  sim::Task fill(Bytes off, Payload data) override;
+  sim::Task drain(Bytes off, Bytes len, Payload* out) override;
   const AddressTranslator& translator() const override { return xlat_; }
 
  private:
   sim::Simulator& sim_;
   mem::Dram& dram_;
-  std::uint64_t region_base_;
+  Bytes region_base_;
   LinearTranslator xlat_;
   FpgaProfile fpga_;
 };
@@ -90,7 +89,7 @@ class OnboardDramBackend final : public BufferBackend {
 /// never share a controller with the NVMe controller's burst reads.
 class HbmBackend final : public BufferBackend {
  public:
-  HbmBackend(sim::Simulator& sim, mem::Hbm& hbm, std::uint64_t region_base,
+  HbmBackend(sim::Simulator& sim, mem::Hbm& hbm, Bytes region_base,
              pcie::Addr bar2_base, const FpgaProfile& fpga)
       : sim_(sim),
         hbm_(hbm),
@@ -98,14 +97,14 @@ class HbmBackend final : public BufferBackend {
         xlat_(bar2_base + region_base),
         fpga_(fpga) {}
 
-  sim::Task fill(std::uint64_t off, Payload data) override;
-  sim::Task drain(std::uint64_t off, std::uint64_t len, Payload* out) override;
+  sim::Task fill(Bytes off, Payload data) override;
+  sim::Task drain(Bytes off, Bytes len, Payload* out) override;
   const AddressTranslator& translator() const override { return xlat_; }
 
  private:
   sim::Simulator& sim_;
   mem::Hbm& hbm_;
-  std::uint64_t region_base_;
+  Bytes region_base_;
   LinearTranslator xlat_;
   FpgaProfile fpga_;
 };
@@ -115,15 +114,15 @@ class HostDramBackend final : public BufferBackend {
   /// `chunks`: global addresses of the pinned 4 MB host-memory chunks.
   HostDramBackend(sim::Simulator& sim, pcie::Fabric& fabric,
                   pcie::PortId fpga_port, std::vector<pcie::Addr> chunks,
-                  std::uint64_t chunk_size, const FpgaProfile& fpga)
+                  Bytes chunk_size, const FpgaProfile& fpga)
       : sim_(sim),
         fabric_(fabric),
         fpga_port_(fpga_port),
         xlat_(std::move(chunks), chunk_size),
         fpga_(fpga) {}
 
-  sim::Task fill(std::uint64_t off, Payload data) override;
-  sim::Task drain(std::uint64_t off, std::uint64_t len, Payload* out) override;
+  sim::Task fill(Bytes off, Payload data) override;
+  sim::Task drain(Bytes off, Bytes len, Payload* out) override;
   const AddressTranslator& translator() const override { return xlat_; }
 
  private:

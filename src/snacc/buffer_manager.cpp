@@ -2,27 +2,27 @@
 
 namespace snacc::core {
 
-bool BufferRing::fits(std::uint64_t rounded, std::uint64_t* pad) const {
-  *pad = 0;
-  const std::uint64_t free_bytes = capacity_ - used_;
-  const std::uint64_t to_end = capacity_ - tail_;
+bool BufferRing::fits(Bytes rounded, Bytes* pad) const {
+  *pad = Bytes{};
+  const Bytes free_bytes = capacity_ - used_;
+  const Bytes to_end = capacity_ - tail_;
   if (rounded <= to_end) return rounded <= free_bytes;
   // Must skip the ring tail remainder: charge it as padding.
   *pad = to_end;
   return rounded + to_end <= free_bytes;
 }
 
-sim::Task BufferRing::alloc(std::uint64_t bytes, std::uint64_t* offset_out) {
-  assert(bytes > 0);
-  const std::uint64_t rounded = (bytes + kPageSize - 1) & ~(kPageSize - 1);
+sim::Task BufferRing::alloc(Bytes bytes, Bytes* offset_out) {
+  assert(!bytes.is_zero());
+  const Bytes rounded = page_align_up(bytes);
   assert(rounded <= capacity_);
-  std::uint64_t pad = 0;
+  Bytes pad;
   while (!fits(rounded, &pad)) {
     space_.close();
     co_await space_.opened();
   }
-  std::uint64_t offset = tail_;
-  if (pad != 0) offset = 0;  // wrapped
+  Bytes offset = tail_;
+  if (!pad.is_zero()) offset = Bytes{};  // wrapped
   allocs_.push_back(Alloc{offset, rounded, pad});
   used_ += rounded + pad;
   tail_ = (offset + rounded) % capacity_;

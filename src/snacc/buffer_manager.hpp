@@ -23,17 +23,17 @@ namespace snacc::core {
 
 class BufferRing {
  public:
-  BufferRing(sim::Simulator& sim, std::uint64_t capacity)
+  BufferRing(sim::Simulator& sim, Bytes capacity)
       : sim_(&sim), capacity_(capacity), space_(sim, /*open=*/true) {
-    assert(capacity % kPageSize == 0);
+    assert(capacity.value() % kPageSize == 0);
   }
 
-  std::uint64_t capacity() const { return capacity_; }
-  std::uint64_t in_use() const { return used_; }
+  Bytes capacity() const { return capacity_; }
+  Bytes in_use() const { return used_; }
 
   /// Allocates `bytes` (rounded up to 4 kB) of contiguous buffer space;
   /// suspends while the ring is too full. Returns the byte offset.
-  sim::Task alloc(std::uint64_t bytes, std::uint64_t* offset_out);
+  sim::Task alloc(Bytes bytes, Bytes* offset_out);
 
   /// Frees the oldest allocation; must match alloc order (in-order retire).
   void free_oldest();
@@ -43,18 +43,18 @@ class BufferRing {
 
  private:
   struct Alloc {
-    std::uint64_t offset;
-    std::uint64_t bytes;    // rounded size actually reserved
-    std::uint64_t padding;  // skipped tail-of-ring bytes charged to this alloc
+    Bytes offset;
+    Bytes bytes;    // rounded size actually reserved
+    Bytes padding;  // skipped tail-of-ring bytes charged to this alloc
   };
 
-  bool fits(std::uint64_t rounded, std::uint64_t* pad) const;
+  bool fits(Bytes rounded, Bytes* pad) const;
 
   sim::Simulator* sim_;
-  std::uint64_t capacity_;
-  std::uint64_t head_ = 0;  // oldest live byte
-  std::uint64_t tail_ = 0;  // next free byte
-  std::uint64_t used_ = 0;  // bytes reserved including padding
+  Bytes capacity_;
+  Bytes head_;  // oldest live byte
+  Bytes tail_;  // next free byte
+  Bytes used_;  // bytes reserved including padding
   std::deque<Alloc> allocs_;
   sim::Gate space_;
 };

@@ -24,15 +24,14 @@ class PeClient {
   /// Reads [addr, addr+len) device bytes into `*out` (nullptr: discard).
   /// With recovery enabled, `*error` (if non-null) reports whether any beat
   /// carried the quarantine TUSER tag -- the data is then placeholder bytes.
-  sim::Task read(std::uint64_t addr, std::uint64_t len, Payload* out,
-                 bool* error = nullptr) {
+  sim::Task read(Bytes addr, Bytes len, Payload* out, bool* error = nullptr) {
     co_await s_.read_cmd_in().send(
         axis::Chunk{encode_read_command(addr, len), true, 0});
     co_await collect_read(out, error);
   }
 
   /// Issues a read command without waiting for data.
-  sim::Task start_read(std::uint64_t addr, std::uint64_t len) {
+  sim::Task start_read(Bytes addr, Bytes len) {
     co_await s_.read_cmd_in().send(
         axis::Chunk{encode_read_command(addr, len), true, 0});
   }
@@ -55,19 +54,19 @@ class PeClient {
   /// Writes `data` to device byte address `addr` (must be block-aligned)
   /// and waits for the response token. `*error` (if non-null) reports the
   /// response token's data-loss bit (recovery quarantine).
-  sim::Task write(std::uint64_t addr, Payload data,
-                  std::uint64_t chunk_bytes = 16 * KiB, bool* error = nullptr) {
+  sim::Task write(Bytes addr, Payload data, Bytes chunk_bytes = Bytes{16 * KiB},
+                  bool* error = nullptr) {
     co_await start_write(addr, std::move(data), chunk_bytes);
     co_await wait_write_response(error);
   }
 
   /// Streams the write without waiting for the token.
-  sim::Task start_write(std::uint64_t addr, Payload data,
-                        std::uint64_t chunk_bytes = 16 * KiB) {
+  sim::Task start_write(Bytes addr, Payload data,
+                        Bytes chunk_bytes = Bytes{16 * KiB}) {
     co_await s_.write_in().send(
         axis::Chunk{encode_write_address(addr), false, 0});
-    co_await axis::send_chunked(s_.write_in(), std::move(data), chunk_bytes,
-                                /*final_last=*/true);
+    co_await axis::send_chunked(s_.write_in(), std::move(data),
+                                chunk_bytes.value(), /*final_last=*/true);
   }
 
   sim::Task wait_write_response(bool* error = nullptr) {

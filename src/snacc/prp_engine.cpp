@@ -26,42 +26,42 @@ Payload synthesize(std::uint64_t first_index, std::uint64_t len, EntryFn entry_o
 // ---------------------------------------------------------------------------
 // UramPrpEngine
 
-UramPrpEngine::UramPrpEngine(pcie::Addr window_base, std::uint64_t buffer_bytes)
+UramPrpEngine::UramPrpEngine(pcie::Addr window_base, Bytes buffer_bytes)
     : window_base_(window_base),
       buffer_bytes_(buffer_bytes),
-      select_bit_(buffer_bytes) {
-  assert((buffer_bytes & (buffer_bytes - 1)) == 0 && "buffer must be 2^k");
-  assert(window_base % (2 * buffer_bytes) == 0 &&
+      select_bit_(buffer_bytes.value()) {
+  assert((select_bit_ & (select_bit_ - 1)) == 0 && "buffer must be 2^k");
+  assert(window_base.value() % (2 * select_bit_) == 0 &&
          "window must be naturally aligned so the select bit is clean");
 }
 
-PrpPair UramPrpEngine::make(std::uint64_t buffer_offset, std::uint64_t len) const {
-  assert(buffer_offset % kPageSize == 0);
+PrpPair UramPrpEngine::make(Bytes buffer_offset, Bytes len) const {
+  assert(buffer_offset.value() % kPageSize == 0);
   assert(buffer_offset + len <= buffer_bytes_);
   PrpPair p;
   p.prp1 = window_base_ + buffer_offset;
-  const std::uint64_t pages = (len + kPageSize - 1) / kPageSize;
+  const std::uint64_t pages = (len.value() + kPageSize - 1) / kPageSize;
   if (pages <= 1) return p;
-  const std::uint64_t second = buffer_offset + kPageSize;
+  const Bytes second = buffer_offset + Bytes{kPageSize};
   if (pages == 2) {
     p.prp2 = window_base_ + second;
   } else {
     // Bit `select_bit_` redirects the controller's list read to the upper
     // half of the window, where this engine synthesizes entries.
-    p.prp2 = window_base_ + (second | select_bit_);
+    p.prp2 = window_base_ + Bytes{second.value() | select_bit_};
   }
   return p;
 }
 
-Payload UramPrpEngine::serve(std::uint64_t local, std::uint64_t len) const {
+Payload UramPrpEngine::serve(Bytes local, Bytes len) const {
   assert(is_prp_read(local));
-  const std::uint64_t byte_off = local & (select_bit_ - 1);
+  const std::uint64_t byte_off = local.value() & (select_bit_ - 1);
   const std::uint64_t second_page = byte_off & ~(kPageSize - 1);
   const std::uint64_t first_index = (byte_off & (kPageSize - 1)) / 8;
-  return synthesize(first_index, len, [&](std::uint64_t n) {
+  return synthesize(first_index, len.value(), [&](std::uint64_t n) {
     // n-th list entry = (n+2)-th buffer page = second_page + n*4096,
     // expressed as a global PCIe address into the data (lower) half.
-    return window_base_ + second_page + n * kPageSize;
+    return (window_base_ + Bytes{second_page + n * kPageSize}).value();
   });
 }
 
@@ -71,39 +71,39 @@ Payload UramPrpEngine::serve(std::uint64_t local, std::uint64_t len) const {
 RegfilePrpEngine::RegfilePrpEngine(pcie::Addr prp_window_base,
                                    const AddressTranslator& xlat,
                                    std::uint16_t slots)
-    : prp_window_base_(prp_window_base), xlat_(xlat), regfile_(slots, 0) {}
+    : prp_window_base_(prp_window_base), xlat_(xlat), regfile_(slots) {}
 
-PrpPair RegfilePrpEngine::make(std::uint16_t slot, std::uint64_t buffer_offset,
-                               std::uint64_t len) {
-  assert(slot < regfile_.size());
-  assert(buffer_offset % kPageSize == 0);
+PrpPair RegfilePrpEngine::make(SlotIdx slot, Bytes buffer_offset, Bytes len) {
+  assert(slot.value() < regfile_.size());
+  assert(buffer_offset.value() % kPageSize == 0);
   PrpPair p;
   p.prp1 = xlat_.translate(buffer_offset);
-  const std::uint64_t pages = (len + kPageSize - 1) / kPageSize;
+  const std::uint64_t pages = (len.value() + kPageSize - 1) / kPageSize;
   if (pages <= 1) return p;
-  const std::uint64_t second = buffer_offset + kPageSize;
+  const Bytes second = buffer_offset + Bytes{kPageSize};
   if (pages == 2) {
     p.prp2 = xlat_.translate(second);
   } else {
-    regfile_[slot] = second;  // logical offset; translated per list entry
-    p.prp2 = prp_window_base_ + static_cast<std::uint64_t>(slot) * kPageSize;
+    regfile_[slot.value()] = second;  // logical offset; translated per entry
+    p.prp2 = prp_window_base_ +
+             Bytes{static_cast<std::uint64_t>(slot.value()) * kPageSize};
   }
   return p;
 }
 
-Payload RegfilePrpEngine::serve(std::uint64_t local, std::uint64_t len) const {
-  const std::uint64_t slot = local / kPageSize;
+Payload RegfilePrpEngine::serve(Bytes local, Bytes len) const {
+  const std::uint64_t slot = local.value() / kPageSize;
   assert(slot < regfile_.size());
-  const std::uint64_t second = regfile_[slot];
-  const std::uint64_t first_index = (local & (kPageSize - 1)) / 8;
-  return synthesize(first_index, len, [&](std::uint64_t n) {
+  const Bytes second = regfile_[slot];
+  const std::uint64_t first_index = (local.value() & (kPageSize - 1)) / 8;
+  return synthesize(first_index, len.value(), [&](std::uint64_t n) {
     // Each page is translated individually: host-DRAM buffers may cross
     // 4 MB chunk boundaries mid-command. The controller reads whole list
     // pages, so entries past the command's buffer are synthesized but never
     // used; clamp them instead of translating past the chunk table.
-    const std::uint64_t logical = second + n * kPageSize;
+    const Bytes logical = second + Bytes{n * kPageSize};
     if (logical >= xlat_.capacity()) return std::uint64_t{0};
-    return xlat_.translate(logical);
+    return xlat_.translate(logical).value();
   });
 }
 

@@ -28,48 +28,46 @@ namespace snacc::core {
 class AddressTranslator {
  public:
   virtual ~AddressTranslator() = default;
-  virtual pcie::Addr translate(std::uint64_t logical_offset) const = 0;
+  virtual pcie::Addr translate(Bytes logical_offset) const = 0;
   /// One past the largest translatable offset (used to clamp synthesized
   /// PRP-list entries past the end of a command's buffer).
-  virtual std::uint64_t capacity() const = 0;
+  virtual Bytes capacity() const = 0;
 };
 
 /// Contiguous window (URAM window, on-board DRAM BAR).
 class LinearTranslator final : public AddressTranslator {
  public:
   explicit LinearTranslator(pcie::Addr base,
-                            std::uint64_t capacity = ~std::uint64_t{0})
+                            Bytes capacity = Bytes{~std::uint64_t{0}})
       : base_(base), capacity_(capacity) {}
-  pcie::Addr translate(std::uint64_t off) const override { return base_ + off; }
-  std::uint64_t capacity() const override { return capacity_; }
+  pcie::Addr translate(Bytes off) const override { return base_ + off; }
+  Bytes capacity() const override { return capacity_; }
 
  private:
   pcie::Addr base_;
-  std::uint64_t capacity_;
+  Bytes capacity_;
 };
 
 /// Host-DRAM variant: the kernel driver can only allocate 4 MB-contiguous
 /// pinned buffers (Sec. 4.3), so a 64 MB logical buffer is a table of chunks.
 class ChunkedTranslator final : public AddressTranslator {
  public:
-  ChunkedTranslator(std::vector<pcie::Addr> chunk_bases, std::uint64_t chunk_size)
+  ChunkedTranslator(std::vector<pcie::Addr> chunk_bases, Bytes chunk_size)
       : chunks_(std::move(chunk_bases)), chunk_size_(chunk_size) {}
 
-  pcie::Addr translate(std::uint64_t off) const override {
-    return chunks_.at(off / chunk_size_) + (off % chunk_size_);
+  pcie::Addr translate(Bytes off) const override {
+    return chunks_.at(off / chunk_size_) + off % chunk_size_;
   }
-  std::uint64_t capacity() const override {
-    return chunks_.size() * chunk_size_;
-  }
+  Bytes capacity() const override { return chunk_size_ * chunks_.size(); }
 
  private:
   std::vector<pcie::Addr> chunks_;
-  std::uint64_t chunk_size_;
+  Bytes chunk_size_;
 };
 
 struct PrpPair {
-  std::uint64_t prp1 = 0;
-  std::uint64_t prp2 = 0;
+  BusAddr prp1;
+  BusAddr prp2;
 };
 
 /// Fig. 2: bit-select scheme over a doubled URAM window.
@@ -77,20 +75,22 @@ class UramPrpEngine {
  public:
   /// `window_base`: global address of the 2*buffer_bytes URAM window.
   /// `buffer_bytes` must be a power of two (4 MB in the paper).
-  UramPrpEngine(pcie::Addr window_base, std::uint64_t buffer_bytes);
+  UramPrpEngine(pcie::Addr window_base, Bytes buffer_bytes);
 
   /// PRP entries for a command whose data sits at `buffer_offset`.
-  PrpPair make(std::uint64_t buffer_offset, std::uint64_t len) const;
+  PrpPair make(Bytes buffer_offset, Bytes len) const;
 
   /// True if a window-local address falls in the PRP (upper) half.
-  bool is_prp_read(std::uint64_t local) const { return (local & select_bit_) != 0; }
+  bool is_prp_read(Bytes local) const {
+    return (local.value() & select_bit_) != 0;
+  }
 
   /// Synthesizes list bytes for a read of [local, local+len) in the window.
-  Payload serve(std::uint64_t local, std::uint64_t len) const;
+  Payload serve(Bytes local, Bytes len) const;
 
  private:
   pcie::Addr window_base_;
-  std::uint64_t buffer_bytes_;
+  Bytes buffer_bytes_;
   std::uint64_t select_bit_;
 };
 
@@ -102,11 +102,10 @@ class RegfilePrpEngine {
                    std::uint16_t slots);
 
   /// Registers the command in `slot` and returns its PRP entries.
-  PrpPair make(std::uint16_t slot, std::uint64_t buffer_offset,
-               std::uint64_t len);
+  PrpPair make(SlotIdx slot, Bytes buffer_offset, Bytes len);
 
   /// Synthesizes list bytes for a read at window-local `local`.
-  Payload serve(std::uint64_t local, std::uint64_t len) const;
+  Payload serve(Bytes local, Bytes len) const;
 
   std::uint16_t slots() const {
     return static_cast<std::uint16_t>(regfile_.size());
@@ -115,7 +114,7 @@ class RegfilePrpEngine {
  private:
   pcie::Addr prp_window_base_;
   const AddressTranslator& xlat_;
-  std::vector<std::uint64_t> regfile_;  // second-page logical offset per slot
+  std::vector<Bytes> regfile_;  // second-page logical offset per slot
 };
 
 }  // namespace snacc::core

@@ -2,7 +2,7 @@
 
 namespace snacc::core {
 
-sim::Task ReorderBuffer::alloc(RobEntry entry, std::uint16_t* slot_out) {
+sim::Task ReorderBuffer::alloc(RobEntry entry, SlotIdx* slot_out) {
   while (count_ == entries_.size()) {
     slot_free_.close();
     co_await slot_free_.opened();
@@ -15,17 +15,17 @@ sim::Task ReorderBuffer::alloc(RobEntry entry, std::uint16_t* slot_out) {
   tail_ = static_cast<std::uint16_t>((tail_ + 1) % entries_.size());
   ++count_;
   refresh_head_gate();
-  *slot_out = slot;
+  *slot_out = SlotIdx{slot};
 }
 
-bool ReorderBuffer::complete(std::uint16_t slot, nvme::Status status) {
-  assert(slot < entries_.size());
+bool ReorderBuffer::complete(SlotIdx slot, nvme::Status status) {
+  assert(slot.value() < entries_.size());
   // A completion for a slot that is not in the current window, or that is
   // already completed, is stale: the watchdog declared the original command
   // lost and a retry (or retirement) has since moved on. Absorb it.
   const std::uint16_t offset = static_cast<std::uint16_t>(
-      (slot + entries_.size() - head_) % entries_.size());
-  RobEntry& e = entries_[slot];
+      (slot.value() + entries_.size() - head_) % entries_.size());
+  RobEntry& e = entries_[slot.value()];
   if (count_ == 0 || offset >= count_ || e.completed) {
     ++stale_completions_;
     return false;

@@ -28,7 +28,7 @@ namespace snacc::core {
 struct RobEntry {
   bool is_write = false;
   SubCommand sub;              // device-side shape of this command
-  std::uint64_t buffer_offset = 0;  // where its data lives in the buffer ring
+  Bytes buffer_offset;         // where its data lives in the buffer ring
   std::uint64_t user_tag = 0;  // ties sub-commands back to the user command
   bool completed = false;
   bool fetch_started = false;  // read-out prefetch issued
@@ -36,7 +36,7 @@ struct RobEntry {
   Payload data;                // prefetched read data awaiting stream-out
   nvme::Status status = nvme::Status::kSuccess;
   std::uint8_t retries = 0;    // resubmissions of this slot (recovery path)
-  TimePs submitted_at = 0;     // last SQE submission time; 0 = not yet sent
+  TimePs submitted_at;         // last SQE submission time; 0 = not yet sent
 
   // User-provided special members: entries travel through coroutine
   // parameters; see the g++ 12 aggregate-move note in sim/channel.hpp.
@@ -62,15 +62,15 @@ class ReorderBuffer {
   bool empty() const { return count_ == 0; }
 
   /// Claims the next slot in order; suspends while the window is full.
-  /// Returns the slot index (== CID).
-  sim::Task alloc(RobEntry entry, std::uint16_t* slot_out);
+  /// Returns the slot index (its CID is `cid_of(slot)`).
+  sim::Task alloc(RobEntry entry, SlotIdx* slot_out);
 
   /// Marks `slot` complete (called when the controller's CQE arrives).
   /// Returns false for a *stale* completion -- a slot not in flight or
   /// already completed, which only happens when the recovery path timed the
   /// original command out and resubmitted it; stale CQEs are absorbed here
   /// instead of corrupting the retried command's state.
-  bool complete(std::uint16_t slot, nvme::Status status);
+  bool complete(SlotIdx slot, nvme::Status status);
 
   /// True when the head (oldest) entry exists and is complete.
   bool head_ready() const {
@@ -85,14 +85,14 @@ class ReorderBuffer {
     return entries_[head_];
   }
 
-  /// Slot index of the head entry (== the CID a retry must reuse).
-  std::uint16_t head_slot() const {
+  /// Slot index of the head entry (a retry must reuse `cid_of` it).
+  SlotIdx head_slot() const {
     assert(count_ > 0);
-    return head_;
+    return SlotIdx{head_};
   }
 
   /// Direct slot access (the streamer stamps submission times).
-  RobEntry& at(std::uint16_t slot) { return entries_.at(slot); }
+  RobEntry& at(SlotIdx slot) { return entries_.at(slot.value()); }
 
   /// Marks the head entry completed with `status` without a CQE -- the
   /// watchdog path for a lost completion.

@@ -52,8 +52,8 @@ double ResourceUsage::uram_pct() const {
 }
 
 ResourceUsage estimate_resources(const StreamerConfig& cfg,
-                                 std::uint64_t uram_buffer_bytes,
-                                 std::uint64_t dram_buffer_bytes) {
+                                 Bytes uram_buffer_bytes,
+                                 Bytes dram_buffer_bytes) {
   ResourceUsage u;
   auto add = [&u](const Cost& c) {
     u.lut += c.lut;
@@ -64,17 +64,17 @@ ResourceUsage estimate_resources(const StreamerConfig& cfg,
   switch (cfg.variant) {
     case Variant::kUram:
       add(kUramInterface);
-      u.uram_bytes = uram_buffer_bytes;
+      u.uram_bytes = uram_buffer_bytes.value();
       break;
     case Variant::kOnboardDram:
       add(kRegfilePrp);
       add(kDramAxiMaster);
-      u.dram_bytes = 2 * dram_buffer_bytes;
+      u.dram_bytes = 2 * dram_buffer_bytes.value();
       break;
     case Variant::kHostDram:
       add(kRegfilePrp);
       add(kHostDmaMaster);
-      u.dram_bytes = 2 * dram_buffer_bytes;
+      u.dram_bytes = 2 * dram_buffer_bytes.value();
       u.dram_is_host_pinned = true;
       break;
     case Variant::kHbm:
@@ -84,7 +84,7 @@ ResourceUsage estimate_resources(const StreamerConfig& cfg,
       u.lut += 3200;
       u.ff += 4100;
       u.bram_36k += 8.0;
-      u.dram_bytes = 2 * dram_buffer_bytes;
+      u.dram_bytes = 2 * dram_buffer_bytes.value();
       break;
   }
   if (cfg.out_of_order) {

@@ -44,8 +44,8 @@ struct U280 {
 
 /// Computes the NVMe Streamer's resource usage for a variant/configuration.
 ResourceUsage estimate_resources(const StreamerConfig& cfg,
-                                 std::uint64_t uram_buffer_bytes = 4 * MiB,
-                                 std::uint64_t dram_buffer_bytes = 64 * MiB);
+                                 Bytes uram_buffer_bytes = Bytes{4 * MiB},
+                                 Bytes dram_buffer_bytes = Bytes{64 * MiB});
 
 std::string format_table1_row(Variant v, const ResourceUsage& u);
 

@@ -8,23 +8,23 @@ namespace {
 constexpr std::uint64_t kLba = nvme::kLbaSize;
 }
 
-std::vector<SubCommand> split_read(std::uint64_t addr, std::uint64_t len,
+std::vector<SubCommand> split_read(Bytes addr, Bytes len,
                                    const SplitLimits& limits) {
   std::vector<SubCommand> out;
-  if (len == 0) return out;
-  std::uint64_t remaining = len;
-  std::uint64_t cur = addr;
-  while (remaining > 0) {
+  if (len.is_zero()) return out;
+  Bytes remaining = len;
+  Bytes cur = addr;
+  while (!remaining.is_zero()) {
     // Align subsequent pieces to MDTS boundaries on the device so steady
     // state issues maximal commands regardless of the starting offset.
-    const std::uint64_t to_boundary =
-        limits.max_transfer - (cur % limits.max_transfer);
-    const std::uint64_t piece = std::min(remaining, to_boundary);
+    const Bytes to_boundary = limits.max_transfer - cur % limits.max_transfer;
+    const Bytes piece = std::min(remaining, to_boundary);
 
     SubCommand sc;
-    sc.slba = cur / kLba;
-    sc.trim_head = static_cast<std::uint32_t>(cur % kLba);
-    const std::uint64_t span = sc.trim_head + piece;  // device bytes covered
+    sc.slba = Lba{cur.value() / kLba};
+    sc.trim_head = static_cast<std::uint32_t>(cur.value() % kLba);
+    const std::uint64_t span =
+        sc.trim_head + piece.value();  // device bytes covered
     sc.blocks = static_cast<std::uint32_t>((span + kLba - 1) / kLba);
     sc.payload_bytes = piece;
     sc.last = piece == remaining;
@@ -36,21 +36,21 @@ std::vector<SubCommand> split_read(std::uint64_t addr, std::uint64_t len,
   return out;
 }
 
-std::vector<SubCommand> split_write(std::uint64_t addr, std::uint64_t len,
+std::vector<SubCommand> split_write(Bytes addr, Bytes len,
                                     const SplitLimits& limits) {
   std::vector<SubCommand> out;
-  if (len == 0) return out;
-  if (addr % kLba != 0 || len % kLba != 0) return out;  // caller checks
-  std::uint64_t remaining = len;
-  std::uint64_t cur = addr;
-  while (remaining > 0) {
-    const std::uint64_t to_boundary =
-        limits.max_transfer - (cur % limits.max_transfer);
-    const std::uint64_t piece = std::min(remaining, to_boundary);
+  if (len.is_zero()) return out;
+  if (addr.value() % kLba != 0 || len.value() % kLba != 0)
+    return out;  // caller checks
+  Bytes remaining = len;
+  Bytes cur = addr;
+  while (!remaining.is_zero()) {
+    const Bytes to_boundary = limits.max_transfer - cur % limits.max_transfer;
+    const Bytes piece = std::min(remaining, to_boundary);
     SubCommand sc;
-    sc.slba = cur / kLba;
+    sc.slba = Lba{cur.value() / kLba};
     sc.trim_head = 0;
-    sc.blocks = static_cast<std::uint32_t>(piece / kLba);
+    sc.blocks = static_cast<std::uint32_t>(piece.value() / kLba);
     sc.payload_bytes = piece;
     sc.last = piece == remaining;
     out.push_back(sc);

@@ -15,30 +15,30 @@
 namespace snacc::core {
 
 struct SubCommand {
-  std::uint64_t slba = 0;        // starting logical block on the device
+  Lba slba;                      // starting logical block on the device
   std::uint32_t blocks = 0;      // whole blocks covered
   std::uint32_t trim_head = 0;   // bytes to drop from the first block
-  std::uint64_t payload_bytes = 0;  // user-visible bytes of this piece
+  Bytes payload_bytes;           // user-visible bytes of this piece
   bool last = false;             // final piece of the user command
 
-  std::uint64_t buffer_bytes() const {
-    return static_cast<std::uint64_t>(blocks) * nvme::kLbaSize;
+  Bytes buffer_bytes() const {
+    return Bytes{static_cast<std::uint64_t>(blocks) * nvme::kLbaSize};
   }
 };
 
 struct SplitLimits {
-  std::uint64_t max_transfer = 1 * MiB;  // device MDTS
+  Bytes max_transfer{1 * MiB};  // device MDTS
 };
 
 /// Splits a read of [addr, addr+len) device bytes. Pieces after the first
 /// are MDTS-aligned on the device so the middle of a long transfer always
 /// issues full-size commands (the paper's "split at each 1 MB boundary").
-std::vector<SubCommand> split_read(std::uint64_t addr, std::uint64_t len,
+std::vector<SubCommand> split_read(Bytes addr, Bytes len,
                                    const SplitLimits& limits);
 
 /// Splits a write of `len` bytes to device byte address `addr`. Both must be
 /// block-aligned (checked); returns an empty vector on violation.
-std::vector<SubCommand> split_write(std::uint64_t addr, std::uint64_t len,
+std::vector<SubCommand> split_write(Bytes addr, Bytes len,
                                     const SplitLimits& limits);
 
 }  // namespace snacc::core

@@ -40,28 +40,30 @@ const char* variant_name(Variant v) {
   return "?";
 }
 
-Payload encode_read_command(std::uint64_t addr, std::uint64_t len) {
+Payload encode_read_command(Bytes addr, Bytes len) {
   std::vector<std::byte> raw(16);
-  std::memcpy(raw.data(), &addr, 8);
-  std::memcpy(raw.data() + 8, &len, 8);
+  const std::uint64_t a = addr.value();
+  const std::uint64_t l = len.value();
+  std::memcpy(raw.data(), &a, 8);
+  std::memcpy(raw.data() + 8, &l, 8);
   return Payload::bytes(std::move(raw));
 }
 
-bool decode_read_command(const Payload& p, std::uint64_t* addr,
-                         std::uint64_t* len) {
+bool decode_read_command(const Payload& p, Bytes* addr, Bytes* len) {
   if (!p.has_data() || p.size() < 16) return false;
-  *addr = read_u64(p, 0);
-  *len = read_u64(p, 8);
+  *addr = Bytes{read_u64(p, 0)};
+  *len = Bytes{read_u64(p, 8)};
   return true;
 }
 
-Payload encode_write_address(std::uint64_t addr) {
+Payload encode_write_address(Bytes addr) {
   std::vector<std::byte> raw(8);
-  std::memcpy(raw.data(), &addr, 8);
+  const std::uint64_t a = addr.value();
+  std::memcpy(raw.data(), &a, 8);
   return Payload::bytes(std::move(raw));
 }
 
-std::uint64_t decode_write_address(const Payload& p) { return read_u64(p, 0); }
+Bytes decode_write_address(const Payload& p) { return Bytes{read_u64(p, 0)}; }
 
 // ---------------------------------------------------------------------------
 
@@ -103,7 +105,7 @@ void NvmeStreamer::start() {
   // The watchdog is a periodic process; spawning it unconditionally would
   // keep the event queue non-empty forever (breaking sim.run()-to-quiescence
   // callers) and perturb event ordering of fault-free runs. Recovery only.
-  if (cfg_.recovery && cfg_.cmd_timeout > 0) {
+  if (cfg_.recovery && !cfg_.cmd_timeout.is_zero()) {
     sim_.spawn(watchdog_loop());
   }
 }
@@ -111,10 +113,10 @@ void NvmeStreamer::start() {
 // ---------------------------------------------------------------------------
 // FPGA BAR hooks
 
-Payload NvmeStreamer::serve_sq_read(std::uint64_t local, std::uint64_t len) const {
-  std::vector<std::byte> raw(len, std::byte{0});
-  for (std::uint64_t i = 0; i < len; ++i) {
-    const std::uint64_t a = local + i;
+Payload NvmeStreamer::serve_sq_read(Bytes local, Bytes len) const {
+  std::vector<std::byte> raw(len.value(), std::byte{0});
+  for (std::uint64_t i = 0; i < len.value(); ++i) {
+    const std::uint64_t a = local.value() + i;
     const std::uint64_t slot = a / nvme::kSqeSize;
     if (slot >= sq_slots_.size()) break;
     raw[i] = sq_slots_[slot][a % nvme::kSqeSize];
@@ -122,26 +124,27 @@ Payload NvmeStreamer::serve_sq_read(std::uint64_t local, std::uint64_t len) cons
   return Payload::bytes(std::move(raw));
 }
 
-void NvmeStreamer::on_cqe_write(std::uint64_t local, const Payload& data) {
+void NvmeStreamer::on_cqe_write(Bytes local, const Payload& data) {
   assert(data.has_data() && data.size() >= nvme::kCqeSize);
   const auto cqe = nvme::CompletionEntry::decode(data.view());
-  cq_head_ = static_cast<std::uint16_t>((local / nvme::kCqeSize + 1) % sq_entries_);
+  cq_head_ = static_cast<std::uint16_t>(
+      (local.value() / nvme::kCqeSize + 1) % sq_entries_);
   if (cqe.status != nvme::Status::kSuccess) ++errors_;
   // A stale CQE (for a command the watchdog already declared lost and the
   // retirement engine resubmitted) is absorbed by the ROB and must not
   // release an issue credit it never held.
-  const bool accepted = rob_.complete(cqe.cid, cqe.status);
+  const bool accepted = rob_.complete(slot_of(cqe.cid), cqe.status);
   if (cfg_.out_of_order && accepted) issue_credits_->release();
   prefetch_kick_->open();
 }
 
-Payload NvmeStreamer::serve_prp_read(std::uint64_t local, std::uint64_t len) const {
+Payload NvmeStreamer::serve_prp_read(Bytes local, Bytes len) const {
   if (res_.uram_prp != nullptr) return res_.uram_prp->serve(local, len);
   return res_.regfile_prp->serve(local, len);
 }
 
-PrpPair NvmeStreamer::make_prps(std::uint16_t slot, std::uint64_t absolute_offset,
-                                std::uint64_t len) {
+PrpPair NvmeStreamer::make_prps(SlotIdx slot, Bytes absolute_offset,
+                                Bytes len) {
   if (res_.uram_prp != nullptr) return res_.uram_prp->make(absolute_offset, len);
   return res_.regfile_prp->make(slot, absolute_offset, len);
 }
@@ -150,13 +153,12 @@ PrpPair NvmeStreamer::make_prps(std::uint16_t slot, std::uint64_t absolute_offse
 // Submission
 
 sim::Task NvmeStreamer::submit(const SubCommand& sub, bool is_write,
-                               std::uint16_t slot,
-                               std::uint64_t absolute_buffer_offset) {
+                               SlotIdx slot, Bytes absolute_buffer_offset) {
   const PrpPair prps = make_prps(slot, absolute_buffer_offset, sub.buffer_bytes());
   nvme::SubmissionEntry sqe;
   sqe.opcode = static_cast<std::uint8_t>(is_write ? nvme::IoOpcode::kWrite
                                                   : nvme::IoOpcode::kRead);
-  sqe.cid = slot;
+  sqe.cid = cid_of(slot);
   sqe.slba = sub.slba;
   sqe.nlb = static_cast<std::uint16_t>(sub.blocks - 1);
   sqe.prp1 = prps.prp1;
@@ -165,8 +167,9 @@ sim::Task NvmeStreamer::submit(const SubCommand& sub, bool is_write,
   sq_tail_ = static_cast<std::uint16_t>((sq_tail_ + 1) % sq_entries_);
   ++commands_submitted_;
   rob_.at(slot).submitted_at = sim_.now();
-  sim_.trace(sim::TraceCat::kStreamerCmd, is_write ? "submit-write" : "submit-read",
-             slot, sub.slba);
+  sim_.trace(sim::TraceCat::kStreamerCmd,
+             is_write ? "submit-write" : "submit-read", slot.value(),
+             sub.slba.value());
   // Posted doorbell: the SQE is already visible in the FIFO window.
   (void)fabric_.write(fpga_port_,
                       ssd_bar_ + nvme::reg::sq_tail_doorbell(cfg_.nvme_qid),
@@ -188,9 +191,9 @@ sim::Task NvmeStreamer::read_cmd_loop() {
   while (true) {
     auto chunk = co_await read_cmd_in_.recv();
     if (!chunk) co_return;
-    std::uint64_t addr = 0;
-    std::uint64_t len = 0;
-    if (!decode_read_command(chunk->data, &addr, &len) || len == 0) {
+    Bytes addr;
+    Bytes len;
+    if (!decode_read_command(chunk->data, &addr, &len) || len.is_zero()) {
       ++errors_;
       continue;
     }
@@ -199,14 +202,14 @@ sim::Task NvmeStreamer::read_cmd_loop() {
     for (const SubCommand& sub : subs) {
       co_await issue_credits_->acquire();
       co_await alloc_mutex_->acquire();
-      std::uint64_t off = 0;
+      Bytes off;
       co_await res_.read_ring->alloc(sub.buffer_bytes(), &off);
       RobEntry entry;
       entry.is_write = false;
       entry.sub = sub;
       entry.buffer_offset = off;
       entry.user_tag = tag;
-      std::uint16_t slot = 0;
+      SlotIdx slot;
       co_await rob_.alloc(std::move(entry), &slot);
       alloc_mutex_->release();
       co_await sim_.delay(clock_cycles(fpga_.read_submit_cycles));
@@ -224,21 +227,21 @@ sim::Task NvmeStreamer::write_cmd_loop() {
   while (true) {
     auto first = co_await write_in_.recv();
     if (!first) co_return;
-    const std::uint64_t addr = decode_write_address(first->data);
-    if (addr % nvme::kLbaSize != 0 || first->last) {
+    const Bytes addr = decode_write_address(first->data);
+    if (addr.value() % nvme::kLbaSize != 0 || first->last) {
       ++errors_;
       continue;  // malformed packet: misaligned or missing data beats
     }
     const std::uint64_t tag = next_user_tag_++;
-    std::uint64_t dev_cursor = addr;
+    Bytes dev_cursor = addr;
     bool last_seen = false;
 
     while (!last_seen) {
-      const std::uint64_t boundary =
-          SplitLimits{}.max_transfer - (dev_cursor % SplitLimits{}.max_transfer);
+      const Bytes boundary =
+          SplitLimits{}.max_transfer - dev_cursor % SplitLimits{}.max_transfer;
       std::vector<Payload> parts;
       std::uint64_t acc = 0;
-      while (acc < boundary && !last_seen) {
+      while (acc < boundary.value() && !last_seen) {
         axis::Chunk piece;
         if (spill) {
           piece = std::move(*spill);
@@ -248,7 +251,7 @@ sim::Task NvmeStreamer::write_cmd_loop() {
           if (!c) co_return;  // stream closed mid-packet
           piece = std::move(*c);
         }
-        const std::uint64_t room = boundary - acc;
+        const std::uint64_t room = boundary.value() - acc;
         if (piece.data.size() > room) {
           // Split the chunk at the 1 MB boundary; remainder spills over.
           axis::Chunk rest;
@@ -276,21 +279,21 @@ sim::Task NvmeStreamer::write_cmd_loop() {
       }
 
       SubCommand sub;
-      sub.slba = dev_cursor / nvme::kLbaSize;
+      sub.slba = Lba{dev_cursor.value() / nvme::kLbaSize};
       sub.blocks = static_cast<std::uint32_t>(padded / nvme::kLbaSize);
-      sub.payload_bytes = acc;
+      sub.payload_bytes = Bytes{acc};
       sub.last = last_seen;
 
       co_await issue_credits_->acquire();
       co_await alloc_mutex_->acquire();
-      std::uint64_t off = 0;
-      co_await res_.write_ring->alloc(padded, &off);
+      Bytes off;
+      co_await res_.write_ring->alloc(Bytes{padded}, &off);
       RobEntry entry;
       entry.is_write = true;
       entry.sub = sub;
       entry.buffer_offset = off;
       entry.user_tag = tag;
-      std::uint16_t slot = 0;
+      SlotIdx slot;
       co_await rob_.alloc(std::move(entry), &slot);
       alloc_mutex_->release();
       co_await sim_.delay(clock_cycles(fpga_.write_submit_cycles));
@@ -306,12 +309,12 @@ sim::Task NvmeStreamer::write_cmd_loop() {
           sub, slot, res_.write_region_base + off, std::move(fill_fut)));
 
       bytes_written_ += acc;
-      dev_cursor += padded;
+      dev_cursor += Bytes{padded};
     }
   }
 }
 
-sim::Task NvmeStreamer::run_fill(BufferBackend* backend, std::uint64_t off,
+sim::Task NvmeStreamer::run_fill(BufferBackend* backend, Bytes off,
                                  Payload data, sim::Promise<sim::Done> done) {
   co_await backend->fill(off, std::move(data));
   done.set(sim::Done{});
@@ -339,10 +342,10 @@ sim::Task NvmeStreamer::retire_loop() {
       if (head.retries < cfg_.max_retries) {
         // Bounded retry: a fresh SQE reuses the same ROB slot (CID) and the
         // same buffer range, with exponential backoff between attempts.
-        const std::uint16_t slot = rob_.head_slot();
+        const SlotIdx slot = rob_.head_slot();
         const bool is_write = head.is_write;
         const SubCommand sub = head.sub;
-        const std::uint64_t abs_off =
+        const Bytes abs_off =
             (is_write ? res_.write_region_base : res_.read_region_base) +
             head.buffer_offset;
         // An error CQE released this command's OOO issue credit on arrival;
@@ -352,10 +355,11 @@ sim::Task NvmeStreamer::retire_loop() {
         const bool had_cqe = head.status != nvme::Status::kWatchdogTimeout;
         const std::uint8_t attempt = ++head.retries;
         ++retries_;
-        sim_.trace(sim::TraceCat::kStreamerRetire, "retry", slot, attempt);
+        sim_.trace(sim::TraceCat::kStreamerRetire, "retry", slot.value(),
+                   attempt);
         rob_.reopen_head();
         if (cfg_.out_of_order && had_cqe) co_await issue_credits_->acquire();
-        co_await sim_.delay(cfg_.retry_backoff << (attempt - 1));
+        co_await sim_.delay(cfg_.retry_backoff * (1ull << (attempt - 1)));
         co_await submit(sub, is_write, slot, abs_off);
         continue;
       }
@@ -369,8 +373,8 @@ sim::Task NvmeStreamer::retire_loop() {
         // The lost command's CQE never arrived to release its OOO credit.
         issue_credits_->release();
       }
-      sim_.trace(sim::TraceCat::kStreamerRetire, "quarantine", rob_.head_slot(),
-                 head.user_tag);
+      sim_.trace(sim::TraceCat::kStreamerRetire, "quarantine",
+                 rob_.head_slot().value(), head.user_tag);
     }
     if (cfg_.recovery && !failed && head.retries > 0) ++recovered_;
     if (!head.is_write) {
@@ -382,9 +386,9 @@ sim::Task NvmeStreamer::retire_loop() {
           cfg_.out_of_order ? cfg_.ooo_retire_gap : fpga_.retire_gap_read;
       co_await sim_.delay(gap);
       Payload out = failed
-                        ? Payload::phantom(head.sub.payload_bytes)
+                        ? Payload::phantom(head.sub.payload_bytes.value())
                         : head.data.slice(head.sub.trim_head,
-                                          head.sub.payload_bytes);
+                                          head.sub.payload_bytes.value());
       const bool last = head.sub.last;
       bytes_read_ += out.size();
       sim_.trace(sim::TraceCat::kStreamerRetire, "retire-read", head.user_tag,
@@ -406,7 +410,7 @@ sim::Task NvmeStreamer::retire_loop() {
       const bool last = head.sub.last;
       const std::uint64_t tag = head.user_tag;
       sim_.trace(sim::TraceCat::kStreamerRetire, "retire-write", tag,
-                 head.sub.payload_bytes);
+                 head.sub.payload_bytes.value());
       if (failed) failed_write_tags_.insert(tag);
       res_.write_ring->free_oldest();
       rob_.retire();
@@ -433,12 +437,12 @@ sim::Task NvmeStreamer::watchdog_loop() {
     // anywhere in the window eventually becomes the head blocker, and its
     // submitted_at keeps accumulating age while it waits.
     RobEntry& head = rob_.head();
-    if (head.completed || head.submitted_at == 0) continue;
+    if (head.completed || head.submitted_at.is_zero()) continue;
     if (sim_.now() - head.submitted_at < cfg_.cmd_timeout) continue;
     ++watchdog_timeouts_;
     ++errors_;
     sim_.trace(sim::TraceCat::kStreamerRetire, "watchdog-timeout",
-               rob_.head_slot(), head.user_tag);
+               rob_.head_slot().value(), head.user_tag);
     rob_.fail_head(nvme::Status::kWatchdogTimeout);
   }
 }

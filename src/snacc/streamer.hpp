@@ -79,12 +79,12 @@ inline constexpr std::uint64_t kReadErrorUser = 1;
 /// user write was quarantined (data loss).
 inline constexpr std::uint64_t kWriteRespErrorBit = 1ull << 63;
 
-/// Stream-protocol helpers for the user PE side.
-Payload encode_read_command(std::uint64_t addr, std::uint64_t len);
-bool decode_read_command(const Payload& p, std::uint64_t* addr,
-                         std::uint64_t* len);
-Payload encode_write_address(std::uint64_t addr);
-std::uint64_t decode_write_address(const Payload& p);
+/// Stream-protocol helpers for the user PE side. Addresses and lengths are
+/// device byte offsets / counts, so they travel as `Bytes`.
+Payload encode_read_command(Bytes addr, Bytes len);
+bool decode_read_command(const Payload& p, Bytes* addr, Bytes* len);
+Payload encode_write_address(Bytes addr);
+Bytes decode_write_address(const Payload& p);
 
 class NvmeStreamer {
  public:
@@ -94,8 +94,8 @@ class NvmeStreamer {
     BufferBackend* write_backend = nullptr;
     BufferRing* read_ring = nullptr;
     BufferRing* write_ring = nullptr;  // == read_ring for the shared URAM ring
-    std::uint64_t read_region_base = 0;   // logical offset of the read region
-    std::uint64_t write_region_base = 0;  // logical offset of the write region
+    Bytes read_region_base;   // logical offset of the read region
+    Bytes write_region_base;  // logical offset of the write region
     UramPrpEngine* uram_prp = nullptr;       // exactly one engine is set
     RegfilePrpEngine* regfile_prp = nullptr;
   };
@@ -114,17 +114,17 @@ class NvmeStreamer {
   axis::Stream& write_resp_out() { return write_resp_out_; }
 
   // FPGA BAR hooks (wired up by the device's Target adapters).
-  Payload serve_sq_read(std::uint64_t local, std::uint64_t len) const;
-  void on_cqe_write(std::uint64_t local, const Payload& data);
-  Payload serve_prp_read(std::uint64_t local, std::uint64_t len) const;
+  Payload serve_sq_read(Bytes local, Bytes len) const;
+  void on_cqe_write(Bytes local, const Payload& data);
+  Payload serve_prp_read(Bytes local, Bytes len) const;
 
   const StreamerConfig& config() const { return cfg_; }
   std::uint16_t sq_entries() const { return sq_entries_; }
-  std::uint64_t sq_window_bytes() const {
-    return static_cast<std::uint64_t>(sq_entries_) * nvme::kSqeSize;
+  Bytes sq_window_bytes() const {
+    return Bytes{static_cast<std::uint64_t>(sq_entries_) * nvme::kSqeSize};
   }
-  std::uint64_t cq_window_bytes() const {
-    return static_cast<std::uint64_t>(sq_entries_) * nvme::kCqeSize;
+  Bytes cq_window_bytes() const {
+    return Bytes{static_cast<std::uint64_t>(sq_entries_) * nvme::kCqeSize};
   }
 
   // Statistics.
@@ -147,12 +147,12 @@ class NvmeStreamer {
   /// never exposes an SQE whose payload is not yet buffered.
   struct PendingSubmit {
     SubCommand sub;
-    std::uint16_t slot = 0;
-    std::uint64_t absolute_offset = 0;
+    SlotIdx slot;
+    Bytes absolute_offset;
     sim::Future<sim::Done> fill_done;
 
     PendingSubmit() = default;
-    PendingSubmit(SubCommand s, std::uint16_t sl, std::uint64_t off,
+    PendingSubmit(SubCommand s, SlotIdx sl, Bytes off,
                   sim::Future<sim::Done> f)
         : sub(s), slot(sl), absolute_offset(off), fill_done(std::move(f)) {}
     PendingSubmit(PendingSubmit&&) noexcept = default;
@@ -162,7 +162,7 @@ class NvmeStreamer {
   sim::Task read_cmd_loop();
   sim::Task write_cmd_loop();
   sim::Task submit_committer();
-  sim::Task run_fill(BufferBackend* backend, std::uint64_t off, Payload data,
+  sim::Task run_fill(BufferBackend* backend, Bytes off, Payload data,
                      sim::Promise<sim::Done> done);
   sim::Task retire_loop();
   sim::Task prefetch_loop();
@@ -173,14 +173,11 @@ class NvmeStreamer {
   sim::Task watchdog_loop();
 
   /// Places the SQE in the FIFO, rings the SSD's SQ tail doorbell.
-  sim::Task submit(const SubCommand& sub, bool is_write, std::uint16_t slot,
-                   std::uint64_t absolute_buffer_offset);
-  PrpPair make_prps(std::uint16_t slot, std::uint64_t absolute_offset,
-                    std::uint64_t len);
+  sim::Task submit(const SubCommand& sub, bool is_write, SlotIdx slot,
+                   Bytes absolute_buffer_offset);
+  PrpPair make_prps(SlotIdx slot, Bytes absolute_offset, Bytes len);
   sim::Task ring_cq_doorbell();
-  TimePs clock_cycles(std::uint32_t n) const {
-    return static_cast<TimePs>(n) * fpga_.clock_period;
-  }
+  TimePs clock_cycles(std::uint32_t n) const { return fpga_.clock_period * n; }
 
   sim::Simulator& sim_;
   pcie::Fabric& fabric_;

@@ -20,29 +20,29 @@ namespace snacc::core {
 class StripedClient {
  public:
   explicit StripedClient(std::vector<NvmeStreamer*> streamers,
-                         std::uint64_t stripe_bytes = 1 * MiB)
+                         Bytes stripe_bytes = Bytes{1 * MiB})
       : stripe_(stripe_bytes) {
     for (NvmeStreamer* s : streamers) clients_.emplace_back(*s);
   }
 
   std::size_t device_count() const { return clients_.size(); }
-  std::uint64_t stripe_bytes() const { return stripe_; }
+  Bytes stripe_bytes() const { return stripe_; }
 
   /// Logical address -> (device, device-local address).
   struct Location {
     std::size_t device;
-    std::uint64_t addr;
+    Bytes addr;
   };
-  Location locate(std::uint64_t logical) const {
+  Location locate(Bytes logical) const {
     const std::uint64_t stripe_index = logical / stripe_;
     return Location{static_cast<std::size_t>(stripe_index % clients_.size()),
-                    (stripe_index / clients_.size()) * stripe_ +
+                    stripe_ * (stripe_index / clients_.size()) +
                         logical % stripe_};
   }
 
   /// Writes `data` at logical byte address `addr` (block-aligned).
-  sim::Task write(std::uint64_t addr, Payload data) {
-    auto plan = make_plan(addr, data.size());
+  sim::Task write(Bytes addr, Payload data) {
+    auto plan = make_plan(addr, Bytes{data.size()});
     sim::Simulator& sim = simulator();
     sim::WaitGroup wg(sim);
     wg.add(static_cast<int>(clients_.size()));
@@ -54,7 +54,7 @@ class StripedClient {
 
   /// Reads [addr, addr+len) into `*out` (nullptr: discard). Stripes land in
   /// logical order in the output regardless of completion order.
-  sim::Task read(std::uint64_t addr, std::uint64_t len, Payload* out) {
+  sim::Task read(Bytes addr, Bytes len, Payload* out) {
     auto plan = make_plan(addr, len);
     std::size_t total_stripes = 0;
     for (const auto& d : plan) total_stripes += d.size();
@@ -71,21 +71,19 @@ class StripedClient {
 
  private:
   struct Stripe {
-    std::uint64_t device_addr;
-    std::uint64_t logical_off;  // offset within the caller's buffer
-    std::uint64_t len;
-    std::size_t part_index;     // logical-order slot in the gather vector
+    Bytes device_addr;
+    Bytes logical_off;  // offset within the caller's buffer
+    Bytes len;
+    std::size_t part_index;  // logical-order slot in the gather vector
   };
 
   /// Splits [addr, addr+len) into per-device ordered stripe lists.
-  std::vector<std::vector<Stripe>> make_plan(std::uint64_t addr,
-                                             std::uint64_t len) const {
+  std::vector<std::vector<Stripe>> make_plan(Bytes addr, Bytes len) const {
     std::vector<std::vector<Stripe>> plan(clients_.size());
-    std::uint64_t off = 0;
+    Bytes off;
     std::size_t idx = 0;
     while (off < len) {
-      const std::uint64_t n =
-          std::min(len - off, stripe_ - (addr + off) % stripe_);
+      const Bytes n = std::min(len - off, stripe_ - (addr + off) % stripe_);
       const Location loc = locate(addr + off);
       plan[loc.device].push_back(Stripe{loc.addr, off, n, idx});
       off += n;
@@ -107,8 +105,8 @@ class StripedClient {
       static sim::Task run(PeClient* client, const std::vector<Stripe>* list,
                            const Payload* data) {
         for (const Stripe& s : *list) {
-          co_await client->start_write(s.device_addr,
-                                       data->slice(s.logical_off, s.len));
+          co_await client->start_write(
+              s.device_addr, data->slice(s.logical_off.value(), s.len.value()));
         }
       }
     };
@@ -139,7 +137,7 @@ class StripedClient {
   }
 
   std::vector<PeClient> clients_;
-  std::uint64_t stripe_;
+  Bytes stripe_;
 };
 
 }  // namespace snacc::core

@@ -35,11 +35,11 @@ Driver::Driver(sim::Simulator& sim, pcie::Fabric& fabric,
       ssd_(ssd),
       host_(host),
       cfg_(cfg),
-      admin_sq_(nvme::QueueConfig{0, 0, kAdminEntries}),
-      admin_cq_(nvme::QueueConfig{0, 0, kAdminEntries}),
-      io_sq_(nvme::QueueConfig{kIoQid, 0,
+      admin_sq_(nvme::QueueConfig{0, pcie::Addr{}, kAdminEntries}),
+      admin_cq_(nvme::QueueConfig{0, pcie::Addr{}, kAdminEntries}),
+      io_sq_(nvme::QueueConfig{kIoQid, pcie::Addr{},
                                static_cast<std::uint16_t>(cfg.queue_depth + 1)}),
-      io_cq_(nvme::QueueConfig{kIoQid, 0,
+      io_cq_(nvme::QueueConfig{kIoQid, pcie::Addr{},
                                static_cast<std::uint16_t>(cfg.queue_depth + 1)}) {
   admin_sq_ = nvme::SqRing(nvme::QueueConfig{0, global(admin_sq_off()), kAdminEntries});
   admin_cq_ = nvme::CqRing(nvme::QueueConfig{0, global(admin_cq_off()), kAdminEntries});
@@ -59,8 +59,8 @@ sim::Task Driver::init() {
   const pcie::Addr bar = ssd_.bar_base();
 
   // Admin queue registers, then enable.
-  co_await fabric_.write(root, bar + nvme::reg::kAsq, u64_payload(admin_sq_.config().base));
-  co_await fabric_.write(root, bar + nvme::reg::kAcq, u64_payload(admin_cq_.config().base));
+  co_await fabric_.write(root, bar + nvme::reg::kAsq, u64_payload(admin_sq_.config().base.value()));
+  co_await fabric_.write(root, bar + nvme::reg::kAcq, u64_payload(admin_cq_.config().base.value()));
   const std::uint32_t aqa = (kAdminEntries - 1) | ((kAdminEntries - 1u) << 16);
   co_await fabric_.write(root, bar + nvme::reg::kAqa, u32_payload(aqa));
   co_await fabric_.write(root, bar + nvme::reg::kCc, u32_payload(1));
@@ -68,7 +68,7 @@ sim::Task Driver::init() {
 
   // Poll CSTS.RDY.
   while (true) {
-    auto rr = co_await fabric_.read(root, bar + nvme::reg::kCsts, 4);
+    auto rr = co_await fabric_.read(root, bar + nvme::reg::kCsts, Bytes{4});
     std::uint32_t csts = 0;
     if (rr.data.has_data()) std::memcpy(&csts, rr.data.view().data(), 4);
     if (csts & 1) break;
@@ -85,8 +85,10 @@ sim::Task Driver::init() {
   co_await admin_cmd(identify, &st);
   assert(st == nvme::Status::kSuccess);
   identify_ = nvme::IdentifyController::decode(
-      host_mem_.store().read(local(identify_off()), kPageSize));
-  if (identify_.max_transfer_bytes != 0) max_transfer_ = identify_.max_transfer_bytes;
+      host_mem_.store().read(local(identify_off()).value(), kPageSize));
+  if (identify_.max_transfer_bytes != 0) {
+    max_transfer_ = Bytes{identify_.max_transfer_bytes};
+  }
 
   // Create the I/O completion queue, then the submission queue bound to it.
   nvme::SubmissionEntry create_cq;
@@ -128,10 +130,12 @@ sim::Task Driver::ring_cq_doorbell(std::uint16_t qid, std::uint16_t head) {
 
 sim::Task Driver::admin_cmd(nvme::SubmissionEntry sqe, nvme::Status* status,
                             std::uint32_t* dw0) {
-  sqe.cid = next_cid_++;
+  sqe.cid = Cid{next_cid_++};
   auto raw = sqe.encode();
-  host_mem_.store().write(admin_sq_.config().base - host_window_base_ +
-                              static_cast<std::uint64_t>(admin_sq_.tail()) * nvme::kSqeSize,
+  const Bytes sq_off =
+      (admin_sq_.config().base - host_window_base_) +
+      Bytes{static_cast<std::uint64_t>(admin_sq_.tail()) * nvme::kSqeSize};
+  host_mem_.store().write(sq_off.value(),
                           Payload::bytes({raw.begin(), raw.end()}));
   const std::uint16_t tail = admin_sq_.advance_tail();
   co_await ring_sq_doorbell(0, tail);
@@ -139,7 +143,7 @@ sim::Task Driver::admin_cmd(nvme::SubmissionEntry sqe, nvme::Status* status,
   // Poll the admin CQ.
   while (true) {
     Payload cqe_raw = host_mem_.store().read(
-        admin_cq_.head_addr() - host_window_base_, nvme::kCqeSize);
+        (admin_cq_.head_addr() - host_window_base_).value(), nvme::kCqeSize);
     if (cqe_raw.has_data()) {
       auto cqe = nvme::CompletionEntry::decode(cqe_raw.view());
       if (admin_cq_.is_new(cqe) && cqe.cid == sqe.cid) {
@@ -174,19 +178,19 @@ sim::Task Driver::submit_io(const IoDesc& io, std::uint16_t slot,
   nvme::SubmissionEntry sqe;
   sqe.opcode = static_cast<std::uint8_t>(io.is_write ? nvme::IoOpcode::kWrite
                                                      : nvme::IoOpcode::kRead);
-  sqe.cid = slot;
+  sqe.cid = Cid{slot};
   sqe.slba = io.lba;
-  sqe.nlb = static_cast<std::uint16_t>((io.bytes + nvme::kLbaSize - 1) /
-                                           nvme::kLbaSize - 1);
+  sqe.nlb = static_cast<std::uint16_t>(
+      (io.bytes.value() + nvme::kLbaSize - 1) / nvme::kLbaSize - 1);
   sqe.prp1 = buf;
   const std::uint64_t pages = nvme::prp_page_count(io.bytes);
   if (pages == 2) {
-    sqe.prp2 = buf + kPageSize;
+    sqe.prp2 = buf + Bytes{kPageSize};
   } else if (pages > 2) {
     // Materialize the PRP list in host memory -- the "naive" scheme.
     sqe.prp2 = global(prp_list_off(slot));
     auto lists = nvme::build_prp_lists(buf, io.bytes, sqe.prp2);
-    std::uint64_t page_addr = local(prp_list_off(slot));
+    std::uint64_t page_addr = local(prp_list_off(slot)).value();
     for (const auto& list : lists) {
       std::vector<std::byte> raw(list.size() * 8);
       std::memcpy(raw.data(), list.data(), raw.size());
@@ -199,7 +203,7 @@ sim::Task Driver::submit_io(const IoDesc& io, std::uint16_t slot,
   }
 
   auto raw = sqe.encode();
-  host_mem_.store().write(io_sq_.next_slot_addr() - host_window_base_,
+  host_mem_.store().write((io_sq_.next_slot_addr() - host_window_base_).value(),
                           Payload::bytes({raw.begin(), raw.end()}));
   const std::uint16_t tail = io_sq_.advance_tail();
   cpu_.charge(cfg_.submit_overhead);
@@ -215,8 +219,8 @@ sim::Task Driver::submit_io(const IoDesc& io, std::uint16_t slot,
 
 sim::Task Driver::poller() {
   while (pending_ > 0) {
-    Payload cqe_raw = host_mem_.store().read(io_cq_.head_addr() - host_window_base_,
-                                             nvme::kCqeSize);
+    Payload cqe_raw = host_mem_.store().read(
+        (io_cq_.head_addr() - host_window_base_).value(), nvme::kCqeSize);
     bool found = false;
     if (cqe_raw.has_data()) {
       auto cqe = nvme::CompletionEntry::decode(cqe_raw.view());
@@ -224,7 +228,7 @@ sim::Task Driver::poller() {
         found = true;
         io_sq_.update_head(cqe.sq_head);
         const std::uint16_t head = io_cq_.advance();
-        Slot& s = slots_.at(cqe.cid);
+        Slot& s = slots_.at(cqe.cid.value());
         assert(s.in_use);
         s.in_use = false;
         --pending_;
@@ -249,13 +253,13 @@ sim::Task Driver::poller() {
 sim::Task Driver::resubmit_one(IoDesc io, std::uint32_t attempt, Payload stage,
                                nvme::Status* status, std::uint16_t* slot_out) {
   ++io_retries_;
-  co_await sim_.delay(cfg_.retry_backoff << (attempt - 1));
+  co_await sim_.delay(cfg_.retry_backoff * (1ull << (attempt - 1)));
   co_await slot_sem_->acquire();
   std::uint16_t slot = 0;
   while (slots_[slot].in_use) ++slot;
   if (slot_out != nullptr) *slot_out = slot;
   if (stage.size() > 0) {
-    host_mem_.store().write(local(buffer_off(slot)), std::move(stage));
+    host_mem_.store().write(local(buffer_off(slot)).value(), std::move(stage));
   }
   sim::Promise<nvme::Status> promise(sim_);
   auto fut = promise.future();
@@ -265,20 +269,21 @@ sim::Task Driver::resubmit_one(IoDesc io, std::uint32_t attempt, Payload stage,
   *status = st;
 }
 
-sim::Task Driver::read(std::uint64_t lba, std::uint64_t bytes, Payload* out,
+sim::Task Driver::read(Lba lba, Bytes bytes, Payload* out,
                        nvme::Status* status) {
   nvme::Status final_status = nvme::Status::kSuccess;
   Payload assembled;
-  std::uint64_t done_bytes = 0;
+  Bytes done_bytes;
   while (done_bytes < bytes) {
-    const std::uint64_t n = std::min(bytes - done_bytes, max_transfer_);
+    const Bytes n = std::min(bytes - done_bytes, max_transfer_);
     co_await slot_sem_->acquire();
     std::uint16_t slot = 0;
     while (slots_[slot].in_use) ++slot;
     sim::Promise<nvme::Status> promise(sim_);
     auto fut = promise.future();
-    co_await submit_io(IoDesc{false, lba + done_bytes / nvme::kLbaSize, n}, slot,
-                       &promise);
+    co_await submit_io(
+        IoDesc{false, lba + done_bytes.value() / nvme::kLbaSize, n}, slot,
+        &promise);
     nvme::Status st = co_await fut;
     if (st != nvme::Status::kSuccess) {
       ++io_errors_;
@@ -288,8 +293,8 @@ sim::Task Driver::read(std::uint64_t lba, std::uint64_t bytes, Payload* out,
         // The retry claims a fresh slot; `slot` tracks it so the buffer
         // read-back below picks up the retried command's data.
         co_await resubmit_one(
-            IoDesc{false, lba + done_bytes / nvme::kLbaSize, n}, attempt,
-            Payload{}, &st, &slot);
+            IoDesc{false, lba + done_bytes.value() / nvme::kLbaSize, n},
+            attempt, Payload{}, &st, &slot);
       }
       if (st != nvme::Status::kSuccess) {
         ++io_failed_;
@@ -300,7 +305,8 @@ sim::Task Driver::read(std::uint64_t lba, std::uint64_t bytes, Payload* out,
     // the calibrated host-stack term of Fig. 4c.
     co_await sim_.delay(host_.spdk_read_stack);
     if (out != nullptr) {
-      Payload part = host_mem_.store().read(local(buffer_off(slot)), n);
+      Payload part =
+          host_mem_.store().read(local(buffer_off(slot)).value(), n.value());
       assembled = assembled.empty() ? std::move(part)
                                     : Payload::concat(assembled, part);
     }
@@ -310,22 +316,24 @@ sim::Task Driver::read(std::uint64_t lba, std::uint64_t bytes, Payload* out,
   if (status != nullptr) *status = final_status;
 }
 
-sim::Task Driver::write(std::uint64_t lba, Payload data, nvme::Status* status) {
+sim::Task Driver::write(Lba lba, Payload data, nvme::Status* status) {
   nvme::Status final_status = nvme::Status::kSuccess;
-  std::uint64_t done_bytes = 0;
-  const std::uint64_t bytes = data.size();
+  Bytes done_bytes;
+  const Bytes bytes{data.size()};
   while (done_bytes < bytes) {
-    const std::uint64_t n = std::min(bytes - done_bytes, max_transfer_);
+    const Bytes n = std::min(bytes - done_bytes, max_transfer_);
     co_await slot_sem_->acquire();
     std::uint16_t slot = 0;
     while (slots_[slot].in_use) ++slot;
     // Zero-copy model: the application produced the data in the pinned
     // buffer; make it visible to the device.
-    host_mem_.store().write(local(buffer_off(slot)), data.slice(done_bytes, n));
+    host_mem_.store().write(local(buffer_off(slot)).value(),
+                            data.slice(done_bytes.value(), n.value()));
     sim::Promise<nvme::Status> promise(sim_);
     auto fut = promise.future();
-    co_await submit_io(IoDesc{true, lba + done_bytes / nvme::kLbaSize, n}, slot,
-                       &promise);
+    co_await submit_io(
+        IoDesc{true, lba + done_bytes.value() / nvme::kLbaSize, n}, slot,
+        &promise);
     nvme::Status st = co_await fut;
     if (st != nvme::Status::kSuccess) {
       ++io_errors_;
@@ -334,8 +342,8 @@ sim::Task Driver::write(std::uint64_t lba, Payload data, nvme::Status* status) {
            ++attempt) {
         // Restage the chunk: the failed attempt's buffer slot was recycled.
         co_await resubmit_one(
-            IoDesc{true, lba + done_bytes / nvme::kLbaSize, n}, attempt,
-            data.slice(done_bytes, n), &st, nullptr);
+            IoDesc{true, lba + done_bytes.value() / nvme::kLbaSize, n}, attempt,
+            data.slice(done_bytes.value(), n.value()), &st, nullptr);
       }
       if (st != nvme::Status::kSuccess) {
         ++io_failed_;
@@ -396,36 +404,34 @@ sim::Task Driver::run_workload(const std::vector<IoDesc>& ios,
     sim_.spawn(finisher(this, tracker.get(), result, &wg));
     co_await submit_io(io, slot, &tracker->promise);
     trackers.push_back(std::move(tracker));
-    result->bytes += io.bytes;
+    result->bytes += io.bytes.value();
     ++result->commands;
   }
   co_await wg.wait();
   result->elapsed = sim_.now() - t0;
 }
 
-sim::Task Driver::run_sequential(bool is_write, std::uint64_t start_lba,
-                                 std::uint64_t total_bytes,
-                                 std::uint64_t cmd_bytes,
+sim::Task Driver::run_sequential(bool is_write, Lba start_lba,
+                                 Bytes total_bytes, Bytes cmd_bytes,
                                  WorkloadResult* result) {
   std::vector<IoDesc> ios;
-  std::uint64_t lba = start_lba;
-  for (std::uint64_t off = 0; off < total_bytes; off += cmd_bytes) {
-    const std::uint64_t n = std::min(cmd_bytes, total_bytes - off);
+  Lba lba = start_lba;
+  for (Bytes off; off < total_bytes; off += cmd_bytes) {
+    const Bytes n = std::min(cmd_bytes, total_bytes - off);
     ios.push_back(IoDesc{is_write, lba, n});
-    lba += n / nvme::kLbaSize;
+    lba = lba + n.value() / nvme::kLbaSize;
   }
   co_await run_workload(ios, result);
 }
 
-sim::Task Driver::run_random(bool is_write, std::uint64_t total_bytes,
-                             std::uint64_t cmd_bytes,
+sim::Task Driver::run_random(bool is_write, Bytes total_bytes, Bytes cmd_bytes,
                              std::uint64_t region_blocks, std::uint64_t seed,
                              WorkloadResult* result) {
   Xoshiro256 rng(seed);
-  const std::uint64_t blocks_per_cmd = cmd_bytes / nvme::kLbaSize;
+  const std::uint64_t blocks_per_cmd = cmd_bytes.value() / nvme::kLbaSize;
   std::vector<IoDesc> ios;
-  for (std::uint64_t off = 0; off < total_bytes; off += cmd_bytes) {
-    const std::uint64_t lba = rng.below(region_blocks - blocks_per_cmd);
+  for (Bytes off; off < total_bytes; off += cmd_bytes) {
+    const Lba lba{rng.below(region_blocks - blocks_per_cmd)};
     ios.push_back(IoDesc{is_write, lba, cmd_bytes});
   }
   co_await run_workload(ios, result);

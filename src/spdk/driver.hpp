@@ -28,7 +28,7 @@ struct DriverConfig {
   std::uint16_t queue_depth = 64;     // in-flight I/O commands
   TimePs poll_interval = ns(150);     // CQ poll loop period
   TimePs submit_overhead = ns(350);   // per-command software cost
-  std::uint64_t region_offset = 0;    // where in host memory the driver lives
+  Bytes region_offset{};              // where in host memory the driver lives
 
   // Error recovery (docs/FAULTS.md). 0 retries = report the error status to
   // the caller, exactly the pre-recovery behaviour (bit-identical when no
@@ -38,7 +38,7 @@ struct DriverConfig {
 };
 
 struct WorkloadResult {
-  TimePs elapsed = 0;
+  TimePs elapsed;
   std::uint64_t bytes = 0;
   std::uint64_t commands = 0;
   LatencyStats latency;
@@ -59,22 +59,20 @@ class Driver {
 
   /// Single blocking read/write (splits at the device MDTS). `out` receives
   /// the data when non-null.
-  sim::Task read(std::uint64_t lba, std::uint64_t bytes, Payload* out,
+  sim::Task read(Lba lba, Bytes bytes, Payload* out,
                  nvme::Status* status = nullptr);
-  sim::Task write(std::uint64_t lba, Payload data,
-                  nvme::Status* status = nullptr);
+  sim::Task write(Lba lba, Payload data, nvme::Status* status = nullptr);
 
   /// Pipelined sequential workload: `total_bytes` in `cmd_bytes` commands,
   /// queue depth kept full, completions harvested out of order.
-  sim::Task run_sequential(bool is_write, std::uint64_t start_lba,
-                           std::uint64_t total_bytes, std::uint64_t cmd_bytes,
-                           WorkloadResult* result);
+  sim::Task run_sequential(bool is_write, Lba start_lba, Bytes total_bytes,
+                           Bytes cmd_bytes, WorkloadResult* result);
 
   /// Pipelined random workload: uniformly random block addresses within
   /// `region_blocks`.
-  sim::Task run_random(bool is_write, std::uint64_t total_bytes,
-                       std::uint64_t cmd_bytes, std::uint64_t region_blocks,
-                       std::uint64_t seed, WorkloadResult* result);
+  sim::Task run_random(bool is_write, Bytes total_bytes, Bytes cmd_bytes,
+                       std::uint64_t region_blocks, std::uint64_t seed,
+                       WorkloadResult* result);
 
   CpuAccount& cpu() { return cpu_; }
 
@@ -87,13 +85,13 @@ class Driver {
   struct Slot {
     bool in_use = false;
     sim::Promise<nvme::Status>* completion = nullptr;  // owned by submitter
-    TimePs submitted_at = 0;
+    TimePs submitted_at;
   };
 
   struct IoDesc {
     bool is_write = false;
-    std::uint64_t lba = 0;
-    std::uint64_t bytes = 0;
+    Lba lba;
+    Bytes bytes;
   };
 
   /// One retry attempt: backoff, claim a fresh slot, optionally restage
@@ -102,30 +100,25 @@ class Driver {
                          nvme::Status* status, std::uint16_t* slot_out);
 
   // Region layout (local offsets inside the driver's host-memory region).
-  std::uint64_t local(std::uint64_t off) const { return cfg_.region_offset + off; }
-  pcie::Addr global(std::uint64_t off) const {
-    return host_window_base_ + local(off);
-  }
-  static std::uint64_t page_align(std::uint64_t v) {
-    return (v + kPageSize - 1) & ~(kPageSize - 1);
-  }
-  std::uint64_t admin_sq_off() const { return 0; }
-  std::uint64_t admin_cq_off() const { return 4 * KiB; }
-  std::uint64_t identify_off() const { return 8 * KiB; }
+  Bytes local(Bytes off) const { return cfg_.region_offset + off; }
+  pcie::Addr global(Bytes off) const { return host_window_base_ + local(off); }
+  Bytes admin_sq_off() const { return Bytes{}; }
+  Bytes admin_cq_off() const { return Bytes{4 * KiB}; }
+  Bytes identify_off() const { return Bytes{8 * KiB}; }
   // The I/O rings scale with the configured queue depth (qd+1 entries).
-  std::uint64_t io_sq_off() const { return 12 * KiB; }
-  std::uint64_t io_cq_off() const {
+  Bytes io_sq_off() const { return Bytes{12 * KiB}; }
+  Bytes io_cq_off() const {
     return io_sq_off() +
-           page_align((cfg_.queue_depth + 1ull) * nvme::kSqeSize);
+           page_align_up(Bytes{(cfg_.queue_depth + 1ull) * nvme::kSqeSize});
   }
-  std::uint64_t prp_list_off(std::uint16_t slot) const {
+  Bytes prp_list_off(std::uint16_t slot) const {
     return io_cq_off() +
-           page_align((cfg_.queue_depth + 1ull) * nvme::kCqeSize) +
-           static_cast<std::uint64_t>(slot) * kPageSize;
+           page_align_up(Bytes{(cfg_.queue_depth + 1ull) * nvme::kCqeSize}) +
+           Bytes{static_cast<std::uint64_t>(slot) * kPageSize};
   }
-  std::uint64_t buffer_off(std::uint16_t slot) const {
+  Bytes buffer_off(std::uint16_t slot) const {
     return prp_list_off(cfg_.queue_depth) +
-           static_cast<std::uint64_t>(slot) * max_transfer_;
+           max_transfer_ * static_cast<std::uint64_t>(slot);
   }
 
   sim::Task admin_cmd(nvme::SubmissionEntry sqe, nvme::Status* status,
@@ -151,7 +144,7 @@ class Driver {
   nvme::Ssd& ssd_;
   HostProfile host_;
   DriverConfig cfg_;
-  std::uint64_t max_transfer_ = 1 * MiB;
+  Bytes max_transfer_{1 * MiB};
 
   nvme::IdentifyController identify_;
   bool initialized_ = false;

@@ -61,7 +61,7 @@ TEST(Eth, ThroughputApproachesLineRate) {
   LinkPair link(sim, profile);
   const std::uint64_t kFrames = 4000;
   const std::uint64_t kBytes = profile.mtu;
-  TimePs t_end = 0;
+  TimePs t_end;
   auto sender = [&]() -> sim::Task {
     for (std::uint64_t i = 0; i < kFrames; ++i) {
       co_await link.a.send(Frame(Payload::phantom(kBytes), 1, i * kBytes, false));

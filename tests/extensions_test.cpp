@@ -67,8 +67,8 @@ TEST(MultiSsd, StripedWriteReadRoundTrip) {
   bool done = false;
   Payload got;
   auto io = [&]() -> sim::Task {
-    co_await bed.striped->write(0, data);
-    co_await bed.striped->read(0, data.size(), &got);
+    co_await bed.striped->write(Bytes{}, data);
+    co_await bed.striped->read(Bytes{}, Bytes{data.size()}, &got);
     done = true;
   };
   bed.sys->sim().spawn(io());
@@ -83,15 +83,15 @@ TEST(MultiSsd, StripedWriteReadRoundTrip) {
 
 TEST(MultiSsd, LocateStripesRoundRobin) {
   MultiBed bed(4);
-  const std::uint64_t stripe = bed.striped->stripe_bytes();
+  const Bytes stripe = bed.striped->stripe_bytes();
   for (std::uint64_t i = 0; i < 16; ++i) {
-    auto loc = bed.striped->locate(i * stripe);
+    auto loc = bed.striped->locate(stripe * i);
     EXPECT_EQ(loc.device, i % 4);
-    EXPECT_EQ(loc.addr, (i / 4) * stripe);
+    EXPECT_EQ(loc.addr.value(), (stripe * (i / 4)).value());
   }
-  auto mid = bed.striped->locate(5 * stripe + 777);
+  auto mid = bed.striped->locate(stripe * 5 + Bytes{777});
   EXPECT_EQ(mid.device, 1u);
-  EXPECT_EQ(mid.addr, 1 * stripe + 777);
+  EXPECT_EQ(mid.addr.value(), (stripe + Bytes{777}).value());
 }
 
 TEST(MultiSsd, WriteBandwidthScalesAcrossSsds) {
@@ -101,11 +101,11 @@ TEST(MultiSsd, WriteBandwidthScalesAcrossSsds) {
   for (std::uint32_t n : {1u, 2u}) {
     MultiBed bed(n);
     bool done = false;
-    TimePs t0 = 0;
-    TimePs t1 = 0;
+    TimePs t0;
+    TimePs t1;
     auto io = [&]() -> sim::Task {
       t0 = bed.sys->sim().now();
-      co_await bed.striped->write(0, Payload::phantom(total));
+      co_await bed.striped->write(Bytes{}, Payload::phantom(total));
       t1 = bed.sys->sim().now();
       done = true;
     };
@@ -138,13 +138,13 @@ TEST(HbmVariant, RoundTripAndSequentialWrite) {
   Payload data = Payload::filled(1 * MiB, 0x5A);
   bool done = false;
   Payload got;
-  TimePs t0 = 0;
-  TimePs t1 = 0;
+  TimePs t0;
+  TimePs t1;
   auto io = [&]() -> sim::Task {
-    co_await pe.write(0, data);
-    co_await pe.read(0, data.size(), &got);
+    co_await pe.write(Bytes{}, data);
+    co_await pe.read(Bytes{}, Bytes{data.size()}, &got);
     t0 = sys.sim().now();
-    co_await pe.write(16 * MiB, Payload::phantom(256 * MiB));
+    co_await pe.write(Bytes{16 * MiB}, Payload::phantom(256 * MiB));
     t1 = sys.sim().now();
     done = true;
   };
@@ -182,12 +182,12 @@ TEST(OutOfOrder, RandomReadThroughputImproves) {
     const std::uint64_t kCommands = 8192;
     bool done = false;
     TimePs t0 = sys.sim().now();
-    TimePs t1 = 0;
+    TimePs t1;
     struct Issuer {
       static sim::Task run(core::PeClient* pe, std::uint64_t n) {
         Xoshiro256 rng(77);
         for (std::uint64_t i = 0; i < n; ++i) {
-          co_await pe->start_read(rng.below(1u << 20) * 4096ull, 4096);
+          co_await pe->start_read(Bytes{rng.below(1u << 20) * 4096ull}, Bytes{4096});
         }
       }
     };
@@ -229,12 +229,12 @@ TEST(Gen5Profile, SequentialReadScalesWithTheLink) {
   ASSERT_TRUE(booted);
   core::PeClient pe(dev.streamer());
   bool done = false;
-  TimePs t0 = 0;
-  TimePs t1 = 0;
+  TimePs t0;
+  TimePs t1;
   auto io = [&]() -> sim::Task {
-    co_await pe.write(0, Payload::phantom(256 * MiB));
+    co_await pe.write(Bytes{}, Payload::phantom(256 * MiB));
     t0 = sys.sim().now();
-    co_await pe.read(0, 256 * MiB, nullptr);
+    co_await pe.read(Bytes{}, Bytes{256 * MiB}, nullptr);
     t1 = sys.sim().now();
     done = true;
   };

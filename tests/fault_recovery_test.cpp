@@ -88,7 +88,8 @@ struct FabricFixture : ::testing::Test {
     root = fabric.add_port("root", 64.0);
     fabric.set_root_port(root);
     dev = fabric.add_port("dev", 13.0);
-    fabric.map(0x0, 64 * MiB, &host_mem, root, pcie::MemKind::kHostDram);
+    fabric.map(pcie::Addr{}, Bytes{64 * MiB}, &host_mem, root,
+               pcie::MemKind::kHostDram);
   }
 
   sim::Simulator sim;
@@ -101,9 +102,9 @@ struct FabricFixture : ::testing::Test {
 TEST_F(FabricFixture, IommuWriteDropIsRecordedPerDeviceWithLastFault) {
   // Read-only grant: device writes are silently dropped on the wire (posted
   // semantics) -- but no longer silently *unaccounted*.
-  fabric.iommu().grant({dev, 0x0, 64 * MiB, true, false});
+  fabric.iommu().grant({dev, pcie::Addr{}, Bytes{64 * MiB}, true, false});
   auto io = [&]() -> sim::Task {
-    co_await fabric.write(dev, 0x3000, Payload::filled(4096, 7));
+    co_await fabric.write(dev, pcie::Addr{0x3000}, Payload::filled(4096, 7));
   };
   sim.spawn(io());
   sim.run();
@@ -117,14 +118,14 @@ TEST_F(FabricFixture, IommuWriteDropIsRecordedPerDeviceWithLastFault) {
   const pcie::FaultRecord& rec = *fabric.last_fault();
   EXPECT_EQ(rec.kind, pcie::FaultKind::kIommuWriteDrop);
   EXPECT_EQ(rec.initiator, dev);
-  EXPECT_EQ(rec.addr, 0x3000u);
-  EXPECT_EQ(rec.len, 4096u);
+  EXPECT_EQ(rec.addr.value(), 0x3000u);
+  EXPECT_EQ(rec.len.value(), 4096u);
   EXPECT_STREQ(pcie::fault_kind_name(rec.kind), "iommu-write-drop");
 }
 
 TEST_F(FabricFixture, UnmappedAccessesAreRecordedToo) {
   auto io = [&]() -> sim::Task {
-    auto rr = co_await fabric.read(root, 0x9999'0000'0000, 64);
+    auto rr = co_await fabric.read(root, pcie::Addr{0x9999'0000'0000}, Bytes{64});
     EXPECT_FALSE(rr.ok);
   };
   sim.spawn(io());
@@ -139,13 +140,13 @@ TEST_F(FabricFixture, InjectedReadLossStallsForCompletionTimeout) {
   fabric.set_read_loss_plan(FaultPlan::at({0}));
   bool first_ok = true;
   bool second_ok = false;
-  TimePs first_elapsed = 0;
+  TimePs first_elapsed;
   auto io = [&]() -> sim::Task {
     const TimePs t0 = sim.now();
-    auto rr1 = co_await fabric.read(root, 0x1000, 512);
+    auto rr1 = co_await fabric.read(root, pcie::Addr{0x1000}, Bytes{512});
     first_elapsed = sim.now() - t0;
     first_ok = rr1.ok;
-    auto rr2 = co_await fabric.read(root, 0x1000, 512);
+    auto rr2 = co_await fabric.read(root, pcie::Addr{0x1000}, Bytes{512});
     second_ok = rr2.ok;
   };
   sim.spawn(io());
@@ -162,22 +163,22 @@ TEST_F(FabricFixture, InjectedReadLossStallsForCompletionTimeout) {
 TEST_F(FabricFixture, LinkDegradationSlowsTransfersThenRecovers) {
   fabric.iommu().set_enabled(false);
   const std::uint64_t bytes = 8 * MiB;
-  TimePs healthy = 0;
-  TimePs degraded = 0;
-  TimePs recovered = 0;
+  TimePs healthy;
+  TimePs degraded;
+  TimePs recovered;
   auto io = [&]() -> sim::Task {
     TimePs t0 = sim.now();
-    co_await fabric.write(dev, 0x0, Payload::phantom(bytes));
+    co_await fabric.write(dev, pcie::Addr{}, Payload::phantom(bytes));
     healthy = sim.now() - t0;
 
     fabric.degrade_link(dev, 0.25, seconds(10));
     t0 = sim.now();
-    co_await fabric.write(dev, 0x0, Payload::phantom(bytes));
+    co_await fabric.write(dev, pcie::Addr{}, Payload::phantom(bytes));
     degraded = sim.now() - t0;
 
     co_await sim.delay(seconds(11));  // window expired, rate restored
     t0 = sim.now();
-    co_await fabric.write(dev, 0x0, Payload::phantom(bytes));
+    co_await fabric.write(dev, pcie::Addr{}, Payload::phantom(bytes));
     recovered = sim.now() - t0;
   };
   sim.spawn(io());
@@ -185,19 +186,20 @@ TEST_F(FabricFixture, LinkDegradationSlowsTransfersThenRecovers) {
   // 4x rate cut: the paced portion takes ~4x longer while the window is
   // open (the fixed per-TLP latency component is unaffected, so the
   // end-to-end ratio lands a little under 4x).
-  EXPECT_GT(degraded, 2 * healthy);
-  EXPECT_LT(recovered, 2 * healthy);
+  EXPECT_GT(degraded, healthy * 2);
+  EXPECT_LT(recovered, healthy * 2);
 }
 
 TEST_F(FabricFixture, WindowedIommuFlipOnlyFiresInsideTheWindow) {
-  fabric.iommu().grant({dev, 0x0, 64 * MiB, true, true});
+  fabric.iommu().grant({dev, pcie::Addr{}, Bytes{64 * MiB}, true, true});
   // Flip verdicts only for writes landing in [0x10000, 0x11000).
-  fabric.iommu().set_fault_plan(FaultPlan::rate(1.0), 0x10000, 0x1000);
+  fabric.iommu().set_fault_plan(FaultPlan::rate(1.0), pcie::Addr{0x10000},
+                                Bytes{0x1000});
   bool outside_ok = false;
   auto io = [&]() -> sim::Task {
-    co_await fabric.write(dev, 0x10000, Payload::filled(512, 1));  // dropped
-    co_await fabric.write(dev, 0x20000, Payload::filled(512, 2));  // passes
-    auto rr = co_await fabric.read(dev, 0x20000, 512);
+    co_await fabric.write(dev, pcie::Addr{0x10000}, Payload::filled(512, 1));  // dropped
+    co_await fabric.write(dev, pcie::Addr{0x20000}, Payload::filled(512, 2));  // passes
+    auto rr = co_await fabric.read(dev, pcie::Addr{0x20000}, Bytes{512});
     outside_ok = rr.ok && rr.data.content_equals(Payload::filled(512, 2));
   };
   sim.spawn(io());
@@ -214,7 +216,7 @@ TEST_F(FabricFixture, WindowedIommuFlipOnlyFiresInsideTheWindow) {
 TEST(ReorderBuffer, StaleCompletionsAreAbsorbedNotAsserted) {
   sim::Simulator sim;
   core::ReorderBuffer rob(sim, 4);
-  std::uint16_t slot = 0;
+  SlotIdx slot;
   auto setup = [&]() -> sim::Task {
     core::RobEntry e;
     co_await rob.alloc(std::move(e), &slot);
@@ -228,7 +230,7 @@ TEST(ReorderBuffer, StaleCompletionsAreAbsorbedNotAsserted) {
   // retry already completed the slot) is absorbed.
   EXPECT_FALSE(rob.complete(slot, nvme::Status::kSuccess));
   // A completion for a slot outside the in-flight window is stale too.
-  EXPECT_FALSE(rob.complete(2, nvme::Status::kSuccess));
+  EXPECT_FALSE(rob.complete(SlotIdx{2}, nvme::Status::kSuccess));
   EXPECT_EQ(rob.stale_completions(), 2u);
   EXPECT_TRUE(rob.head_ready());
 }
@@ -236,7 +238,7 @@ TEST(ReorderBuffer, StaleCompletionsAreAbsorbedNotAsserted) {
 TEST(ReorderBuffer, ReopenHeadClearsCompletionForRetry) {
   sim::Simulator sim;
   core::ReorderBuffer rob(sim, 4);
-  std::uint16_t slot = 0;
+  SlotIdx slot;
   auto setup = [&]() -> sim::Task {
     core::RobEntry e;
     co_await rob.alloc(std::move(e), &slot);
@@ -258,7 +260,7 @@ TEST(ReorderBuffer, ReopenHeadClearsCompletionForRetry) {
 TEST(ReorderBuffer, FailHeadSynthesizesWatchdogCompletion) {
   sim::Simulator sim;
   core::ReorderBuffer rob(sim, 4);
-  std::uint16_t slot = 0;
+  SlotIdx slot;
   auto setup = [&]() -> sim::Task {
     core::RobEntry e;
     co_await rob.alloc(std::move(e), &slot);

@@ -24,8 +24,8 @@ struct KvFixture : ::testing::Test {
     sys.sim().spawn(boot(dev.get(), &booted));
     sys.sim().run_until(seconds(1));
     EXPECT_TRUE(booted);
-    store = std::make_unique<KvStore>(dev->streamer(), /*log_base=*/0,
-                                      /*log_capacity=*/256 * MiB);
+    store = std::make_unique<KvStore>(dev->streamer(), /*log_base=*/Bytes{},
+                                      /*log_capacity=*/Bytes{256 * MiB});
   }
 
   void run(sim::Task t, std::uint64_t budget_s = 10) {
@@ -74,8 +74,9 @@ TEST_F(KvFixture, OverwriteReturnsLatestVersion) {
   run(t());
   ASSERT_TRUE(done);
   EXPECT_EQ(store->entries(), 1u);  // one live key, two log records
-  EXPECT_EQ(store->log_bytes_used(), KvStore::record_span(500) +
-                                         KvStore::record_span(900));
+  EXPECT_EQ(store->log_bytes_used().value(),
+            (KvStore::record_span(Bytes{500}) + KvStore::record_span(Bytes{900}))
+                .value());
 }
 
 TEST_F(KvFixture, LargeValueSpansMultipleCommands) {
@@ -111,7 +112,7 @@ TEST_F(KvFixture, RecoveryRebuildsIndexFromLog) {
   ASSERT_TRUE(done);
 
   // A fresh store instance (lost in-memory index) recovers from the log.
-  KvStore recovered(dev->streamer(), 0, 256 * MiB);
+  KvStore recovered(dev->streamer(), Bytes{}, Bytes{256 * MiB});
   bool done2 = false;
   auto t2 = [&]() -> sim::Task {
     std::uint64_t records = 0;
@@ -142,11 +143,12 @@ TEST_F(KvFixture, CompactionReclaimsOverwrittenSpace) {
                             static_cast<std::uint8_t>(round * 16 + i)));
       }
     }
-    const std::uint64_t before = store->log_bytes_used();
-    std::uint64_t reclaimed = 0;
-    co_await store->compact(/*scratch_base=*/512 * MiB, 256 * MiB, &reclaimed);
-    EXPECT_GT(reclaimed, 0u);
-    EXPECT_EQ(store->log_bytes_used(), before - reclaimed);
+    const Bytes before = store->log_bytes_used();
+    Bytes reclaimed;
+    co_await store->compact(/*scratch_base=*/Bytes{512 * MiB}, Bytes{256 * MiB},
+                            &reclaimed);
+    EXPECT_GT(reclaimed.value(), 0u);
+    EXPECT_EQ(store->log_bytes_used().value(), (before - reclaimed).value());
     EXPECT_EQ(store->entries(), 10u);
     // Every key still returns its latest version.
     for (int i = 0; i < 10; ++i) {
@@ -163,7 +165,7 @@ TEST_F(KvFixture, CompactionReclaimsOverwrittenSpace) {
   ASSERT_TRUE(done);
 
   // The compacted log is recoverable from its new location.
-  KvStore recovered(dev->streamer(), 512 * MiB, 256 * MiB);
+  KvStore recovered(dev->streamer(), Bytes{512 * MiB}, Bytes{256 * MiB});
   bool done2 = false;
   auto t2 = [&]() -> sim::Task {
     std::uint64_t records = 0;
@@ -180,11 +182,11 @@ TEST_F(KvFixture, CompactionAbortsWhenScratchTooSmall) {
   auto t = [&]() -> sim::Task {
     co_await store->put("a", Payload::filled(64 * KiB, 1));
     co_await store->put("b", Payload::filled(64 * KiB, 2));
-    const std::uint64_t before = store->log_bytes_used();
-    std::uint64_t reclaimed = 123;
-    co_await store->compact(512 * MiB, 8 * KiB, &reclaimed);
-    EXPECT_EQ(reclaimed, 0u);
-    EXPECT_EQ(store->log_bytes_used(), before);  // unchanged, still valid
+    const Bytes before = store->log_bytes_used();
+    Bytes reclaimed{123};
+    co_await store->compact(Bytes{512 * MiB}, Bytes{8 * KiB}, &reclaimed);
+    EXPECT_EQ(reclaimed.value(), 0u);
+    EXPECT_EQ(store->log_bytes_used().value(), before.value());  // unchanged, still valid
     Payload got;
     bool found = false;
     co_await store->get("a", &got, &found);
@@ -206,7 +208,7 @@ TEST_F(KvFixture, OversizedKeyAndFullLogAreRejected) {
   run(t());
   ASSERT_TRUE(done);
 
-  KvStore tiny(dev->streamer(), 512 * MiB, 16 * KiB);
+  KvStore tiny(dev->streamer(), Bytes{512 * MiB}, Bytes{16 * KiB});
   bool done2 = false;
   auto t2 = [&]() -> sim::Task {
     bool ok = false;

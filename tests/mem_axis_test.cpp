@@ -63,8 +63,8 @@ TEST(Uram, DualPortsDoNotContend) {
   sim::Simulator sim;
   FpgaProfile fpga;
   mem::Uram uram(sim, 4 * MiB, fpga);
-  TimePs read_done = 0;
-  TimePs write_done = 0;
+  TimePs read_done;
+  TimePs write_done;
   auto reader = [&]() -> sim::Task {
     auto f = uram.read(0, 1 * MiB);
     co_await f;
@@ -80,10 +80,10 @@ TEST(Uram, DualPortsDoNotContend) {
   sim.run();
   // Both finish in ~1MiB/19.2GB/s; a shared port would double one of them.
   const TimePs expect = transfer_time(1 * MiB, 19.2) + fpga.uram_latency;
-  EXPECT_NEAR(static_cast<double>(read_done), static_cast<double>(expect),
-              static_cast<double>(us(1)));
-  EXPECT_NEAR(static_cast<double>(write_done), static_cast<double>(expect),
-              static_cast<double>(us(1)));
+  EXPECT_NEAR(read_done.value(), expect.value(),
+              us(1).value());
+  EXPECT_NEAR(write_done.value(), expect.value(),
+              us(1).value());
 }
 
 TEST(Dram, TurnaroundChargedOnDirectionSwitch) {
@@ -110,7 +110,7 @@ TEST(Dram, SharedBusSerializesReadAndWriteStreams) {
   FpgaProfile fpga;
   mem::Dram dram(sim, 64 * MiB, fpga);
   const std::uint64_t total = 16 * MiB;
-  TimePs t_end = 0;
+  TimePs t_end;
   int remaining = 2;
   auto stream = [&](bool write, std::uint64_t base) -> sim::Task {
     for (std::uint64_t off = 0; off < total; off += 64 * KiB) {
@@ -138,7 +138,7 @@ TEST(Dram, SharedBusSerializesReadAndWriteStreams) {
 TEST(Axis, SendChargesBeatSerialization) {
   sim::Simulator sim;
   axis::Stream s(sim, {});
-  TimePs done = 0;
+  TimePs done;
   auto t = [&]() -> sim::Task {
     co_await s.send(axis::Chunk(Payload::phantom(64 * KiB), true));
     done = sim.now();
@@ -147,8 +147,8 @@ TEST(Axis, SendChargesBeatSerialization) {
   sim.run();
   // 64 KiB at 64 B/beat, 300 MHz -> 1024 beats * 3.334 ns.
   const TimePs expect = 1024 * ps(3334);
-  EXPECT_NEAR(static_cast<double>(done), static_cast<double>(expect),
-              static_cast<double>(ns(100)));
+  EXPECT_NEAR(done.value(), expect.value(),
+              ns(100).value());
 }
 
 TEST(Axis, SendChunkedMarksOnlyFinalChunkLast) {

@@ -51,8 +51,8 @@ TEST_F(SpdkFixture, SmallWriteReadRoundTrip) {
   nvme::Status rst{};
   Payload got;
   auto io = [&]() -> sim::Task {
-    co_await driver_->write(100, data, &wst);
-    co_await driver_->read(100, 4096, &got, &rst);
+    co_await driver_->write(Lba{100}, data, &wst);
+    co_await driver_->read(Lba{100}, Bytes{4096}, &got, &rst);
     done = true;
   };
   sys_.sim().spawn(io());
@@ -75,8 +75,8 @@ TEST_F(SpdkFixture, LargeTransferUsesPrpListAndSurvivesRoundTrip) {
   bool done = false;
   Payload got;
   auto io = [&]() -> sim::Task {
-    co_await driver_->write(5000, data);
-    co_await driver_->read(5000, 1 * MiB, &got);
+    co_await driver_->write(Lba{5000}, data);
+    co_await driver_->read(Lba{5000}, Bytes{1 * MiB}, &got);
     done = true;
   };
   sys_.sim().spawn(io());
@@ -93,8 +93,8 @@ TEST_F(SpdkFixture, MultiCommandTransferSplitsAtMdts) {
   bool done = false;
   Payload got;
   auto io = [&]() -> sim::Task {
-    co_await driver_->write(0, data);
-    co_await driver_->read(0, data.size(), &got);
+    co_await driver_->write(Lba{}, data);
+    co_await driver_->read(Lba{}, Bytes{data.size()}, &got);
     done = true;
   };
   sys_.sim().spawn(io());
@@ -109,7 +109,7 @@ TEST_F(SpdkFixture, OutOfRangeLbaFails) {
   bool done = false;
   nvme::Status st{};
   auto io = [&]() -> sim::Task {
-    co_await driver_->write(sys_.ssd().namespace_blocks() - 1,
+    co_await driver_->write(Lba{sys_.ssd().namespace_blocks() - 1},
                             Payload::filled(8192, 1), &st);
     done = true;
   };
@@ -124,8 +124,8 @@ TEST_F(SpdkFixture, SequentialReadIsLinkLimited) {
   WorkloadResult res;
   bool done = false;
   auto io = [&]() -> sim::Task {
-    co_await driver_->run_sequential(/*is_write=*/false, 0, 256 * MiB, 1 * MiB,
-                                     &res);
+    co_await driver_->run_sequential(/*is_write=*/false, Lba{},
+                                     Bytes{256 * MiB}, Bytes{1 * MiB}, &res);
     done = true;
   };
   sys_.sim().spawn(io());
@@ -142,8 +142,8 @@ TEST_F(SpdkFixture, SequentialWriteLandsInOneProgramMode) {
   WorkloadResult res;
   bool done = false;
   auto io = [&]() -> sim::Task {
-    co_await driver_->run_sequential(/*is_write=*/true, 0, 256 * MiB, 1 * MiB,
-                                     &res);
+    co_await driver_->run_sequential(/*is_write=*/true, Lba{},
+                                     Bytes{256 * MiB}, Bytes{1 * MiB}, &res);
     done = true;
   };
   sys_.sim().spawn(io());
@@ -158,7 +158,8 @@ TEST_F(SpdkFixture, RandomReadKeepsQueueDepthBusy) {
   WorkloadResult res;
   bool done = false;
   auto io = [&]() -> sim::Task {
-    co_await driver_->run_random(/*is_write=*/false, 64 * MiB, 4 * KiB,
+    co_await driver_->run_random(/*is_write=*/false, Bytes{64 * MiB},
+                                 Bytes{4 * KiB},
                                  /*region_blocks=*/1u << 20, /*seed=*/7, &res);
     done = true;
   };
@@ -176,11 +177,12 @@ TEST_F(SpdkFixture, CpuThreadIsBusyDuringWorkload) {
   WorkloadResult res;
   bool done = false;
   driver_->cpu().reset();
-  TimePs t0 = 0;
-  TimePs t1 = 0;
+  TimePs t0;
+  TimePs t1;
   auto io = [&]() -> sim::Task {
     t0 = sys_.sim().now();
-    co_await driver_->run_sequential(false, 0, 64 * MiB, 1 * MiB, &res);
+    co_await driver_->run_sequential(false, Lba{}, Bytes{64 * MiB},
+                                     Bytes{1 * MiB}, &res);
     t1 = sys_.sim().now();
     done = true;
   };
@@ -198,7 +200,7 @@ TEST_F(SpdkFixture, IommuFaultOnUngrantedAccessFailsCommand) {
   bool done = false;
   nvme::Status st{};
   auto io = [&]() -> sim::Task {
-    co_await driver_->write(0, Payload::filled(4096, 9), &st);
+    co_await driver_->write(Lba{}, Payload::filled(4096, 9), &st);
     done = true;
   };
   sys_.sim().spawn(io());

@@ -19,22 +19,22 @@ namespace {
 TEST(Spec, SqeEncodeDecodeRoundTrip) {
   SubmissionEntry e;
   e.opcode = static_cast<std::uint8_t>(IoOpcode::kWrite);
-  e.cid = 0xBEEF;
+  e.cid = Cid{0xBEEF};
   e.nsid = 3;
-  e.prp1 = 0x1234'5678'9ABC'D000;
-  e.prp2 = 0x0FED'CBA9'8765'4000;
-  e.slba = 0x12'3456'789A;
+  e.prp1 = BusAddr{0x1234'5678'9ABC'D000};
+  e.prp2 = BusAddr{0x0FED'CBA9'8765'4000};
+  e.slba = Lba{0x12'3456'789A};
   e.nlb = 255;
   auto raw = e.encode();
   SubmissionEntry d = SubmissionEntry::decode(raw);
   EXPECT_EQ(d.opcode, e.opcode);
-  EXPECT_EQ(d.cid, e.cid);
+  EXPECT_EQ(d.cid.value(), e.cid.value());
   EXPECT_EQ(d.nsid, e.nsid);
-  EXPECT_EQ(d.prp1, e.prp1);
-  EXPECT_EQ(d.prp2, e.prp2);
-  EXPECT_EQ(d.slba, e.slba);
+  EXPECT_EQ(d.prp1.value(), e.prp1.value());
+  EXPECT_EQ(d.prp2.value(), e.prp2.value());
+  EXPECT_EQ(d.slba.value(), e.slba.value());
   EXPECT_EQ(d.nlb, e.nlb);
-  EXPECT_EQ(d.data_bytes(), 256u * kLbaSize);
+  EXPECT_EQ(d.data_bytes().value(), 256u * kLbaSize);
 }
 
 TEST(Spec, CqeEncodeDecodeRoundTripWithPhase) {
@@ -43,7 +43,7 @@ TEST(Spec, CqeEncodeDecodeRoundTripWithPhase) {
     e.dw0 = 0xA5A5A5A5;
     e.sq_head = 17;
     e.sq_id = 4;
-    e.cid = 42;
+    e.cid = Cid{42};
     e.status = Status::kLbaOutOfRange;
     e.phase = phase;
     auto raw = e.encode();
@@ -51,7 +51,7 @@ TEST(Spec, CqeEncodeDecodeRoundTripWithPhase) {
     EXPECT_EQ(d.dw0, e.dw0);
     EXPECT_EQ(d.sq_head, e.sq_head);
     EXPECT_EQ(d.sq_id, e.sq_id);
-    EXPECT_EQ(d.cid, e.cid);
+    EXPECT_EQ(d.cid.value(), e.cid.value());
     EXPECT_EQ(d.status, e.status);
     EXPECT_EQ(d.phase, phase);
   }
@@ -71,7 +71,7 @@ TEST(Spec, IdentifyRoundTrip) {
 }
 
 TEST(Rings, SqRingFullAndWrap) {
-  SqRing sq(QueueConfig{1, 0x1000, 4});
+  SqRing sq(QueueConfig{1, BusAddr{0x1000}, 4});
   EXPECT_EQ(sq.free_slots(), 3);  // N-1 usable
   EXPECT_FALSE(sq.full());
   sq.advance_tail();
@@ -83,12 +83,12 @@ TEST(Rings, SqRingFullAndWrap) {
   EXPECT_FALSE(sq.full());
   EXPECT_EQ(sq.free_slots(), 2);
   // Wrap: tail 3 -> 0.
-  EXPECT_EQ(sq.next_slot_addr(), 0x1000 + 3u * kSqeSize);
+  EXPECT_EQ(sq.next_slot_addr().value(), 0x1000 + 3u * kSqeSize);
   EXPECT_EQ(sq.advance_tail(), 0);
 }
 
 TEST(Rings, CqRingPhaseFlipsOnWrap) {
-  CqRing cq(QueueConfig{1, 0x2000, 3});
+  CqRing cq(QueueConfig{1, BusAddr{0x2000}, 3});
   EXPECT_TRUE(cq.expected_phase());
   cq.advance();
   cq.advance();
@@ -104,40 +104,42 @@ TEST(Rings, CqRingPhaseFlipsOnWrap) {
 }
 
 TEST(Prp, PageCountMath) {
-  EXPECT_EQ(prp_page_count(0), 0u);
-  EXPECT_EQ(prp_page_count(1), 1u);
-  EXPECT_EQ(prp_page_count(kPageSize), 1u);
-  EXPECT_EQ(prp_page_count(kPageSize + 1), 2u);
-  EXPECT_EQ(prp_page_count(1 * MiB), 256u);
+  EXPECT_EQ(prp_page_count(Bytes{}), 0u);
+  EXPECT_EQ(prp_page_count(Bytes{1}), 1u);
+  EXPECT_EQ(prp_page_count(Bytes{kPageSize}), 1u);
+  EXPECT_EQ(prp_page_count(Bytes{kPageSize + 1}), 2u);
+  EXPECT_EQ(prp_page_count(Bytes{1 * MiB}), 256u);
 }
 
 TEST(Prp, WalkerDirectEntries) {
   sim::Simulator sim;
-  PrpWalker walker(sim, [&](std::uint64_t) -> sim::Future<std::uint64_t> {
+  PrpWalker walker(sim, [&](BusAddr) -> sim::Future<std::uint64_t> {
     ADD_FAILURE() << "direct PRPs must not fetch a list";
     sim::Promise<std::uint64_t> p(sim);
     p.set(0);
     return p.future();
   });
-  std::vector<std::uint64_t> pages;
+  std::vector<BusAddr> pages;
   auto t = [&]() -> sim::Task {
-    co_await walker.walk(0xA000, 0, kPageSize, &pages == nullptr ? pages : pages);
+    co_await walker.walk(BusAddr{0xA000}, BusAddr{}, Bytes{kPageSize},
+                         &pages == nullptr ? pages : pages);
   };
   // walk with one page
-  auto one = [&]() -> sim::Task { co_await walker.walk(0xA000, 0, 100, pages); };
+  auto one = [&]() -> sim::Task { co_await walker.walk(BusAddr{0xA000}, BusAddr{}, Bytes{100}, pages); };
   sim.spawn(one());
   sim.run();
   ASSERT_EQ(pages.size(), 1u);
-  EXPECT_EQ(pages[0], 0xA000u);
+  EXPECT_EQ(pages[0].value(), 0xA000u);
   (void)t;
 
   auto two = [&]() -> sim::Task {
-    co_await walker.walk(0xA000, 0xB000, 2 * kPageSize, pages);
+    co_await walker.walk(BusAddr{0xA000}, BusAddr{0xB000}, Bytes{2 * kPageSize},
+                         pages);
   };
   sim.spawn(two());
   sim.run();
   ASSERT_EQ(pages.size(), 2u);
-  EXPECT_EQ(pages[1], 0xB000u);
+  EXPECT_EQ(pages[1].value(), 0xB000u);
 }
 
 TEST(Prp, WalkerFollowsChainedLists) {
@@ -145,29 +147,30 @@ TEST(Prp, WalkerFollowsChainedLists) {
   // Build reference lists for a 600-page transfer and serve entry reads
   // from them.
   const std::uint64_t pages_total = 600;
-  const std::uint64_t buf = 0x10'0000;
-  const std::uint64_t list_base = 0x90'0000;
-  auto lists = build_prp_lists(buf, pages_total * kPageSize, list_base);
+  const BusAddr buf{0x10'0000};
+  const BusAddr list_base{0x90'0000};
+  auto lists =
+      build_prp_lists(buf, Bytes{pages_total * kPageSize}, list_base);
   ASSERT_EQ(lists.size(), 2u);
 
   std::uint64_t fetches = 0;
-  PrpWalker walker(sim, [&](std::uint64_t addr) -> sim::Future<std::uint64_t> {
+  PrpWalker walker(sim, [&](BusAddr addr) -> sim::Future<std::uint64_t> {
     ++fetches;
-    const std::uint64_t page = (addr - list_base) / kPageSize;
-    const std::uint64_t idx = (addr % kPageSize) / 8;
+    const std::uint64_t page = (addr - list_base).value() / kPageSize;
+    const std::uint64_t idx = addr.value() % kPageSize / 8;
     sim::Promise<std::uint64_t> p(sim);
     p.set(lists.at(page).at(idx));
     return p.future();
   });
-  std::vector<std::uint64_t> pages;
+  std::vector<BusAddr> pages;
   auto t = [&]() -> sim::Task {
-    co_await walker.walk(buf, list_base, pages_total * kPageSize, pages);
+    co_await walker.walk(buf, list_base, Bytes{pages_total * kPageSize}, pages);
   };
   sim.spawn(t());
   sim.run();
   ASSERT_EQ(pages.size(), pages_total);
   for (std::uint64_t i = 0; i < pages_total; ++i) {
-    EXPECT_EQ(pages[i], buf + i * kPageSize) << i;
+    EXPECT_EQ(pages[i].value(), (buf + Bytes{i * kPageSize}).value()) << i;
   }
   EXPECT_EQ(fetches, 599u + 1u);  // 599 entries + the chain pointer slot
 }
@@ -179,28 +182,29 @@ TEST_P(PrpWalkerProperty, MatchesReferenceForRandomSizes) {
   Xoshiro256 rng(GetParam());
   for (int iter = 0; iter < 30; ++iter) {
     const std::uint64_t pages_total = 1 + rng.below(1200);
-    const std::uint64_t buf = (1 + rng.below(1000)) * kPageSize;
-    const std::uint64_t list_base = 0x4000'0000;
-    auto lists = build_prp_lists(buf, pages_total * kPageSize, list_base);
-    PrpWalker walker(sim, [&](std::uint64_t addr) -> sim::Future<std::uint64_t> {
-      const std::uint64_t page = (addr - list_base) / kPageSize;
-      const std::uint64_t idx = (addr % kPageSize) / 8;
+    const BusAddr buf{(1 + rng.below(1000)) * kPageSize};
+    const BusAddr list_base{0x4000'0000};
+    auto lists =
+        build_prp_lists(buf, Bytes{pages_total * kPageSize}, list_base);
+    PrpWalker walker(sim, [&](BusAddr addr) -> sim::Future<std::uint64_t> {
+      const std::uint64_t page = (addr - list_base).value() / kPageSize;
+      const std::uint64_t idx = addr.value() % kPageSize / 8;
       sim::Promise<std::uint64_t> p(sim);
       p.set(lists.at(page).at(idx));
       return p.future();
     });
-    std::vector<std::uint64_t> pages;
-    const std::uint64_t prp2 = pages_total == 1   ? 0
-                               : pages_total == 2 ? buf + kPageSize
-                                                  : list_base;
+    std::vector<BusAddr> pages;
+    const BusAddr prp2 = pages_total == 1   ? BusAddr{}
+                         : pages_total == 2 ? buf + Bytes{kPageSize}
+                                            : list_base;
     auto t = [&]() -> sim::Task {
-      co_await walker.walk(buf, prp2, pages_total * kPageSize, pages);
+      co_await walker.walk(buf, prp2, Bytes{pages_total * kPageSize}, pages);
     };
     sim.spawn(t());
     sim.run();
     ASSERT_EQ(pages.size(), pages_total);
     for (std::uint64_t i = 0; i < pages_total; ++i) {
-      ASSERT_EQ(pages[i], buf + i * kPageSize);
+      ASSERT_EQ(pages[i].value(), (buf + Bytes{i * kPageSize}).value());
     }
   }
 }
@@ -234,7 +238,7 @@ TEST_F(CtrlFixture, ControllerRegistersReadBack) {
   bool checked = false;
   auto io = [&]() -> sim::Task {
     auto r = sys.fabric().read(sys.root_port(),
-                               sys.ssd().bar_base() + reg::kCap, 8);
+                               sys.ssd().bar_base() + reg::kCap, Bytes{8});
     auto rr = co_await r;
     std::uint64_t cap = 0;
     if (rr.data.has_data()) std::memcpy(&cap, rr.data.view().data(), 8);
@@ -250,7 +254,7 @@ TEST(CtrlAdmin, ProtocolErrorsSurfaceInCompletions) {
   host::System sys;
   host::NvmeAdmin admin(sys.sim(), sys.fabric(), sys.host_mem(),
                         host::addr_map::kHostDramBase, sys.ssd(),
-                        /*region=*/128 * MiB);
+                        /*region=*/Bytes{128 * MiB});
   bool done = false;
   Status sq_without_cq{};
   Status bad_opcode{};
@@ -261,7 +265,7 @@ TEST(CtrlAdmin, ProtocolErrorsSurfaceInCompletions) {
     // CreateIoSq bound to a CQ that was never created.
     SubmissionEntry sq;
     sq.opcode = static_cast<std::uint8_t>(AdminOpcode::kCreateIoSq);
-    sq.prp1 = 0x5000'0000;
+    sq.prp1 = BusAddr{0x5000'0000};
     sq.cdw10 = 5 | (63u << 16);
     sq.cdw11 = (9u << 16) | 1;  // cqid 9 does not exist
     co_await admin.command(sq, &sq_without_cq);
@@ -274,7 +278,7 @@ TEST(CtrlAdmin, ProtocolErrorsSurfaceInCompletions) {
     // CQ larger than the controller supports.
     SubmissionEntry cq;
     cq.opcode = static_cast<std::uint8_t>(AdminOpcode::kCreateIoCq);
-    cq.prp1 = 0x5001'0000;
+    cq.prp1 = BusAddr{0x5001'0000};
     cq.cdw10 = 7 | (60000u << 16);
     co_await admin.command(cq, &oversized_cq);
     done = true;
@@ -297,7 +301,7 @@ TEST_F(CtrlFixture, UnknownOpcodeCompletesWithError) {
     // 2 MiB in one command exceeds MDTS=1 MiB -> the driver splits it, so
     // instead issue one command of exactly MDTS (fine) and rely on the
     // dedicated splitter tests; check flush path works (opcode 0).
-    co_await driver->write(0, Payload::filled(4096, 1), &st);
+    co_await driver->write(Lba{}, Payload::filled(4096, 1), &st);
     done = true;
   };
   sys.sim().spawn(io());
@@ -310,7 +314,7 @@ TEST_F(CtrlFixture, MediaReflectsWritesExactly) {
   Payload data = Payload::filled(3 * kLbaSize, 0x77);
   bool done = false;
   auto io = [&]() -> sim::Task {
-    co_await driver->write(1000, data);
+    co_await driver->write(Lba{1000}, data);
     done = true;
   };
   sys.sim().spawn(io());
@@ -329,9 +333,9 @@ TEST_F(CtrlFixture, InjectedNandReadFaultSurfacesUnrecoveredReadError) {
   Status wr{};
   Status rd{};
   auto io = [&]() -> sim::Task {
-    co_await driver->write(2000, Payload::filled(8 * kLbaSize, 0x5A), &wr);
+    co_await driver->write(Lba{2000}, Payload::filled(8 * kLbaSize, 0x5A), &wr);
     sys.ssd().nand().set_read_fault_plan(fault::FaultPlan::at({0}));
-    co_await driver->read(2000, 8 * kLbaSize, nullptr, &rd);
+    co_await driver->read(Lba{2000}, Bytes{8 * kLbaSize}, nullptr, &rd);
     done = true;
   };
   sys.sim().spawn(io());
@@ -353,7 +357,7 @@ TEST_F(CtrlFixture, InjectedProgramFailureSurfacesWriteFault) {
   Status st{};
   auto io = [&]() -> sim::Task {
     sys.ssd().nand().set_program_fault_plan(fault::FaultPlan::at({0}));
-    co_await driver->write(3000, Payload::filled(4096, 0x11), &st);
+    co_await driver->write(Lba{3000}, Payload::filled(4096, 0x11), &st);
     done = true;
   };
   sys.sim().spawn(io());
@@ -378,10 +382,10 @@ TEST(CtrlFault, DriverRetryRecoversTransientNandFault) {
   Payload got;
   auto io = [&]() -> sim::Task {
     co_await driver.init();
-    co_await driver.write(500, data);
+    co_await driver.write(Lba{500}, data);
     // Fail the 4th page of the first read attempt; the retry reads cleanly.
     sys.ssd().nand().set_read_fault_plan(fault::FaultPlan::at({3}));
-    co_await driver.read(500, 16 * kLbaSize, &got, &st);
+    co_await driver.read(Lba{500}, Bytes{16 * kLbaSize}, &got, &st);
     done = true;
   };
   sys.sim().spawn(io());
@@ -401,9 +405,9 @@ TEST(CtrlRaw, ErrorCqeCarriesCorrectPhaseTag) {
   // the phase tag of the first CQ pass.
   host::System sys;
   auto& ssd = sys.ssd();
-  const std::uint64_t sq_off = 64 * MiB;
-  const std::uint64_t cq_off = 65 * MiB;
-  const std::uint64_t buf_off = 66 * MiB;
+  const Bytes sq_off{64 * MiB};
+  const Bytes cq_off{65 * MiB};
+  const Bytes buf_off{66 * MiB};
   const pcie::Addr base = host::addr_map::kHostDramBase;
   ssd.create_io_queues_direct(QueueConfig{1, base + sq_off, 4},
                               QueueConfig{1, base + cq_off, 4});
@@ -411,12 +415,13 @@ TEST(CtrlRaw, ErrorCqeCarriesCorrectPhaseTag) {
 
   SubmissionEntry sqe;
   sqe.opcode = static_cast<std::uint8_t>(IoOpcode::kRead);
-  sqe.cid = 7;
-  sqe.slba = 0;
+  sqe.cid = Cid{7};
+  sqe.slba = Lba{};
   sqe.nlb = 0;
   sqe.prp1 = base + buf_off;
   auto raw = sqe.encode();
-  sys.host_mem().store().write(sq_off, Payload::bytes({raw.begin(), raw.end()}));
+  sys.host_mem().store().write(sq_off.value(),
+                               Payload::bytes({raw.begin(), raw.end()}));
 
   bool done = false;
   CompletionEntry cqe;
@@ -428,7 +433,7 @@ TEST(CtrlRaw, ErrorCqeCarriesCorrectPhaseTag) {
                                 ssd.bar_base() + reg::sq_tail_doorbell(1),
                                 Payload::bytes(std::move(db)));
     while (true) {
-      Payload p = sys.host_mem().store().read(cq_off, kCqeSize);
+      Payload p = sys.host_mem().store().read(cq_off.value(), kCqeSize);
       if (p.has_data()) {
         const auto e = CompletionEntry::decode(p.view());
         if (e.phase) {
@@ -443,7 +448,7 @@ TEST(CtrlRaw, ErrorCqeCarriesCorrectPhaseTag) {
   sys.sim().spawn(io());
   sys.sim().run_until(seconds(1));
   ASSERT_TRUE(done);
-  EXPECT_EQ(cqe.cid, 7);
+  EXPECT_EQ(cqe.cid.value(), 7);
   EXPECT_TRUE(cqe.phase);  // first pass through the CQ posts phase 1
   EXPECT_EQ(cqe.status, Status::kUnrecoveredReadError);
   EXPECT_EQ(cqe.sq_id, 1);

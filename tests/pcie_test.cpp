@@ -20,8 +20,9 @@ struct Fixture : ::testing::Test {
     fabric.set_root_port(root);
     dev = fabric.add_port("dev", 13.0);
     peer = fabric.add_port("peer", 7.0);
-    fabric.map(0x0, 64 * MiB, &host_mem, root, MemKind::kHostDram);
-    fabric.map(0x1000'0000, 16 * MiB, &dev_mem, dev, MemKind::kFpgaUram);
+    fabric.map(Addr{}, Bytes{64 * MiB}, &host_mem, root, MemKind::kHostDram);
+    fabric.map(Addr{0x1000'0000}, Bytes{16 * MiB}, &dev_mem, dev,
+               MemKind::kFpgaUram);
   }
 
   sim::Simulator sim;
@@ -38,9 +39,9 @@ TEST_F(Fixture, WriteThenReadRoundTripsThroughHostMemory) {
   bool done = false;
   Payload got;
   auto io = [&]() -> sim::Task {
-    auto w = fabric.write(root, 0x1000, data);
+    auto w = fabric.write(root, Addr{0x1000}, data);
     co_await w;
-    auto r = fabric.read(root, 0x1000, 8192);
+    auto r = fabric.read(root, Addr{0x1000}, Bytes{8192});
     auto rr = co_await r;
     got = std::move(rr.data);
     done = rr.ok;
@@ -54,9 +55,9 @@ TEST_F(Fixture, WriteThenReadRoundTripsThroughHostMemory) {
 TEST_F(Fixture, RoutingSelectsWindowByAddress) {
   bool ok_dev = false;
   auto io = [&]() -> sim::Task {
-    auto w = fabric.write(root, 0x1000'0000 + 4096, Payload::filled(64, 9));
+    auto w = fabric.write(root, Addr{0x1000'0000} + Bytes{4096}, Payload::filled(64, 9));
     co_await w;
-    auto r = fabric.read(root, 0x1000'0000 + 4096, 64);
+    auto r = fabric.read(root, Addr{0x1000'0000} + Bytes{4096}, Bytes{64});
     auto rr = co_await r;
     ok_dev = rr.ok && rr.data.content_equals(Payload::filled(64, 9));
   };
@@ -70,7 +71,7 @@ TEST_F(Fixture, RoutingSelectsWindowByAddress) {
 TEST_F(Fixture, UnmappedAddressFailsTheRead) {
   bool got_not_ok = false;
   auto io = [&]() -> sim::Task {
-    auto r = fabric.read(root, 0x9999'0000'0000, 64);
+    auto r = fabric.read(root, Addr{0x9999'0000'0000}, Bytes{64});
     auto rr = co_await r;
     got_not_ok = !rr.ok && !rr.data.has_data();
   };
@@ -85,11 +86,11 @@ TEST_F(Fixture, DeviceInitiatedAccessRequiresIommuGrant) {
   bool first_failed = false;
   bool second_ok = false;
   auto io = [&]() -> sim::Task {
-    auto r1 = fabric.read(dev, 0x2000, 512);
+    auto r1 = fabric.read(dev, Addr{0x2000}, Bytes{512});
     auto rr1 = co_await r1;
     first_failed = !rr1.ok;
-    fabric.iommu().grant({dev, 0x0, 64 * MiB, true, true});
-    auto r2 = fabric.read(dev, 0x2000, 512);
+    fabric.iommu().grant({dev, Addr{}, Bytes{64 * MiB}, true, true});
+    auto r2 = fabric.read(dev, Addr{0x2000}, Bytes{512});
     auto rr2 = co_await r2;
     second_ok = rr2.ok;
   };
@@ -101,9 +102,9 @@ TEST_F(Fixture, DeviceInitiatedAccessRequiresIommuGrant) {
 }
 
 TEST_F(Fixture, ReadOnlyGrantRejectsWrites) {
-  fabric.iommu().grant({dev, 0x0, 64 * MiB, true, false});
+  fabric.iommu().grant({dev, Addr{}, Bytes{64 * MiB}, true, false});
   auto io = [&]() -> sim::Task {
-    auto w = fabric.write(dev, 0x3000, Payload::filled(4096, 7));
+    auto w = fabric.write(dev, Addr{0x3000}, Payload::filled(4096, 7));
     co_await w;
   };
   sim.spawn(io());
@@ -116,9 +117,9 @@ TEST_F(Fixture, DisabledIommuAllowsEverything) {
   fabric.iommu().set_enabled(false);
   bool ok = false;
   auto io = [&]() -> sim::Task {
-    auto w = fabric.write(dev, 0x4000, Payload::filled(4096, 1));
+    auto w = fabric.write(dev, Addr{0x4000}, Payload::filled(4096, 1));
     co_await w;
-    auto r = fabric.read(peer, 0x4000, 4096);
+    auto r = fabric.read(peer, Addr{0x4000}, Bytes{4096});
     auto rr = co_await r;
     ok = rr.ok;
   };
@@ -137,13 +138,14 @@ TEST_F(Fixture, HostPathIsFasterThanPeerToPeer) {
 }
 
 TEST_F(Fixture, TrafficAccountingMatchesTransfers) {
-  fabric.iommu().grant({dev, 0x0, 64 * MiB, true, true});
+  fabric.iommu().grant({dev, Addr{}, Bytes{64 * MiB}, true, true});
   auto io = [&]() -> sim::Task {
     for (int i = 0; i < 4; ++i) {
-      auto w = fabric.write(dev, 0x8000 + i * 4096, Payload::phantom(4096));
+      auto w = fabric.write(dev, Addr{0x8000} + Bytes{4096} * std::uint64_t(i),
+                            Payload::phantom(4096));
       co_await w;
     }
-    auto r = fabric.read(dev, 0x8000, 8192);
+    auto r = fabric.read(dev, Addr{0x8000}, Bytes{8192});
     auto rr = co_await r;
     (void)rr;
   };
@@ -161,8 +163,8 @@ TEST_F(Fixture, BulkWritesAreLinkRateLimited) {
   // 64 MiB through the dev link at 13 GB/s (plus header overhead) should
   // take at least bytes/rate.
   const std::uint64_t total = 64 * MiB;
-  fabric.iommu().grant({dev, 0x0, 64 * MiB, true, true});
-  TimePs t_end = 0;
+  fabric.iommu().grant({dev, Addr{}, Bytes{64 * MiB}, true, true});
+  TimePs t_end;
   auto io = [&]() -> sim::Task {
     sim::WaitGroup wg(sim);
     const std::uint64_t chunk = 1 * MiB;
@@ -174,7 +176,7 @@ TEST_F(Fixture, BulkWritesAreLinkRateLimited) {
         co_await w;
         g->done();
       };
-      sim.spawn(issue(&fabric, dev, off % (32 * MiB), chunk, &wg));
+      sim.spawn(issue(&fabric, dev, Addr{off % (32 * MiB)}, chunk, &wg));
     }
     co_await wg.wait();
     t_end = sim.now();
@@ -187,18 +189,18 @@ TEST_F(Fixture, BulkWritesAreLinkRateLimited) {
 }
 
 TEST_F(Fixture, KindAtReportsWindowKind) {
-  EXPECT_EQ(fabric.kind_at(0x100), MemKind::kHostDram);
-  EXPECT_EQ(fabric.kind_at(0x1000'0000), MemKind::kFpgaUram);
-  EXPECT_EQ(fabric.kind_at(0x7777'0000'0000), MemKind::kDevice);
-  EXPECT_EQ(fabric.owner_at(0x100), root);
-  EXPECT_EQ(fabric.owner_at(0x1000'0000), dev);
+  EXPECT_EQ(fabric.kind_at(Addr{0x100}), MemKind::kHostDram);
+  EXPECT_EQ(fabric.kind_at(Addr{0x1000'0000}), MemKind::kFpgaUram);
+  EXPECT_EQ(fabric.kind_at(Addr{0x7777'0000'0000}), MemKind::kDevice);
+  EXPECT_EQ(fabric.owner_at(Addr{0x100}), root);
+  EXPECT_EQ(fabric.owner_at(Addr{0x1000'0000}), dev);
 }
 
 TEST_F(Fixture, UnmapRemovesWindow) {
-  fabric.unmap(0x1000'0000);
+  fabric.unmap(Addr{0x1000'0000});
   bool not_ok = false;
   auto io = [&]() -> sim::Task {
-    auto r = fabric.read(root, 0x1000'0000, 64);
+    auto r = fabric.read(root, Addr{0x1000'0000}, Bytes{64});
     auto rr = co_await r;
     not_ok = !rr.ok;
   };

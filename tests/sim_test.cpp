@@ -62,7 +62,7 @@ TEST(Simulator, NestedEventsFromHandlers) {
 
 TEST(Task, DelaySuspendsForExactDuration) {
   Simulator sim;
-  TimePs woke = 0;
+  TimePs woke;
   auto proc = [&]() -> Task {
     co_await sim.delay(us(5));
     woke = sim.now();
@@ -128,7 +128,7 @@ TEST(Channel, FifoOrderPreserved) {
 TEST(Channel, BackpressureBlocksProducer) {
   Simulator sim;
   Channel<int> ch(sim, 2);
-  TimePs producer_done = 0;
+  TimePs producer_done;
   auto producer = [&]() -> Task {
     for (int i = 0; i < 4; ++i) co_await ch.push(i);
     producer_done = sim.now();
@@ -312,7 +312,7 @@ TEST(Future, AwaitAfterSetIsImmediate) {
 TEST(WaitGroup, JoinsAllTasks) {
   Simulator sim;
   WaitGroup wg(sim);
-  TimePs joined_at = 0;
+  TimePs joined_at;
   auto worker = [&](TimePs d) -> Task {
     co_await sim.delay(d);
     wg.done();
@@ -333,7 +333,7 @@ TEST(WaitGroup, JoinsAllTasks) {
 TEST(Gate, ClosedGateBlocksUntilOpened) {
   Simulator sim;
   Gate gate(sim, /*open=*/false);
-  TimePs passed_at = 0;
+  TimePs passed_at;
   auto proc = [&]() -> Task {
     co_await gate.opened();
     passed_at = sim.now();
@@ -380,7 +380,7 @@ TEST(Semaphore, LimitsConcurrency) {
 TEST(RateServer, SerializesAtConfiguredRate) {
   Simulator sim;
   RateServer server(sim, /*gb_s=*/1.0);  // 1 GB/s => 1 byte/ns
-  TimePs done = 0;
+  TimePs done;
   auto proc = [&]() -> Task {
     co_await server.acquire(1000);
     done = sim.now();
@@ -411,7 +411,7 @@ TEST(RateServer, FifoQueueingAccumulates) {
 TEST(RateServer, PerOpOverheadCharged) {
   Simulator sim;
   RateServer server(sim, 1.0, /*per_op=*/ns(100));
-  TimePs done = 0;
+  TimePs done;
   auto proc = [&]() -> Task {
     co_await server.acquire(100);
     co_await server.acquire(100);

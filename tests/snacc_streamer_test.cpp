@@ -76,8 +76,8 @@ TEST_P(StreamerFixture, SmallWriteReadRoundTrip) {
   bool done = false;
   Payload got;
   auto io = [&]() -> sim::Task {
-    co_await client_->write(40960, data);
-    co_await client_->read(40960, 4096, &got);
+    co_await client_->write(Bytes{40960}, data);
+    co_await client_->read(Bytes{40960}, Bytes{4096}, &got);
     done = true;
   };
   sys_.sim().spawn(io());
@@ -93,8 +93,8 @@ TEST_P(StreamerFixture, MegabyteCommandRoundTripExercisesPrpList) {
   bool done = false;
   Payload got;
   auto io = [&]() -> sim::Task {
-    co_await client_->write(8 * MiB, data);
-    co_await client_->read(8 * MiB, 1 * MiB, &got);
+    co_await client_->write(Bytes{8 * MiB}, data);
+    co_await client_->read(Bytes{8 * MiB}, Bytes{1 * MiB}, &got);
     done = true;
   };
   sys_.sim().spawn(io());
@@ -112,8 +112,8 @@ TEST_P(StreamerFixture, MultiMegabyteWriteSplitsAtBoundaries) {
   bool done = false;
   Payload got;
   auto io = [&]() -> sim::Task {
-    co_await client_->write(0, data);
-    co_await client_->read(0, data.size(), &got);
+    co_await client_->write(Bytes{0}, data);
+    co_await client_->read(Bytes{0}, Bytes{data.size()}, &got);
     done = true;
   };
   sys_.sim().spawn(io());
@@ -130,9 +130,9 @@ TEST_P(StreamerFixture, UnalignedReadReturnsExactBytes) {
   bool done = false;
   Payload got;
   auto io = [&]() -> sim::Task {
-    co_await client_->write(1 * MiB, data);
+    co_await client_->write(Bytes{1 * MiB}, data);
     // Read 100 bytes starting 5000 bytes into the written region.
-    co_await client_->read(1 * MiB + 5000, 100, &got);
+    co_await client_->read(Bytes{1 * MiB + 5000}, Bytes{100}, &got);
     done = true;
   };
   sys_.sim().spawn(io());
@@ -147,7 +147,7 @@ TEST_P(StreamerFixture, PipelinedReadsReturnInIssueOrder) {
   // Prime the device.
   bool primed = false;
   auto prime = [&]() -> sim::Task {
-    co_await client_->write(0, random_payload(256 * KiB, 5));
+    co_await client_->write(Bytes{0}, random_payload(256 * KiB, 5));
     primed = true;
   };
   sys_.sim().spawn(prime());
@@ -158,7 +158,7 @@ TEST_P(StreamerFixture, PipelinedReadsReturnInIssueOrder) {
   std::vector<Payload> results(8);
   auto io = [&]() -> sim::Task {
     for (std::uint64_t i = 0; i < 8; ++i) {
-      co_await client_->start_read(i * 32 * KiB % (224 * KiB), 16 * KiB);
+      co_await client_->start_read(Bytes{i * 32 * KiB % (224 * KiB)}, Bytes{16 * KiB});
     }
     for (std::uint64_t i = 0; i < 8; ++i) {
       co_await client_->collect_read(&results[i]);
@@ -175,12 +175,12 @@ TEST_P(StreamerFixture, SequentialWriteBandwidthMatchesVariant) {
   build();
   sys_.ssd().nand().force_mode(/*fast=*/true);
   bool done = false;
-  TimePs t0 = 0;
-  TimePs t1 = 0;
+  TimePs t0;
+  TimePs t1;
   const std::uint64_t total = 256 * MiB;
   auto io = [&]() -> sim::Task {
     t0 = sys_.sim().now();
-    co_await client_->write(0, Payload::phantom(total));
+    co_await client_->write(Bytes{0}, Payload::phantom(total));
     t1 = sys_.sim().now();
     done = true;
   };
@@ -205,13 +205,13 @@ TEST_P(StreamerFixture, SequentialWriteBandwidthMatchesVariant) {
 TEST_P(StreamerFixture, SequentialReadSaturatesLink) {
   build();
   bool done = false;
-  TimePs t0 = 0;
-  TimePs t1 = 0;
+  TimePs t0;
+  TimePs t1;
   const std::uint64_t total = 256 * MiB;
   auto io = [&]() -> sim::Task {
-    co_await client_->write(0, Payload::phantom(total));
+    co_await client_->write(Bytes{0}, Payload::phantom(total));
     t0 = sys_.sim().now();
-    co_await client_->read(0, total, nullptr);
+    co_await client_->read(Bytes{0}, Bytes{total}, nullptr);
     t1 = sys_.sim().now();
     done = true;
   };
@@ -229,7 +229,7 @@ TEST_P(StreamerFixture, WritesToDeviceMatchMediaContents) {
   Payload data = random_payload(128 * KiB, 6);
   bool done = false;
   auto io = [&]() -> sim::Task {
-    co_await client_->write(2 * MiB, data);
+    co_await client_->write(Bytes{2 * MiB}, data);
     done = true;
   };
   sys_.sim().spawn(io());
@@ -246,8 +246,8 @@ TEST_P(StreamerFixture, NoCpuInvolvementAfterInit) {
       sys_.fabric().path(sys_.root_port(), sys_.ssd().port()).writes;
   bool done = false;
   auto io = [&]() -> sim::Task {
-    co_await client_->write(0, Payload::phantom(32 * MiB));
-    co_await client_->read(0, 32 * MiB, nullptr);
+    co_await client_->write(Bytes{0}, Payload::phantom(32 * MiB));
+    co_await client_->read(Bytes{0}, Bytes{32 * MiB}, nullptr);
     done = true;
   };
   sys_.sim().spawn(io());
@@ -264,8 +264,8 @@ TEST_P(StreamerFixture, OutOfOrderExtensionPreservesDataAndOrder) {
   bool done = false;
   Payload got;
   auto io = [&]() -> sim::Task {
-    co_await client_->write(0, data);
-    co_await client_->read(0, 512 * KiB, &got);
+    co_await client_->write(Bytes{0}, data);
+    co_await client_->read(Bytes{0}, Bytes{512 * KiB}, &got);
     done = true;
   };
   sys_.sim().spawn(io());
@@ -284,11 +284,11 @@ TEST_P(StreamerFixture, MidStreamNandFaultRecoversInOrder) {
   bool err = true;
   Payload got;
   auto io = [&]() -> sim::Task {
-    co_await client_->write(0, data);
+    co_await client_->write(Bytes{0}, data);
     // Fail the 6th page read of the read phase: the command's error CQE
     // triggers one streamer retry, which re-reads the range cleanly.
     sys_.ssd().nand().set_read_fault_plan(fault::FaultPlan::at({5}));
-    co_await client_->read(0, 256 * KiB, &got, &err);
+    co_await client_->read(Bytes{0}, Bytes{256 * KiB}, &got, &err);
     done = true;
   };
   sys_.sim().spawn(io());
@@ -309,10 +309,10 @@ TEST_P(StreamerFixture, ExhaustedRetriesDeliverErrorNotHang) {
   bool err = false;
   Payload got;
   auto io = [&]() -> sim::Task {
-    co_await client_->write(0, random_payload(16 * KiB, 22));
+    co_await client_->write(Bytes{0}, random_payload(16 * KiB, 22));
     // Every page read fails: retries exhaust and the entry is quarantined.
     sys_.ssd().nand().set_read_fault_plan(fault::FaultPlan::rate(1.0));
-    co_await client_->read(0, 16 * KiB, &got, &err);
+    co_await client_->read(Bytes{0}, Bytes{16 * KiB}, &got, &err);
     done = true;
   };
   sys_.sim().spawn(io());
@@ -335,7 +335,7 @@ TEST_P(StreamerFixture, TransientProgramFailureRecoversWrite) {
   auto io = [&]() -> sim::Task {
     // First NAND ingest fails; the retry rewrites the same buffer slot.
     sys_.ssd().nand().set_program_fault_plan(fault::FaultPlan::at({0}));
-    co_await client_->write(128 * KiB, data, 16 * KiB, &err);
+    co_await client_->write(Bytes{128 * KiB}, data, Bytes{16 * KiB}, &err);
     done = true;
   };
   sys_.sim().spawn(io());
@@ -355,7 +355,8 @@ TEST_P(StreamerFixture, PersistentProgramFailurePoisonsResponseToken) {
   bool err = false;
   auto io = [&]() -> sim::Task {
     sys_.ssd().nand().set_program_fault_plan(fault::FaultPlan::rate(1.0));
-    co_await client_->write(0, Payload::filled(8 * KiB, 0x3C), 16 * KiB, &err);
+    co_await client_->write(Bytes{0}, Payload::filled(8 * KiB, 0x3C), Bytes{16 * KiB},
+                           &err);
     done = true;
   };
   sys_.sim().spawn(io());
@@ -379,14 +380,14 @@ TEST_P(StreamerFixture, WatchdogRecoversDroppedCompletion) {
   bool err = true;
   Payload got;
   auto io = [&]() -> sim::Task {
-    co_await client_->write(64 * KiB, data);
+    co_await client_->write(Bytes{64 * KiB}, data);
     // Drop exactly the next CQE posted into the FPGA's CQ window: the IOMMU
     // permission flip is windowed to the reorder buffer's CQE landing zone,
     // so the completion is lost in flight and only the watchdog can save it.
     sys_.fabric().iommu().set_fault_plan(fault::FaultPlan::at({0}),
                                          dev_->bar0() + SnaccDevice::kCqWindow,
                                          dev_->streamer().cq_window_bytes());
-    co_await client_->read(64 * KiB, 4 * KiB, &got, &err);
+    co_await client_->read(Bytes{64 * KiB}, Bytes{4 * KiB}, &got, &err);
     done = true;
   };
   sys_.sim().spawn(io());
@@ -411,10 +412,10 @@ TEST_P(StreamerFixture, OutOfOrderRecoveryKeepsPipelinedReadsInOrder) {
   std::vector<Payload> results(8);
   std::vector<bool> errs(8, true);
   auto io = [&]() -> sim::Task {
-    co_await client_->write(0, data);
+    co_await client_->write(Bytes{0}, data);
     sys_.ssd().nand().set_read_fault_plan(fault::FaultPlan::at({9}));
     for (std::uint64_t i = 0; i < 8; ++i) {
-      co_await client_->start_read(i * 32 * KiB, 32 * KiB);
+      co_await client_->start_read(Bytes{i * 32 * KiB}, Bytes{32 * KiB});
     }
     for (std::uint64_t i = 0; i < 8; ++i) {
       bool e = true;

@@ -21,28 +21,28 @@ namespace {
 // Splitter
 
 TEST(Splitter, SmallAlignedReadIsOnePiece) {
-  auto subs = split_read(4096, 4096, {});
+  auto subs = split_read(Bytes{4096}, Bytes{4096}, {});
   ASSERT_EQ(subs.size(), 1u);
-  EXPECT_EQ(subs[0].slba, 1u);
+  EXPECT_EQ(subs[0].slba.value(), 1u);
   EXPECT_EQ(subs[0].blocks, 1u);
   EXPECT_EQ(subs[0].trim_head, 0u);
-  EXPECT_EQ(subs[0].payload_bytes, 4096u);
+  EXPECT_EQ(subs[0].payload_bytes.value(), 4096u);
   EXPECT_TRUE(subs[0].last);
 }
 
 TEST(Splitter, UnalignedReadTrimsHead) {
-  auto subs = split_read(5000, 100, {});
+  auto subs = split_read(Bytes{5000}, Bytes{100}, {});
   ASSERT_EQ(subs.size(), 1u);
-  EXPECT_EQ(subs[0].slba, 1u);
+  EXPECT_EQ(subs[0].slba.value(), 1u);
   EXPECT_EQ(subs[0].trim_head, 5000u % 4096);
   EXPECT_EQ(subs[0].blocks, 1u);  // 5000+100 fits in block 1
-  EXPECT_EQ(subs[0].payload_bytes, 100u);
+  EXPECT_EQ(subs[0].payload_bytes.value(), 100u);
 }
 
 TEST(Splitter, ReadCrossingBlockBoundaryCoversBothBlocks) {
-  auto subs = split_read(4000, 200, {});
+  auto subs = split_read(Bytes{4000}, Bytes{200}, {});
   ASSERT_EQ(subs.size(), 1u);
-  EXPECT_EQ(subs[0].slba, 0u);
+  EXPECT_EQ(subs[0].slba.value(), 0u);
   EXPECT_EQ(subs[0].blocks, 2u);
   EXPECT_EQ(subs[0].trim_head, 4000u);
 }
@@ -50,20 +50,20 @@ TEST(Splitter, ReadCrossingBlockBoundaryCoversBothBlocks) {
 TEST(Splitter, LargeReadSplitsAtMdtsBoundaries) {
   // 2.5 MiB starting mid-MB: first piece reaches the 1 MiB boundary,
   // middle pieces are full-size, tail is the remainder.
-  const std::uint64_t addr = 512 * KiB;
-  auto subs = split_read(addr, 2 * MiB + 512 * KiB, {});
+  const Bytes addr{512 * KiB};
+  auto subs = split_read(addr, Bytes{2 * MiB + 512 * KiB}, {});
   ASSERT_EQ(subs.size(), 3u);
-  EXPECT_EQ(subs[0].payload_bytes, 512 * KiB);
-  EXPECT_EQ(subs[1].payload_bytes, 1 * MiB);
-  EXPECT_EQ(subs[2].payload_bytes, 1 * MiB);
+  EXPECT_EQ(subs[0].payload_bytes.value(), 512 * KiB);
+  EXPECT_EQ(subs[1].payload_bytes.value(), 1 * MiB);
+  EXPECT_EQ(subs[2].payload_bytes.value(), 1 * MiB);
   EXPECT_TRUE(subs[2].last);
   EXPECT_FALSE(subs[0].last);
 }
 
 TEST(Splitter, WriteRequiresAlignment) {
-  EXPECT_TRUE(split_write(100, 4096, {}).empty());
-  EXPECT_TRUE(split_write(4096, 100, {}).empty());
-  EXPECT_EQ(split_write(4096, 8192, {}).size(), 1u);
+  EXPECT_TRUE(split_write(Bytes{100}, Bytes{4096}, {}).empty());
+  EXPECT_TRUE(split_write(Bytes{4096}, Bytes{100}, {}).empty());
+  EXPECT_EQ(split_write(Bytes{4096}, Bytes{8192}, {}).size(), 1u);
 }
 
 class SplitterProperty : public ::testing::TestWithParam<std::uint64_t> {};
@@ -74,20 +74,20 @@ TEST_P(SplitterProperty, PiecesReassembleExactly) {
   for (int i = 0; i < 50; ++i) {
     const std::uint64_t addr = rng.below(16 * MiB);
     const std::uint64_t len = 1 + rng.below(4 * MiB);
-    auto subs = split_read(addr, len, {});
+    auto subs = split_read(Bytes{addr}, Bytes{len}, {});
     ASSERT_FALSE(subs.empty());
     std::uint64_t total = 0;
     std::uint64_t cursor = addr;
     for (std::size_t k = 0; k < subs.size(); ++k) {
       const auto& s = subs[k];
       // Device coverage must contain the requested range piece.
-      EXPECT_EQ(s.slba * nvme::kLbaSize + s.trim_head, cursor);
-      EXPECT_LE(s.trim_head + s.payload_bytes,
+      EXPECT_EQ(s.slba.value() * nvme::kLbaSize + s.trim_head, cursor);
+      EXPECT_LE(s.trim_head + s.payload_bytes.value(),
                 static_cast<std::uint64_t>(s.blocks) * nvme::kLbaSize);
-      EXPECT_LE(s.buffer_bytes(), 1 * MiB + nvme::kLbaSize);
+      EXPECT_LE(s.buffer_bytes().value(), 1 * MiB + nvme::kLbaSize);
       EXPECT_EQ(s.last, k + 1 == subs.size());
-      total += s.payload_bytes;
-      cursor += s.payload_bytes;
+      total += s.payload_bytes.value();
+      cursor += s.payload_bytes.value();
     }
     EXPECT_EQ(total, len);
   }
@@ -101,31 +101,31 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SplitterProperty,
 
 TEST(BufferRing, AllocatesPageAligned) {
   sim::Simulator sim;
-  BufferRing ring(sim, 64 * KiB);
-  std::uint64_t off = ~0ull;
+  BufferRing ring(sim, Bytes{64 * KiB});
+  Bytes off{~0ull};
   auto t = [&]() -> sim::Task {
-    co_await ring.alloc(100, &off);
+    co_await ring.alloc(Bytes{100}, &off);
   };
   sim.spawn(t());
   sim.run();
-  EXPECT_EQ(off, 0u);
-  EXPECT_EQ(ring.in_use(), kPageSize);
+  EXPECT_EQ(off.value(), 0u);
+  EXPECT_EQ(ring.in_use().value(), kPageSize);
 }
 
 TEST(BufferRing, BackpressuresWhenFullAndResumesOnFree) {
   sim::Simulator sim;
-  BufferRing ring(sim, 16 * KiB);
+  BufferRing ring(sim, Bytes{16 * KiB});
   std::vector<std::uint64_t> offs;
   bool fourth_done = false;
   auto t = [&]() -> sim::Task {
-    std::uint64_t o = 0;
+    Bytes o;
     for (int i = 0; i < 4; ++i) {
-      co_await ring.alloc(4096, &o);
-      offs.push_back(o);
+      co_await ring.alloc(Bytes{4096}, &o);
+      offs.push_back(o.value());
     }
-    std::uint64_t extra = 0;
-    co_await ring.alloc(4096, &extra);  // blocks until a free
-    offs.push_back(extra);
+    Bytes extra;
+    co_await ring.alloc(Bytes{4096}, &extra);  // blocks until a free
+    offs.push_back(extra.value());
     fourth_done = true;
   };
   sim.spawn(t());
@@ -137,35 +137,35 @@ TEST(BufferRing, BackpressuresWhenFullAndResumesOnFree) {
 
 TEST(BufferRing, WrapSkipsTailRemainder) {
   sim::Simulator sim;
-  BufferRing ring(sim, 24 * KiB);
-  std::uint64_t a = 0;
-  std::uint64_t b = 0;
-  std::uint64_t c = 0;
+  BufferRing ring(sim, Bytes{24 * KiB});
+  Bytes a;
+  Bytes b;
+  Bytes c;
   auto t = [&]() -> sim::Task {
-    co_await ring.alloc(16 * KiB, &a);  // [0, 16k)
-    co_await ring.alloc(4 * KiB, &b);   // [16k, 20k)
-    ring.free_oldest();                 // head -> 16k
+    co_await ring.alloc(Bytes{16 * KiB}, &a);  // [0, 16k)
+    co_await ring.alloc(Bytes{4 * KiB}, &b);   // [16k, 20k)
+    ring.free_oldest();                        // head -> 16k
     // 8 KiB does not fit in [20k, 24k); must wrap to 0.
-    co_await ring.alloc(8 * KiB, &c);
+    co_await ring.alloc(Bytes{8 * KiB}, &c);
   };
   sim.spawn(t());
   sim.run();
-  EXPECT_EQ(a, 0u);
-  EXPECT_EQ(b, 16 * KiB);
-  EXPECT_EQ(c, 0u);
+  EXPECT_EQ(a.value(), 0u);
+  EXPECT_EQ(b.value(), 16 * KiB);
+  EXPECT_EQ(c.value(), 0u);
 }
 
 TEST(BufferRing, StressRandomAllocFreeKeepsInvariants) {
   sim::Simulator sim;
-  BufferRing ring(sim, 4 * MiB);
+  BufferRing ring(sim, Bytes{4 * MiB});
   Xoshiro256 rng(99);
   bool done = false;
   auto producer = [&]() -> sim::Task {
     for (int i = 0; i < 2000; ++i) {
-      std::uint64_t off = 0;
-      const std::uint64_t len = kPageSize * (1 + rng.below(64));
+      Bytes off;
+      const Bytes len{kPageSize * (1 + rng.below(64))};
       co_await ring.alloc(len, &off);
-      EXPECT_EQ(off % kPageSize, 0u);
+      EXPECT_EQ(off.value() % kPageSize, 0u);
       EXPECT_LE(ring.in_use(), ring.capacity());
     }
     done = true;
@@ -183,7 +183,7 @@ TEST(BufferRing, StressRandomAllocFreeKeepsInvariants) {
   sim.run();
   EXPECT_TRUE(done);
   EXPECT_EQ(ring.outstanding(), 0u);
-  EXPECT_EQ(ring.in_use(), 0u);
+  EXPECT_EQ(ring.in_use().value(), 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -192,7 +192,7 @@ TEST(BufferRing, StressRandomAllocFreeKeepsInvariants) {
 TEST(ReorderBuffer, OutOfOrderCompletionInOrderRetirement) {
   sim::Simulator sim;
   ReorderBuffer rob(sim, 4);
-  std::vector<std::uint16_t> slots(3);
+  std::vector<SlotIdx> slots(3);
   std::vector<std::uint64_t> retired;
   auto setup = [&]() -> sim::Task {
     for (std::uint16_t i = 0; i < 3; ++i) {
@@ -222,7 +222,7 @@ TEST(ReorderBuffer, AllocBlocksAtCapacity) {
   ReorderBuffer rob(sim, 2);
   int allocated = 0;
   auto t = [&]() -> sim::Task {
-    std::uint16_t s = 0;
+    SlotIdx s;
     for (int i = 0; i < 3; ++i) {
       co_await rob.alloc(RobEntry{}, &s);
       ++allocated;
@@ -231,7 +231,7 @@ TEST(ReorderBuffer, AllocBlocksAtCapacity) {
   sim.spawn(t());
   sim.run_until(us(1));
   EXPECT_EQ(allocated, 2);
-  rob.complete(0, nvme::Status::kSuccess);
+  rob.complete(SlotIdx{0}, nvme::Status::kSuccess);
   sim.run_until(us(2));
   EXPECT_EQ(allocated, 2);  // completion alone is not enough...
   auto drain = [&]() -> sim::Task {
@@ -247,7 +247,7 @@ TEST(ReorderBuffer, PeekSeesWindowInOrder) {
   sim::Simulator sim;
   ReorderBuffer rob(sim, 8);
   auto t = [&]() -> sim::Task {
-    std::uint16_t s = 0;
+    SlotIdx s;
     for (std::uint64_t i = 0; i < 5; ++i) {
       RobEntry e;
       e.user_tag = i;
@@ -273,29 +273,29 @@ std::uint64_t entry_from(const Payload& p, std::uint64_t index) {
 }
 
 TEST(UramPrpEngine, SmallCommandsUseDirectEntries) {
-  UramPrpEngine eng(/*window_base=*/8 * MiB, 4 * MiB);
-  auto one = eng.make(64 * KiB, 4096);
-  EXPECT_EQ(one.prp1, 8 * MiB + 64 * KiB);
-  EXPECT_EQ(one.prp2, 0u);
-  auto two = eng.make(64 * KiB, 8192);
-  EXPECT_EQ(two.prp2, 8 * MiB + 64 * KiB + 4096);
+  UramPrpEngine eng(pcie::Addr{8 * MiB}, Bytes{4 * MiB});
+  auto one = eng.make(Bytes{64 * KiB}, Bytes{4096});
+  EXPECT_EQ(one.prp1.value(), 8 * MiB + 64 * KiB);
+  EXPECT_EQ(one.prp2.value(), 0u);
+  auto two = eng.make(Bytes{64 * KiB}, Bytes{8192});
+  EXPECT_EQ(two.prp2.value(), 8 * MiB + 64 * KiB + 4096);
 }
 
 TEST(UramPrpEngine, ListEntriesMatchReferenceLayout) {
-  const std::uint64_t window = 8 * MiB;
-  UramPrpEngine eng(window, 4 * MiB);
-  const std::uint64_t off = 256 * KiB;
-  const std::uint64_t len = 1 * MiB;
+  const pcie::Addr window{8 * MiB};
+  UramPrpEngine eng(window, Bytes{4 * MiB});
+  const Bytes off{256 * KiB};
+  const Bytes len{1 * MiB};
   auto prps = eng.make(off, len);
   EXPECT_EQ(prps.prp1, window + off);
   // Bit 22 selects the PRP half.
-  EXPECT_NE(prps.prp2 & (4 * MiB), 0u);
+  EXPECT_NE(prps.prp2.value() & (4 * MiB), 0u);
 
   // Reference: the naive in-memory list for the same contiguous buffer.
-  auto ref = nvme::build_prp_lists(window + off, len, /*list_base=*/0);
+  auto ref = nvme::build_prp_lists(window + off, len, pcie::Addr{});
   ASSERT_EQ(ref.size(), 1u);
-  const std::uint64_t local = prps.prp2 - window;
-  Payload served = eng.serve(local, ref[0].size() * 8);
+  const Bytes local = prps.prp2 - window;
+  Payload served = eng.serve(local, Bytes{ref[0].size() * 8});
   for (std::size_t n = 0; n < ref[0].size(); ++n) {
     EXPECT_EQ(entry_from(served, n), ref[0][n]) << "entry " << n;
   }
@@ -304,18 +304,19 @@ TEST(UramPrpEngine, ListEntriesMatchReferenceLayout) {
 class UramPrpProperty : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(UramPrpProperty, ServedEntriesEqualReferenceForRandomCommands) {
-  const std::uint64_t window = 16 * MiB;  // naturally aligned for 4 MiB buffer
-  UramPrpEngine eng(window, 4 * MiB);
+  const pcie::Addr window{16 * MiB};  // naturally aligned for 4 MiB buffer
+  UramPrpEngine eng(window, Bytes{4 * MiB});
   Xoshiro256 rng(GetParam());
   for (int i = 0; i < 100; ++i) {
     const std::uint64_t pages = 3 + rng.below(254);  // needs a list
-    const std::uint64_t len = pages * kPageSize;
-    const std::uint64_t off =
-        rng.below((4 * MiB - len) / kPageSize + 1) * kPageSize;
+    const Bytes len{pages * kPageSize};
+    const Bytes off{rng.below((4 * MiB - len.value()) / kPageSize + 1) *
+                    kPageSize};
     auto prps = eng.make(off, len);
-    auto ref = nvme::build_prp_lists(window + off, len, 0);
+    auto ref = nvme::build_prp_lists(window + off, len, pcie::Addr{});
     ASSERT_EQ(ref.size(), 1u);
-    Payload served = eng.serve(prps.prp2 - window, ref[0].size() * 8);
+    Payload served =
+        eng.serve(prps.prp2 - window, Bytes{ref[0].size() * 8});
     for (std::size_t n = 0; n < ref[0].size(); ++n) {
       ASSERT_EQ(entry_from(served, n), ref[0][n]);
     }
@@ -326,40 +327,42 @@ INSTANTIATE_TEST_SUITE_P(Seeds, UramPrpProperty, ::testing::Values(11, 22, 33, 4
 
 TEST(RegfilePrpEngine, TranslatesThroughChunkTable) {
   // Two 4 MiB chunks at scattered global addresses.
-  std::vector<pcie::Addr> chunks{0x1000'0000, 0x5000'0000};
-  ChunkedTranslator xlat(chunks, 4 * MiB);
-  RegfilePrpEngine eng(/*prp_window_base=*/0x9000'0000, xlat, 64);
+  std::vector<pcie::Addr> chunks{pcie::Addr{0x1000'0000},
+                                 pcie::Addr{0x5000'0000}};
+  ChunkedTranslator xlat(chunks, Bytes{4 * MiB});
+  RegfilePrpEngine eng(pcie::Addr{0x9000'0000}, xlat, 64);
 
   // A 1 MiB command whose pages straddle the chunk boundary.
-  const std::uint64_t off = 4 * MiB - 512 * KiB;
-  auto prps = eng.make(7, off, 1 * MiB);
-  EXPECT_EQ(prps.prp1, 0x1000'0000 + 4 * MiB - 512 * KiB);
-  EXPECT_EQ(prps.prp2, 0x9000'0000 + 7ull * kPageSize);
+  const Bytes off{4 * MiB - 512 * KiB};
+  auto prps = eng.make(SlotIdx{7}, off, Bytes{1 * MiB});
+  EXPECT_EQ(prps.prp1.value(), 0x1000'0000 + 4 * MiB - 512 * KiB);
+  EXPECT_EQ(prps.prp2.value(), 0x9000'0000 + 7ull * kPageSize);
 
-  Payload served = eng.serve(7ull * kPageSize, 255 * 8);
+  Payload served = eng.serve(Bytes{7ull * kPageSize}, Bytes{255 * 8});
   // Entry n = page n+1 of the buffer, chunk-translated.
   for (std::uint64_t n = 0; n < 255; ++n) {
-    const std::uint64_t logical = off + (n + 1) * kPageSize;
-    EXPECT_EQ(entry_from(served, n), xlat.translate(logical)) << n;
+    const Bytes logical = off + Bytes{(n + 1) * kPageSize};
+    EXPECT_EQ(entry_from(served, n), xlat.translate(logical).value()) << n;
   }
 }
 
 class RegfilePrpProperty : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(RegfilePrpProperty, MatchesReferenceOnLinearWindow) {
-  LinearTranslator xlat(0x2000'0000);
-  RegfilePrpEngine eng(0x7000'0000, xlat, 64);
+  LinearTranslator xlat(pcie::Addr{0x2000'0000});
+  RegfilePrpEngine eng(pcie::Addr{0x7000'0000}, xlat, 64);
   Xoshiro256 rng(GetParam());
   for (int i = 0; i < 100; ++i) {
-    const std::uint16_t slot = static_cast<std::uint16_t>(rng.below(64));
+    const SlotIdx slot{static_cast<std::uint16_t>(rng.below(64))};
     const std::uint64_t pages = 3 + rng.below(254);
-    const std::uint64_t len = pages * kPageSize;
-    const std::uint64_t off = rng.below(16 * MiB / kPageSize) * kPageSize;
+    const Bytes len{pages * kPageSize};
+    const Bytes off{rng.below(16 * MiB / kPageSize) * kPageSize};
     auto prps = eng.make(slot, off, len);
-    auto ref = nvme::build_prp_lists(0x2000'0000 + off, len, 0);
+    auto ref = nvme::build_prp_lists(pcie::Addr{0x2000'0000} + off, len,
+                                     pcie::Addr{});
     ASSERT_EQ(ref.size(), 1u);
-    Payload served =
-        eng.serve(prps.prp2 - 0x7000'0000, ref[0].size() * 8);
+    Payload served = eng.serve(prps.prp2 - pcie::Addr{0x7000'0000},
+                               Bytes{ref[0].size() * 8});
     for (std::size_t n = 0; n < ref[0].size(); ++n) {
       ASSERT_EQ(entry_from(served, n), ref[0][n]);
     }
@@ -374,8 +377,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RegfilePrpProperty,
 
 TEST(BuildPrpLists, ChainsAcrossListPages) {
   // 600 pages: 1 direct + 599 list entries -> 511 + chain + 88.
-  const std::uint64_t len = 600 * kPageSize;
-  auto lists = nvme::build_prp_lists(0x1000'0000, len, 0x9000'0000);
+  const Bytes len{600 * kPageSize};
+  auto lists = nvme::build_prp_lists(pcie::Addr{0x1000'0000}, len,
+                                     pcie::Addr{0x9000'0000});
   ASSERT_EQ(lists.size(), 2u);
   EXPECT_EQ(lists[0].size(), nvme::kPrpEntriesPerList);
   EXPECT_EQ(lists[0].back(), 0x9000'0000ull + kPageSize);  // chain pointer
@@ -385,8 +389,9 @@ TEST(BuildPrpLists, ChainsAcrossListPages) {
 }
 
 TEST(BuildPrpLists, ExactlyFullListDoesNotChain) {
-  const std::uint64_t len = 513 * kPageSize;  // 1 direct + 512 entries
-  auto lists = nvme::build_prp_lists(0x1000'0000, len, 0x9000'0000);
+  const Bytes len{513 * kPageSize};  // 1 direct + 512 entries
+  auto lists = nvme::build_prp_lists(pcie::Addr{0x1000'0000}, len,
+                                     pcie::Addr{0x9000'0000});
   ASSERT_EQ(lists.size(), 1u);
   EXPECT_EQ(lists[0].size(), nvme::kPrpEntriesPerList);
   EXPECT_EQ(lists[0].back(), 0x1000'0000ull + 512 * kPageSize);

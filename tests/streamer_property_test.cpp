@@ -105,7 +105,7 @@ TEST_P(MixedWorkload, RandomizedInterleavedIoMatchesReference) {
         Payload p = Payload::bytes(std::move(data));
         ref.write(addr, p);
         extents.emplace_back(addr, len);
-        co_await pe.write(addr, std::move(p));
+        co_await pe.write(Bytes{addr}, std::move(p));
       } else {
         // Read a random (possibly unaligned) subrange of a past write.
         const auto [w_addr, w_len] = extents[rng.below(extents.size())];
@@ -114,7 +114,7 @@ TEST_P(MixedWorkload, RandomizedInterleavedIoMatchesReference) {
         const std::uint64_t addr = w_addr + off;
         if (!ref.covered(addr, len)) continue;  // later write may overlap
         Payload got;
-        co_await pe.read(addr, len, &got);
+        co_await pe.read(Bytes{addr}, Bytes{len}, &got);
         std::string err;
         EXPECT_TRUE(ref.check(addr, got, &err)) << err << " (op " << op << ")";
         ++checks;
@@ -181,7 +181,7 @@ TEST_P(FaultedWorkload, RecoveryPreservesIntegrityAndAccountsForFaults) {
         ref.write(addr, p);
         extents.emplace_back(addr, len);
         bool err = false;
-        co_await pe.write(addr, std::move(p), 16 * KiB, &err);
+        co_await pe.write(Bytes{addr}, std::move(p), Bytes{16 * KiB}, &err);
         EXPECT_FALSE(err) << "write quarantined (op " << op << ")";
       } else {
         const auto [w_addr, w_len] = extents[rng.below(extents.size())];
@@ -191,7 +191,7 @@ TEST_P(FaultedWorkload, RecoveryPreservesIntegrityAndAccountsForFaults) {
         if (!ref.covered(addr, len)) continue;
         Payload got;
         bool err = false;
-        co_await pe.read(addr, len, &got, &err);
+        co_await pe.read(Bytes{addr}, Bytes{len}, &got, &err);
         EXPECT_FALSE(err) << "read quarantined (op " << op << ")";
         std::string err_msg;
         EXPECT_TRUE(ref.check(addr, got, &err_msg))

@@ -56,8 +56,8 @@ TEST(Tracer, CapturesStreamerWorkload) {
   core::PeClient pe(dev.streamer());
   bool done = false;
   auto io = [&]() -> sim::Task {
-    co_await pe.write(0, Payload::phantom(3 * MiB));  // 3 sub-commands
-    co_await pe.read(0, 3 * MiB, nullptr);            // 3 sub-commands
+    co_await pe.write(Bytes{}, Payload::phantom(3 * MiB));  // 3 sub-commands
+    co_await pe.read(Bytes{}, Bytes{3 * MiB}, nullptr);            // 3 sub-commands
     done = true;
   };
   sys.sim().spawn(io());
@@ -71,7 +71,7 @@ TEST(Tracer, CapturesStreamerWorkload) {
 
   // Causality: timestamps are monotonic, and each command's submission
   // precedes some completion which precedes its retirement.
-  TimePs last = 0;
+  TimePs last;
   for (const auto& e : tracer.events()) {
     EXPECT_GE(e.t, last);
     last = e.t;

@@ -1,0 +1,169 @@
+// Unit tests for the strong domain types in common/units.hpp: conversion
+// rounding at boundary rates, overflow saturation of the literal helpers,
+// and compile-time enforcement that illegal unit mixing does not build
+// (checked with invocability traits, so an accidentally-added operator turns
+// into a test failure instead of a silent API widening).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+#include <utility>
+
+#include "common/units.hpp"
+
+namespace snacc {
+namespace {
+
+constexpr std::uint64_t kU64Max = std::numeric_limits<std::uint64_t>::max();
+
+// ---------------------------------------------------------------------------
+// transfer_time / gb_per_s rounding
+
+TEST(Conversions, TransferTimeRoundsUpToWholePicoseconds) {
+  // 1 byte at 1 GB/s is exactly 1 ns.
+  EXPECT_EQ(transfer_time(1, 1.0), ns(1));
+  // 1 byte at 3 GB/s is 333.33... ps -> rounds to 333.
+  EXPECT_EQ(transfer_time(1, 3.0).value(), 333u);
+  // 2 bytes at 3 GB/s is 666.66... ps -> rounds to 667.
+  EXPECT_EQ(transfer_time(2, 3.0).value(), 667u);
+  // Zero bytes takes zero time at any rate.
+  EXPECT_TRUE(transfer_time(0, 64.0).is_zero());
+  // Nonpositive rate never produces a bogus huge duration.
+  EXPECT_TRUE(transfer_time(4096, 0.0).is_zero());
+  EXPECT_TRUE(transfer_time(4096, -1.0).is_zero());
+  // The Bytes overload agrees with the raw one.
+  EXPECT_EQ(transfer_time(Bytes{1 * MiB}, 6.9), transfer_time(1 * MiB, 6.9));
+}
+
+TEST(Conversions, GbPerSRoundTripsThroughTransferTime) {
+  // bytes -> duration -> rate should land back within float tolerance, at
+  // rates bracketing everything the models use (NAND to 100G ethernet).
+  for (double rate : {0.1, 1.0, 6.9, 19.2, 38.0, 64.0, 128.0}) {
+    const std::uint64_t bytes = 1 * GiB;
+    const TimePs t = transfer_time(bytes, rate);
+    EXPECT_NEAR(gb_per_s(bytes, t), rate, rate * 1e-9) << "rate " << rate;
+  }
+}
+
+TEST(Conversions, GbPerSZeroElapsedIsZeroNotInf) {
+  EXPECT_EQ(gb_per_s(1 * GiB, TimePs{}), 0.0);
+  EXPECT_EQ(gb_per_s(Bytes{1 * GiB}, TimePs{}), 0.0);
+}
+
+TEST(Conversions, ToUnitHelpersInvertLiteralHelpers) {
+  EXPECT_DOUBLE_EQ(to_ns(ns(123)), 123.0);
+  EXPECT_DOUBLE_EQ(to_us(us(456)), 456.0);
+  EXPECT_DOUBLE_EQ(to_ms(ms(789)), 789.0);
+  EXPECT_DOUBLE_EQ(to_s(seconds(3)), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Overflow saturation near UINT64_MAX
+
+TEST(Overflow, SecondsSaturatesInsteadOfWrapping) {
+  // 2^64 ps is ~18.4M seconds; anything above must clamp, not wrap to a
+  // tiny value that would silently truncate a run_until() deadline.
+  constexpr std::uint64_t kLimit = kU64Max / kPsPerS;  // 18'446'744
+  EXPECT_EQ(seconds(kLimit).value(), kLimit * kPsPerS);
+  EXPECT_EQ(seconds(kLimit + 1).value(), kU64Max);
+  EXPECT_EQ(seconds(kU64Max).value(), kU64Max);
+  static_assert(seconds(kU64Max).value() == kU64Max,
+                "saturation must be constexpr-visible");
+}
+
+TEST(Overflow, AllLiteralHelpersSaturate) {
+  EXPECT_EQ(ns(kU64Max).value(), kU64Max);
+  EXPECT_EQ(us(kU64Max).value(), kU64Max);
+  EXPECT_EQ(ms(kU64Max).value(), kU64Max);
+  // In-range values are exact (no saturation penalty on the hot path).
+  EXPECT_EQ(ns(7).value(), 7'000u);
+  EXPECT_EQ(us(7).value(), 7'000'000u);
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic semantics
+
+TEST(Arithmetic, TimeAndBytesFormClosedGroups) {
+  EXPECT_EQ((ns(3) + ns(4)).value(), ns(7).value());
+  EXPECT_EQ((ns(9) - ns(2)).value(), ns(7).value());
+  EXPECT_EQ((ns(3) * 4).value(), ns(12).value());
+  EXPECT_EQ(us(10) / us(2), 5u);  // duration ratio is a raw count
+  EXPECT_EQ((Bytes{12 * KiB} / Bytes{4 * KiB}), 3u);
+  EXPECT_EQ((Bytes{10} % Bytes{4}).value(), 2u);
+}
+
+TEST(Arithmetic, AddressArithmeticIsAffine) {
+  const BusAddr a{0x1000};
+  EXPECT_EQ((a + Bytes{0x20}).value(), 0x1020u);
+  EXPECT_EQ((a - Bytes{0x10}).value(), 0x0FF0u);
+  EXPECT_EQ((BusAddr{0x2000} - a).value(), 0x1000u);  // addr - addr = bytes
+  static_assert(std::is_same_v<decltype(BusAddr{} - BusAddr{}), Bytes>);
+}
+
+TEST(Arithmetic, PageHelpersAgreeAtBoundaries) {
+  EXPECT_EQ(page_align_up(Bytes{1}).value(), kPageSize);
+  EXPECT_EQ(page_align_up(Bytes{kPageSize}).value(), kPageSize);
+  EXPECT_EQ(page_align_down(Bytes{kPageSize + 1}).value(), kPageSize);
+  EXPECT_EQ(page_offset(BusAddr{kPageSize + 17}).value(), 17u);
+  EXPECT_EQ(page_base(BusAddr{kPageSize + 17}).value(), kPageSize);
+}
+
+// ---------------------------------------------------------------------------
+// Compile-fail coverage: illegal unit mixing must not be expressible. Each
+// trait evaluates the exact expression a confused caller would write; if
+// someone adds the operator, the static_assert names the rule they broke.
+
+template <class A, class B>
+using add_t = decltype(std::declval<A>() + std::declval<B>());
+template <class A, class B, class = void>
+struct can_add : std::false_type {};
+template <class A, class B>
+struct can_add<A, B, std::void_t<add_t<A, B>>> : std::true_type {};
+
+template <class A, class B, class = void>
+struct can_assign : std::false_type {};
+template <class A, class B>
+struct can_assign<A, B,
+                  std::void_t<decltype(std::declval<A&>() = std::declval<B>())>>
+    : std::true_type {};
+
+// Time and space never mix.
+static_assert(!can_add<TimePs, Bytes>::value, "time + bytes must not compile");
+static_assert(!can_add<Bytes, TimePs>::value, "bytes + time must not compile");
+// Two absolute addresses cannot be summed (affine space, not a vector).
+static_assert(!can_add<BusAddr, BusAddr>::value,
+              "addr + addr must not compile");
+// LBAs are block numbers, not byte addresses.
+static_assert(!can_add<Lba, Bytes>::value, "lba + bytes must not compile");
+static_assert(!can_add<Lba, BusAddr>::value, "lba + addr must not compile");
+// Identifier types carry no arithmetic at all.
+static_assert(!can_add<Cid, Cid>::value, "cid + cid must not compile");
+static_assert(!can_add<SlotIdx, SlotIdx>::value,
+              "slot + slot must not compile");
+// Raw integers do not implicitly become domain values.
+static_assert(!std::is_convertible_v<std::uint64_t, TimePs>,
+              "uint64 must not implicitly convert to TimePs");
+static_assert(!std::is_convertible_v<std::uint64_t, BusAddr>,
+              "uint64 must not implicitly convert to BusAddr");
+static_assert(!std::is_convertible_v<int, Bytes>,
+              "int must not implicitly convert to Bytes");
+static_assert(!can_assign<TimePs, std::uint64_t>::value,
+              "t = 0 must not compile; use TimePs{}");
+// Cross-type assignment is out too.
+static_assert(!can_assign<BusAddr, Bytes>::value,
+              "addr = bytes must not compile");
+static_assert(!can_assign<Cid, SlotIdx>::value,
+              "cid = slot must not compile; use cid_of()");
+
+TEST(CompileFail, TraitsAreWiredToRealOperators) {
+  // Sanity: the positive cases DO compile, so the negative asserts above
+  // are testing the operators and not a broken trait.
+  EXPECT_TRUE((can_add<TimePs, TimePs>::value));
+  EXPECT_TRUE((can_add<Bytes, Bytes>::value));
+  EXPECT_TRUE((can_add<BusAddr, Bytes>::value));
+  EXPECT_TRUE((can_assign<TimePs, TimePs>::value));
+}
+
+}  // namespace
+}  // namespace snacc

@@ -1,0 +1,234 @@
+// snacc-lint: repo-specific static checks the compiler cannot enforce.
+//
+// The strong domain types in common/units.hpp turn unit-mixing into compile
+// errors, but four classes of bugs still compile silently; this checker
+// scans the source tree for them (docs/STATIC_ANALYSIS.md has the rule
+// catalog and rationale):
+//
+//   bare-uint-signature  A function parameter in a src/{pcie,nvme,snacc}
+//                        header typed std::uint64_t but named like a domain
+//                        quantity (addr, lba, len, off, ...). Such a
+//                        parameter defeats the whole point of the wrapper
+//                        types: callers can pass any integer.
+//   nondeterminism       rand(), std::random_device, or *_clock::now() --
+//                        the DES must be bit-reproducible per seed, so all
+//                        randomness goes through common/rng.hpp and all time
+//                        through sim::Simulator. Also flags range-for
+//                        iteration over a std::unordered_map declared in the
+//                        same file: hash-map order is libstdc++-internal and
+//                        must never reach simulated behaviour or output
+//                        (sort first, as pcie::Iommu::faults_by_initiator
+//                        does).
+//   raw-doorbell         nvme::reg::kDoorbellBase arithmetic outside
+//                        src/nvme/spec.hpp. sq_tail_doorbell()/
+//                        cq_head_doorbell() are the only sanctioned ways to
+//                        form a doorbell offset; inlined stride math has
+//                        already caused an off-by-one between SQ and CQ
+//                        doorbells once.
+//   unbounded-poll       A try_pop()/try_recv() polling loop with no
+//                        co_await or closed() check nearby. Without a yield
+//                        the poll spins the scheduler at +0 time and the
+//                        simulation livelocks.
+//
+// Suppression: append `// snacc-lint: allow(<rule>)` to the offending line,
+// or place it alone on the line directly above.
+//
+// Usage: snacc-lint <repo-src-dir>...    exits 1 if any finding survives.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string file;
+  std::size_t line;
+  std::string rule;
+  std::string message;
+};
+
+struct SourceFile {
+  fs::path path;
+  std::string rel;  // path relative to the scanned root, '/'-separated
+  std::vector<std::string> lines;  // raw text (suppressions live here)
+  std::vector<std::string> code;   // same, with // comments blanked out
+};
+
+bool suppressed(const SourceFile& f, std::size_t idx, std::string_view rule) {
+  const std::string needle = "snacc-lint: allow(" + std::string(rule) + ")";
+  if (f.lines[idx].find(needle) != std::string::npos) return true;
+  return idx > 0 && f.lines[idx - 1].find(needle) != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// bare-uint-signature
+
+// Parameter names that denote a quantity with a wrapper type in
+// common/units.hpp. `seed`, counters, and bit-field raw values are fine.
+// The trailing lookahead skips accessors *named* like a quantity, e.g.
+// `std::uint64_t bytes() const` on a stats struct: the rule targets
+// parameters, where a caller could pass any integer.
+const std::regex kBareParam(
+    R"re(std::uint64_t\s+(addr|base|lba|slba|len|size|bytes|off|offset|cid|slot|time|t0|t1|deadline|delay|latency|window)\b(?!\s*\())re");
+
+void check_bare_signature(const SourceFile& f, std::vector<Finding>& out) {
+  static const std::regex owned(R"(^src/(pcie|nvme|snacc)/.*\.hpp$)");
+  if (!std::regex_match(f.rel, owned)) return;
+  for (std::size_t i = 0; i < f.lines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(f.code[i], m, kBareParam)) continue;
+    if (suppressed(f, i, "bare-uint-signature")) continue;
+    out.push_back({f.rel, i + 1, "bare-uint-signature",
+                   "parameter '" + m[1].str() +
+                       "' is a domain quantity; use the wrapper type from "
+                       "common/units.hpp instead of std::uint64_t"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// nondeterminism
+
+void check_nondeterminism(const SourceFile& f, std::vector<Finding>& out) {
+  static const std::regex banned(
+      R"(\brand\s*\(\s*\)|std::random_device|(system|steady|high_resolution)_clock)");
+  // Names of unordered_map variables declared anywhere in this file.
+  static const std::regex decl(R"(std::unordered_map<[^;{]*>\s+(\w+))");
+  std::vector<std::string> maps;
+  for (const std::string& line : f.code) {
+    for (std::sregex_iterator it(line.begin(), line.end(), decl), end;
+         it != end; ++it) {
+      maps.push_back((*it)[1].str());
+    }
+  }
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    if (std::regex_search(line, banned) &&
+        !suppressed(f, i, "nondeterminism")) {
+      out.push_back({f.rel, i + 1, "nondeterminism",
+                     "wall-clock / libc randomness breaks bit-reproducible "
+                     "runs; use common/rng.hpp and sim::Simulator time"});
+    }
+    for (const std::string& name : maps) {
+      const std::regex iter(R"(for\s*\([^;)]*:\s*\*?)" + name + R"(\s*\))");
+      if (std::regex_search(line, iter) &&
+          !suppressed(f, i, "nondeterminism")) {
+        out.push_back(
+            {f.rel, i + 1, "nondeterminism",
+             "iterating std::unordered_map '" + name +
+                 "' exposes hash order; copy to a vector and sort first"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// raw-doorbell
+
+void check_raw_doorbell(const SourceFile& f, std::vector<Finding>& out) {
+  if (f.rel == "src/nvme/spec.hpp") return;
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    if (f.code[i].find("kDoorbellBase") == std::string::npos) continue;
+    if (suppressed(f, i, "raw-doorbell")) continue;
+    out.push_back({f.rel, i + 1, "raw-doorbell",
+                   "doorbell offsets must come from "
+                   "nvme::reg::sq_tail_doorbell()/cq_head_doorbell()"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unbounded-poll
+
+void check_unbounded_poll(const SourceFile& f, std::vector<Finding>& out) {
+  // Call sites only (`.try_pop(` / `->try_recv(`): the definitions in
+  // sim/channel.hpp and unqualified internal calls are the primitive itself.
+  static const std::regex poll(R"((\.|->)try_(pop|recv)\s*\()");
+  constexpr std::size_t kWindow = 20;  // lines of surrounding loop body
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    if (!std::regex_search(f.code[i], poll)) continue;
+    if (suppressed(f, i, "unbounded-poll")) continue;
+    bool has_backoff = false;
+    const std::size_t lo = i >= kWindow ? i - kWindow : 0;
+    const std::size_t hi = std::min(f.lines.size(), i + kWindow + 1);
+    for (std::size_t j = lo; j < hi && !has_backoff; ++j) {
+      const std::string& l = f.code[j];
+      has_backoff = l.find("co_await") != std::string::npos ||
+                    l.find("closed()") != std::string::npos;
+    }
+    if (!has_backoff) {
+      out.push_back({f.rel, i + 1, "unbounded-poll",
+                     "try_pop/try_recv loop without a co_await yield or "
+                     "closed() exit spins the scheduler at +0 time"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+std::vector<SourceFile> load_tree(const fs::path& root) {
+  std::vector<SourceFile> files;
+  const fs::path abs_root = fs::canonical(root);
+  for (const auto& entry : fs::recursive_directory_iterator(abs_root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".hpp" && ext != ".cpp") continue;
+    SourceFile f;
+    f.path = entry.path();
+    f.rel = (abs_root.filename() /
+             fs::relative(entry.path(), abs_root)).generic_string();
+    std::ifstream in(entry.path());
+    for (std::string line; std::getline(in, line);) {
+      // Blank out // comments so prose never trips a rule; suppressions are
+      // matched against the raw line.
+      std::string stripped = line;
+      if (const auto pos = stripped.find("//"); pos != std::string::npos) {
+        stripped.resize(pos);
+      }
+      f.code.push_back(std::move(stripped));
+      f.lines.push_back(std::move(line));
+    }
+    files.push_back(std::move(f));
+  }
+  // Directory iteration order is platform-dependent; report in sorted order.
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) { return a.rel < b.rel; });
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: snacc-lint <src-dir>...\n");
+    return 2;
+  }
+  std::vector<Finding> findings;
+  std::size_t scanned = 0;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path root(argv[i]);
+    if (!fs::is_directory(root)) {
+      std::fprintf(stderr, "snacc-lint: not a directory: %s\n", argv[i]);
+      return 2;
+    }
+    for (const SourceFile& f : load_tree(root)) {
+      ++scanned;
+      check_bare_signature(f, findings);
+      check_nondeterminism(f, findings);
+      check_raw_doorbell(f, findings);
+      check_unbounded_poll(f, findings);
+    }
+  }
+  for (const Finding& f : findings) {
+    std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  std::printf("snacc-lint: %zu file(s) scanned, %zu finding(s)\n", scanned,
+              findings.size());
+  return findings.empty() ? 0 : 1;
+}
