@@ -45,12 +45,16 @@ int main() {
   using namespace snacc;
   using namespace snacc::bench;
   print_header("Ablation: buffer placement and sizing");
+  JsonReport rep("ablation_buffers");
 
   std::printf("URAM buffer size sweep (Sec. 5.2: 4 MB is not a limit):\n");
   for (std::uint64_t mb : {1ull, 2ull, 4ull, 8ull}) {
     const auto r = run(core::Variant::kUram, mb * MiB);
     std::printf("  %2llu MB URAM   seq-write %5.2f GB/s   seq-read %5.2f GB/s\n",
                 static_cast<unsigned long long>(mb), r.write_gb_s, r.read_gb_s);
+    const std::string k = "uram_" + std::to_string(mb) + "mb";
+    rep.metric(k + "_write_gb_s", r.write_gb_s);
+    rep.metric(k + "_read_gb_s", r.read_gb_s);
   }
 
   std::printf("\nBuffer placement (Sec. 4.3 variants + Sec. 7 HBM):\n");
@@ -59,6 +63,9 @@ int main() {
     const auto r = run(v);
     std::printf("  %-14s seq-write %5.2f GB/s   seq-read %5.2f GB/s\n",
                 core::variant_name(v), r.write_gb_s, r.read_gb_s);
+    const std::string k = JsonReport::key(core::variant_name(v));
+    rep.metric(k + "_write_gb_s", r.write_gb_s);
+    rep.metric(k + "_read_gb_s", r.read_gb_s);
   }
   std::printf(
       "\nExpected: HBM matches URAM's 5.6 GB/s writes (no DRAM turnaround)\n"

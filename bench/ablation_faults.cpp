@@ -133,6 +133,12 @@ int main() {
       "Ablation: per-command fault rate vs. delivered goodput "
       "(4 KiB random reads, recovery enabled)");
   const double rates[] = {0.0, 1e-4, 1e-3, 1e-2};
+  JsonReport rep("ablation_faults");
+  auto rate_key = [](double rate) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0e", rate);
+    return JsonReport::key(buf);
+  };
 
   std::printf("  SNAcc streamer (watchdog + bounded retry, max 8):\n");
   bool all_accounted = true;
@@ -149,6 +155,10 @@ int main() {
         r.accounted ? "[accounted]" : "[ACCOUNTING MISMATCH]",
         r.no_lost_commands ? "[no lost commands]" : "[LOST COMMANDS]");
     all_accounted &= r.accounted && r.no_lost_commands;
+    const std::string k = "snacc_rate_" + rate_key(rate);
+    rep.metric(k + "_goodput_gb_s", r.goodput_gb_s);
+    rep.metric(k + "_recovered", static_cast<double>(r.fs.recovered));
+    rep.metric(k + "_quarantined", static_cast<double>(r.fs.quarantined));
   }
 
   std::printf("  SPDK baseline (software resubmission, max 8):\n");
@@ -161,6 +171,7 @@ int main() {
         static_cast<unsigned long long>(r.fs.ssd_error_cqes),
         static_cast<unsigned long long>(r.fs.retries),
         static_cast<unsigned long long>(r.failed));
+    rep.metric("spdk_rate_" + rate_key(rate) + "_goodput_gb_s", r.goodput_gb_s);
   }
   std::printf("  accounting identities: %s\n",
               all_accounted ? "all hold" : "VIOLATED");

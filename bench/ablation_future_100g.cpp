@@ -80,6 +80,9 @@ int main() {
       run_snacc_case_study(core::Variant::kHostDram, cfg);
   const CaseStudyResult gen5 = run_snacc_case_study(
       core::Variant::kHostDram, cfg, CalibrationProfile::gen5());
+  JsonReport rep("ablation_future_100g");
+  rep.metric("gen4_gb_s", gen4.bandwidth_gb_s());
+  rep.metric("gen5_gb_s", gen5.bandwidth_gb_s());
   std::printf("  Gen4 x4 SSD   %5.2f GB/s  (%4.0f%% of line rate, %llu pause "
               "transitions)\n",
               gen4.bandwidth_gb_s(), gen4.bandwidth_gb_s() / 12.5 * 100,
@@ -94,6 +97,7 @@ int main() {
     const double gbs = multi_ssd_gen5_write(n);
     std::printf("  %u x Gen5 SSD %5.2f GB/s  (%4.0f%% of line rate)\n", n, gbs,
                 gbs / 12.5 * 100);
+    rep.metric("gen5_x" + std::to_string(n) + "_write_gb_s", gbs);
   }
   std::printf(
       "\nWith one Gen5 drive the storage path is no longer the bottleneck;\n"

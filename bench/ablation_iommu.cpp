@@ -36,10 +36,14 @@ int main() {
   print_header(
       "Ablation: IOMMU on/off (Sec. 5.2 -- 'disabling the IOMMU had no "
       "affect')");
+  JsonReport rep("ablation_iommu");
   for (core::Variant v : {core::Variant::kUram, core::Variant::kOnboardDram,
                           core::Variant::kHostDram}) {
     const double on = run(v, true);
     const double off = run(v, false);
+    const std::string k = JsonReport::key(core::variant_name(v));
+    rep.metric(k + "_iommu_on_gb_s", on);
+    rep.metric(k + "_iommu_off_gb_s", off);
     std::printf("  %-14s IOMMU on %5.2f GB/s   IOMMU off %5.2f GB/s   "
                 "(delta %+.2f%%)\n",
                 core::variant_name(v), on, off,

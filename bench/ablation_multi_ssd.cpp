@@ -76,8 +76,12 @@ int main() {
   print_header(
       "Ablation: multi-SSD scaling (Sec. 7) -- host-DRAM variant, 1 MB "
       "stripes");
+  JsonReport rep("ablation_multi_ssd");
   for (std::uint32_t n : {1u, 2u, 3u, 4u}) {
     const auto r = run(n);
+    const std::string k = "ssd_x" + std::to_string(n);
+    rep.metric(k + "_write_gb_s", r.write_gb_s);
+    rep.metric(k + "_read_gb_s", r.read_gb_s);
     std::printf("  %u SSD%s  seq-write %6.2f GB/s   seq-read %6.2f GB/s\n", n,
                 n == 1 ? " " : "s", r.write_gb_s, r.read_gb_s);
   }

@@ -54,10 +54,14 @@ int main() {
       "Ablation: in-order vs out-of-order retirement (random 4 kB reads)\n"
       "Paper Sec. 7: the in-order model caps random reads at ~1.6 GB/s;\n"
       "out-of-order retirement should recover toward the SPDK level.");
+  JsonReport rep("ablation_ooo_retirement");
   for (core::Variant v : {core::Variant::kUram, core::Variant::kOnboardDram,
                           core::Variant::kHostDram}) {
     const double in_order = run(v, false);
     const double ooo = run(v, true);
+    const std::string k = JsonReport::key(core::variant_name(v));
+    rep.metric(k + "_in_order_gb_s", in_order);
+    rep.metric(k + "_ooo_gb_s", ooo);
     std::printf("  %-14s in-order %5.2f GB/s   out-of-order %5.2f GB/s   "
                 "(%.1fx)\n",
                 core::variant_name(v), in_order, ooo,

@@ -72,8 +72,14 @@ int main() {
       "window is retirement-limited and barely moves.");
   std::printf("  %-8s %14s %20s\n", "depth", "SPDK [GB/s]",
               "SNAcc host [GB/s]");
+  JsonReport rep("ablation_queue_depth");
   for (std::uint16_t qd : {16, 32, 64, 128, 256}) {
-    std::printf("  %-8u %14.2f %20.2f\n", qd, run_spdk(qd), run_snacc(qd));
+    const double spdk_gbs = run_spdk(qd);
+    const double snacc_gbs = run_snacc(qd);
+    std::printf("  %-8u %14.2f %20.2f\n", qd, spdk_gbs, snacc_gbs);
+    const std::string k = "qd" + std::to_string(qd);
+    rep.metric(k + "_spdk_gb_s", spdk_gbs);
+    rep.metric(k + "_snacc_gb_s", snacc_gbs);
   }
   return 0;
 }

@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "host/snacc_device.hpp"
@@ -19,6 +21,70 @@
 #include "spdk/driver.hpp"
 
 namespace snacc::bench {
+
+/// Machine-readable bench results: collects (key, value) metrics and writes
+/// them as `BENCH_<name>.json` into $SNACC_BENCH_OUT (or the working
+/// directory). Stdout is deliberately untouched -- the human-readable figure
+/// output is compared bit-for-bit across kernel changes, so all machine
+/// output goes to a side file. CI uploads these files as artifacts.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+  ~JsonReport() { write(); }
+
+  void metric(std::string key, double value) {
+    metrics_.emplace_back(std::move(key), value);
+  }
+
+  /// Lower-cases and squashes a display label ("On-board DRAM") into a JSON
+  /// key fragment ("on_board_dram").
+  static std::string key(const std::string& label) {
+    std::string out;
+    bool sep = false;
+    for (char ch : label) {
+      if ((ch >= 'a' && ch <= 'z') || (ch >= '0' && ch <= '9')) {
+        out += ch;
+        sep = false;
+      } else if (ch >= 'A' && ch <= 'Z') {
+        out += static_cast<char>(ch - 'A' + 'a');
+        sep = false;
+      } else if (!out.empty() && !sep) {
+        out += '_';
+        sep = true;
+      }
+    }
+    if (!out.empty() && out.back() == '_') out.pop_back();
+    return out;
+  }
+
+  /// Writes the file (idempotent; also runs from the destructor).
+  void write() {
+    if (written_) return;
+    written_ = true;
+    const char* dir = std::getenv("SNACC_BENCH_OUT");
+    const std::string path = (dir && *dir ? std::string(dir) + "/" : std::string()) +
+                             "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "JsonReport: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {", name_.c_str());
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": %.17g", i ? "," : "",
+                   metrics_[i].first.c_str(), metrics_[i].second);
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  bool written_ = false;
+};
 
 /// A testbed with one SNAcc variant attached and initialized.
 struct SnaccBed {

@@ -92,11 +92,16 @@ int main() {
       {"Host DRAM", 6.9, 6.24, 5.90, run_snacc(core::Variant::kHostDram)},
       {"SPDK (host CPU)", 6.9, 6.24, 5.90, run_spdk()},
   };
+  JsonReport rep("fig4a");
   for (const Config& c : rows) {
     std::printf("%s:\n", c.name);
     print_row("seq-read", c.paper_read, c.r.read_gb_s, "GB/s");
     print_row("seq-write (fast mode)", c.paper_w_fast, c.r.write_fast_gb_s, "GB/s");
     print_row("seq-write (slow mode)", c.paper_w_slow, c.r.write_slow_gb_s, "GB/s");
+    const std::string k = JsonReport::key(c.name);
+    rep.metric(k + "_seq_read_gb_s", c.r.read_gb_s);
+    rep.metric(k + "_seq_write_fast_gb_s", c.r.write_fast_gb_s);
+    rep.metric(k + "_seq_write_slow_gb_s", c.r.write_slow_gb_s);
   }
   return 0;
 }

@@ -130,10 +130,14 @@ int main() {
       {"Host DRAM", 1.6, 4.8, run_snacc(core::Variant::kHostDram)},
       {"SPDK (host CPU)", 4.5, 5.25, run_spdk()},
   };
+  JsonReport rep("fig4b");
   for (const Config& c : rows) {
     std::printf("%s:\n", c.name);
     print_row("rand-read 4k", c.paper_read, c.r.read_gb_s, "GB/s");
     print_row("rand-write 4k", c.paper_write, c.r.write_gb_s, "GB/s");
+    const std::string k = JsonReport::key(c.name);
+    rep.metric(k + "_rand_read_gb_s", c.r.read_gb_s);
+    rep.metric(k + "_rand_write_gb_s", c.r.write_gb_s);
   }
   std::printf(
       "\nNote: the paper reports ~1.6 GB/s random read for all SNAcc\n"

@@ -42,11 +42,16 @@ int main(int argc, char** argv) {
       {"SPDK reference", 6.1, run_spdk_case_study(cfg)},
       {"GPU reference (A100)", 5.76, run_gpu_case_study(cfg)},
   };
+  JsonReport rep("fig6");
   for (const Row& row : rows) {
     if (!row.r.ok) {
       std::printf("%-22s FAILED TO COMPLETE\n", row.name);
       continue;
     }
+    const std::string k = JsonReport::key(row.name);
+    rep.metric(k + "_gb_s", row.r.bandwidth_gb_s());
+    rep.metric(k + "_fps", row.r.fps());
+    rep.metric(k + "_cpu_utilization", row.r.cpu_utilization);
     print_row(row.name, row.paper_gb_s, row.r.bandwidth_gb_s(), "GB/s");
     std::printf("    %-24s %7.0f frames/s   CPU %.0f%%   pause frames %llu\n",
                 "", row.r.fps(), row.r.cpu_utilization * 100.0,

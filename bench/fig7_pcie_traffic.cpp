@@ -14,12 +14,14 @@
 namespace {
 
 void report(const char* name, double paper_ratio,
-            const snacc::apps::CaseStudyResult& r, double payload_bytes) {
+            const snacc::apps::CaseStudyResult& r, double payload_bytes,
+            snacc::bench::JsonReport& rep) {
   if (!r.ok) {
     std::printf("%-22s FAILED TO COMPLETE\n", name);
     return;
   }
   const double ratio = static_cast<double>(r.pcie_total_bytes) / payload_bytes;
+  rep.metric(snacc::bench::JsonReport::key(name) + "_pcie_payload_ratio", ratio);
   std::printf("%-22s paper ~%.2fx payload   measured %.2fx (%.2f GB total)\n",
               name, paper_ratio, ratio, r.pcie_total_bytes / 1e9);
   for (const auto& path : r.pcie_paths) {
@@ -43,14 +45,15 @@ int main(int argc, char** argv) {
               cfg.total_bytes() / 1e9);
   const double payload = static_cast<double>(cfg.total_bytes());
 
+  JsonReport rep("fig7");
   report("SNAcc URAM", 1.0, run_snacc_case_study(core::Variant::kUram, cfg),
-         payload);
+         payload, rep);
   report("SNAcc On-board DRAM", 1.0,
-         run_snacc_case_study(core::Variant::kOnboardDram, cfg), payload);
+         run_snacc_case_study(core::Variant::kOnboardDram, cfg), payload, rep);
   report("SNAcc Host DRAM", 2.0,
-         run_snacc_case_study(core::Variant::kHostDram, cfg), payload);
-  report("SPDK reference", 2.0, run_spdk_case_study(cfg), payload);
-  report("GPU reference", 2.1, run_gpu_case_study(cfg), payload);
+         run_snacc_case_study(core::Variant::kHostDram, cfg), payload, rep);
+  report("SPDK reference", 2.0, run_spdk_case_study(cfg), payload, rep);
+  report("GPU reference", 2.1, run_gpu_case_study(cfg), payload, rep);
 
   std::printf(
       "\nPaper Fig. 7 shape: URAM and on-board DRAM fewest transfers\n"

@@ -1,0 +1,174 @@
+// Microbenchmark for the discrete-event kernel itself: raw event
+// throughput, channel hand-off rate, and future completion rate.
+//
+// Unlike the paper-figure benches (which report *simulated* time), this one
+// deliberately measures *wall-clock* throughput of the simulator -- it
+// exists to keep the scheduler hot path honest ("runs as fast as the
+// hardware allows" needs the kernel to scale to billions of events). All
+// workloads are seeded/deterministic, so the event count per run is fixed;
+// only the wall time varies.
+//
+// Usage:
+//   sim_kernel_bench [--min-events-per-sec N]
+// With the flag (used by the `perf`-labelled ctest entry) the process exits
+// non-zero if event throughput falls below the floor -- a coarse regression
+// guard, so the floor is generous.
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "bench_common.hpp"
+#include "common/units.hpp"
+#include "sim/channel.hpp"
+#include "sim/future.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace snacc::bench {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// --------------------------------------------------------------------------
+// Event throughput: many concurrent timer tasks with interleaved deadlines,
+// exercising heap push/pop with a well-mixed key distribution.
+
+sim::Task timer_task(sim::Simulator* sim, std::uint64_t seed, int rounds) {
+  std::uint64_t lcg = seed * 6364136223846793005ull + 1442695040888963407ull;
+  for (int i = 0; i < rounds; ++i) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    co_await sim->delay(ps(1 + (lcg >> 33) % 5000));
+  }
+}
+
+double bench_events(std::uint64_t* out_events) {
+  constexpr int kTasks = 256;
+  constexpr int kRounds = 20000;
+  sim::Simulator sim;
+  for (int t = 0; t < kTasks; ++t) {
+    sim.spawn(timer_task(&sim, static_cast<std::uint64_t>(t) + 1, kRounds));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run();
+  const double dt = seconds_since(t0);
+  *out_events = sim.events_processed();
+  return static_cast<double>(sim.events_processed()) / dt;
+}
+
+// --------------------------------------------------------------------------
+// Channel hand-offs: producer/consumer pairs over a bounded channel, always
+// alternating between full and empty so both waiter paths are exercised.
+
+sim::Task producer(sim::Channel<std::uint64_t>* ch, std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) co_await ch->push(i);
+  ch->close();
+}
+
+sim::Task consumer(sim::Channel<std::uint64_t>* ch, std::uint64_t* sink) {
+  while (auto v = co_await ch->pop()) *sink += *v;
+}
+
+double bench_channel(std::uint64_t* out_handoffs) {
+  constexpr std::uint64_t kItems = 600000;
+  sim::Simulator sim;
+  sim::Channel<std::uint64_t> ch(sim, 16);
+  std::uint64_t sink = 0;
+  sim.spawn(producer(&ch, kItems));
+  sim.spawn(consumer(&ch, &sink));
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run();
+  const double dt = seconds_since(t0);
+  if (sink != kItems * (kItems - 1) / 2) {
+    std::fprintf(stderr, "channel bench checksum mismatch\n");
+    std::exit(1);
+  }
+  *out_handoffs = kItems;
+  return static_cast<double>(kItems) / dt;
+}
+
+// --------------------------------------------------------------------------
+// Futures: RPC-style one-shot promise/future pairs, single awaiter each
+// (the dominant pattern: every PCIe read, NVMe completion, DRAM access).
+
+sim::Task rpc_setter(sim::Simulator* sim, sim::Promise<std::uint64_t> p,
+                     std::uint64_t v) {
+  co_await sim->delay(ps(10));
+  p.set(v);
+}
+
+sim::Task rpc_loop(sim::Simulator* sim, std::uint64_t n, std::uint64_t* sink) {
+  for (std::uint64_t i = 0; i < n; ++i) {
+    sim::Promise<std::uint64_t> p(*sim);
+    sim::Future<std::uint64_t> f = p.future();
+    sim->spawn(rpc_setter(sim, std::move(p), i));
+    *sink += co_await f;
+  }
+}
+
+double bench_futures(std::uint64_t* out_futures) {
+  constexpr std::uint64_t kCalls = 400000;
+  sim::Simulator sim;
+  std::uint64_t sink = 0;
+  sim.spawn(rpc_loop(&sim, kCalls, &sink));
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run();
+  const double dt = seconds_since(t0);
+  if (sink != kCalls * (kCalls - 1) / 2) {
+    std::fprintf(stderr, "future bench checksum mismatch\n");
+    std::exit(1);
+  }
+  *out_futures = kCalls;
+  return static_cast<double>(kCalls) / dt;
+}
+
+}  // namespace
+}  // namespace snacc::bench
+
+int main(int argc, char** argv) {
+  using namespace snacc::bench;
+  double floor_eps = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--min-events-per-sec") == 0 && i + 1 < argc) {
+      floor_eps = std::atof(argv[++i]);
+    }
+  }
+
+  print_header("Simulation-kernel microbenchmark (wall-clock throughput)");
+
+  // Best-of-3: each workload is deterministic, so runs differ only by OS
+  // noise and the fastest run is the least-perturbed estimate.
+  std::uint64_t events = 0, handoffs = 0, futures = 0;
+  double eps = 0.0, hps = 0.0, fps = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    eps = std::max(eps, bench_events(&events));
+    hps = std::max(hps, bench_channel(&handoffs));
+    fps = std::max(fps, bench_futures(&futures));
+  }
+
+  std::printf("  events        %12" PRIu64 "   %12.0f events/s\n", events, eps);
+  std::printf("  chan handoffs %12" PRIu64 "   %12.0f handoffs/s\n", handoffs,
+              hps);
+  std::printf("  futures       %12" PRIu64 "   %12.0f futures/s\n", futures,
+              fps);
+
+  JsonReport rep("sim_kernel");
+  rep.metric("events_per_sec", eps);
+  rep.metric("channel_handoffs_per_sec", hps);
+  rep.metric("futures_per_sec", fps);
+  rep.write();
+
+  if (floor_eps > 0.0 && eps < floor_eps) {
+    std::fprintf(stderr,
+                 "FAIL: events/s %.0f below required floor %.0f "
+                 "(scheduler hot-path regression?)\n",
+                 eps, floor_eps);
+    return 1;
+  }
+  return 0;
+}

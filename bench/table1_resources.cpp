@@ -3,6 +3,7 @@
 // per-feature decomposition and its calibration).
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "snacc/resource_model.hpp"
 
 int main() {
@@ -21,11 +22,18 @@ int main() {
               " (0.9%%)    URAM -             DRAM 128 MB*\n");
   std::printf("  (* pinned host memory)\n\nModel:\n");
 
+  bench::JsonReport rep("table1");
   for (Variant v : {Variant::kUram, Variant::kOnboardDram, Variant::kHostDram}) {
     StreamerConfig cfg;
     cfg.variant = v;
     const ResourceUsage u = estimate_resources(cfg);
     std::printf("  %s\n", format_table1_row(v, u).c_str());
+    const std::string k = bench::JsonReport::key(variant_name(v));
+    rep.metric(k + "_lut", u.lut);
+    rep.metric(k + "_ff", u.ff);
+    rep.metric(k + "_bram_36k", u.bram_36k);
+    rep.metric(k + "_uram_bytes", static_cast<double>(u.uram_bytes));
+    rep.metric(k + "_dram_bytes", static_cast<double>(u.dram_bytes));
   }
 
   std::printf("\nSec. 7 out-of-order retirement extension (model estimate):\n");
@@ -35,6 +43,10 @@ int main() {
     cfg.out_of_order = true;
     const ResourceUsage u = estimate_resources(cfg);
     std::printf("  %s\n", format_table1_row(v, u).c_str());
+    const std::string k = bench::JsonReport::key(variant_name(v)) + "_ooo";
+    rep.metric(k + "_lut", u.lut);
+    rep.metric(k + "_ff", u.ff);
+    rep.metric(k + "_bram_36k", u.bram_36k);
   }
   return 0;
 }

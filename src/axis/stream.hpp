@@ -89,7 +89,9 @@ class Stream {
   sim::Task send(Chunk chunk) {
     const std::uint64_t wire_bytes = beats(chunk.data.size()) * cfg_.width_bytes;
     co_await wire_.acquire(wire_bytes);
-    co_await fifo_.push(std::move(chunk));
+    // A close() can race a producer parked on the full FIFO; the failed push
+    // drops the chunk and must not count it as sent.
+    if (!co_await fifo_.push(std::move(chunk))) co_return;
     bytes_sent_ += wire_bytes;
   }
 

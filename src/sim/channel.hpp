@@ -6,23 +6,38 @@
 // the event queue (zero-delay events), never by direct reentrant resumption,
 // which keeps causality and stack depth bounded.
 //
-// IMPLEMENTATION NOTE: awaiter objects hold only trivially-copyable state
-// (a channel pointer and a std::list iterator); all values in flight live in
-// channel-owned nodes. GCC 12 miscompiles `co_await f()` when f returns an
-// awaiter carrying non-trivial members by value (the awaiter is duplicated
-// bitwise and destroyed twice, corrupting e.g. shared_ptr ownership); see
-// tests/sim_test.cpp:SharedOwnershipSurvivesHandoff for the regression test.
+// IMPLEMENTATION NOTE (allocation-free awaiters and the g++ 12 caveat):
+// waiters are an intrusive singly-linked FIFO list whose nodes live inside
+// the awaiter objects (i.e. in the suspended coroutine's frame); values in
+// flight live in channel-owned rings (sim/ring.hpp):
+//
+//   items_          values queued and not yet spoken for;
+//   claimed_        values handed to a woken-but-not-yet-resumed consumer
+//                   (the consumer pops its claim in await_resume);
+//   pending_pushes_ values of producers parked on a full channel, FIFO-
+//                   aligned with the producer waiter list.
+//
+// Keeping every value channel-owned has two payoffs. First, teardown
+// safety: if the simulation ends while a producer/consumer is parked,
+// ~Simulator destroys the frame -- the value is in a ring, not the frame,
+// so nothing leaks. Second, awaiters carry only trivially-destructible
+// state (an EventNode, a link pointer, flags). That sidesteps a g++ 12 bug
+// where an awaiter returned by value from `f()` in `co_await f()` is
+// duplicated bitwise and destroyed twice, corrupting any non-trivial member
+// (see tests/sim_test.cpp:SharedOwnershipSurvivesHandoff); with trivially-
+// destructible awaiters the spurious destroy is a no-op, and all address
+// registration happens in await_suspend, after the object has reached its
+// final frame slot.
 #pragma once
 
 #include <cassert>
 #include <coroutine>
 #include <cstddef>
-#include <deque>
 #include <limits>
-#include <list>
 #include <optional>
 #include <utility>
 
+#include "sim/ring.hpp"
 #include "sim/simulator.hpp"
 
 namespace snacc::sim {
@@ -46,20 +61,30 @@ class Channel {
   bool closed() const { return closed_; }
 
   /// Closes the channel: further pushes are forbidden; pops drain remaining
-  /// items and then return std::nullopt. Waiting consumers wake up.
+  /// items and then return std::nullopt. Waiting consumers wake up, and
+  /// producers parked in a full-channel push() wake up with a failed-push
+  /// result (their undelivered values are dropped).
   void close() {
     closed_ = true;
-    for (PopNode& node : pop_nodes_) {
-      if (!node.delivered && node.handle) schedule(node.handle);
+    while (PopWaiter* w = pop_waiters_.pop_front()) sim_->wake(w->ev);
+    while (PushWaiter* w = push_waiters_.pop_front()) {
+      w->closed_wake = true;
+      sim_->wake(w->ev);
     }
+    pending_pushes_.clear();
   }
 
-  /// Non-blocking push; returns false when no room. The value is consumed
-  /// only on success (callers may retry with the same object).
+  /// Non-blocking push; returns false when no room (or closed). The value
+  /// is consumed only on success (callers may retry with the same object).
   bool try_push(T& value) {
     assert(!closed_);
-    if (PopNode* consumer = first_hungry_consumer()) {
-      deliver(*consumer, std::move(value));
+    if (closed_) return false;
+    if (PopWaiter* w = pop_waiters_.pop_front()) {
+      // Direct hand-off: the value parks in the claimed ring and the woken
+      // consumer pops it in await_resume -- a later pop() cannot steal it.
+      claimed_.push_back(std::move(value));
+      w->delivered = true;
+      sim_->wake(w->ev);
       return true;
     }
     if (items_.size() >= capacity_) return false;
@@ -70,121 +95,114 @@ class Channel {
 
   std::optional<T> try_pop() {
     if (items_.empty()) return std::nullopt;
-    T v = std::move(items_.front());
-    items_.pop_front();
+    std::optional<T> v(items_.pop_front());
     admit_pushers();
     return v;
   }
 
-  /// co_await ch.push(v) -- completes when the value is accepted.
+  /// co_await ch.push(v) -- true when the value was accepted; false when
+  /// the channel was (or became) closed. Pushing on a closed channel is a
+  /// programming error (asserts in debug builds) but is surfaced rather
+  /// than parking the producer forever in release builds.
   auto push(T value) {
     struct Awaiter {
       Channel* ch;
-      typename std::list<PushNode>::iterator node;
-      bool ready;
-      bool await_ready() const noexcept { return ready; }
-      void await_suspend(std::coroutine_handle<> h) { node->handle = h; }
-      void await_resume() {
-        if (!ready) ch->push_nodes_.erase(node);
+      PushWaiter node;
+      bool done;  // resolved synchronously; `ok` holds the result
+      bool ok;
+      bool await_ready() const noexcept { return done; }
+      void await_suspend(std::coroutine_handle<> h) {
+        node.ev.h = h;
+        ch->push_waiters_.push_back(&node);
       }
+      bool await_resume() const noexcept { return done ? ok : node.admitted; }
     };
     assert(!closed_);
-    if (try_push(value)) {
-      return Awaiter{this, {}, true};
-    }
-    push_nodes_.push_back(PushNode(std::move(value)));
-    return Awaiter{this, std::prev(push_nodes_.end()), false};
+    if (closed_) return Awaiter{this, {}, true, false};
+    if (try_push(value)) return Awaiter{this, {}, true, true};
+    // Park: the value joins the channel-owned pending ring, FIFO-aligned
+    // with this producer's waiter node (linked in await_suspend; nothing
+    // can run in between inside the same co_await expression).
+    pending_pushes_.push_back(std::move(value));
+    return Awaiter{this, {}, false, false};
   }
 
   /// co_await ch.pop() -- returns std::nullopt only if closed and drained.
   auto pop() {
     struct Awaiter {
       Channel* ch;
-      typename std::list<PopNode>::iterator node;
+      PopWaiter node;
       bool await_ready() const noexcept {
-        return node->delivered || ch->closed_;
+        return !ch->items_.empty() || ch->closed_;
       }
-      void await_suspend(std::coroutine_handle<> h) { node->handle = h; }
+      void await_suspend(std::coroutine_handle<> h) {
+        node.ev.h = h;
+        ch->pop_waiters_.push_back(&node);
+      }
       std::optional<T> await_resume() {
-        std::optional<T> result;
-        if (node->delivered) {
-          result = std::move(node->value);
-        } else {
-          // Woken by close (or ready-on-closed): drain leftovers first.
-          // Not a poll loop -- runs once per wakeup inside the primitive.
-          result = ch->try_pop();  // snacc-lint: allow(unbounded-poll)
-        }
-        ch->pop_nodes_.erase(node);
-        return result;
+        if (node.delivered) return std::optional<T>(ch->claimed_.pop_front());
+        // Ready fast path, or woken by close: drain leftovers first.
+        // Not a poll loop -- runs once per wakeup inside the primitive.
+        return ch->try_pop();  // snacc-lint: allow(unbounded-poll)
       }
     };
-    pop_nodes_.push_back(PopNode());
-    auto it = std::prev(pop_nodes_.end());
-    if (auto v = try_pop()) {
-      it->value = std::move(v);
-      it->delivered = true;
-    }
-    return Awaiter{this, it};
+    return Awaiter{this, {}};
   }
 
  private:
-  // Non-aggregates by design: both nodes hold T and are constructed inside
-  // co_await full expressions (see the g++ 12 note above).
-  struct PopNode {
-    std::coroutine_handle<> handle{};
-    std::optional<T> value;
+  struct PopWaiter {
+    EventNode ev{};
+    PopWaiter* next = nullptr;
     bool delivered = false;
-
-    PopNode() = default;
-    PopNode(PopNode&&) noexcept = default;
-    PopNode& operator=(PopNode&&) noexcept = default;
   };
-  struct PushNode {
-    std::coroutine_handle<> handle{};
-    T value;
+  struct PushWaiter {
+    EventNode ev{};
+    PushWaiter* next = nullptr;
     bool admitted = false;
-
-    explicit PushNode(T v) : value(std::move(v)) {}
-    PushNode(PushNode&&) noexcept = default;
-    PushNode& operator=(PushNode&&) noexcept = default;
+    bool closed_wake = false;
   };
 
-  void schedule(std::coroutine_handle<> h) {
-    sim_->after(TimePs{}, [h] { h.resume(); });
-  }
-
-  PopNode* first_hungry_consumer() {
-    for (PopNode& node : pop_nodes_) {
-      if (!node.delivered) return &node;
+  // Intrusive FIFO of waiter nodes; nodes are owned by awaiter objects and
+  // are unlinked exactly once -- when delivered/admitted/closed.
+  template <class W>
+  struct WaiterList {
+    W* head = nullptr;
+    W* tail = nullptr;
+    bool empty() const { return head == nullptr; }
+    void push_back(W* w) {
+      w->next = nullptr;
+      if (tail) tail->next = w;
+      else head = w;
+      tail = w;
     }
-    return nullptr;
-  }
-
-  void deliver(PopNode& node, T&& value) {
-    node.value.emplace(std::move(value));
-    node.delivered = true;
-    // The handle is always set by the time a push can run: an undelivered
-    // node without a handle exists only synchronously inside pop().
-    if (node.handle) schedule(node.handle);
-  }
+    W* pop_front() {
+      W* w = head;
+      if (w) {
+        head = w->next;
+        if (!head) tail = nullptr;
+      }
+      return w;
+    }
+  };
 
   void admit_pushers() {
-    // Move pending producers' values into freed ring space, FIFO. Each node
-    // is erased by its own awaiter's await_resume after the wake-up.
-    for (PushNode& node : push_nodes_) {
-      if (items_.size() >= capacity_) break;
-      if (node.admitted) continue;
-      items_.push_back(std::move(node.value));
-      node.admitted = true;
-      if (node.handle) schedule(node.handle);
+    // Move pending producers' values into freed ring space, FIFO; each
+    // admitted producer wakes through the event queue.
+    while (!push_waiters_.empty() && items_.size() < capacity_) {
+      items_.push_back(pending_pushes_.pop_front());
+      PushWaiter* w = push_waiters_.pop_front();
+      w->admitted = true;
+      sim_->wake(w->ev);
     }
   }
 
   Simulator* sim_;
   std::size_t capacity_;
-  std::deque<T> items_;
-  std::list<PopNode> pop_nodes_;
-  std::list<PushNode> push_nodes_;
+  RingBuf<T> items_;
+  RingBuf<T> claimed_;
+  RingBuf<T> pending_pushes_;
+  WaiterList<PopWaiter> pop_waiters_;
+  WaiterList<PushWaiter> push_waiters_;
   bool closed_ = false;
 };
 

@@ -26,6 +26,12 @@ class RateServer {
   double rate() const { return gb_s_; }
 
   /// Awaitable: completes when the server has finished serializing `bytes`.
+  /// The occupation window is computed eagerly (FIFO order is the *call*
+  /// order) and the awaiter links its own timer node into the scheduler --
+  /// one intrusive event per acquisition, no allocation. A zero-byte
+  /// acquire still occupies `per_op` (+ `extra`): command-only traffic
+  /// serializes like everything else. set_rate() applies to subsequent
+  /// acquisitions only; in-flight occupations keep their computed windows.
   auto acquire(std::uint64_t bytes, TimePs extra = TimePs{}) {
     const TimePs start = std::max(sim_->now(), next_free_);
     const TimePs occupy = per_op_ + transfer_time(bytes, gb_s_) + extra;
@@ -41,6 +47,16 @@ class RateServer {
   std::uint64_t total_bytes() const { return total_bytes_; }
   std::uint64_t total_ops() const { return total_ops_; }
   TimePs busy_time() const { return busy_time_; }
+
+  /// Fraction of `elapsed` the server spent occupied (clamped to 1.0 --
+  /// busy_time can exceed wall time transiently because occupations are
+  /// charged eagerly at acquire()).
+  double utilization(TimePs elapsed) const {
+    if (elapsed.value() == 0) return 0.0;
+    const double u = static_cast<double>(busy_time_.value()) /
+                     static_cast<double>(elapsed.value());
+    return u < 1.0 ? u : 1.0;
+  }
 
  private:
   Simulator* sim_;

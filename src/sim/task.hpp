@@ -55,6 +55,7 @@ class [[nodiscard]] Task {
     std::coroutine_handle<> continuation;
     Simulator* sim = nullptr;          // set by spawn(), with node
     Simulator::DetachedNode node;
+    EventNode start_ev;                // schedules the detached start
     bool detached = false;
   };
 
@@ -105,8 +106,9 @@ inline void Simulator::spawn(Task task) {
   p.sim = this;
   p.node.frame = h;
   adopt_detached(&p.node);
-  // Start through the event queue so spawn() never reenters model code.
-  after(TimePs{}, [h] { h.resume(); });
+  // Start through the event queue so spawn() never reenters model code. The
+  // start event's node lives in the promise -- no allocation.
+  schedule_resume(p.start_ev, h, now());
 }
 
 }  // namespace snacc::sim

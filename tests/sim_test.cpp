@@ -440,5 +440,194 @@ TEST(RateServer, AchievesConfiguredBandwidthUnderLoad) {
   EXPECT_NEAR(gbs, 6.9, 0.05);
 }
 
+TEST(RateServer, SetRateMidFlightAppliesToSubsequentAcquiresOnly) {
+  Simulator sim;
+  RateServer server(sim, 1.0);  // 1 GB/s => 1 byte/ns
+  std::vector<TimePs> done;
+  auto proc = [&]() -> Task {
+    co_await server.acquire(1000);  // occupies [0, 1000 ns) at the old rate
+    done.push_back(sim.now());
+    co_await server.acquire(1000);  // served at the doubled rate: 500 ns
+    done.push_back(sim.now());
+  };
+  sim.spawn(proc());
+  // Rate change lands while the first acquisition is in flight; its already
+  // computed occupation window must not shrink retroactively.
+  sim.after(ns(200), [&] { server.set_rate(2.0); });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], ns(1000));
+  EXPECT_EQ(done[1], ns(1500));
+}
+
+TEST(RateServer, ZeroByteAcquireChargesPerOpOnly) {
+  Simulator sim;
+  RateServer server(sim, 1.0, /*per_op=*/ns(50));
+  std::vector<TimePs> done;
+  auto proc = [&]() -> Task {
+    co_await server.acquire(0);
+    done.push_back(sim.now());
+    co_await server.acquire(0);
+    done.push_back(sim.now());
+  };
+  sim.spawn(proc());
+  sim.run();
+  // Command-only traffic still serializes: per_op each, back to back.
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], ns(50));
+  EXPECT_EQ(done[1], ns(100));
+  EXPECT_EQ(server.total_bytes(), 0u);
+  EXPECT_EQ(server.total_ops(), 2u);
+}
+
+TEST(RateServer, ZeroByteAcquireWithoutPerOpCompletesImmediately) {
+  Simulator sim;
+  RateServer server(sim, 1.0);
+  TimePs done;
+  bool ran = false;
+  auto proc = [&]() -> Task {
+    co_await server.acquire(0);
+    done = sim.now();
+    ran = true;
+  };
+  sim.spawn(proc());
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(done, TimePs{});
+  EXPECT_EQ(server.total_ops(), 1u);
+}
+
+TEST(RateServer, BusyTimeAndUtilizationAccounting) {
+  Simulator sim;
+  RateServer server(sim, 1.0, /*per_op=*/ns(100));
+  auto proc = [&]() -> Task {
+    co_await server.acquire(400);       // 100 + 400 = 500 ns occupied
+    co_await sim.delay(ns(500));        // idle gap
+    co_await server.acquire(0, ns(25)); // 100 + 0 + 25 = 125 ns occupied
+  };
+  sim.spawn(proc());
+  sim.run();
+  EXPECT_EQ(server.busy_time(), ns(625));
+  EXPECT_EQ(server.busy_until(), sim.now());
+  EXPECT_NEAR(server.utilization(sim.now()), 625.0 / 1125.0, 1e-9);
+  EXPECT_EQ(server.utilization(TimePs{}), 0.0);
+  // busy_time is charged eagerly at acquire(), so utilization over a window
+  // shorter than the committed occupation clamps at 1.
+  EXPECT_EQ(server.utilization(ns(1)), 1.0);
+}
+
+// -- Intrusive scheduling API (EventNode) -----------------------------------
+
+TEST(Simulator, IntrusiveNodesFireInScheduleOrderAtEqualTimestamps) {
+  Simulator sim;
+  std::vector<int> order;
+  struct Probe : EventNode {
+    std::vector<int>* out = nullptr;
+    int id = 0;
+    static void run(EventNode& e) {
+      auto& p = static_cast<Probe&>(e);
+      p.out->push_back(p.id);
+    }
+  };
+  Probe probes[4];
+  for (int i = 0; i < 4; ++i) {
+    probes[i].fire = &Probe::run;
+    probes[i].out = &order;
+    probes[i].id = i;
+  }
+  // Interleave two timestamps; within each, schedule-call order must hold.
+  sim.schedule(probes[2], ns(20));
+  sim.schedule(probes[0], ns(10));
+  sim.schedule(probes[3], ns(20));
+  sim.schedule(probes[1], ns(10));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(sim.now(), ns(20));
+}
+
+TEST(Simulator, IntrusiveNodeIsReusableAfterFiring) {
+  Simulator sim;
+  int fires = 0;
+  struct Probe : EventNode {
+    int* count = nullptr;
+    static void run(EventNode& e) { ++*static_cast<Probe&>(e).count; }
+  };
+  Probe p;
+  p.fire = &Probe::run;
+  p.count = &fires;
+  sim.schedule(p, ns(1));
+  sim.run();
+  sim.schedule(p, ns(2));  // same node, relinked after it fired
+  sim.run();
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(Simulator, WakeInterleavesWithTimedEventsDeterministically) {
+  Simulator sim;
+  std::vector<int> order;
+  struct Probe : EventNode {
+    std::vector<int>* out = nullptr;
+    int id = 0;
+    static void run(EventNode& e) {
+      auto& p = static_cast<Probe&>(e);
+      p.out->push_back(p.id);
+    }
+  };
+  Probe a, b;
+  a.fire = b.fire = &Probe::run;
+  a.out = b.out = &order;
+  a.id = 1;
+  b.id = 2;
+  // A closure scheduled at t=5 wakes `a` (zero-delay, so still t=5); the
+  // pre-scheduled `b` at t=5 was linked first and must fire first.
+  sim.at(ns(5), [&] { sim.wake(a); });
+  sim.schedule(b, ns(5));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+// Regression: a producer parked in push() on a full channel must be woken by
+// close() and see a failed push, instead of staying parked forever (its
+// frame used to leak at ~Simulator, and pipelines never learned their
+// downstream died).
+TEST(Channel, CloseWakesBlockedProducer) {
+  Simulator sim;
+  Channel<int> ch(sim, 1);
+  bool push1_ok = false;
+  bool push2_ok = true;
+  bool producer_finished = false;
+  auto producer = [&]() -> Task {
+    push1_ok = co_await ch.push(1);   // fills the channel
+    push2_ok = co_await ch.push(2);   // parks: channel full, no consumer
+    producer_finished = true;
+  };
+  sim.spawn(producer());
+  sim.after(ns(10), [&] { ch.close(); });
+  sim.run();
+  EXPECT_TRUE(producer_finished);
+  EXPECT_TRUE(push1_ok);
+  EXPECT_FALSE(push2_ok);  // the parked value was dropped by close()
+}
+
+TEST(Channel, CloseWakesAllBlockedProducersInOrder) {
+  Simulator sim;
+  Channel<int> ch(sim, 1);
+  std::vector<int> failed_order;
+  auto producer = [&](int id) -> Task {
+    if (!co_await ch.push(id)) {  // only the first fill succeeds
+      failed_order.push_back(id);
+      co_return;
+    }
+    if (!co_await ch.push(id + 100)) failed_order.push_back(id);
+  };
+  sim.spawn(producer(1));
+  sim.spawn(producer(2));
+  sim.after(ns(10), [&] { ch.close(); });
+  sim.run();
+  // Producer 1 filled the channel; both then parked (1 first) and close()
+  // must wake them in park order with a failed push each.
+  EXPECT_EQ(failed_order, (std::vector<int>{1, 2}));
+}
+
 }  // namespace
 }  // namespace snacc::sim

@@ -29,6 +29,13 @@
 //                        co_await or closed() check nearby. Without a yield
 //                        the poll spins the scheduler at +0 time and the
 //                        simulation livelocks.
+//   lambda-event         sim->at(t, [..]{..}) / sim->after(d, [..]{..}) in
+//                        src/. The closure overloads heap-allocate a node
+//                        per event; model hot paths must embed a
+//                        sim::EventNode and use schedule()/wake(), which
+//                        never allocate (see docs/MODEL.md, "Scheduler
+//                        internals"). Benches and tests may keep the
+//                        convenience overloads.
 //
 // Suppression: append `// snacc-lint: allow(<rule>)` to the offending line,
 // or place it alone on the line directly above.
@@ -170,6 +177,30 @@ void check_unbounded_poll(const SourceFile& f, std::vector<Finding>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// lambda-event
+
+void check_lambda_event(const SourceFile& f, std::vector<Finding>& out) {
+  // src/ only: the closure overloads are fine in tests and benches, where
+  // setup runs once and nobody counts allocations. Matching a lambda in the
+  // argument list keeps container `.at(idx)` calls out of scope. Line-based,
+  // so a call split before the lambda escapes -- good enough for a
+  // heuristic that guards a perf property, not correctness.
+  static const std::regex closure_event(
+      R"re((\.|->)\s*(at|after)\s*\([^;]*,\s*\[)re");
+  if (f.rel.rfind("src/", 0) != 0) return;
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(f.code[i], m, closure_event)) continue;
+    if (suppressed(f, i, "lambda-event")) continue;
+    out.push_back({f.rel, i + 1, "lambda-event",
+                   "Simulator::" + m[2].str() +
+                       "(.., lambda) allocates a closure node per event; "
+                       "embed a sim::EventNode and use schedule()/wake() in "
+                       "model code"});
+  }
+}
+
+// ---------------------------------------------------------------------------
 
 std::vector<SourceFile> load_tree(const fs::path& root) {
   std::vector<SourceFile> files;
@@ -222,6 +253,7 @@ int main(int argc, char** argv) {
       check_nondeterminism(f, findings);
       check_raw_doorbell(f, findings);
       check_unbounded_poll(f, findings);
+      check_lambda_event(f, findings);
     }
   }
   for (const Finding& f : findings) {
