@@ -41,7 +41,8 @@ int main() {
     }
     std::printf("loaded %llu keys (%.1f MB of log) in %.2f ms\n",
                 static_cast<unsigned long long>(store.entries()),
-                store.log_bytes_used() / 1e6, to_ms(sys.sim().now() - t0));
+                store.log_bytes_used().value() / 1e6,
+                to_ms(sys.sim().now() - t0));
 
     // Overwrite some keys: the log grows, the index keeps the latest.
     for (int i = 0; i < 50; ++i) {

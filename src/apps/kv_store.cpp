@@ -9,14 +9,16 @@ KvStore::KvStore(core::NvmeStreamer& streamer, Bytes log_base,
                  Bytes log_capacity)
     : pe_(streamer), base_(log_base), capacity_(log_capacity), head_(log_base) {}
 
-Payload KvStore::make_header(const std::string& key, std::uint64_t value_bytes,
+Payload KvStore::make_header(const std::string& key, Bytes value_bytes,
                              std::uint64_t sequence) const {
   std::vector<std::byte> raw(kHeaderBytes, std::byte{0});
   const std::uint64_t key_len = key.size();
+  // snacc-lint: allow(value-escape): record header wire encoding
+  const std::uint64_t vb = value_bytes.value();
   std::memcpy(raw.data() + 0, &kMagic, 8);
   std::memcpy(raw.data() + 8, &sequence, 8);
   std::memcpy(raw.data() + 16, &key_len, 8);
-  std::memcpy(raw.data() + 24, &value_bytes, 8);
+  std::memcpy(raw.data() + 24, &vb, 8);
   std::memcpy(raw.data() + 32, key.data(), key.size());
   return Payload::bytes(std::move(raw));
 }
@@ -48,7 +50,7 @@ sim::Task KvStore::put(std::string key, Payload value, bool* ok) {
   head_ += span;
   const std::uint64_t seq = sequence_++;
   const Bytes value_bytes{value.size()};
-  Payload record = Payload::concat(make_header(key, value_bytes.value(), seq),
+  Payload record = Payload::concat(make_header(key, value_bytes, seq),
                                    std::move(value));
   co_await pe_.write(addr, std::move(record));
   index_[std::move(key)] = Entry{addr, value_bytes};
@@ -100,7 +102,7 @@ sim::Task KvStore::compact(Bytes scratch_base, Bytes scratch_capacity,
       co_return;
     }
     Payload record = Payload::concat(
-        make_header(key, entry.value_bytes.value(), new_seq), std::move(value));
+        make_header(key, entry.value_bytes, new_seq), std::move(value));
     co_await pe_.write(new_head, std::move(record));
     new_index[key] = Entry{new_head, entry.value_bytes};
     new_head += span;

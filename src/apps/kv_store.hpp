@@ -64,7 +64,7 @@ class KvStore {
     Bytes value_bytes;
   };
 
-  Payload make_header(const std::string& key, std::uint64_t value_bytes,
+  Payload make_header(const std::string& key, Bytes value_bytes,
                       std::uint64_t sequence) const;
   static bool parse_header(const Payload& header, std::string* key,
                            std::uint64_t* value_bytes, std::uint64_t* sequence);

@@ -76,6 +76,7 @@ class Stream {
 
   static double rate_gb_s(const StreamConfig& cfg) {
     return static_cast<double>(cfg.width_bytes) / 1e9 /
+           // snacc-lint: allow(value-escape): double-domain clock arithmetic
            (static_cast<double>(cfg.clock_period.value()) /
             static_cast<double>(kPsPerS));
   }
@@ -121,13 +122,14 @@ class Stream {
 
 /// Splits a payload into chunks of at most `max_bytes`, setting `last` on
 /// the final piece when `final_last` is true.
-inline sim::Task send_chunked(Stream& out, Payload payload,
-                              std::uint64_t max_bytes, bool final_last = true,
-                              std::uint64_t user = 0) {
+inline sim::Task send_chunked(Stream& out, Payload payload, Bytes max_bytes,
+                              bool final_last = true, std::uint64_t user = 0) {
   std::uint64_t off = 0;
+  // snacc-lint: allow(value-escape): chunk arithmetic vs raw Payload sizes
+  const std::uint64_t max = max_bytes.value();
   const std::uint64_t total = payload.size();
   do {
-    const std::uint64_t n = std::min<std::uint64_t>(max_bytes, total - off);
+    const std::uint64_t n = std::min<std::uint64_t>(max, total - off);
     const bool is_last = final_last && (off + n == total);
     co_await out.send(Chunk{payload.slice(off, n), is_last, user});
     off += n;

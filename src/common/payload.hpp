@@ -16,6 +16,8 @@
 #include <span>
 #include <vector>
 
+#include "common/units.hpp"
+
 namespace snacc {
 
 class Payload {
@@ -28,6 +30,7 @@ class Payload {
     p.size_ = size;
     return p;
   }
+  static Payload phantom(Bytes size) { return phantom(size.value()); }
 
   /// Payload owning real bytes.
   static Payload bytes(std::vector<std::byte> data) {
@@ -41,6 +44,9 @@ class Payload {
   static Payload filled(std::uint64_t size, std::uint8_t value) {
     std::vector<std::byte> v(size, static_cast<std::byte>(value));
     return bytes(std::move(v));
+  }
+  static Payload filled(Bytes size, std::uint8_t value) {
+    return filled(size.value(), value);
   }
 
   std::uint64_t size() const { return size_; }
@@ -61,6 +67,9 @@ class Payload {
     std::vector<std::byte> v(data_->begin() + static_cast<std::ptrdiff_t>(offset),
                              data_->begin() + static_cast<std::ptrdiff_t>(offset + len));
     return bytes(std::move(v));
+  }
+  Payload slice(Bytes offset, Bytes len) const {
+    return slice(offset.value(), len.value());
   }
 
   /// Concatenates two payloads; phantom-ness is contagious.

@@ -211,6 +211,25 @@ constexpr BusAddr page_base(BusAddr a) {
   return BusAddr{a.value() & ~(kPageSize - 1)};
 }
 
+/// Block-granular helpers for device-byte <-> LBA conversions, so callers
+/// (the splitter, the streamer's command builders) never have to drop to
+/// raw integers to divide an offset by the block size.
+constexpr bool aligned(Bytes b, std::uint64_t block) {
+  return b.value() % block == 0;
+}
+/// LBA containing device-byte offset `off` with `block`-byte blocks.
+constexpr Lba lba_of(Bytes off, std::uint64_t block) {
+  return Lba{off.value() / block};
+}
+/// Whole blocks covered by `len` (floor).
+constexpr std::uint64_t blocks_of(Bytes len, std::uint64_t block) {
+  return len.value() / block;
+}
+/// Byte offset of `off` within its containing block.
+constexpr std::uint64_t block_offset(Bytes off, std::uint64_t block) {
+  return off.value() % block;
+}
+
 /// Converts a (bytes, duration) pair into GB/s (decimal GB as in the paper).
 constexpr double gb_per_s(std::uint64_t bytes, TimePs elapsed) {
   if (elapsed.is_zero()) return 0.0;

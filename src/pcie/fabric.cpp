@@ -109,12 +109,13 @@ const Fabric::Window* Fabric::route(Addr addr, Bytes len) const {
   return &w;
 }
 
-std::uint64_t Fabric::wire_bytes(std::uint64_t payload_bytes) const {
+Bytes Fabric::wire_bytes(Bytes payload) const {
   const std::uint64_t tlps =
-      payload_bytes == 0
+      payload.is_zero()
           ? 1
-          : (payload_bytes + profile_.max_payload - 1) / profile_.max_payload;
-  return payload_bytes + tlps * profile_.tlp_header_bytes;
+          : (payload + Bytes{profile_.max_payload - 1}) /
+                Bytes{profile_.max_payload};
+  return payload + Bytes{tlps * profile_.tlp_header_bytes};
 }
 
 TimePs Fabric::read_rtt(PortId src, PortId dst) const {
@@ -165,7 +166,7 @@ namespace {
 /// same FIFO server would make doorbells and completions queue behind
 /// megabytes of data. Small transactions therefore bypass the server and
 /// only pay their own wire time.
-constexpr std::uint64_t kInterleaveBypassBytes = 512;
+constexpr Bytes kInterleaveBypassBytes{512};
 }  // namespace
 
 sim::Task Fabric::do_read(PortId src, Addr addr, Bytes len, bool control,
@@ -175,13 +176,13 @@ sim::Task Fabric::do_read(PortId src, Addr addr, Bytes len, bool control,
     ++unmapped_errors_;
     record_fault(FaultKind::kUnmappedRead, src, addr, len);
     co_await sim_.delay(profile_.host_read_rtt);
-    done.set(ReadResult{Payload::phantom(len.value()), false});
+    done.set(ReadResult{Payload::phantom(len), false});
     co_return;
   }
   if (src != root_ && !iommu_.check(src, addr, len, /*write=*/false)) {
     record_fault(FaultKind::kIommuRead, src, addr, len);
     co_await sim_.delay(profile_.host_read_rtt);
-    done.set(ReadResult{Payload::phantom(len.value()), false});
+    done.set(ReadResult{Payload::phantom(len), false});
     co_return;
   }
   if (read_loss_.armed() && read_loss_.fire()) {
@@ -189,7 +190,7 @@ sim::Task Fabric::do_read(PortId src, Addr addr, Bytes len, bool control,
     // completion timer expires and the transaction fails like a UR/CA.
     record_fault(FaultKind::kCompletionTimeout, src, addr, len);
     co_await sim_.delay(profile_.completion_timeout);
-    done.set(ReadResult{Payload::phantom(len.value()), false});
+    done.set(ReadResult{Payload::phantom(len), false});
     co_return;
   }
 
@@ -206,17 +207,18 @@ sim::Task Fabric::do_read(PortId src, Addr addr, Bytes len, bool control,
 
   // Completion(s) with data serialize on the target's TX link, then travel
   // back. (A same-port read -- e.g. SSD reading its own BAR -- never happens.)
-  if (control || len.value() <= kInterleaveBypassBytes) {
-    co_await sim_.delay(transfer_time(wire_bytes(len.value()), dp.tx.rate()));
+  if (control || len <= kInterleaveBypassBytes) {
+    co_await sim_.delay(transfer_time(wire_bytes(len), dp.tx.rate()));
   } else {
-    co_await dp.tx.acquire(wire_bytes(len.value()));
+    co_await dp.tx.acquire(wire_bytes(len));
     // The completion also lands on the initiator's RX lane -- this is what
     // caps aggregate inbound bandwidth when one port reads many sources.
-    co_await sp.rx.acquire(wire_bytes(len.value()));
+    co_await sp.rx.acquire(wire_bytes(len));
   }
   co_await sim_.delay(rtt / 2);
 
   PathStats& ps = path_mut(src, w->owner);
+  // snacc-lint: allow(value-escape): aggregate traffic counters are raw totals
   ps.read_bytes += len.value();
   ps.reads += 1;
   done.set(ReadResult{std::move(data), true});
@@ -245,17 +247,18 @@ sim::Task Fabric::do_write(PortId src, Addr addr, Payload data,
   Port& sp = *ports_.at(static_cast<std::size_t>(src));
   Port& dp = *ports_.at(static_cast<std::size_t>(w->owner));
 
-  if (len.value() <= kInterleaveBypassBytes) {
+  if (len <= kInterleaveBypassBytes) {
     // Doorbells and small control writes interleave with bulk traffic.
-    co_await sim_.delay(transfer_time(wire_bytes(len.value()), sp.tx.rate()));
+    co_await sim_.delay(transfer_time(wire_bytes(len), sp.tx.rate()));
     co_await sim_.delay(profile_.posted_write_latency);
   } else {
-    co_await sp.tx.acquire(wire_bytes(len.value()));
+    co_await sp.tx.acquire(wire_bytes(len));
     co_await sim_.delay(profile_.posted_write_latency);
-    co_await dp.rx.acquire(wire_bytes(len.value()));
+    co_await dp.rx.acquire(wire_bytes(len));
   }
 
   PathStats& ps = path_mut(src, w->owner);
+  // snacc-lint: allow(value-escape): aggregate traffic counters are raw totals
   ps.write_bytes += len.value();
   ps.writes += 1;
 

@@ -190,7 +190,7 @@ class Fabric {
   };
 
   const Window* route(Addr addr, Bytes len) const;
-  std::uint64_t wire_bytes(std::uint64_t payload_bytes) const;
+  Bytes wire_bytes(Bytes payload) const;
   sim::Task do_read(PortId src, Addr addr, Bytes len, bool control,
                     sim::Promise<ReadResult> done);
   sim::Task do_write(PortId src, Addr addr, Payload data,

@@ -76,7 +76,7 @@ class Channel {
 
   /// Non-blocking push; returns false when no room (or closed). The value
   /// is consumed only on success (callers may retry with the same object).
-  bool try_push(T& value) {
+  [[nodiscard]] bool try_push(T& value) {
     assert(!closed_);
     if (closed_) return false;
     if (PopWaiter* w = pop_waiters_.pop_front()) {
@@ -91,9 +91,9 @@ class Channel {
     items_.push_back(std::move(value));
     return true;
   }
-  bool try_push(T&& value) { return try_push(value); }
+  [[nodiscard]] bool try_push(T&& value) { return try_push(value); }
 
-  std::optional<T> try_pop() {
+  [[nodiscard]] std::optional<T> try_pop() {
     if (items_.empty()) return std::nullopt;
     std::optional<T> v(items_.pop_front());
     admit_pushers();

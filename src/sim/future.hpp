@@ -82,7 +82,7 @@ class Promise {
   }
   ~Promise() { unref(state_); }
 
-  Future<T> future() const { return Future<T>{state_}; }
+  [[nodiscard]] Future<T> future() const { return Future<T>{state_}; }
 
   void set(T value) {
     assert(state_ && !state_->has_value && "Promise set twice");
@@ -121,7 +121,7 @@ class Promise {
 };
 
 template <class T>
-class Future {
+class [[nodiscard]] Future {
  public:
   Future() = default;
   Future(const Future& o) : state_(o.state_) { Promise<T>::ref(state_); }

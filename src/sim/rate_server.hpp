@@ -32,7 +32,7 @@ class RateServer {
   /// acquire still occupies `per_op` (+ `extra`): command-only traffic
   /// serializes like everything else. set_rate() applies to subsequent
   /// acquisitions only; in-flight occupations keep their computed windows.
-  auto acquire(std::uint64_t bytes, TimePs extra = TimePs{}) {
+  [[nodiscard]] auto acquire(std::uint64_t bytes, TimePs extra = TimePs{}) {
     const TimePs start = std::max(sim_->now(), next_free_);
     const TimePs occupy = per_op_ + transfer_time(bytes, gb_s_) + extra;
     next_free_ = start + occupy;
@@ -40,6 +40,9 @@ class RateServer {
     ++total_ops_;
     busy_time_ += occupy;
     return sim_->delay_until(next_free_);
+  }
+  [[nodiscard]] auto acquire(Bytes bytes, TimePs extra = TimePs{}) {
+    return acquire(bytes.value(), extra);
   }
 
   /// Time at which the server becomes idle (for utilization probes).

@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <concepts>
 #include <coroutine>
 #include <cstddef>
 #include <cstdint>
@@ -35,6 +36,23 @@
 namespace snacc::sim {
 
 class Task;
+
+/// A strong unit wrapper (Bytes, Lba, SlotIdx, TimePs, ...): anything whose
+/// raw value is reachable via `.value()`.
+template <typename T>
+concept UnitLike = requires(const T& t) {
+  { t.value() } -> std::convertible_to<std::uint64_t>;
+};
+
+template <UnitLike T>
+constexpr std::uint64_t raw_trace_arg(const T& t) {
+  return t.value();
+}
+template <typename T>
+  requires std::convertible_to<T, std::uint64_t>
+constexpr std::uint64_t raw_trace_arg(const T& t) {
+  return static_cast<std::uint64_t>(t);
+}
 
 /// Intrusive schedulable unit. The node is owned by its embedding object
 /// (awaiter, coroutine promise, or a test's stack frame) and must stay alive
@@ -226,6 +244,14 @@ class Simulator {
   void trace(TraceCat cat, const char* label, std::uint64_t a = 0,
              std::uint64_t b = 0) {
     tracer_.record(now_, cat, label, a, b);
+  }
+  /// Typed overload: accepts the strong unit wrappers (Bytes, Lba, SlotIdx,
+  /// ...) directly, so model code never unwraps a domain value just to
+  /// trace it. Enabled whenever at least one argument is unit-like.
+  template <typename A, typename B = std::uint64_t>
+    requires(UnitLike<A> || UnitLike<B>)
+  void trace(TraceCat cat, const char* label, const A& a, const B& b = 0) {
+    trace(cat, label, raw_trace_arg(a), raw_trace_arg(b));
   }
 
   /// Awaitable: suspends the current coroutine for `delay`. The timer node

@@ -25,7 +25,7 @@ class BufferRing {
  public:
   BufferRing(sim::Simulator& sim, Bytes capacity)
       : sim_(&sim), capacity_(capacity), space_(sim, /*open=*/true) {
-    assert(capacity.value() % kPageSize == 0);
+    assert(aligned(capacity, kPageSize));
   }
 
   Bytes capacity() const { return capacity_; }

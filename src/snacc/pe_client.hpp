@@ -65,8 +65,8 @@ class PeClient {
                         Bytes chunk_bytes = Bytes{16 * KiB}) {
     co_await s_.write_in().send(
         axis::Chunk{encode_write_address(addr), false, 0});
-    co_await axis::send_chunked(s_.write_in(), std::move(data),
-                                chunk_bytes.value(), /*final_last=*/true);
+    co_await axis::send_chunked(s_.write_in(), std::move(data), chunk_bytes,
+                                /*final_last=*/true);
   }
 
   sim::Task wait_write_response(bool* error = nullptr) {

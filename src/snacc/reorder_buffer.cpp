@@ -19,12 +19,15 @@ sim::Task ReorderBuffer::alloc(RobEntry entry, SlotIdx* slot_out) {
 }
 
 bool ReorderBuffer::complete(SlotIdx slot, nvme::Status status) {
+  // snacc-lint: allow(value-escape): SlotIdx's raw index is the ROB subscript
   assert(slot.value() < entries_.size());
   // A completion for a slot that is not in the current window, or that is
   // already completed, is stale: the watchdog declared the original command
   // lost and a retry (or retirement) has since moved on. Absorb it.
   const std::uint16_t offset = static_cast<std::uint16_t>(
+      // snacc-lint: allow(value-escape): SlotIdx's raw index is the ROB subscript
       (slot.value() + entries_.size() - head_) % entries_.size());
+  // snacc-lint: allow(value-escape): SlotIdx's raw index is the ROB subscript
   RobEntry& e = entries_[slot.value()];
   if (count_ == 0 || offset >= count_ || e.completed) {
     ++stale_completions_;

@@ -92,6 +92,7 @@ class ReorderBuffer {
   }
 
   /// Direct slot access (the streamer stamps submission times).
+  // snacc-lint: allow(value-escape): SlotIdx's raw index is the ROB subscript
   RobEntry& at(SlotIdx slot) { return entries_.at(slot.value()); }
 
   /// Marks the head entry completed with `status` without a CQE -- the

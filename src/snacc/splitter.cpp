@@ -21,11 +21,12 @@ std::vector<SubCommand> split_read(Bytes addr, Bytes len,
     const Bytes piece = std::min(remaining, to_boundary);
 
     SubCommand sc;
-    sc.slba = Lba{cur.value() / kLba};
-    sc.trim_head = static_cast<std::uint32_t>(cur.value() % kLba);
-    const std::uint64_t span =
-        sc.trim_head + piece.value();  // device bytes covered
-    sc.blocks = static_cast<std::uint32_t>((span + kLba - 1) / kLba);
+    sc.slba = lba_of(cur, kLba);
+    sc.trim_head = static_cast<std::uint32_t>(block_offset(cur, kLba));
+    // Device bytes covered: the head trim plus the payload piece.
+    const Bytes span = Bytes{sc.trim_head} + piece;
+    sc.blocks =
+        static_cast<std::uint32_t>(blocks_of(span + Bytes{kLba - 1}, kLba));
     sc.payload_bytes = piece;
     sc.last = piece == remaining;
     out.push_back(sc);
@@ -40,7 +41,7 @@ std::vector<SubCommand> split_write(Bytes addr, Bytes len,
                                     const SplitLimits& limits) {
   std::vector<SubCommand> out;
   if (len.is_zero()) return out;
-  if (addr.value() % kLba != 0 || len.value() % kLba != 0)
+  if (!aligned(addr, kLba) || !aligned(len, kLba))
     return out;  // caller checks
   Bytes remaining = len;
   Bytes cur = addr;
@@ -48,9 +49,9 @@ std::vector<SubCommand> split_write(Bytes addr, Bytes len,
     const Bytes to_boundary = limits.max_transfer - cur % limits.max_transfer;
     const Bytes piece = std::min(remaining, to_boundary);
     SubCommand sc;
-    sc.slba = Lba{cur.value() / kLba};
+    sc.slba = lba_of(cur, kLba);
     sc.trim_head = 0;
-    sc.blocks = static_cast<std::uint32_t>(piece.value() / kLba);
+    sc.blocks = static_cast<std::uint32_t>(blocks_of(piece, kLba));
     sc.payload_bytes = piece;
     sc.last = piece == remaining;
     out.push_back(sc);

@@ -106,7 +106,7 @@ class StripedClient {
                            const Payload* data) {
         for (const Stripe& s : *list) {
           co_await client->start_write(
-              s.device_addr, data->slice(s.logical_off.value(), s.len.value()));
+              s.device_addr, data->slice(s.logical_off, s.len));
         }
       }
     };

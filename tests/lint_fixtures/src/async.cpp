@@ -1,0 +1,45 @@
+// Fixture: discarded-async. Tasks are lazy: a bare `job();` statement
+// destroys the frame before it ever runs. Fixtures are scanned, not
+// compiled.
+namespace fix {
+
+sim::Task job();
+sim::Task post();
+sim::Task amb();
+void amb(int cookie);
+void spawn(sim::Task t);
+
+// POSITIVE: statement-position call, result dropped on the floor.
+void fire_and_forget() {
+  job();
+}
+
+// NEGATIVE: co_awaited.
+sim::Task caller() {
+  co_await job();
+}
+
+// NEGATIVE: stored in a local.
+void keep_it() {
+  auto keep = job();
+  (void)keep;
+}
+
+// NEGATIVE: explicitly (void)-acknowledged posted operation.
+void posted() {
+  (void)post();
+}
+
+// NEGATIVE: passed on to an owner.
+void handed_off() {
+  spawn(job());
+}
+
+// NEGATIVE (near-miss): 'amb' is declared with both an async and a sync
+// signature, so the name-level symbol table is ambiguous at this call site
+// and the rule must stay silent rather than guess.
+void ambiguous() {
+  amb();
+}
+
+}  // namespace fix

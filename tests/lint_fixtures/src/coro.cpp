@@ -1,0 +1,75 @@
+// Fixture: dangling-capture. A lambda coroutine's captures live in the
+// closure object, which usually dies at the end of the statement that
+// started the coroutine -- so reads through reference captures (or
+// reference parameters) after the first suspension point are reads through
+// dangling references. Fixtures are scanned, not compiled.
+namespace fix {
+
+struct Sim {
+  sim::Task delay(int ps);
+};
+
+struct Buf {
+  int data;
+};
+
+void use(int);
+
+// POSITIVE: reference capture read after the co_await resumes.
+inline void spawn_bad(Sim& s) {
+  int local = 0;
+  auto bad = [&local](Sim& sim) -> sim::Task {
+    co_await sim.delay(1);
+    local += 1;
+  };
+  (void)bad;
+}
+
+// POSITIVE: [&] makes the implicit capture set unknowable; the lambda
+// itself is flagged at its header.
+inline void spawn_any(Sim& s) {
+  auto any = [&](Sim& sim) -> sim::Task {
+    co_await sim.delay(1);
+    co_return;
+  };
+  (void)any;
+}
+
+// POSITIVE: a T&& parameter in a named coroutine almost always binds a
+// caller temporary that is gone by resume time.
+sim::Task consume(Sim& s, Buf&& buf) {
+  co_await s.delay(1);
+  use(buf.data);
+  co_return;
+}
+
+// NEGATIVE (near-miss): reference capture in a plain lambda -- no
+// suspension point, so the closure outlives every use.
+inline int sync_ok() {
+  int local = 1;
+  auto f = [&local] { return local + 1; };
+  return f();
+}
+
+// NEGATIVE (near-miss): the capture is used only *before* the first
+// suspension (including inside the awaited expression itself, which runs
+// synchronously in the starting statement).
+inline void spawn_early(Sim& s) {
+  int local = 2;
+  auto early = [&local](Sim& sim) -> sim::Task {
+    local += 1;
+    co_await sim.delay(local);
+    co_return;
+  };
+  (void)early;
+}
+
+// NEGATIVE (near-miss): lvalue-ref parameters of a *named* coroutine are
+// kept alive by the structured `co_await child(...)` caller.
+sim::Task pump(Sim& s, int& counter) {
+  co_await s.delay(1);
+  counter += 1;
+  co_return;
+}
+
+}  // namespace fix

@@ -1,0 +1,11 @@
+// Fixture: raw-doorbell. This file is not src/nvme/spec.hpp, so touching
+// kDoorbellBase directly is a finding. Fixtures are scanned, not compiled,
+// so the constant needs no declaration here.
+namespace fix {
+
+// POSITIVE: raw doorbell arithmetic outside the spec header.
+unsigned ring(unsigned qid) {
+  return kDoorbellBase + qid * 8;
+}
+
+}  // namespace fix

@@ -1,0 +1,22 @@
+// Fixture: lambda-event. The closure overload of Simulator::at/after
+// allocates an event node per call; model code must embed a sim::EventNode.
+#include <vector>
+
+namespace fix {
+
+struct Sim {
+  template <typename F>
+  void at(int t, F&& fn);
+};
+
+// POSITIVE: closure overload, with the call split across lines -- the old
+// line-by-line regex could not see this one.
+void arm(Sim& sim, int& v) {
+  sim.at(5,
+         [&v] { v += 1; });
+}
+
+// NEGATIVE: container .at(index) has no lambda in the argument list.
+int peek(const std::vector<int>& v) { return v.at(0); }
+
+}  // namespace fix

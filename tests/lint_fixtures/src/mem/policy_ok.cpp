@@ -1,0 +1,10 @@
+// Fixture: value-escape policy. src/mem/ is the byte-addressed backing
+// store -- raw integers are the point, so the per-directory policy table
+// waves the whole file through.
+namespace fix {
+
+unsigned long long raw(snacc::Bytes len) {
+  return len.value();
+}
+
+}  // namespace fix

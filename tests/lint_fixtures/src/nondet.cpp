@@ -1,0 +1,24 @@
+// Fixture: nondeterminism.
+#include <cstdlib>
+#include <unordered_map>
+
+namespace fix {
+
+// POSITIVE: libc randomness.
+int roll() { return rand(); }
+
+// NEGATIVE: "rand()" inside a string literal is prose, not a call. The old
+// regex engine flagged this line.
+const char* advice() { return "never call rand() in model code"; }
+
+// NEGATIVE: rand() in a comment is also prose.
+
+// POSITIVE: iterating an unordered_map exposes hash order.
+int sum() {
+  std::unordered_map<int, int> table;
+  int acc = 0;
+  for (const auto& kv : table) acc += kv.second;
+  return acc;
+}
+
+}  // namespace fix

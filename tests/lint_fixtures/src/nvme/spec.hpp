@@ -1,0 +1,14 @@
+// Fixture: raw-doorbell exemption. The one file allowed to define and use
+// kDoorbellBase is src/nvme/spec.hpp -- this fixture shadows that path.
+#pragma once
+#include <cstdint>
+
+namespace fix {
+
+// NEGATIVE: definition site inside the exempt header.
+inline constexpr std::uint64_t kDoorbellBase = 0x1000;
+inline std::uint64_t sq_tail_doorbell(std::uint16_t qid) {
+  return kDoorbellBase + 2u * qid * 4u;
+}
+
+}  // namespace fix

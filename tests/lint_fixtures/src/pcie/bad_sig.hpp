@@ -1,0 +1,15 @@
+// Fixture: bare-uint-signature.
+#pragma once
+#include <cstdint>
+
+namespace fix {
+
+// POSITIVE: a domain-named raw parameter in a typed device header.
+void submit(std::uint64_t addr, int flags);
+
+// NEGATIVE: an accessor *named* like a quantity is not a parameter.
+struct Probe {
+  std::uint64_t bytes() const { return 0; }
+};
+
+}  // namespace fix

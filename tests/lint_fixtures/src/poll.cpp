@@ -1,0 +1,27 @@
+// Fixture: unbounded-poll, positive and suppressed.
+namespace fix {
+
+struct Queue {
+  int* try_pop();
+};
+
+// POSITIVE: spins the scheduler -- no co_await yield, no closed() exit
+// anywhere near the poll.
+int drain(Queue& q) {
+  int total = 0;
+  while (true) {
+    auto* v = q.try_pop();
+    if (v == nullptr) break;
+    total += *v;
+  }
+  return total;
+}
+
+// NEGATIVE (suppressed): same shape, silenced with a reasoned marker.
+int drain_once(Queue& q) {
+  // snacc-lint: allow(unbounded-poll): single probe, not a loop
+  auto* v = q.try_pop();
+  return v != nullptr ? *v : 0;
+}
+
+}  // namespace fix

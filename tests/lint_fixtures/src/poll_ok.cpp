@@ -1,0 +1,20 @@
+// Fixture: unbounded-poll near-miss -- a closed() exit in the loop keeps
+// the poll bounded, so nothing fires.
+namespace fix {
+
+struct Chan {
+  int* try_pop();
+  bool closed() const;
+};
+
+// NEGATIVE: the closed() check within the window marks a bounded loop.
+int drain_ok(Chan& c) {
+  int total = 0;
+  while (!c.closed()) {
+    auto* v = c.try_pop();
+    if (v != nullptr) total += *v;
+  }
+  return total;
+}
+
+}  // namespace fix

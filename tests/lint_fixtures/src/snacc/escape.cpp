@@ -1,0 +1,23 @@
+// Fixture: value-escape. src/snacc/ is typed model code (only the
+// prp_engine/buffer_backend adapters are policy'd), so a bare .value() here
+// needs a reasoned allow().
+namespace fix {
+
+// POSITIVE: strips the unit wrapper inside typed model code.
+unsigned long long leak(snacc::Bytes len) {
+  return len.value();
+}
+
+// NEGATIVE (near-miss): '->' receiver is some pointer-like type
+// (std::optional et al.), out of this rule's scope.
+unsigned long long via_ptr(const snacc::Bytes* p) {
+  return p->value();
+}
+
+// NEGATIVE (suppressed): reasoned escape at a wire boundary.
+unsigned long long framed(snacc::Bytes len) {
+  // snacc-lint: allow(value-escape): wire header stores a raw byte count
+  return len.value();
+}
+
+}  // namespace fix

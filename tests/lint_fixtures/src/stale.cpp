@@ -1,0 +1,8 @@
+// Fixture: stale-suppression -- a marker that silences nothing is itself
+// reported, so dead allow() comments cannot accumulate.
+namespace fix {
+
+// snacc-lint: allow(nondeterminism): nothing on this line actually fires
+int identity(int x) { return x; }
+
+}  // namespace fix

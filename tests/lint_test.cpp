@@ -1,0 +1,247 @@
+// Self-tests for the snacc-lint analysis engine: golden findings over the
+// fixture tree (true positives AND near-misses per rule), tokenizer
+// behaviour, suppression/stale bookkeeping, baseline round-trip, SARIF
+// output shape, and determinism across worker counts.
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/engine.hpp"
+#include "lint/sarif.hpp"
+#include "lint/source.hpp"
+#include "lint/token.hpp"
+
+namespace {
+
+std::string fixture_src() {
+  return std::string(LINT_FIXTURE_DIR) + "/src";
+}
+
+lint::ScanResult scan_fixtures(unsigned jobs = 0) {
+  lint::Options opts;
+  opts.roots = {fixture_src()};
+  opts.jobs = jobs;
+  return lint::scan(opts);
+}
+
+std::size_t count(const std::vector<lint::Finding>& fs, std::string_view file,
+                  std::string_view rule) {
+  return static_cast<std::size_t>(
+      std::count_if(fs.begin(), fs.end(), [&](const lint::Finding& f) {
+        return f.file == file && f.rule == rule;
+      }));
+}
+
+bool has(const std::vector<lint::Finding>& fs, std::string_view file,
+         std::string_view rule, std::uint32_t line) {
+  return std::any_of(fs.begin(), fs.end(), [&](const lint::Finding& f) {
+    return f.file == file && f.rule == rule && f.line == line;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Golden findings over the fixture tree.
+
+TEST(LintFixtures, ScansWholeTree) {
+  const auto res = scan_fixtures();
+  EXPECT_TRUE(res.error.empty()) << res.error;
+  EXPECT_EQ(res.files_scanned, 12u);
+  EXPECT_EQ(res.findings.size(), 12u);
+  ASSERT_EQ(res.line_texts.size(), res.findings.size());
+}
+
+TEST(LintFixtures, GoldenPositives) {
+  const auto& fs = scan_fixtures().findings;
+  EXPECT_TRUE(has(fs, "src/pcie/bad_sig.hpp", "bare-uint-signature", 8));
+  EXPECT_TRUE(has(fs, "src/nondet.cpp", "nondeterminism", 8));    // rand()
+  EXPECT_TRUE(has(fs, "src/nondet.cpp", "nondeterminism", 20));   // map order
+  EXPECT_TRUE(has(fs, "src/doorbell.cpp", "raw-doorbell", 8));
+  EXPECT_TRUE(has(fs, "src/poll.cpp", "unbounded-poll", 13));
+  EXPECT_TRUE(has(fs, "src/lambda_event.cpp", "lambda-event", 15));
+  // dangling-capture: ref capture after suspend, [&] header, T&& param.
+  EXPECT_TRUE(has(fs, "src/coro.cpp", "dangling-capture", 23));
+  EXPECT_TRUE(has(fs, "src/coro.cpp", "dangling-capture", 31));
+  EXPECT_TRUE(has(fs, "src/coro.cpp", "dangling-capture", 42));
+  EXPECT_TRUE(has(fs, "src/async.cpp", "discarded-async", 14));
+  EXPECT_TRUE(has(fs, "src/snacc/escape.cpp", "value-escape", 8));
+  EXPECT_TRUE(has(fs, "src/stale.cpp", "stale-suppression", 5));
+}
+
+TEST(LintFixtures, GoldenCounts) {
+  const auto& fs = scan_fixtures().findings;
+  EXPECT_EQ(count(fs, "src/pcie/bad_sig.hpp", "bare-uint-signature"), 1u);
+  EXPECT_EQ(count(fs, "src/nondet.cpp", "nondeterminism"), 2u);
+  EXPECT_EQ(count(fs, "src/doorbell.cpp", "raw-doorbell"), 1u);
+  EXPECT_EQ(count(fs, "src/poll.cpp", "unbounded-poll"), 1u);
+  EXPECT_EQ(count(fs, "src/lambda_event.cpp", "lambda-event"), 1u);
+  EXPECT_EQ(count(fs, "src/coro.cpp", "dangling-capture"), 3u);
+  EXPECT_EQ(count(fs, "src/async.cpp", "discarded-async"), 1u);
+  EXPECT_EQ(count(fs, "src/snacc/escape.cpp", "value-escape"), 1u);
+  EXPECT_EQ(count(fs, "src/stale.cpp", "stale-suppression"), 1u);
+}
+
+// Near-misses: code shaped like a violation that must NOT be flagged.
+TEST(LintFixtures, NearMissesStaySilent) {
+  const auto& fs = scan_fixtures().findings;
+  // Accessor *named* like a quantity is not a parameter.
+  EXPECT_EQ(count(fs, "src/pcie/bad_sig.hpp", "bare-uint-signature"), 1u);
+  // "rand()" inside a string literal (line 12) or a comment (line 14).
+  EXPECT_FALSE(has(fs, "src/nondet.cpp", "nondeterminism", 12));
+  EXPECT_FALSE(has(fs, "src/nondet.cpp", "nondeterminism", 14));
+  // kDoorbellBase inside the exempt spec header.
+  EXPECT_EQ(count(fs, "src/nvme/spec.hpp", "raw-doorbell"), 0u);
+  // A poll loop bounded by closed().
+  EXPECT_EQ(count(fs, "src/poll_ok.cpp", "unbounded-poll"), 0u);
+  // Container .at(index) without a lambda argument (line 20).
+  EXPECT_FALSE(has(fs, "src/lambda_event.cpp", "lambda-event", 20));
+  // dangling-capture near-misses: a non-coroutine ref-capture lambda
+  // (sync_ok), a capture used only before/within the first awaited
+  // statement (spawn_early), and lvalue-ref params of a named coroutine
+  // (pump) -- the three positives above must be the only findings.
+  EXPECT_EQ(count(fs, "src/coro.cpp", "dangling-capture"), 3u);
+  // discarded-async near-misses: co_await, stored, (void)-cast, passed to
+  // spawn(), and the async/sync-ambiguous name.
+  EXPECT_EQ(count(fs, "src/async.cpp", "discarded-async"), 1u);
+  // ->value() pointer receiver (line 14) and the suppressed escape (20).
+  EXPECT_FALSE(has(fs, "src/snacc/escape.cpp", "value-escape", 14));
+  EXPECT_FALSE(has(fs, "src/snacc/escape.cpp", "value-escape", 20));
+  // The policy'd raw directory is waved through wholesale.
+  EXPECT_EQ(count(fs, "src/mem/policy_ok.cpp", "value-escape"), 0u);
+}
+
+// A consumed suppression must not be reported stale; only the marker in
+// stale.cpp silences nothing.
+TEST(LintFixtures, SuppressionBookkeeping) {
+  const auto& fs = scan_fixtures().findings;
+  EXPECT_EQ(count(fs, "src/poll.cpp", "stale-suppression"), 0u);
+  EXPECT_EQ(count(fs, "src/snacc/escape.cpp", "stale-suppression"), 0u);
+  EXPECT_EQ(count(fs, "src/stale.cpp", "stale-suppression"), 1u);
+  // And the suppressed sites themselves stay silent.
+  EXPECT_FALSE(has(fs, "src/poll.cpp", "unbounded-poll", 23));
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer.
+
+TEST(LintTokenizer, CommentsStringsAndPreprocessorExcluded) {
+  const std::string text =
+      "#include <cstdlib> // rand()\n"
+      "const char* s = \"rand()\";\n"
+      "auto r = R\"(rand())\";\n"
+      "/* rand() */ int x = 0;\n";
+  const auto sf = lint::SourceFile::from_text("t.cpp", text);
+  ASSERT_NE(sf, nullptr);
+  for (const lint::Token& t : sf->tokens()) {
+    EXPECT_FALSE(t.ident("rand")) << "rand leaked from non-code context";
+    EXPECT_FALSE(t.ident("include")) << "preprocessor leaked";
+  }
+  const auto strings =
+      std::count_if(sf->tokens().begin(), sf->tokens().end(),
+                    [](const lint::Token& t) { return t.kind == lint::Tok::kString; });
+  EXPECT_EQ(strings, 2);  // the plain literal and the raw string
+}
+
+TEST(LintTokenizer, PunctuatorsAndLines) {
+  const auto sf = lint::SourceFile::from_text(
+      "t.cpp", "a->b;\nns::f(x);\nauto y = a <=> b;\n");
+  ASSERT_NE(sf, nullptr);
+  bool arrow = false, scope = false;
+  for (const lint::Token& t : sf->tokens()) {
+    if (t.is("->")) {
+      arrow = true;
+      EXPECT_EQ(t.line, 1u);
+    }
+    if (t.is("::")) {
+      scope = true;
+      EXPECT_EQ(t.line, 2u);
+    }
+  }
+  EXPECT_TRUE(arrow);
+  EXPECT_TRUE(scope);
+}
+
+// analyze() over in-memory buffers: the same engine path the scan driver
+// uses, minus the filesystem.
+TEST(LintEngine, AnalyzeInMemory) {
+  std::vector<std::unique_ptr<lint::SourceFile>> files;
+  files.push_back(lint::SourceFile::from_text(
+      "src/x.cpp", "int f() { return rand(); }\n"));
+  files.push_back(lint::SourceFile::from_text(
+      "src/y.cpp",
+      "// snacc-lint: allow(nondeterminism): seeding the demo harness\n"
+      "int g() { return rand(); }\n"));
+  const auto res = lint::analyze(std::move(files), 1);
+  EXPECT_EQ(res.findings.size(), 1u);
+  EXPECT_TRUE(has(res.findings, "src/x.cpp", "nondeterminism", 1));
+  EXPECT_EQ(count(res.findings, "src/y.cpp", "nondeterminism"), 0u);
+  EXPECT_EQ(count(res.findings, "src/y.cpp", "stale-suppression"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline round-trip.
+
+TEST(LintBaseline, RoundTrip) {
+  namespace fs = std::filesystem;
+  const fs::path path =
+      fs::temp_directory_path() / "snacc_lint_test_baseline.txt";
+
+  lint::Options write_opts;
+  write_opts.roots = {fixture_src()};
+  write_opts.baseline_path = path.string();
+  write_opts.update_baseline = true;
+  const auto wrote = lint::scan(write_opts);
+  ASSERT_TRUE(wrote.error.empty()) << wrote.error;
+  EXPECT_EQ(wrote.baseline_matched, 12u);  // everything grandfathered
+  EXPECT_TRUE(wrote.findings.empty());
+
+  lint::Options read_opts;
+  read_opts.roots = {fixture_src()};
+  read_opts.baseline_path = path.string();
+  const auto reread = lint::scan(read_opts);
+  ASSERT_TRUE(reread.error.empty()) << reread.error;
+  EXPECT_TRUE(reread.findings.empty())
+      << "a baselined scan of unchanged sources must be clean";
+  EXPECT_EQ(reread.baseline_matched, 12u);
+
+  fs::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// SARIF output.
+
+TEST(LintSarif, ShapeAndContent) {
+  const auto res = scan_fixtures();
+  const std::string sarif = lint::to_sarif(res.findings);
+  EXPECT_NE(sarif.find("\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("sarif-schema-2.1.0.json"), std::string::npos);
+  EXPECT_NE(sarif.find("snacc-lint"), std::string::npos);
+  // Every rule is in the driver table even when it has no results, and
+  // engine-level stale-suppression findings resolve a ruleIndex too.
+  for (const char* rule :
+       {"bare-uint-signature", "nondeterminism", "raw-doorbell",
+        "unbounded-poll", "lambda-event", "dangling-capture",
+        "discarded-async", "value-escape", "stale-suppression"}) {
+    EXPECT_NE(sarif.find(rule), std::string::npos) << rule;
+  }
+  EXPECT_NE(sarif.find("\"startLine\""), std::string::npos);
+  EXPECT_NE(sarif.find("src/coro.cpp"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel scans are deterministic.
+
+TEST(LintEngine, DeterministicAcrossJobCounts) {
+  const auto one = scan_fixtures(1);
+  const auto eight = scan_fixtures(8);
+  ASSERT_TRUE(one.error.empty());
+  ASSERT_TRUE(eight.error.empty());
+  EXPECT_TRUE(one.findings == eight.findings);
+  EXPECT_TRUE(one.line_texts == eight.line_texts);
+}
+
+}  // namespace

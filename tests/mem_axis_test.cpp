@@ -157,7 +157,7 @@ TEST(Axis, SendChunkedMarksOnlyFinalChunkLast) {
   std::vector<bool> lasts;
   std::vector<std::uint64_t> sizes;
   auto producer = [&]() -> sim::Task {
-    co_await axis::send_chunked(s, Payload::phantom(40 * KiB), 16 * KiB, true);
+    co_await axis::send_chunked(s, Payload::phantom(40 * KiB), Bytes{16 * KiB}, true);
     s.close();
   };
   auto consumer = [&]() -> sim::Task {

@@ -1,0 +1,259 @@
+#include "lint/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "lint/rules.hpp"
+#include "lint/scope.hpp"
+
+namespace fs = std::filesystem;
+
+namespace lint {
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc" ||
+         ext == ".hh" || ext == ".cxx";
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Runs fn(i) for i in [0, n) across `jobs` worker threads. Work items are
+/// independent; each writes only its own output slot, so no locking.
+void for_each_index(std::size_t n, unsigned jobs,
+                    const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (jobs == 0) jobs = std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 1;
+  jobs = static_cast<unsigned>(
+      std::min<std::size_t>(jobs, n));
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (unsigned t = 0; t < jobs; ++t) {
+    pool.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+/// Collects lintable files under `roots`. For a directory root, reported
+/// paths are `<root basename>/<path within root>` so path-scoped rules see
+/// the same `src/...` form whether invoked as `snacc-lint src` from the
+/// repo or with an absolute path from ctest. Single-file roots report the
+/// path as given.
+std::vector<std::pair<std::string, std::string>> collect(
+    const std::vector<std::string>& roots, std::string* error) {
+  std::vector<std::pair<std::string, std::string>> out;  // {disk path, rel}
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    const fs::path rp{root};
+    if (fs::is_regular_file(rp, ec)) {
+      out.emplace_back(root, rp.generic_string());
+      continue;
+    }
+    if (!fs::is_directory(rp, ec)) {
+      *error = "snacc-lint: cannot open '" + root + "'";
+      return {};
+    }
+    const std::string base = rp.filename().empty()
+                                 ? rp.parent_path().filename().generic_string()
+                                 : rp.filename().generic_string();
+    for (auto it = fs::recursive_directory_iterator(rp, ec);
+         !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+      if (!it->is_regular_file(ec) || !lintable(it->path())) continue;
+      const std::string within =
+          fs::relative(it->path(), rp, ec).generic_string();
+      out.emplace_back(it->path().string(), base + "/" + within);
+    }
+    if (ec) {
+      *error = "snacc-lint: error walking '" + root + "': " + ec.message();
+      return {};
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  return out;
+}
+
+}  // namespace
+
+std::string baseline_key(const Finding& f, std::string_view line_text) {
+  std::string key = f.rule;
+  key += '|';
+  key += f.file;
+  key += '|';
+  key += trim(line_text);
+  return key;
+}
+
+ScanResult analyze(std::vector<std::unique_ptr<SourceFile>> files,
+                   unsigned jobs) {
+  ScanResult result;
+  result.files_scanned = files.size();
+
+  // Phase A ran in the caller (files are already tokenized); here we do the
+  // scope analysis once per file and pool the async function names.
+  std::vector<ScopeInfo> scopes(files.size());
+  for_each_index(files.size(), jobs, [&](std::size_t i) {
+    scopes[i] = analyze_scopes(files[i]->tokens());
+  });
+  // Pool declared async names across all files, then drop any name that is
+  // *also* declared sync somewhere: name-only resolution cannot tell which
+  // overload a call site binds, so ambiguous names must not fire.
+  std::set<std::string, std::less<>> async_fns;
+  std::set<std::string, std::less<>> sync_fns;
+  for (const ScopeInfo& s : scopes) {
+    async_fns.insert(s.async_fn_names.begin(), s.async_fn_names.end());
+    sync_fns.insert(s.sync_fn_names.begin(), s.sync_fn_names.end());
+  }
+  for (const std::string& s : sync_fns) async_fns.erase(s);
+
+  // Phase B: every rule over every file's shared token stream. Each file
+  // writes its own findings slot; no cross-file state is mutated.
+  std::vector<std::vector<Finding>> raw(files.size());
+  for_each_index(files.size(), jobs, [&](std::size_t i) {
+    const RuleContext ctx{*files[i], scopes[i], async_fns};
+    for (const auto& rule : all_rules()) {
+      rule->run(ctx, &raw[i]);
+    }
+  });
+
+  // Sequential post-pass: suppressions (order-dependent bookkeeping), then
+  // stale-suppression findings for markers that silenced nothing.
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    SourceFile& sf = *files[i];
+    for (Finding& f : raw[i]) {
+      if (!sf.suppress(f.rule, f.line)) {
+        result.findings.push_back(std::move(f));
+      }
+    }
+    for (const Suppression& s : sf.suppressions()) {
+      if (s.used) continue;
+      result.findings.push_back(
+          {sf.rel(), s.line, "stale-suppression",
+           "suppression 'allow(" + s.rule +
+               ")' matches no finding; remove it or fix the rule name"});
+    }
+  }
+
+  // Attach the source line text needed for baseline keys while the files
+  // are still alive (findings store only file/line).
+  std::sort(result.findings.begin(), result.findings.end());
+  std::map<std::string, const SourceFile*> by_rel;
+  for (const auto& f : files) by_rel[f->rel()] = f.get();
+  result.line_texts.reserve(result.findings.size());
+  for (const Finding& f : result.findings) {
+    const auto it = by_rel.find(f.file);
+    result.line_texts.push_back(
+        it == by_rel.end() ? std::string()
+                           : std::string(trim(it->second->line_text(f.line))));
+  }
+  return result;
+}
+
+ScanResult scan(const Options& opts) {
+  ScanResult result;
+  const auto paths = collect(opts.roots, &result.error);
+  if (!result.error.empty()) return result;
+
+  std::vector<std::unique_ptr<SourceFile>> files(paths.size());
+  std::atomic<bool> load_failed{false};
+  std::string failed_path;
+  std::mutex fail_mu;
+  for_each_index(paths.size(), opts.jobs, [&](std::size_t i) {
+    files[i] = SourceFile::load(paths[i].first, paths[i].second);
+    if (!files[i]) {
+      load_failed = true;
+      std::lock_guard<std::mutex> lock(fail_mu);
+      failed_path = paths[i].first;
+    }
+  });
+  if (load_failed) {
+    result.error = "snacc-lint: cannot read '" + failed_path + "'";
+    return result;
+  }
+
+  ScanResult analyzed = analyze(std::move(files), opts.jobs);
+  result.findings = std::move(analyzed.findings);
+  result.line_texts = std::move(analyzed.line_texts);
+  result.files_scanned = analyzed.files_scanned;
+
+  if (opts.baseline_path.empty()) return result;
+
+  if (opts.update_baseline) {
+    std::ofstream out(opts.baseline_path);
+    if (!out) {
+      result.error =
+          "snacc-lint: cannot write baseline '" + opts.baseline_path + "'";
+      return result;
+    }
+    out << "# snacc-lint baseline: one `rule|file|line text` key per "
+           "grandfathered finding.\n"
+           "# Regenerate with: snacc-lint --baseline <this file> "
+           "--update-baseline <paths>\n";
+    for (std::size_t i = 0; i < result.findings.size(); ++i) {
+      out << baseline_key(result.findings[i], result.line_texts[i]) << '\n';
+    }
+    result.baseline_matched = result.findings.size();
+    result.findings.clear();
+    result.line_texts.clear();
+    return result;
+  }
+
+  std::ifstream in(opts.baseline_path);
+  if (!in) {
+    result.error =
+        "snacc-lint: cannot read baseline '" + opts.baseline_path + "'";
+    return result;
+  }
+  std::multiset<std::string> baseline;
+  for (std::string line; std::getline(in, line);) {
+    const std::string_view t = trim(line);
+    if (t.empty() || t.front() == '#') continue;
+    baseline.insert(std::string(t));
+  }
+  std::vector<Finding> kept;
+  std::vector<std::string> kept_texts;
+  for (std::size_t i = 0; i < result.findings.size(); ++i) {
+    const auto it =
+        baseline.find(baseline_key(result.findings[i], result.line_texts[i]));
+    if (it != baseline.end()) {
+      baseline.erase(it);  // consume: a key silences exactly one finding
+      ++result.baseline_matched;
+    } else {
+      kept.push_back(std::move(result.findings[i]));
+      kept_texts.push_back(std::move(result.line_texts[i]));
+    }
+  }
+  result.findings = std::move(kept);
+  result.line_texts = std::move(kept_texts);
+  return result;
+}
+
+}  // namespace lint

@@ -1,0 +1,50 @@
+// liblint: the scan driver.
+//
+// Orchestrates a scan: collect files under the given roots, load+tokenize+
+// scope-analyze each exactly once (in parallel), run every rule over the
+// shared token streams (in parallel), then apply suppressions, report stale
+// suppressions, subtract the baseline, and return deterministically sorted
+// findings.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lint/source.hpp"
+
+namespace lint {
+
+struct Options {
+  std::vector<std::string> roots;  // directories (recursed) or single files
+  std::string baseline_path;       // empty: no baseline
+  bool update_baseline = false;    // rewrite baseline_path from this scan
+  unsigned jobs = 0;               // 0: hardware concurrency
+};
+
+struct ScanResult {
+  std::vector<Finding> findings;  // sorted; after suppressions + baseline
+  /// Trimmed source text of each finding's line, parallel to `findings`
+  /// (captured while the files are loaded; feeds baseline keys).
+  std::vector<std::string> line_texts;
+  std::size_t files_scanned = 0;
+  std::size_t baseline_matched = 0;  // findings absorbed by the baseline
+  std::string error;                 // non-empty: scan failed (I/O, bad root)
+};
+
+/// Runs a full scan per `opts`.
+ScanResult scan(const Options& opts);
+
+/// Core analysis over already-loaded files; exposed so tests can lint
+/// in-memory buffers. Consumes `files`. Applies suppressions and the stale
+/// check but no baseline.
+ScanResult analyze(std::vector<std::unique_ptr<SourceFile>> files,
+                   unsigned jobs);
+
+/// Baseline key for a finding: `rule|file|<trimmed source line text>`.
+/// Line-text keyed (not line-number keyed) so unrelated edits above a
+/// grandfathered finding do not invalidate the baseline.
+std::string baseline_key(const Finding& f, std::string_view line_text);
+
+}  // namespace lint

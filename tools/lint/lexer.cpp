@@ -1,0 +1,254 @@
+#include "lint/token.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators, longest first within each leading char.
+constexpr std::array<std::string_view, 22> kPuncts = {
+    "<=>", "->*", "...", "<<=", ">>=", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "+=", "-=", "*=", "/=", "%=", "++", "--"};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  TokenStream run() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && pos_ + 1 < text_.size()) {
+        if (text_[pos_ + 1] == '/') {
+          line_comment();
+          continue;
+        }
+        if (text_[pos_ + 1] == '*') {
+          block_comment();
+          continue;
+        }
+      }
+      if (c == '#' && at_line_start_) {
+        preprocessor_line();
+        continue;
+      }
+      at_line_start_ = false;
+      if (ident_start(c)) {
+        identifier_or_string_prefix();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && pos_ + 1 < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+        number();
+        continue;
+      }
+      if (c == '"') {
+        string_literal();
+        continue;
+      }
+      if (c == '\'') {
+        char_literal();
+        continue;
+      }
+      punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void emit(Tok kind, std::size_t begin, std::size_t end, std::uint32_t line) {
+    out_.tokens.push_back(Token{kind, text_.substr(begin, end - begin), line});
+  }
+
+  void line_comment() {
+    const std::size_t begin = pos_;
+    const std::uint32_t line = line_;
+    while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+    out_.comments.push_back(Comment{line, text_.substr(begin, pos_ - begin)});
+  }
+
+  void block_comment() {
+    const std::size_t begin = pos_;
+    const std::uint32_t line = line_;
+    pos_ += 2;
+    while (pos_ + 1 < text_.size() &&
+           !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+      if (text_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    pos_ = pos_ + 1 < text_.size() ? pos_ + 2 : text_.size();
+    out_.comments.push_back(Comment{line, text_.substr(begin, pos_ - begin)});
+  }
+
+  void preprocessor_line() {
+    // Consume the whole directive, honoring backslash continuations and
+    // skipping comments inside it (a // comment ends the directive's line
+    // scan but is still recorded for suppressions).
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\\' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '\n') {
+        pos_ += 2;
+        ++line_;
+        continue;
+      }
+      if (c == '\n') break;  // the newline itself is handled by run()
+      if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+        line_comment();
+        break;
+      }
+      if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '*') {
+        block_comment();
+        continue;
+      }
+      ++pos_;
+    }
+  }
+
+  void identifier_or_string_prefix() {
+    const std::size_t begin = pos_;
+    const std::uint32_t line = line_;
+    while (pos_ < text_.size() && ident_char(text_[pos_])) ++pos_;
+    const std::string_view word = text_.substr(begin, pos_ - begin);
+    // Encoding prefixes glue onto a following quote: u8"..", LR"(..)", etc.
+    if (pos_ < text_.size() && (text_[pos_] == '"' || text_[pos_] == '\'') &&
+        (word == "u8" || word == "u" || word == "U" || word == "L" ||
+         word == "R" || word == "u8R" || word == "uR" || word == "UR" ||
+         word == "LR")) {
+      const bool raw = word.size() > 0 && word.back() == 'R';
+      if (text_[pos_] == '"') {
+        if (raw) {
+          raw_string(begin, line);
+        } else {
+          string_literal(begin);
+        }
+      } else {
+        char_literal(begin);
+      }
+      return;
+    }
+    emit(Tok::kIdent, begin, pos_, line);
+  }
+
+  void number() {
+    const std::size_t begin = pos_;
+    const std::uint32_t line = line_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (ident_char(c) || c == '.') {
+        ++pos_;
+        continue;
+      }
+      if (c == '\'' && pos_ + 1 < text_.size() && ident_char(text_[pos_ + 1])) {
+        pos_ += 2;  // digit separator
+        continue;
+      }
+      if ((c == '+' || c == '-') && pos_ > begin &&
+          (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E' ||
+           text_[pos_ - 1] == 'p' || text_[pos_ - 1] == 'P')) {
+        ++pos_;  // exponent sign
+        continue;
+      }
+      break;
+    }
+    emit(Tok::kNumber, begin, pos_, line);
+  }
+
+  void string_literal(std::size_t begin_override = SIZE_MAX) {
+    const std::size_t begin = begin_override == SIZE_MAX ? pos_ : begin_override;
+    const std::uint32_t line = line_;
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\\' && pos_ + 1 < text_.size()) {
+        if (text_[pos_ + 1] == '\n') ++line_;
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\n') {  // unterminated; be lenient
+        break;
+      }
+      ++pos_;
+      if (c == '"') break;
+    }
+    emit(Tok::kString, begin, pos_, line);
+  }
+
+  void raw_string(std::size_t begin, std::uint32_t line) {
+    // At pos_ sits the opening quote of R"delim( ... )delim".
+    ++pos_;
+    std::size_t d0 = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '(') ++pos_;
+    const std::string closer =
+        ")" + std::string(text_.substr(d0, pos_ - d0)) + "\"";
+    while (pos_ < text_.size()) {
+      if (text_[pos_] == '\n') ++line_;
+      if (text_.compare(pos_, closer.size(), closer) == 0) {
+        pos_ += closer.size();
+        break;
+      }
+      ++pos_;
+    }
+    emit(Tok::kString, begin, pos_, line);
+  }
+
+  void char_literal(std::size_t begin_override = SIZE_MAX) {
+    const std::size_t begin = begin_override == SIZE_MAX ? pos_ : begin_override;
+    const std::uint32_t line = line_;
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\\' && pos_ + 1 < text_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\n') break;  // unterminated; be lenient
+      ++pos_;
+      if (c == '\'') break;
+    }
+    emit(Tok::kChar, begin, pos_, line);
+  }
+
+  void punct() {
+    const std::uint32_t line = line_;
+    for (std::string_view p : kPuncts) {
+      if (text_.compare(pos_, p.size(), p) == 0) {
+        emit(Tok::kPunct, pos_, pos_ + p.size(), line);
+        pos_ += p.size();
+        return;
+      }
+    }
+    emit(Tok::kPunct, pos_, pos_ + 1, line);
+    ++pos_;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  bool at_line_start_ = true;
+  TokenStream out_;
+};
+
+}  // namespace
+
+TokenStream tokenize(std::string_view text) { return Lexer(text).run(); }
+
+}  // namespace lint

@@ -1,0 +1,118 @@
+// snacc-lint: CLI front-end over liblint.
+//
+//   snacc-lint [options] <path>...
+//
+// Exit codes (kept from the original regex tool): 0 clean, 1 findings,
+// 2 usage or I/O error.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint/engine.hpp"
+#include "lint/rules.hpp"
+#include "lint/sarif.hpp"
+
+namespace {
+
+void usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: snacc-lint [options] <path>...\n"
+      "\n"
+      "Token-level static analysis for the SNAcc tree. Paths may be\n"
+      "directories (recursed; findings are reported relative to the\n"
+      "directory's parent, e.g. src/...) or single files.\n"
+      "\n"
+      "options:\n"
+      "  --sarif <file>       also write findings as SARIF 2.1.0\n"
+      "  --baseline <file>    subtract grandfathered findings listed in "
+      "<file>\n"
+      "  --update-baseline    rewrite the --baseline file from this scan and\n"
+      "                       exit 0 (the scan's findings become the "
+      "baseline)\n"
+      "  --jobs <n>           scan with n threads (default: hardware)\n"
+      "  --list-rules         print the rule catalog and exit\n"
+      "  -h, --help           this message\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lint::Options opts;
+  std::string sarif_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "snacc-lint: %s requires an argument\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "-h" || arg == "--help") {
+      usage(stdout);
+      return 0;
+    } else if (arg == "--list-rules") {
+      for (const auto& r : lint::all_rules()) {
+        std::printf("%-20s %s\n", std::string(r->name()).c_str(),
+                    std::string(r->description()).c_str());
+      }
+      std::printf("%-20s %s\n", "stale-suppression",
+                  "allow() marker that silences no finding (engine check)");
+      return 0;
+    } else if (arg == "--sarif") {
+      sarif_path = next("--sarif");
+    } else if (arg == "--baseline") {
+      opts.baseline_path = next("--baseline");
+    } else if (arg == "--update-baseline") {
+      opts.update_baseline = true;
+    } else if (arg == "--jobs") {
+      opts.jobs = static_cast<unsigned>(std::atoi(next("--jobs")));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "snacc-lint: unknown option '%s'\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    } else {
+      opts.roots.push_back(arg);
+    }
+  }
+  if (opts.roots.empty()) {
+    usage(stderr);
+    return 2;
+  }
+  if (opts.update_baseline && opts.baseline_path.empty()) {
+    std::fprintf(stderr,
+                 "snacc-lint: --update-baseline requires --baseline <file>\n");
+    return 2;
+  }
+
+  const lint::ScanResult result = lint::scan(opts);
+  if (!result.error.empty()) {
+    std::fprintf(stderr, "%s\n", result.error.c_str());
+    return 2;
+  }
+
+  for (const lint::Finding& f : result.findings) {
+    std::printf("%s:%u: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  std::printf("snacc-lint: %zu file(s) scanned, %zu finding(s)",
+              result.files_scanned, result.findings.size());
+  if (result.baseline_matched > 0) {
+    std::printf(", %zu baselined", result.baseline_matched);
+  }
+  std::printf("\n");
+
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path);
+    if (!out) {
+      std::fprintf(stderr, "snacc-lint: cannot write '%s'\n",
+                   sarif_path.c_str());
+      return 2;
+    }
+    out << lint::to_sarif(result.findings);
+  }
+  return result.findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,276 @@
+// The five rules ported from the regex engine, now running on token
+// streams: comments, string literals, and preprocessor lines can no longer
+// produce false positives, and multi-line constructs (a `sim->at(` call
+// split before its lambda) can no longer produce false negatives.
+#include <algorithm>
+#include <array>
+
+#include "lint/rules.hpp"
+
+namespace lint {
+
+namespace {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// True for headers in the strongly-typed device directories.
+bool owned_header(std::string_view rel) {
+  return (starts_with(rel, "src/pcie/") || starts_with(rel, "src/nvme/") ||
+          starts_with(rel, "src/snacc/")) &&
+         ends_with(rel, ".hpp");
+}
+
+// ---------------------------------------------------------------------------
+// bare-uint-signature
+
+class BareUintSignature final : public Rule {
+ public:
+  std::string_view name() const override { return "bare-uint-signature"; }
+  std::string_view description() const override {
+    return "std::uint64_t parameter named like a domain quantity in a typed "
+           "header; use the wrapper types from common/units.hpp";
+  }
+
+  void run(const RuleContext& ctx, std::vector<Finding>* out) const override {
+    if (!owned_header(ctx.file.rel())) return;
+    static constexpr std::array<std::string_view, 17> kNames = {
+        "addr", "base", "lba",      "slba",  "len",    "size",
+        "bytes", "off", "offset",   "cid",   "slot",   "time",
+        "t0",    "t1",  "deadline", "delay", "latency"};
+    const auto& toks = ctx.file.tokens();
+    for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+      if (!toks[i].ident("std") || !toks[i + 1].is("::") ||
+          !toks[i + 2].ident("uint64_t") ||
+          toks[i + 3].kind != Tok::kIdent) {
+        continue;
+      }
+      const std::string_view id = toks[i + 3].text;
+      if (std::find(kNames.begin(), kNames.end(), id) == kNames.end() &&
+          id != "window") {
+        continue;
+      }
+      // Skip accessors *named* like a quantity (`std::uint64_t bytes()`):
+      // the rule targets parameters, where a caller could pass any integer.
+      if (i + 4 < toks.size() && toks[i + 4].is("(")) continue;
+      out->push_back({ctx.file.rel(), toks[i + 3].line, std::string(name()),
+                      "parameter '" + std::string(id) +
+                          "' is a domain quantity; use the wrapper type from "
+                          "common/units.hpp instead of std::uint64_t"});
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// nondeterminism
+
+class Nondeterminism final : public Rule {
+ public:
+  std::string_view name() const override { return "nondeterminism"; }
+  std::string_view description() const override {
+    return "wall-clock, libc randomness, or unordered_map iteration order "
+           "reaching simulated behaviour";
+  }
+
+  void run(const RuleContext& ctx, std::vector<Finding>* out) const override {
+    const auto& toks = ctx.file.tokens();
+    // Names of unordered_map variables declared anywhere in this file.
+    std::vector<std::string_view> maps;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!toks[i].ident("unordered_map")) continue;
+      if (i + 1 >= toks.size() || !toks[i + 1].is("<")) continue;
+      // Find the end of the template argument list; `>>` closes two levels.
+      int depth = 0;
+      std::size_t j = i + 1;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].is("<")) ++depth;
+        else if (toks[j].is(">")) --depth;
+        else if (toks[j].is(">>")) depth -= 2;
+        if (depth <= 0) break;
+      }
+      // Declared name: the next identifier (skipping ref/pointer marks).
+      for (std::size_t k = j + 1; k < toks.size() && k < j + 4; ++k) {
+        if (toks[k].kind == Tok::kIdent) {
+          maps.push_back(toks[k].text);
+          break;
+        }
+        if (!toks[k].is("&") && !toks[k].is("*")) break;
+      }
+    }
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != Tok::kIdent) continue;
+      const bool is_rand = t.text == "rand" && i + 2 < toks.size() &&
+                           toks[i + 1].is("(") && toks[i + 2].is(")");
+      const bool is_banned_name =
+          t.text == "random_device" || t.text == "system_clock" ||
+          t.text == "steady_clock" || t.text == "high_resolution_clock";
+      if (is_rand || is_banned_name) {
+        out->push_back({ctx.file.rel(), t.line, std::string(name()),
+                        "wall-clock / libc randomness breaks bit-reproducible "
+                        "runs; use common/rng.hpp and sim::Simulator time"});
+        continue;
+      }
+      if (t.text == "for" && i + 1 < toks.size() && toks[i + 1].is("(")) {
+        const std::size_t close = match_forward(toks, i + 1);
+        if (close >= toks.size()) continue;
+        for (std::size_t j = i + 2; j + 1 < close; ++j) {
+          if (!toks[j].is(":")) continue;
+          std::size_t v = j + 1;
+          if (v < close && toks[v].is("*")) ++v;
+          if (v + 1 == close && toks[v].kind == Tok::kIdent &&
+              std::find(maps.begin(), maps.end(), toks[v].text) !=
+                  maps.end()) {
+            out->push_back(
+                {ctx.file.rel(), toks[v].line, std::string(name()),
+                 "iterating std::unordered_map '" + std::string(toks[v].text) +
+                     "' exposes hash order; copy to a vector and sort first"});
+          }
+          break;  // only the first top-level ':' is the range-for separator
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// raw-doorbell
+
+class RawDoorbell final : public Rule {
+ public:
+  std::string_view name() const override { return "raw-doorbell"; }
+  std::string_view description() const override {
+    return "kDoorbellBase arithmetic outside src/nvme/spec.hpp; use "
+           "sq_tail_doorbell()/cq_head_doorbell()";
+  }
+
+  void run(const RuleContext& ctx, std::vector<Finding>* out) const override {
+    if (ctx.file.rel() == "src/nvme/spec.hpp") return;
+    for (const Token& t : ctx.file.tokens()) {
+      if (t.ident("kDoorbellBase")) {
+        out->push_back({ctx.file.rel(), t.line, std::string(name()),
+                        "doorbell offsets must come from "
+                        "nvme::reg::sq_tail_doorbell()/cq_head_doorbell()"});
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// unbounded-poll
+
+class UnboundedPoll final : public Rule {
+ public:
+  std::string_view name() const override { return "unbounded-poll"; }
+  std::string_view description() const override {
+    return "try_pop/try_recv polling loop with no co_await yield or closed() "
+           "exit nearby";
+  }
+
+  void run(const RuleContext& ctx, std::vector<Finding>* out) const override {
+    constexpr std::uint32_t kWindow = 20;  // lines of surrounding loop body
+    const auto& toks = ctx.file.tokens();
+    for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+      // Call sites only (`.try_pop(` / `->try_recv(`): the definitions and
+      // unqualified internal calls are the primitive itself.
+      if (toks[i].kind != Tok::kIdent ||
+          (toks[i].text != "try_pop" && toks[i].text != "try_recv")) {
+        continue;
+      }
+      if (!toks[i + 1].is("(")) continue;
+      if (!toks[i - 1].is(".") && !toks[i - 1].is("->")) continue;
+      const std::uint32_t line = toks[i].line;
+      const std::uint32_t lo = line > kWindow ? line - kWindow : 1;
+      const std::uint32_t hi = line + kWindow;
+      bool has_backoff = false;
+      for (const Token& t : toks) {
+        if (t.line < lo) continue;
+        if (t.line > hi) break;
+        if (t.ident("co_await") || t.ident("closed")) {
+          has_backoff = true;
+          break;
+        }
+      }
+      if (!has_backoff) {
+        out->push_back({ctx.file.rel(), line, std::string(name()),
+                        "try_pop/try_recv loop without a co_await yield or "
+                        "closed() exit spins the scheduler at +0 time"});
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// lambda-event
+
+class LambdaEvent final : public Rule {
+ public:
+  std::string_view name() const override { return "lambda-event"; }
+  std::string_view description() const override {
+    return "Simulator::at/after with a closure allocates an event node; "
+           "model code must embed a sim::EventNode";
+  }
+
+  void run(const RuleContext& ctx, std::vector<Finding>* out) const override {
+    // src/ only: the closure overloads are fine in tests and benches, where
+    // setup runs once and nobody counts allocations.
+    if (!starts_with(ctx.file.rel(), "src/")) return;
+    const auto& toks = ctx.file.tokens();
+    for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != Tok::kIdent ||
+          (toks[i].text != "at" && toks[i].text != "after")) {
+        continue;
+      }
+      if (!toks[i - 1].is(".") && !toks[i - 1].is("->")) continue;
+      if (!toks[i + 1].is("(")) continue;
+      const std::size_t close = match_forward(toks, i + 1);
+      if (close >= toks.size()) continue;
+      // A lambda anywhere in the argument list marks the closure overload;
+      // a container `.at(idx)` never contains one. Scope analysis already
+      // knows exactly which `[` tokens begin lambdas, so a call split
+      // across lines -- invisible to the old line regex -- is still caught.
+      for (const FuncScope& f : ctx.scopes.funcs) {
+        if (f.is_lambda && f.body_begin > i + 1 && f.body_begin < close) {
+          out->push_back(
+              {ctx.file.rel(), toks[i].line, std::string(name()),
+               "Simulator::" + std::string(toks[i].text) +
+                   "(.., lambda) allocates a closure node per event; embed a "
+                   "sim::EventNode and use schedule()/wake() in model code"});
+          break;
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+// Defined in rules_coro.cpp / rule_value_escape.cpp.
+std::unique_ptr<Rule> make_dangling_capture();
+std::unique_ptr<Rule> make_discarded_async();
+std::unique_ptr<Rule> make_value_escape();
+
+const std::vector<std::unique_ptr<Rule>>& all_rules() {
+  static const std::vector<std::unique_ptr<Rule>> kRules = [] {
+    std::vector<std::unique_ptr<Rule>> r;
+    r.push_back(std::make_unique<BareUintSignature>());
+    r.push_back(std::make_unique<Nondeterminism>());
+    r.push_back(std::make_unique<RawDoorbell>());
+    r.push_back(std::make_unique<UnboundedPoll>());
+    r.push_back(std::make_unique<LambdaEvent>());
+    r.push_back(make_dangling_capture());
+    r.push_back(make_discarded_async());
+    r.push_back(make_value_escape());
+    return r;
+  }();
+  return kRules;
+}
+
+}  // namespace lint

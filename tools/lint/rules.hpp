@@ -1,0 +1,50 @@
+// liblint: the rule API.
+//
+// A rule sees one tokenized file at a time (tokens + scope analysis) plus
+// the cross-file symbol table of async (Task/Future-returning) function
+// names. Rules run over the *shared* token stream -- each file is read and
+// tokenized exactly once no matter how many rules are enabled -- and append
+// raw findings; suppression filtering, the baseline, and stale-suppression
+// accounting happen in the engine afterwards.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/scope.hpp"
+#include "lint/source.hpp"
+
+namespace lint {
+
+struct RuleContext {
+  const SourceFile& file;
+  const ScopeInfo& scopes;
+  const std::set<std::string, std::less<>>& async_fns;
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual std::string_view name() const = 0;
+  /// One-line description, used in --help and the SARIF rule metadata.
+  virtual std::string_view description() const = 0;
+  virtual void run(const RuleContext& ctx, std::vector<Finding>* out) const = 0;
+};
+
+/// All built-in rules, in catalog order. The `stale-suppression` check is
+/// not listed here: it is an engine-level pass over suppression usage.
+const std::vector<std::unique_ptr<Rule>>& all_rules();
+
+/// Per-directory policy for the value-escape rule: path prefixes where
+/// `.value()` is the sanctioned convention, with the reason documented in
+/// docs/STATIC_ANALYSIS.md. Exposed for the docs self-test.
+struct PolicyEntry {
+  std::string_view prefix;
+  std::string_view reason;
+};
+const std::vector<PolicyEntry>& value_escape_policy();
+
+}  // namespace lint

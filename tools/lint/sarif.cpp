@@ -1,0 +1,106 @@
+#include "lint/sarif.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "lint/rules.hpp"
+
+namespace lint {
+
+namespace {
+
+/// JSON string escape (control chars, quote, backslash).
+std::string esc(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  // Rule table: catalog order, then the engine-level stale check.
+  std::vector<std::pair<std::string, std::string>> rules;
+  for (const auto& r : all_rules()) {
+    rules.emplace_back(std::string(r->name()), std::string(r->description()));
+  }
+  rules.emplace_back("stale-suppression",
+                     "a 'snacc-lint: allow(<rule>)' marker that silences no "
+                     "finding; remove it so suppressions stay meaningful");
+  std::map<std::string, std::size_t> rule_index;
+  for (std::size_t i = 0; i < rules.size(); ++i) rule_index[rules[i].first] = i;
+
+  std::ostringstream out;
+  out << "{\n"
+         "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+         "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+         "  \"version\": \"2.1.0\",\n"
+         "  \"runs\": [\n"
+         "    {\n"
+         "      \"tool\": {\n"
+         "        \"driver\": {\n"
+         "          \"name\": \"snacc-lint\",\n"
+         "          \"version\": \"2.0.0\",\n"
+         "          \"informationUri\": "
+         "\"https://example.invalid/snacc/docs/STATIC_ANALYSIS.md\",\n"
+         "          \"rules\": [\n";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out << "            {\n"
+        << "              \"id\": \"" << esc(rules[i].first) << "\",\n"
+        << "              \"shortDescription\": { \"text\": \""
+        << esc(rules[i].second) << "\" },\n"
+        << "              \"defaultConfiguration\": { \"level\": \"error\" }\n"
+        << "            }" << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  out << "          ]\n"
+         "        }\n"
+         "      },\n"
+         "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    const auto it = rule_index.find(f.rule);
+    out << "        {\n"
+        << "          \"ruleId\": \"" << esc(f.rule) << "\",\n";
+    if (it != rule_index.end()) {
+      out << "          \"ruleIndex\": " << it->second << ",\n";
+    }
+    out << "          \"level\": \"error\",\n"
+        << "          \"message\": { \"text\": \"" << esc(f.message)
+        << "\" },\n"
+        << "          \"locations\": [\n"
+        << "            {\n"
+        << "              \"physicalLocation\": {\n"
+        << "                \"artifactLocation\": { \"uri\": \"" << esc(f.file)
+        << "\" },\n"
+        << "                \"region\": { \"startLine\": "
+        << (f.line == 0 ? 1 : f.line) << " }\n"
+        << "              }\n"
+        << "            }\n"
+        << "          ]\n"
+        << "        }" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+         "    }\n"
+         "  ]\n"
+         "}\n";
+  return out.str();
+}
+
+}  // namespace lint

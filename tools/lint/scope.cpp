@@ -1,0 +1,488 @@
+#include "lint/scope.hpp"
+
+#include <algorithm>
+
+namespace lint {
+
+namespace {
+
+bool is_open(std::string_view t) { return t == "(" || t == "[" || t == "{"; }
+bool is_close(std::string_view t) { return t == ")" || t == "]" || t == "}"; }
+
+/// Keywords that introduce a control-flow block when found before `(...) {`.
+bool control_keyword(std::string_view t) {
+  return t == "if" || t == "for" || t == "while" || t == "switch" ||
+         t == "catch";
+}
+
+/// Tokens that may legally sit between a function header's `)` and its `{`.
+bool header_trailer(const Token& t) {
+  return t.ident("const") || t.ident("noexcept") || t.ident("override") ||
+         t.ident("final") || t.ident("mutable") || t.ident("constexpr") ||
+         t.ident("volatile") || t.ident("try") || t.is("&") || t.is("&&");
+}
+
+}  // namespace
+
+std::size_t match_forward(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kPunct) continue;
+    if (is_open(toks[i].text)) ++depth;
+    else if (is_close(toks[i].text) && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+std::size_t match_backward(const std::vector<Token>& toks, std::size_t close) {
+  int depth = 0;
+  for (std::size_t i = close + 1; i-- > 0;) {
+    if (toks[i].kind != Tok::kPunct) continue;
+    if (is_close(toks[i].text)) ++depth;
+    else if (is_open(toks[i].text) && --depth == 0) return i;
+  }
+  return SIZE_MAX;
+}
+
+int ScopeInfo::enclosing(std::size_t i) const {
+  int best = -1;
+  std::size_t best_span = SIZE_MAX;
+  for (std::size_t f = 0; f < funcs.size(); ++f) {
+    if (funcs[f].body_begin < i && i < funcs[f].body_end) {
+      const std::size_t span = funcs[f].body_end - funcs[f].body_begin;
+      if (span < best_span) {
+        best_span = span;
+        best = static_cast<int>(f);
+      }
+    }
+  }
+  return best;
+}
+
+namespace {
+
+class Analyzer {
+ public:
+  explicit Analyzer(const std::vector<Token>& toks) : toks_(toks) {}
+
+  ScopeInfo run() {
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      const Token& t = toks_[i];
+      if (t.kind == Tok::kIdent) {
+        if (t.text == "co_await" || t.text == "co_yield" ||
+            t.text == "co_return") {
+          if (!func_stack_.empty()) {
+            FuncScope& f = info_.funcs[func_stack_.back()];
+            f.is_coroutine = true;
+            if (t.text != "co_return") f.suspends.push_back(i);
+          }
+          continue;
+        }
+        continue;
+      }
+      if (t.kind != Tok::kPunct) continue;
+      if (t.text == "[") {
+        if (std::size_t adv = try_lambda(i); adv != 0) {
+          i = adv;  // positioned at the lambda's '{'; loop continues inside
+          continue;
+        }
+        continue;
+      }
+      if (t.text == "{") {
+        open_brace(i);
+        continue;
+      }
+      if (t.text == "}") {
+        if (!brace_stack_.empty()) {
+          const int func_idx = brace_stack_.back();
+          brace_stack_.pop_back();
+          if (func_idx >= 0) {
+            info_.funcs[func_idx].body_end = i;
+            func_stack_.pop_back();
+          }
+        }
+        continue;
+      }
+    }
+    collect_async_decls();
+    return std::move(info_);
+  }
+
+ private:
+  // --- lambda recognition --------------------------------------------------
+
+  /// If toks_[i] begins a lambda introducer whose body is a `{`, records the
+  /// FuncScope, pushes it, and returns the index of the body '{'. Returns 0
+  /// otherwise.
+  std::size_t try_lambda(std::size_t i) {
+    // `[` after an identifier / `)` / `]` is a subscript; `[[` is an
+    // attribute. Anything else can start a capture list.
+    if (i > 0) {
+      const Token& p = toks_[i - 1];
+      if (p.kind == Tok::kIdent || p.kind == Tok::kNumber ||
+          p.is(")") || p.is("]")) {
+        return 0;
+      }
+      if (p.is("[")) return 0;
+    }
+    if (i + 1 < toks_.size() && toks_[i + 1].is("[")) return 0;  // attribute
+    const std::size_t close = match_forward(toks_, i);
+    if (close >= toks_.size()) return 0;
+
+    FuncScope f;
+    f.is_lambda = true;
+    f.header_line = toks_[i].line;
+    if (!parse_captures(i + 1, close, &f.captures)) return 0;
+
+    std::size_t j = close + 1;
+    // Optional template parameter list: [..]<class T>(..)
+    if (j < toks_.size() && toks_[j].is("<")) {
+      int depth = 0;
+      for (; j < toks_.size(); ++j) {
+        if (toks_[j].is("<")) ++depth;
+        else if (toks_[j].is(">") && --depth == 0) { ++j; break; }
+      }
+    }
+    if (j < toks_.size() && toks_[j].is("(")) {
+      const std::size_t pclose = match_forward(toks_, j);
+      if (pclose >= toks_.size()) return 0;
+      parse_params(j + 1, pclose, &f.params);
+      j = pclose + 1;
+    }
+    // Skip specifiers and any trailing return type up to the body.
+    while (j < toks_.size() && !toks_[j].is("{")) {
+      if (toks_[j].is(";") || toks_[j].is(")") || toks_[j].is(",") ||
+          toks_[j].is("]") || toks_[j].is("}") || toks_[j].is("=")) {
+        return 0;  // e.g. `[expr]` in an array-ish context; not a lambda
+      }
+      if (toks_[j].is("(") || toks_[j].is("<")) {
+        // noexcept(...) or a templated trailing return type.
+        const std::size_t c = toks_[j].is("(")
+                                  ? match_forward(toks_, j)
+                                  : j;  // '<' handled tokenwise below
+        if (toks_[j].is("(")) {
+          if (c >= toks_.size()) return 0;
+          j = c + 1;
+          continue;
+        }
+      }
+      ++j;
+    }
+    if (j >= toks_.size()) return 0;
+    push_func(std::move(f), j);
+    return j;
+  }
+
+  bool parse_captures(std::size_t begin, std::size_t end,
+                      std::vector<Capture>* out) {
+    std::size_t i = begin;
+    while (i < end) {
+      if (toks_[i].is(",")) { ++i; continue; }
+      if (toks_[i].is("&")) {
+        if (i + 1 < end && toks_[i + 1].kind == Tok::kIdent) {
+          out->push_back(Capture{Capture::kByRef, toks_[i + 1].text});
+          i += 2;
+        } else {
+          out->push_back(Capture{Capture::kDefaultRef, {}});
+          ++i;
+        }
+        // Skip an init-capture's initializer.
+        i = skip_initializer(i, end);
+        continue;
+      }
+      if (toks_[i].is("=")) {
+        out->push_back(Capture{Capture::kDefaultCopy, {}});
+        ++i;
+        continue;
+      }
+      if (toks_[i].is("*") && i + 1 < end && toks_[i + 1].ident("this")) {
+        out->push_back(Capture{Capture::kByCopy, toks_[i + 1].text});
+        i += 2;
+        continue;
+      }
+      if (toks_[i].ident("this")) {
+        out->push_back(Capture{Capture::kThis, toks_[i].text});
+        ++i;
+        continue;
+      }
+      if (toks_[i].kind == Tok::kIdent) {
+        out->push_back(Capture{Capture::kByCopy, toks_[i].text});
+        ++i;
+        i = skip_initializer(i, end);
+        continue;
+      }
+      // Ellipsis packs and anything else we don't model.
+      if (toks_[i].is("...")) { ++i; continue; }
+      return false;  // not a capture list after all (e.g. subscript-like)
+    }
+    return true;
+  }
+
+  std::size_t skip_initializer(std::size_t i, std::size_t end) {
+    if (i < end && toks_[i].is("=")) {
+      int depth = 0;
+      for (; i < end; ++i) {
+        if (is_open(toks_[i].text)) ++depth;
+        else if (is_close(toks_[i].text)) --depth;
+        else if (toks_[i].is(",") && depth == 0) break;
+      }
+    }
+    return i;
+  }
+
+  void parse_params(std::size_t begin, std::size_t end,
+                    std::vector<Param>* out) {
+    std::size_t i = begin;
+    while (i < end) {
+      // One parameter: scan to the next top-level comma.
+      std::size_t stop = i;
+      int depth = 0;
+      for (; stop < end; ++stop) {
+        if (is_open(toks_[stop].text) || toks_[stop].is("<")) ++depth;
+        else if (is_close(toks_[stop].text) || toks_[stop].is(">")) --depth;
+        else if (toks_[stop].is(",") && depth <= 0) break;
+      }
+      Param p;
+      // The name is the last identifier before a default-argument `=` (or
+      // the end); `&` / `&&` anywhere at top level marks reference-ness.
+      std::size_t name_end = stop;
+      for (std::size_t j = i; j < stop; ++j) {
+        if (toks_[j].is("=")) { name_end = j; break; }
+      }
+      for (std::size_t j = i; j < name_end; ++j) {
+        if (toks_[j].is("&&")) p.is_rvalue_ref = true;
+        else if (toks_[j].is("&")) p.is_lvalue_ref = true;
+      }
+      for (std::size_t j = name_end; j-- > i;) {
+        if (toks_[j].kind == Tok::kIdent && !toks_[j].ident("const") &&
+            !toks_[j].ident("volatile")) {
+          // Skip over a closing angle bracket's type name: the name must be
+          // the final identifier, directly before `=`, `,` or the end.
+          p.name = toks_[j].text;
+          break;
+        }
+        if (!toks_[j].is("]") && !toks_[j].is(")")) break;
+      }
+      if (!p.name.empty()) out->push_back(p);
+      i = stop + 1;
+    }
+  }
+
+  // --- plain-brace classification -------------------------------------------
+
+  void open_brace(std::size_t i) {
+    if (i == 0) {
+      brace_stack_.push_back(-1);
+      return;
+    }
+    const Token& prev = toks_[i - 1];
+    // `) {` -- function body, control block, or ctor with init list.
+    if (prev.is(")") || header_trailer(prev) || prev.is(">")) {
+      std::size_t j = i;
+      // Walk back over header trailers / trailing return type to the `)`.
+      while (j > 0) {
+        const Token& t = toks_[j - 1];
+        if (t.is(")")) break;
+        if (header_trailer(t) || t.kind == Tok::kIdent || t.is("->") ||
+            t.is("::") || t.is("<") || t.is(">") || t.is("*")) {
+          --j;
+          continue;
+        }
+        j = 0;
+      }
+      if (j > 0) {
+        if (classify_paren_header(j - 1, i)) return;
+      }
+      brace_stack_.push_back(-1);
+      return;
+    }
+    // `else {`, `do {`, `try {` and type/namespace/initializer braces all
+    // merge into (or nest neutrally inside) the enclosing function.
+    brace_stack_.push_back(-1);
+  }
+
+  /// `close` is the index of a `)` heading the brace at `body`. Decides
+  /// function vs control block vs ctor-init-list; pushes a FuncScope and
+  /// returns true when it is a function body.
+  bool classify_paren_header(std::size_t close, std::size_t body) {
+    const std::size_t open = match_backward(toks_, close);
+    if (open == SIZE_MAX || open == 0) {
+      brace_stack_.push_back(-1);
+      return false;
+    }
+    const Token& before = toks_[open - 1];
+    if (before.kind == Tok::kIdent) {
+      if (control_keyword(before.text)) {
+        brace_stack_.push_back(-1);
+        return true;  // control block: classified, not a function
+      }
+      // Constructor init list: `Ctor(args) : member_(x), other_{y} {`.
+      // Walk further back: if this `ident(...)` group is preceded by `,` or
+      // `:`, keep unwinding to the real parameter list.
+      std::size_t name_idx = open - 1;
+      std::size_t param_open = open;
+      std::size_t guard = 0;
+      while (name_idx > 0 && guard++ < 64) {
+        const Token& sep = toks_[name_idx - 1];
+        if (sep.is(",") || sep.is(":")) {
+          // Previous group: `ident ( ... )` or `ident { ... }`.
+          if (sep.is(":") ) {
+            // Before the `:` must sit the `)` of the parameter list (or a
+            // header trailer like noexcept).
+            std::size_t k = name_idx - 1;
+            while (k > 0 && header_trailer(toks_[k - 1])) --k;
+            if (k > 0 && toks_[k - 1].is(")")) {
+              const std::size_t po = match_backward(toks_, k - 1);
+              if (po != SIZE_MAX && po > 0 &&
+                  toks_[po - 1].kind == Tok::kIdent &&
+                  !control_keyword(toks_[po - 1].text)) {
+                make_function(po - 1, po, k - 1, body);
+                return true;
+              }
+            }
+            brace_stack_.push_back(-1);
+            return false;
+          }
+          // sep is `,`: skip back over the previous `ident (...)`/`{...}`.
+          std::size_t k = name_idx - 2;  // token before the comma
+          if (k == SIZE_MAX) break;
+          if (toks_[k].is(")") || toks_[k].is("}")) {
+            const std::size_t po = match_backward(toks_, k);
+            if (po == SIZE_MAX || po == 0) break;
+            name_idx = po - 1;           // the member identifier
+            param_open = po;
+            continue;
+          }
+          break;
+        }
+        // Plain function (possibly qualified / templated name).
+        make_function(name_idx, param_open, close, body);
+        return true;
+      }
+      brace_stack_.push_back(-1);
+      return false;
+    }
+    // `(...)` not preceded by an identifier: if/while with casts... treat as
+    // a neutral block.
+    brace_stack_.push_back(-1);
+    return false;
+  }
+
+  void make_function(std::size_t name_idx, std::size_t param_open,
+                     std::size_t param_close, std::size_t body) {
+    FuncScope f;
+    f.is_lambda = false;
+    f.name = toks_[name_idx].text;
+    f.header_line = toks_[name_idx].line;
+    parse_params(param_open + 1, param_close, &f.params);
+    push_func(std::move(f), body);
+  }
+
+  void push_func(FuncScope f, std::size_t body) {
+    f.body_begin = body;
+    f.body_end = toks_.size();  // patched on close
+    f.parent = func_stack_.empty() ? -1 : func_stack_.back();
+    info_.funcs.push_back(std::move(f));
+    const int idx = static_cast<int>(info_.funcs.size()) - 1;
+    func_stack_.push_back(idx);
+    brace_stack_.push_back(idx);
+  }
+
+  // --- async declaration harvest -------------------------------------------
+
+  /// Records names of functions declared or defined with Task / Future in
+  /// their return type (async) and names declared with any other return
+  /// type or bound to a lambda (sync). Handles both `sim::Task name(...)`
+  /// definitions and bodiless member declarations `sim::Future<T> name(...);`.
+  void collect_async_decls() {
+    for (std::size_t i = 0; i + 1 < toks_.size(); ++i) {
+      if (toks_[i].kind != Tok::kIdent) continue;
+      // `name = [..]` binds a lambda (or other callable) to a variable:
+      // calls through that name have whatever type the lambda has, which we
+      // cannot see -- treat the name as sync so it never triggers
+      // discarded-async.
+      if (i + 2 < toks_.size() && toks_[i + 1].is("=") &&
+          toks_[i + 2].is("[")) {
+        info_.sync_fn_names.emplace_back(toks_[i].text);
+        continue;
+      }
+      if (!toks_[i + 1].is("(")) continue;
+      if (control_keyword(toks_[i].text) || toks_[i].ident("return")) {
+        continue;
+      }
+      // The candidate name must be followed, after the parameter list, by
+      // `{`, `;`, an init-list `:`, or header trailers leading to one.
+      const std::size_t close = match_forward(toks_, i + 1);
+      if (close >= toks_.size()) continue;
+      std::size_t after = close + 1;
+      while (after < toks_.size() && header_trailer(toks_[after])) ++after;
+      if (after < toks_.size() && toks_[after].is("=")) {
+        // `= 0;` pure virtual or `= delete;`
+        after += 2;
+      }
+      if (after >= toks_.size() ||
+          (!toks_[after].is("{") && !toks_[after].is(";") &&
+           !toks_[after].is(":"))) {
+        continue;
+      }
+      // Scan the return-type region backwards to the start of the
+      // declaration; a call expression never has type tokens there.
+      bool saw_async_type = false;
+      bool saw_type_token = false;
+      std::size_t j = i;
+      // Skip a qualified name: Class::name
+      while (j >= 2 && toks_[j - 1].is("::") &&
+             toks_[j - 2].kind == Tok::kIdent) {
+        j -= 2;
+      }
+      if (j == 0) continue;
+      const Token& just_before = toks_[j - 1];
+      if (just_before.is(".") || just_before.is("->") ||
+          just_before.is("(") || just_before.is(",") ||
+          just_before.is(")") ||  // cast: `(void)f();` is a call, not a decl
+          just_before.is("=") || just_before.ident("return") ||
+          just_before.ident("co_await") || just_before.ident("co_return")) {
+        continue;  // a call, not a declaration
+      }
+      std::size_t k = j;
+      std::size_t steps = 0;
+      while (k-- > 0 && steps++ < 16) {
+        const Token& t = toks_[k];
+        if (t.is(";") || t.is("{") || t.is("}") || t.is(":") || t.is("(")) {
+          break;
+        }
+        if (t.ident("Task") || t.ident("Future")) {
+          saw_async_type = true;
+        } else if (t.kind == Tok::kIdent) {
+          saw_type_token = true;
+        }
+      }
+      if (saw_async_type) {
+        info_.async_fn_names.emplace_back(toks_[i].text);
+      } else if (saw_type_token) {
+        // `void name(...)`, `std::uint64_t name(...)`, ... -- a declaration
+        // with a non-async return type.
+        info_.sync_fn_names.emplace_back(toks_[i].text);
+      }
+    }
+    auto dedup = [](std::vector<std::string>* v) {
+      std::sort(v->begin(), v->end());
+      v->erase(std::unique(v->begin(), v->end()), v->end());
+    };
+    dedup(&info_.async_fn_names);
+    dedup(&info_.sync_fn_names);
+  }
+
+  const std::vector<Token>& toks_;
+  ScopeInfo info_;
+  std::vector<int> brace_stack_;  // FuncScope index or -1 per open '{'
+  std::vector<int> func_stack_;   // innermost function indices
+};
+
+}  // namespace
+
+ScopeInfo analyze_scopes(const std::vector<Token>& toks) {
+  return Analyzer(toks).run();
+}
+
+}  // namespace lint

@@ -1,0 +1,85 @@
+// liblint: function/lambda scope analysis over a token stream.
+//
+// Walks the brace structure of a file and recovers the facts the coroutine
+// rules need but no regex can see:
+//   * which `{ ... }` bodies are functions and which are lambdas;
+//   * each body's capture list and parameter list;
+//   * whether a body is a coroutine (contains co_await / co_return /
+//     co_yield at its own nesting level -- a nested lambda's co_await does
+//     not make the enclosing function a coroutine);
+//   * the token positions of its own suspension points (co_await/co_yield);
+//   * the names of functions declared (or defined) to return sim::Task or
+//     sim::Future, feeding the cross-file async-call symbol table.
+//
+// This is a heuristic structural parse, not a compiler front-end: it aims
+// for zero false scope assignments on idiomatic code in this repo and its
+// fixtures, and degrades by classifying an unrecognized brace as a plain
+// block (which merges into the enclosing function scope).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/token.hpp"
+
+namespace lint {
+
+struct Capture {
+  enum Kind { kDefaultRef, kDefaultCopy, kByRef, kByCopy, kThis } kind;
+  std::string_view name;  // empty for defaults / this
+};
+
+struct Param {
+  std::string_view name;
+  bool is_lvalue_ref = false;
+  bool is_rvalue_ref = false;
+};
+
+struct FuncScope {
+  bool is_lambda = false;
+  bool is_coroutine = false;
+  std::uint32_t header_line = 0;  // line of the introducer ([ or the name)
+  std::string_view name;          // empty for lambdas
+  std::size_t body_begin = 0;     // token index of '{'
+  std::size_t body_end = 0;       // token index of matching '}'
+  std::vector<Capture> captures;
+  std::vector<Param> params;
+  std::vector<std::size_t> suspends;  // own-body co_await/co_yield positions
+  int parent = -1;                    // enclosing FuncScope index, -1 if none
+
+  bool has_ref_capture() const {
+    for (const Capture& c : captures) {
+      if (c.kind == Capture::kDefaultRef || c.kind == Capture::kByRef)
+        return true;
+    }
+    return false;
+  }
+};
+
+struct ScopeInfo {
+  std::vector<FuncScope> funcs;
+  /// Names of functions whose declared return type mentions Task or Future.
+  std::vector<std::string> async_fn_names;
+  /// Names declared with any *other* return type (or bound to a lambda).
+  /// The engine subtracts these from the async set: a name that is async in
+  /// one class and sync in another is ambiguous at a call site, and a
+  /// name-only symbol table must stay silent rather than guess.
+  std::vector<std::string> sync_fn_names;
+
+  /// Innermost FuncScope whose body contains token index `i`, or -1.
+  int enclosing(std::size_t i) const;
+};
+
+ScopeInfo analyze_scopes(const std::vector<Token>& toks);
+
+/// Token index of the matching close for the opener at `open` (one of
+/// ( [ { ). Returns toks.size() if unbalanced.
+std::size_t match_forward(const std::vector<Token>& toks, std::size_t open);
+
+/// Token index of the matching opener for the closer at `close`. Returns
+/// SIZE_MAX if unbalanced.
+std::size_t match_backward(const std::vector<Token>& toks, std::size_t close);
+
+}  // namespace lint

@@ -1,0 +1,85 @@
+#include "lint/source.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace lint {
+
+namespace {
+
+constexpr std::string_view kAllowMarker = "snacc-lint: allow(";
+
+}  // namespace
+
+std::unique_ptr<SourceFile> SourceFile::load(const std::string& path,
+                                             std::string rel) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return nullptr;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return from_text(std::move(rel), std::move(buf).str());
+}
+
+std::unique_ptr<SourceFile> SourceFile::from_text(std::string rel,
+                                                  std::string text) {
+  auto f = std::make_unique<SourceFile>();
+  f->rel_ = std::move(rel);
+  f->text_ = std::move(text);
+  f->index();
+  return f;
+}
+
+void SourceFile::index() {
+  line_offsets_.clear();
+  line_offsets_.push_back(0);
+  for (std::size_t i = 0; i < text_.size(); ++i) {
+    if (text_[i] == '\n') line_offsets_.push_back(i + 1);
+  }
+  line_count_ = static_cast<std::uint32_t>(line_offsets_.size());
+  stream_ = tokenize(text_);
+
+  // Suppressions live in comments only -- an allow() in a string literal or
+  // live code is inert, unlike the old line-regex engine.
+  suppressions_.clear();
+  for (const Comment& c : stream_.comments) {
+    std::size_t at = 0;
+    while ((at = c.text.find(kAllowMarker, at)) != std::string_view::npos) {
+      const std::size_t name_begin = at + kAllowMarker.size();
+      const std::size_t close = c.text.find(')', name_begin);
+      if (close == std::string_view::npos) break;
+      // Attribute the marker to the line it physically sits on, even inside
+      // a multi-line block comment.
+      std::uint32_t line = c.line;
+      for (std::size_t i = 0; i < at; ++i) {
+        if (c.text[i] == '\n') ++line;
+      }
+      suppressions_.push_back(Suppression{
+          line, std::string(c.text.substr(name_begin, close - name_begin)),
+          false});
+      at = close;
+    }
+  }
+}
+
+std::string_view SourceFile::line_text(std::uint32_t n) const {
+  if (n == 0 || n > line_count_) return {};
+  const std::size_t begin = line_offsets_[n - 1];
+  std::size_t end = n < line_count_ ? line_offsets_[n] : text_.size();
+  while (end > begin && (text_[end - 1] == '\n' || text_[end - 1] == '\r')) {
+    --end;
+  }
+  return std::string_view(text_).substr(begin, end - begin);
+}
+
+bool SourceFile::suppress(std::string_view rule, std::uint32_t line) {
+  bool hit = false;
+  for (Suppression& s : suppressions_) {
+    if (s.rule == rule && (s.line == line || s.line + 1 == line)) {
+      s.used = true;
+      hit = true;  // keep scanning: co-located duplicates all count as used
+    }
+  }
+  return hit;
+}
+
+}  // namespace lint

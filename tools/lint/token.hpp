@@ -1,0 +1,52 @@
+// liblint: C++ token model and tokenizer.
+//
+// The tokenizer understands just enough C++ lexing for rule-writing to be
+// sound where the old per-line regexes were not: // and /* */ comments,
+// string/char literals (including raw strings and digit separators), and
+// preprocessor directives (with line continuations) never leak into the
+// token stream, so a rule matching `rand(` cannot fire on prose or on a
+// string literal. Tokens are string_views into the file's text buffer,
+// which the owning lint::SourceFile keeps alive.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lint {
+
+enum class Tok : std::uint8_t {
+  kIdent,   // identifiers and keywords (rules compare text)
+  kNumber,  // pp-number, including 0x.., digit separators, suffixes
+  kString,  // "..", R"(..)", u8".." etc (text includes quotes)
+  kChar,    // 'x'
+  kPunct,   // operators and punctuation, longest-match (e.g. "->", "::")
+};
+
+struct Token {
+  Tok kind;
+  std::string_view text;
+  std::uint32_t line;  // 1-based
+
+  bool is(std::string_view t) const { return text == t; }
+  bool ident(std::string_view t) const { return kind == Tok::kIdent && text == t; }
+};
+
+/// A comment, kept out of the token stream but retained for suppression
+/// parsing. `line` is the line the comment starts on.
+struct Comment {
+  std::uint32_t line;
+  std::string_view text;  // includes the // or /* delimiters
+};
+
+struct TokenStream {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenizes `text`. The returned views point into `text`; the caller must
+/// keep the buffer alive for the lifetime of the stream.
+TokenStream tokenize(std::string_view text);
+
+}  // namespace lint
