@@ -1,0 +1,220 @@
+// Ablation: durability tier -- replica count vs. delivered put goodput and
+// cold recovery time. Builds a KV store over a ReplicatedClient spanning
+// 1/2/3 SSDs and streams group-committed 4 KiB puts, then measures how long
+// a fresh store takes to replay (CRC-verify) the log after a power cycle.
+// Each replica count runs twice: clean, and with replica 0 armed with the
+// crash plan (power loss mid-destage) plus a NAND read-fault plan on every
+// device during recovery -- the watchdog retry, quorum ack, and read
+// failover absorb the faults, so acknowledged data is always served.
+#include "bench_common.hpp"
+
+#include "apps/kv_store.hpp"
+#include "fault/fault.hpp"
+#include "snacc/replicated_client.hpp"
+
+namespace snacc::bench {
+namespace {
+
+constexpr std::uint64_t kValueBytes = 4 * KiB;
+constexpr int kPuts = 192;
+constexpr int kGroupCommit = 16;
+constexpr std::uint64_t kRegion = 256 * MiB;
+constexpr std::uint64_t kFaultSeed = 0x5EED;
+
+/// Multi-SSD replicated testbed: one SNAcc streamer per SSD daisy-chained on
+/// the shared FPGA port, a PeClient each, and a ReplicatedClient on top.
+struct ReplBed {
+  std::unique_ptr<host::System> sys;
+  std::vector<std::unique_ptr<host::SnaccDevice>> devices;
+  std::vector<std::unique_ptr<core::PeClient>> clients;
+  std::unique_ptr<core::ReplicatedClient> repl;
+
+  static ReplBed make(std::uint32_t replicas) {
+    ReplBed bed;
+    host::SystemConfig scfg;
+    scfg.ssd_count = replicas;
+    scfg.host_memory_bytes = 4 * GiB;
+    bed.sys = std::make_unique<host::System>(scfg);
+    pcie::PortId shared = pcie::kInvalidPort;
+    for (std::uint32_t i = 0; i < replicas; ++i) {
+      bed.sys->ssd(i).nand().force_mode(true);
+      host::SnaccDeviceConfig dcfg;
+      dcfg.streamer.variant = core::Variant::kHostDram;
+      dcfg.streamer.recovery = true;
+      dcfg.streamer.retry_backoff = us(5);
+      dcfg.ssd_index = i;
+      dcfg.instance = i;
+      dcfg.shared_fpga_port = shared;
+      bed.devices.push_back(std::make_unique<host::SnaccDevice>(*bed.sys, dcfg));
+      shared = bed.devices.back()->fpga_port();
+    }
+    int booted = 0;
+    for (auto& d : bed.devices) {
+      auto boot = [](host::SnaccDevice* dv, int* count) -> sim::Task {
+        co_await dv->init();
+        ++*count;
+      };
+      bed.sys->sim().spawn(boot(d.get(), &booted));
+    }
+    bed.sys->sim().run_until(seconds(1));
+    if (booted != static_cast<int>(replicas)) {
+      std::fprintf(stderr, "replicated bed init failed (%d/%u booted)\n",
+                   booted, replicas);
+      std::abort();
+    }
+    for (auto& d : bed.devices) {
+      bed.clients.push_back(std::make_unique<core::PeClient>(d->streamer()));
+    }
+    std::vector<core::StorageClient*> ptrs;
+    for (auto& c : bed.clients) ptrs.push_back(c.get());
+    core::ReplicatedClient::Config rcfg;
+    rcfg.retry_backoff = us(20);
+    bed.repl = std::make_unique<core::ReplicatedClient>(bed.sys->sim(), ptrs,
+                                                        rcfg);
+    return bed;
+  }
+
+  void run(sim::Task task, std::uint64_t budget_s = 120) {
+    sys->sim().spawn(std::move(task));
+    sys->sim().run_until(sys->sim().now() + seconds(budget_s));
+  }
+};
+
+struct Result {
+  double goodput_gb_s = 0.0;
+  double recovery_ms = 0.0;
+  std::uint64_t recovered_records = 0;
+  std::uint64_t crash_faults = 0;
+  std::uint64_t resubmissions = 0;
+  std::uint64_t quorum_failures = 0;
+  bool all_served = false;
+};
+
+Result run_tier(std::uint32_t replicas, bool faulted) {
+  auto bed = ReplBed::make(replicas);
+  apps::KvStore store(*bed.repl, Bytes{}, Bytes{kRegion});
+
+  Result r;
+  TimePs t0;
+  TimePs t1;
+  TimePs r0;
+  TimePs r1;
+  bool done = false;
+  auto io = [&]() -> sim::Task {
+    if (faulted) {
+      // Replica 0 loses power mid-destage partway through the stream (the
+      // schedule index counts commands from arming, i.e. from here).
+      auto crash = fault::FaultPlan::at({32});
+      crash.seed = kFaultSeed;
+      bed.sys->ssd(0).set_crash_plan(crash);
+    }
+
+    apps::PutStatus st = apps::PutStatus::kOk;
+    t0 = bed.sys->sim().now();
+    for (int i = 0; i < kPuts; ++i) {
+      co_await store.put("k-" + std::to_string(i),
+                         Payload::filled(kValueBytes,
+                                         static_cast<std::uint8_t>(i)),
+                         &st);
+      if (st != apps::PutStatus::kOk) {
+        std::fprintf(stderr, "  put %d failed: %s\n", i,
+                     apps::put_status_name(st));
+        std::abort();
+      }
+      if ((i + 1) % kGroupCommit == 0) {
+        bool ok = false;
+        co_await store.commit(&ok);
+        if (!ok) std::abort();
+      }
+    }
+    t1 = bed.sys->sim().now();
+
+    if (faulted) {
+      // Existing fault plans on the recovery path: uncorrectable NAND reads
+      // on every replica while the fresh store CRC-scans the log.
+      for (std::uint32_t i = 0; i < replicas; ++i) {
+        auto reads = fault::FaultPlan::rate(1e-3, /*seed=*/0);
+        reads.seed = kFaultSeed + i;
+        bed.sys->ssd(i).nand().set_read_fault_plan(reads);
+      }
+    }
+
+    // Cold restart: a fresh store replays (and CRC-verifies) the whole log.
+    apps::KvStore fresh(*bed.repl, Bytes{}, Bytes{kRegion});
+    r0 = bed.sys->sim().now();
+    co_await fresh.recover(&r.recovered_records);
+    r1 = bed.sys->sim().now();
+
+    // Every acknowledged key is served with the bytes that were committed.
+    r.all_served = true;
+    for (int i = 0; i < kPuts; ++i) {
+      Payload got;
+      bool found = false;
+      co_await fresh.get("k-" + std::to_string(i), &got, &found);
+      r.all_served &=
+          found && got.content_equals(
+                       Payload::filled(kValueBytes,
+                                       static_cast<std::uint8_t>(i)));
+    }
+    done = true;
+  };
+  bed.run(io());
+  if (!done) {
+    std::fprintf(stderr,
+                 "  durability run stalled (replicas=%u faulted=%d) -- "
+                 "DEADLOCK\n",
+                 replicas, faulted ? 1 : 0);
+    std::abort();
+  }
+  r.goodput_gb_s = gb_per_s(static_cast<std::uint64_t>(kPuts) * kValueBytes,
+                            t1 - t0);
+  r.recovery_ms = to_ms(r1 - r0);
+  r.crash_faults = bed.sys->ssd(0).crash_faults_injected();
+  r.resubmissions = bed.repl->resubmissions();
+  r.quorum_failures = bed.repl->quorum_failures();
+  return r;
+}
+
+}  // namespace
+}  // namespace snacc::bench
+
+int main() {
+  using namespace snacc;
+  using namespace snacc::bench;
+  print_header(
+      "Ablation: durability tier -- replica count vs. put goodput and "
+      "recovery time (4 KiB group-committed puts)");
+  JsonReport rep("ablation_durability");
+
+  bool all_ok = true;
+  for (int faulted = 0; faulted <= 1; ++faulted) {
+    std::printf("  %s:\n", faulted
+                               ? "crash plan on replica 0 + NAND read faults"
+                               : "fault-free");
+    for (std::uint32_t replicas = 1; replicas <= 3; ++replicas) {
+      const Result r = run_tier(replicas, faulted != 0);
+      std::printf(
+          "    replicas %u  goodput %6.3f GB/s  recovery %7.3f ms  "
+          "records %3llu  crash %llu  resub %2llu  quorum-fail %llu  %s\n",
+          replicas, r.goodput_gb_s, r.recovery_ms,
+          static_cast<unsigned long long>(r.recovered_records),
+          static_cast<unsigned long long>(r.crash_faults),
+          static_cast<unsigned long long>(r.resubmissions),
+          static_cast<unsigned long long>(r.quorum_failures),
+          r.all_served ? "[all served]" : "[DATA LOSS]");
+      all_ok &= r.all_served && r.recovered_records ==
+                                   static_cast<std::uint64_t>(kPuts);
+      all_ok &= r.quorum_failures == 0;
+      if (faulted) all_ok &= r.crash_faults == 1;
+      const std::string k = std::string(faulted ? "faulted" : "clean") +
+                            "_replicas_" + std::to_string(replicas);
+      rep.metric(k + "_goodput_gb_s", r.goodput_gb_s);
+      rep.metric(k + "_recovery_ms", r.recovery_ms);
+      rep.metric(k + "_records", static_cast<double>(r.recovered_records));
+      rep.metric(k + "_resubmissions", static_cast<double>(r.resubmissions));
+    }
+  }
+  std::printf("  durability invariants: %s\n",
+              all_ok ? "all hold" : "VIOLATED");
+  return all_ok ? 0 : 1;
+}

@@ -34,21 +34,36 @@ int main() {
     Xoshiro256 rng(2026);
     // Load phase: 200 keys with values from 100 B to 256 KiB.
     TimePs t0 = sys.sim().now();
+    apps::PutStatus st = apps::PutStatus::kOk;
     for (int i = 0; i < 200; ++i) {
       const std::uint64_t size = 100 + rng.below(256 * KiB);
       co_await store.put("user:" + std::to_string(i),
-                         Payload::filled(size, static_cast<std::uint8_t>(i)));
+                         Payload::filled(size, static_cast<std::uint8_t>(i)),
+                         &st);
+      if (st != apps::PutStatus::kOk) {
+        std::printf("put user:%d failed: %s\n", i, apps::put_status_name(st));
+        co_return;
+      }
     }
-    std::printf("loaded %llu keys (%.1f MB of log) in %.2f ms\n",
+    // Group commit: one flush barrier makes the whole load phase durable.
+    bool committed = false;
+    co_await store.commit(&committed);
+    std::printf("loaded %llu keys (%.1f MB of log) in %.2f ms, commit %s\n",
                 static_cast<unsigned long long>(store.entries()),
                 store.log_bytes_used().value() / 1e6,
-                to_ms(sys.sim().now() - t0));
+                to_ms(sys.sim().now() - t0), committed ? "ok" : "FAILED");
 
     // Overwrite some keys: the log grows, the index keeps the latest.
     for (int i = 0; i < 50; ++i) {
       co_await store.put("user:" + std::to_string(i),
-                         Payload::filled(2048, 0xFF));
+                         Payload::filled(2048, 0xFF), &st);
+      if (st != apps::PutStatus::kOk) {
+        std::printf("overwrite user:%d failed: %s\n", i,
+                    apps::put_status_name(st));
+        co_return;
+      }
     }
+    co_await store.commit(&committed);
 
     // Point lookups.
     t0 = sys.sim().now();

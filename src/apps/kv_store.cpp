@@ -3,59 +3,199 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/crc.hpp"
+
 namespace snacc::apps {
 
-KvStore::KvStore(core::NvmeStreamer& streamer, Bytes log_base,
-                 Bytes log_capacity)
-    : pe_(streamer), base_(log_base), capacity_(log_capacity), head_(log_base) {}
+namespace {
+
+// Record header field offsets (all little-endian, 4 kB block).
+constexpr std::size_t kOffMagic = 0;
+constexpr std::size_t kOffSeq = 8;
+constexpr std::size_t kOffGen = 16;
+constexpr std::size_t kOffKeyLen = 24;
+constexpr std::size_t kOffValueLen = 32;
+constexpr std::size_t kOffValueCrc = 40;
+constexpr std::size_t kOffFlags = 44;
+constexpr std::size_t kOffHeaderCrc = 48;
+constexpr std::size_t kOffKey = 52;
+
+/// Real value bytes were checksummed; phantom (size-only) payloads carry no
+/// bits to sum, a model limitation recovery has to live with.
+constexpr std::uint32_t kFlagValueHasCrc = 1u << 0;
+
+std::uint32_t header_crc_over(std::span<const std::byte> raw,
+                              std::uint64_t key_len) {
+  // CRC over [0, kOffKey + key_len) with the header_crc field zeroed: chain
+  // around the 4-byte hole instead of copying the block.
+  constexpr std::byte kZeros[4] = {};
+  std::uint32_t crc = crc32c(raw.subspan(0, kOffHeaderCrc));
+  crc = crc32c(std::span<const std::byte>(kZeros, 4), crc);
+  return crc32c(raw.subspan(kOffKey, key_len), crc);
+}
+
+}  // namespace
+
+const char* put_status_name(PutStatus s) {
+  switch (s) {
+    case PutStatus::kOk:
+      return "ok";
+    case PutStatus::kOversizedKey:
+      return "oversized-key";
+    case PutStatus::kLogFull:
+      return "log-full";
+    case PutStatus::kIoError:
+      return "io-error";
+  }
+  return "?";
+}
+
+KvStore::KvStore(core::StorageClient& client, Bytes region_base,
+                 Bytes region_capacity)
+    : client_(&client),
+      region_base_(region_base),
+      region_capacity_(region_capacity),
+      base_(region_base + Bytes{kSuperBytes}),
+      capacity_(region_capacity - Bytes{kSuperBytes}),
+      head_(base_) {}
+
+KvStore::KvStore(core::NvmeStreamer& streamer, Bytes region_base,
+                 Bytes region_capacity)
+    : owned_pe_(std::make_unique<core::PeClient>(streamer)),
+      client_(owned_pe_.get()),
+      region_base_(region_base),
+      region_capacity_(region_capacity),
+      base_(region_base + Bytes{kSuperBytes}),
+      capacity_(region_capacity - Bytes{kSuperBytes}),
+      head_(base_) {}
 
 Payload KvStore::make_header(const std::string& key, Bytes value_bytes,
-                             std::uint64_t sequence) const {
+                             std::uint64_t sequence, std::uint64_t generation,
+                             const Payload& value) const {
   std::vector<std::byte> raw(kHeaderBytes, std::byte{0});
   const std::uint64_t key_len = key.size();
   // snacc-lint: allow(value-escape): record header wire encoding
   const std::uint64_t vb = value_bytes.value();
-  std::memcpy(raw.data() + 0, &kMagic, 8);
-  std::memcpy(raw.data() + 8, &sequence, 8);
-  std::memcpy(raw.data() + 16, &key_len, 8);
-  std::memcpy(raw.data() + 24, &vb, 8);
-  std::memcpy(raw.data() + 32, key.data(), key.size());
+  const std::uint32_t value_crc = value.has_data() ? crc32c(value.view()) : 0;
+  const std::uint32_t flags = value.has_data() ? kFlagValueHasCrc : 0;
+  std::memcpy(raw.data() + kOffMagic, &kMagic, 8);
+  std::memcpy(raw.data() + kOffSeq, &sequence, 8);
+  std::memcpy(raw.data() + kOffGen, &generation, 8);
+  std::memcpy(raw.data() + kOffKeyLen, &key_len, 8);
+  std::memcpy(raw.data() + kOffValueLen, &vb, 8);
+  std::memcpy(raw.data() + kOffValueCrc, &value_crc, 4);
+  std::memcpy(raw.data() + kOffFlags, &flags, 4);
+  std::memcpy(raw.data() + kOffKey, key.data(), key.size());
+  const std::uint32_t hcrc = header_crc_over(raw, key_len);
+  std::memcpy(raw.data() + kOffHeaderCrc, &hcrc, 4);
   return Payload::bytes(std::move(raw));
 }
 
-bool KvStore::parse_header(const Payload& header, std::string* key,
-                           std::uint64_t* value_bytes,
-                           std::uint64_t* sequence) {
-  if (!header.has_data() || header.size() < 32) return false;
+bool KvStore::parse_header(const Payload& header, ParsedHeader* out) {
+  if (!header.has_data() || header.size() < kHeaderBytes) return false;
   auto v = header.view();
   std::uint64_t magic = 0;
-  std::memcpy(&magic, v.data(), 8);
+  std::memcpy(&magic, v.data() + kOffMagic, 8);
   if (magic != kMagic) return false;
   std::uint64_t key_len = 0;
-  std::memcpy(sequence, v.data() + 8, 8);
-  std::memcpy(&key_len, v.data() + 16, 8);
-  std::memcpy(value_bytes, v.data() + 24, 8);
-  if (key_len > kMaxKeyBytes || 32 + key_len > v.size()) return false;
-  key->assign(reinterpret_cast<const char*>(v.data() + 32), key_len);
+  std::memcpy(&out->sequence, v.data() + kOffSeq, 8);
+  std::memcpy(&out->generation, v.data() + kOffGen, 8);
+  std::memcpy(&key_len, v.data() + kOffKeyLen, 8);
+  std::memcpy(&out->value_bytes, v.data() + kOffValueLen, 8);
+  std::memcpy(&out->value_crc, v.data() + kOffValueCrc, 4);
+  std::uint32_t flags = 0;
+  std::memcpy(&flags, v.data() + kOffFlags, 4);
+  out->value_has_crc = (flags & kFlagValueHasCrc) != 0;
+  if (key_len > kMaxKeyBytes || kOffKey + key_len > v.size()) return false;
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, v.data() + kOffHeaderCrc, 4);
+  if (stored_crc != header_crc_over(v, key_len)) return false;  // torn header
+  out->key.assign(reinterpret_cast<const char*>(v.data() + kOffKey), key_len);
   return true;
 }
 
-sim::Task KvStore::put(std::string key, Payload value, bool* ok) {
-  const Bytes span = record_span(Bytes{value.size()});
-  if (key.size() > kMaxKeyBytes || head_ + span > base_ + capacity_) {
-    if (ok != nullptr) *ok = false;
+Payload KvStore::make_superblock(std::uint64_t generation, Bytes log_base,
+                                 Bytes log_capacity) const {
+  std::vector<std::byte> raw(4 * KiB, std::byte{0});
+  // snacc-lint: allow(value-escape): superblock wire encoding
+  const std::uint64_t lb = log_base.value();
+  // snacc-lint: allow(value-escape): superblock wire encoding
+  const std::uint64_t lc = log_capacity.value();
+  std::memcpy(raw.data() + 0, &kSuperMagic, 8);
+  std::memcpy(raw.data() + 8, &generation, 8);
+  std::memcpy(raw.data() + 16, &lb, 8);
+  std::memcpy(raw.data() + 24, &lc, 8);
+  const std::uint32_t crc =
+      crc32c(std::span<const std::byte>(raw.data(), 32));
+  std::memcpy(raw.data() + 32, &crc, 4);
+  return Payload::bytes(std::move(raw));
+}
+
+bool KvStore::parse_superblock(const Payload& block, std::uint64_t* generation,
+                               Bytes* log_base, Bytes* log_capacity) {
+  if (!block.has_data() || block.size() < 36) return false;
+  auto v = block.view();
+  std::uint64_t magic = 0;
+  std::memcpy(&magic, v.data(), 8);
+  if (magic != kSuperMagic) return false;
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, v.data() + 32, 4);
+  if (stored_crc != crc32c(v.subspan(0, 32))) return false;
+  std::uint64_t lb = 0;
+  std::uint64_t lc = 0;
+  std::memcpy(generation, v.data() + 8, 8);
+  std::memcpy(&lb, v.data() + 16, 8);
+  std::memcpy(&lc, v.data() + 24, 8);
+  *log_base = Bytes{lb};
+  *log_capacity = Bytes{lc};
+  return true;
+}
+
+sim::Task KvStore::put(std::string key, Payload value, PutStatus* status) {
+  PutStatus st = PutStatus::kOk;
+  if (wedged_) {
+    st = PutStatus::kIoError;
+  } else if (key.size() > kMaxKeyBytes) {
+    st = PutStatus::kOversizedKey;
+  } else if (head_ + record_span(Bytes{value.size()}) > base_ + capacity_) {
+    st = PutStatus::kLogFull;
+  }
+  if (st != PutStatus::kOk) {
+    if (status != nullptr) *status = st;
     co_return;
   }
+  const Bytes span = record_span(Bytes{value.size()});
+  // Reserve the extent and sequence before suspending so pipelined puts
+  // from concurrent tasks never collide.
   const Bytes addr = head_;
   head_ += span;
   const std::uint64_t seq = sequence_++;
   const Bytes value_bytes{value.size()};
-  Payload record = Payload::concat(make_header(key, value_bytes, seq),
-                                   std::move(value));
-  co_await pe_.write(addr, std::move(record));
+  Payload record = Payload::concat(
+      make_header(key, value_bytes, seq, generation_, value), std::move(value));
+  bool err = false;
+  co_await client_->write(addr, std::move(record), &err);
+  if (err) {
+    // The record may have partially landed: an unverifiable hole that would
+    // truncate every later record at recovery. Wedge the store.
+    wedged_ = true;
+    if (status != nullptr) *status = PutStatus::kIoError;
+    co_return;
+  }
   index_[std::move(key)] = Entry{addr, value_bytes};
   ++puts_;
-  if (ok != nullptr) *ok = true;
+  if (status != nullptr) *status = PutStatus::kOk;
+}
+
+sim::Task KvStore::commit(bool* ok) {
+  // Group commit: one device flush barrier makes every previously
+  // acknowledged put durable at once. put() awaits its write response
+  // before returning, so everything a caller has seen acknowledged is
+  // covered by this barrier.
+  bool err = false;
+  co_await client_->flush(&err);
+  ++commits_;
+  if (ok != nullptr) *ok = !err && !wedged_;
 }
 
 sim::Task KvStore::get(const std::string& key, Payload* out, bool* found) {
@@ -67,17 +207,20 @@ sim::Task KvStore::get(const std::string& key, Payload* out, bool* found) {
   }
   *found = true;
   if (out != nullptr) {
-    co_await pe_.read(it->second.record_addr + Bytes{kHeaderBytes},
-                      it->second.value_bytes, out);
+    co_await client_->read(it->second.record_addr + Bytes{kHeaderBytes},
+                           it->second.value_bytes, out);
   }
 }
 
 sim::Task KvStore::compact(Bytes scratch_base, Bytes scratch_capacity,
-                           Bytes* reclaimed_bytes) {
+                           Bytes* reclaimed_bytes, bool* ok) {
   const Bytes before = log_bytes_used();
+  const std::uint64_t new_gen = generation_ + 1;
   Bytes new_head = scratch_base;
   std::uint64_t new_seq = 0;
   std::unordered_map<std::string, Entry> new_index;
+  if (reclaimed_bytes != nullptr) *reclaimed_bytes = Bytes{};
+  if (ok != nullptr) *ok = false;
   // Stream every live record to the scratch log. Device-to-device copy goes
   // through the PE (read stream in, write stream out), so compaction runs on
   // the FPGA path like everything else. Walk the keys in sorted order: the
@@ -93,21 +236,38 @@ sim::Task KvStore::compact(Bytes scratch_base, Bytes scratch_capacity,
     const std::string& key = *kp;
     const Entry& entry = index_.at(key);
     Payload value;
-    co_await pe_.read(entry.record_addr + Bytes{kHeaderBytes},
-                      entry.value_bytes, &value);
+    bool err = false;
+    co_await client_->read(entry.record_addr + Bytes{kHeaderBytes},
+                           entry.value_bytes, &value, &err);
+    if (err) co_return;  // source unreadable: abort, keep the old log
     const Bytes span = record_span(entry.value_bytes);
     if (new_head + span > scratch_base + scratch_capacity) {
-      // Scratch too small: abort without switching over.
-      if (reclaimed_bytes != nullptr) *reclaimed_bytes = Bytes{};
-      co_return;
+      co_return;  // scratch too small: abort without switching over
     }
     Payload record = Payload::concat(
-        make_header(key, entry.value_bytes, new_seq), std::move(value));
-    co_await pe_.write(new_head, std::move(record));
+        make_header(key, entry.value_bytes, new_seq, new_gen, value),
+        std::move(value));
+    co_await client_->write(new_head, std::move(record), &err);
+    if (err) co_return;  // scratch log has a hole: abort
     new_index[key] = Entry{new_head, entry.value_bytes};
     new_head += span;
     ++new_seq;
   }
+  // Journaled switch-over: (1) the whole scratch log becomes durable, (2)
+  // the superblock naming it is written to the inactive ping-pong slot, (3)
+  // the superblock becomes durable. A crash anywhere in between leaves
+  // recovery a fully-old or fully-new view, never a mix.
+  bool err = false;
+  co_await client_->flush(&err);
+  if (err) co_return;
+  co_await client_->write(super_slot_addr(new_gen),
+                          make_superblock(new_gen, scratch_base,
+                                          scratch_capacity),
+                          &err);
+  if (err) co_return;
+  co_await client_->flush(&err);
+  if (err) co_return;
+  generation_ = new_gen;
   base_ = scratch_base;
   capacity_ = scratch_capacity;
   head_ = new_head;
@@ -116,23 +276,74 @@ sim::Task KvStore::compact(Bytes scratch_base, Bytes scratch_capacity,
   if (reclaimed_bytes != nullptr) {
     *reclaimed_bytes = before - log_bytes_used();
   }
+  if (ok != nullptr) *ok = true;
 }
 
 sim::Task KvStore::recover(std::uint64_t* records_out) {
   index_.clear();
+  wedged_ = false;
+  // Superblock election: both ping-pong slots are read, the valid one with
+  // the highest generation names the active log; a store that never
+  // compacted has no superblock and uses the default log after the slots.
+  generation_ = 0;
+  base_ = region_base_ + Bytes{kSuperBytes};
+  capacity_ = region_capacity_ - Bytes{kSuperBytes};
+  bool have_super = false;
+  for (int slot = 0; slot < 2; ++slot) {
+    Payload block;
+    bool err = false;
+    co_await client_->read(region_base_ + Bytes{slot * (4 * KiB)},
+                           Bytes{4 * KiB}, &block, &err);
+    if (err) continue;
+    std::uint64_t gen = 0;
+    Bytes lb;
+    Bytes lc;
+    if (!parse_superblock(block, &gen, &lb, &lc)) continue;
+    if (!have_super || gen > generation_) {
+      generation_ = gen;
+      base_ = lb;
+      capacity_ = lc;
+      have_super = true;
+    }
+  }
   head_ = base_;
   sequence_ = 0;
   std::uint64_t records = 0;
+  std::uint64_t prev_seq = 0;
   while (head_ + Bytes{kHeaderBytes} <= base_ + capacity_) {
     Payload header;
-    co_await pe_.read(head_, Bytes{kHeaderBytes}, &header);
-    std::string key;
-    std::uint64_t value_bytes = 0;
-    std::uint64_t seq = 0;
-    if (!parse_header(header, &key, &value_bytes, &seq)) break;  // log end
-    index_[std::move(key)] = Entry{head_, Bytes{value_bytes}};
-    head_ += record_span(Bytes{value_bytes});
-    sequence_ = std::max(sequence_, seq + 1);
+    bool err = false;
+    co_await client_->read(head_, Bytes{kHeaderBytes}, &header, &err);
+    if (err) break;
+    ParsedHeader h;
+    if (!parse_header(header, &h)) break;  // log end or torn header
+    // A record from another generation or out of sequence is stale debris
+    // (e.g. a pre-compaction log under a reused extent): truncate here.
+    if (h.generation != generation_ ||
+        (records > 0 && h.sequence <= prev_seq)) {
+      ++truncated_records_;
+      break;
+    }
+    const Bytes span = record_span(Bytes{h.value_bytes});
+    if (head_ + span > base_ + capacity_) {
+      ++truncated_records_;
+      break;
+    }
+    if (h.value_has_crc && h.value_bytes > 0) {
+      // The value read *is* the recovery cost the ablation measures: every
+      // recovered record's bytes come back over the device path.
+      Payload value;
+      co_await client_->read(head_ + Bytes{kHeaderBytes}, Bytes{h.value_bytes},
+                             &value, &err);
+      if (err || !value.has_data() || crc32c(value.view()) != h.value_crc) {
+        ++truncated_records_;  // torn value: the put never fully landed
+        break;
+      }
+    }
+    index_[std::move(h.key)] = Entry{head_, Bytes{h.value_bytes}};
+    head_ += span;
+    prev_seq = h.sequence;
+    sequence_ = h.sequence + 1;
     ++records;
   }
   if (records_out != nullptr) *records_out = records;

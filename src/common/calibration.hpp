@@ -69,6 +69,15 @@ struct SsdProfile {
   TimePs write_cmd_overhead = ns(124);
   /// Cache acknowledgement latency (command arrival -> completion) floor.
   TimePs write_ack_base = ns(500);
+
+  // --- Volatile write cache (durability tier, docs/DURABILITY.md) ---------
+  /// Controller DRAM the device acknowledges writes into before they reach
+  /// NAND. Written blocks older than this window are considered destaged
+  /// (durable); younger ones are lost on power loss unless a Flush command
+  /// intervened. Consumer controllers carry tens of MiB; the value only
+  /// matters when a crash fault or power cycle is injected -- fault-free
+  /// runs never observe it.
+  Bytes write_cache_bytes{16 * MiB};
 };
 
 struct PcieProfile {

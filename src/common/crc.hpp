@@ -1,0 +1,49 @@
+// CRC-32C (Castagnoli) for on-device record integrity.
+//
+// The durability tier stores a checksum in every WAL record header (and over
+// the record's value bytes) so recovery can tell a committed record from a
+// torn or stale one (docs/DURABILITY.md). Software slice-by-one is plenty:
+// checksums are computed once per KV record on the host side of the model,
+// never per simulated byte moved.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace snacc {
+
+namespace detail {
+
+inline constexpr std::uint32_t kCrc32cPoly = 0x82F6'3B78u;  // reflected
+
+inline constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kCrc32cPoly : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32cTable =
+    make_crc32c_table();
+
+}  // namespace detail
+
+/// One-shot CRC-32C over a byte span.
+inline constexpr std::uint32_t crc32c(std::span<const std::byte> data,
+                                      std::uint32_t seed = 0) {
+  std::uint32_t crc = ~seed;
+  for (const std::byte b : data) {
+    crc = (crc >> 8) ^
+          detail::kCrc32cTable[(crc ^ static_cast<std::uint32_t>(b)) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace snacc

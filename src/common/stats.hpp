@@ -176,10 +176,15 @@ struct FaultStats {
   std::uint64_t nand_read_faults = 0;
   std::uint64_t nand_program_faults = 0;
   std::uint64_t ssd_internal_faults = 0;
+  std::uint64_t ssd_crash_faults = 0;
   std::uint64_t iommu_injected_faults = 0;
   std::uint64_t fabric_injected_timeouts = 0;
   // Device-side effects.
   std::uint64_t ssd_error_cqes = 0;
+  // Durability tier (docs/DURABILITY.md): power loss and its fallout.
+  std::uint64_t ssd_power_cycles = 0;
+  std::uint64_t ssd_lost_cache_blocks = 0;
+  std::uint64_t ssd_suppressed_cqes = 0;
   // Streamer recovery path.
   std::uint64_t streamer_errors = 0;
   std::uint64_t retries = 0;
@@ -190,7 +195,7 @@ struct FaultStats {
 
   std::uint64_t injected() const {
     return nand_read_faults + nand_program_faults + ssd_internal_faults +
-           iommu_injected_faults + fabric_injected_timeouts;
+           ssd_crash_faults + iommu_injected_faults + fabric_injected_timeouts;
   }
 };
 

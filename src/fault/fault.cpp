@@ -19,7 +19,14 @@ FaultPlan FaultPlan::rate(double probability, std::uint64_t seed) {
 }
 
 Injector::Injector(FaultPlan plan) : plan_(std::move(plan)), rng_(plan_.seed) {
+  // Callers hand-build plans, so the sorted-schedule invariant is enforced
+  // here, not assumed. Duplicates must also go: fire() advances
+  // next_scheduled_ only on an exact index match, so a repeated entry would
+  // permanently block every later one ({3, 3, 5} would never fire 5).
   std::sort(plan_.schedule.begin(), plan_.schedule.end());
+  plan_.schedule.erase(
+      std::unique(plan_.schedule.begin(), plan_.schedule.end()),
+      plan_.schedule.end());
 }
 
 bool Injector::fire() {

@@ -311,9 +311,13 @@ FaultStats SnaccDevice::fault_stats() const {
   fs.nand_read_faults = ssd.nand().read_faults_injected();
   fs.nand_program_faults = ssd.nand().program_faults_injected();
   fs.ssd_internal_faults = ssd.internal_faults_injected();
+  fs.ssd_crash_faults = ssd.crash_faults_injected();
   fs.iommu_injected_faults = sys_.fabric().iommu().injected_faults();
   fs.fabric_injected_timeouts = sys_.fabric().injected_timeouts();
   fs.ssd_error_cqes = ssd.error_cqes();
+  fs.ssd_power_cycles = ssd.power_cycles();
+  fs.ssd_lost_cache_blocks = ssd.lost_cache_blocks();
+  fs.ssd_suppressed_cqes = ssd.suppressed_cqes();
   fs.streamer_errors = streamer_->errors();
   fs.retries = streamer_->retries();
   fs.recovered = streamer_->recovered();

@@ -292,42 +292,92 @@ sim::Task Ssd::execute_admin(IoQueue& q, SubmissionEntry sqe) {
 sim::Task Ssd::execute_io(IoQueue& q, SubmissionEntry sqe) {
   co_await exec_slots_->acquire();
   co_await sim_.delay(profile_.cmd_process);
+  // Commands in flight when power is lost must not complete: capture the
+  // crash epoch at execution start; finish_io drops the CQE on a mismatch.
+  const std::uint64_t epoch = crash_epoch_;
 
   const std::uint64_t blocks = static_cast<std::uint64_t>(sqe.nlb) + 1;
-  if (sqe.slba + blocks > Lba{namespace_blocks()}) {
-    co_await post_cqe(q, sqe.cid, Status::kLbaOutOfRange);
+  const bool is_flush = static_cast<IoOpcode>(sqe.opcode) == IoOpcode::kFlush;
+  if (!is_flush && sqe.slba + blocks > Lba{namespace_blocks()}) {
+    co_await finish_io(q, sqe.cid, Status::kLbaOutOfRange, epoch);
     exec_slots_->release();
     co_return;
   }
-  if (sqe.data_bytes() > profile_.max_transfer) {
-    co_await post_cqe(q, sqe.cid, Status::kInvalidField);
+  if (!is_flush && sqe.data_bytes() > profile_.max_transfer) {
+    co_await finish_io(q, sqe.cid, Status::kInvalidField, epoch);
     exec_slots_->release();
     co_return;
   }
   if (internal_faults_.armed() && internal_faults_.fire()) {
     // Injected controller-internal failure: the command dies before touching
     // media, completing with a generic internal error.
-    co_await post_cqe(q, sqe.cid, Status::kInternalError);
+    co_await finish_io(q, sqe.cid, Status::kInternalError, epoch);
     exec_slots_->release();
     co_return;
   }
 
   switch (static_cast<IoOpcode>(sqe.opcode)) {
     case IoOpcode::kRead:
-      co_await execute_read(q, sqe);
+      co_await execute_read(q, sqe, epoch);
       break;
     case IoOpcode::kWrite:
-      co_await execute_write(q, sqe);
+      co_await execute_write(q, sqe, epoch);
       break;
     case IoOpcode::kFlush:
       co_await sim_.delay(us(20));
-      co_await post_cqe(q, sqe.cid, Status::kSuccess);
+      flush_cache();
+      co_await finish_io(q, sqe.cid, Status::kSuccess, epoch);
       break;
     default:
-      co_await post_cqe(q, sqe.cid, Status::kInvalidOpcode);
+      co_await finish_io(q, sqe.cid, Status::kInvalidOpcode, epoch);
       break;
   }
   exec_slots_->release();
+}
+
+// ---------------------------------------------------------------------------
+// Volatile write cache (durability tier, docs/DURABILITY.md)
+//
+// Media always holds the latest acknowledged bytes; the cache is an undo
+// log of pre-write contents for blocks not yet destaged. Bookkeeping is
+// charged zero simulated time, so fault-free runs are bit-identical to a
+// build without it.
+
+void Ssd::note_block_write(Lba lba) {
+  const std::uint64_t key = lba.value();
+  if (!undo_.contains(key)) {
+    undo_.emplace(key, media_.read(key * kLbaSize, kLbaSize));
+    dirty_fifo_.push_back(lba);
+  }
+  // Capacity bound: blocks older than the cache window have been destaged.
+  while (dirty_fifo_.size() * kLbaSize > profile_.write_cache_bytes.value()) {
+    destage_oldest();
+  }
+}
+
+void Ssd::destage_oldest() {
+  if (dirty_fifo_.empty()) return;
+  undo_.erase(dirty_fifo_.front().value());
+  dirty_fifo_.pop_front();
+}
+
+void Ssd::flush_cache() {
+  undo_.clear();
+  dirty_fifo_.clear();
+  ++flushes_completed_;
+}
+
+void Ssd::power_cycle() {
+  // Undestaged blocks revert to their pre-write contents (fresh blocks to
+  // phantom "unknown"): the acknowledged-but-volatile writes are gone.
+  lost_cache_blocks_ += dirty_fifo_.size();
+  for (const Lba lba : dirty_fifo_) {
+    media_.write(lba.value() * kLbaSize, undo_.at(lba.value()));
+  }
+  undo_.clear();
+  dirty_fifo_.clear();
+  ++power_cycles_;
+  ++crash_epoch_;  // in-flight commands' completions die with the power
 }
 
 sim::Task Ssd::page_read_to_buffer(Lba lba, pcie::Addr dst,
@@ -346,20 +396,27 @@ sim::Task Ssd::page_read_to_buffer(Lba lba, pcie::Addr dst,
 }
 
 sim::Task Ssd::page_fetch_from_buffer(Lba lba, pcie::Addr src,
-                                      sim::WaitGroup& wg, bool& ok) {
+                                      sim::WaitGroup& wg, bool& ok,
+                                      std::uint64_t epoch) {
   auto rr = co_await fabric_.read(port_, src, Bytes{kLbaSize});
   if (!rr.ok) ok = false;
-  media_.write(lba.value() * kLbaSize, rr.data);
+  if (epoch == crash_epoch_) {
+    // A fetch that lands after a power cycle writes nothing: the payload
+    // never reached the (now reinitialized) controller's cache.
+    note_block_write(lba);
+    media_.write(lba.value() * kLbaSize, rr.data);
+  }
   wg.done();
 }
 
-sim::Task Ssd::execute_read(IoQueue& q, SubmissionEntry sqe) {
+sim::Task Ssd::execute_read(IoQueue& q, SubmissionEntry sqe,
+                            std::uint64_t epoch) {
   std::vector<BusAddr> pages;
   co_await resolve_prps(sqe, pages);
   const std::uint64_t blocks = static_cast<std::uint64_t>(sqe.nlb) + 1;
   if (pages.size() < blocks) {
     ++read_errors_;
-    co_await post_cqe(q, sqe.cid, Status::kDataTransferError);
+    co_await finish_io(q, sqe.cid, Status::kDataTransferError, epoch);
     co_return;
   }
   bool uncorrectable = false;
@@ -371,26 +428,28 @@ sim::Task Ssd::execute_read(IoQueue& q, SubmissionEntry sqe) {
   co_await wg.wait();
   if (uncorrectable) {
     ++read_errors_;
-    co_await post_cqe(q, sqe.cid, Status::kUnrecoveredReadError);
+    co_await finish_io(q, sqe.cid, Status::kUnrecoveredReadError, epoch);
     co_return;
   }
-  co_await post_cqe(q, sqe.cid, Status::kSuccess);
+  co_await finish_io(q, sqe.cid, Status::kSuccess, epoch);
 }
 
-sim::Task Ssd::execute_write(IoQueue& q, SubmissionEntry sqe) {
+sim::Task Ssd::execute_write(IoQueue& q, SubmissionEntry sqe,
+                             std::uint64_t epoch) {
   std::vector<BusAddr> pages;
   co_await resolve_prps(sqe, pages);
   const std::uint64_t blocks = static_cast<std::uint64_t>(sqe.nlb) + 1;
   if (pages.size() < blocks) {
     ++read_errors_;
-    co_await post_cqe(q, sqe.cid, Status::kDataTransferError);
+    co_await finish_io(q, sqe.cid, Status::kDataTransferError, epoch);
     co_return;
   }
   bool ok = true;
   sim::WaitGroup wg(sim_);
   wg.add(static_cast<int>(blocks));
   for (std::uint64_t i = 0; i < blocks; ++i) {
-    sim_.spawn(page_fetch_from_buffer(sqe.slba + i, pages[i], wg, ok));
+    sim_.spawn(
+        page_fetch_from_buffer(sqe.slba + i, pages[i], wg, ok, epoch));
   }
   // The payload fetch streams into the program pipeline: the fetch-path
   // non-overlap (P2P pacing, DRAM turnaround) is charged inside
@@ -400,18 +459,40 @@ sim::Task Ssd::execute_write(IoQueue& q, SubmissionEntry sqe) {
                               &program_failed);
   co_await wg.wait();
   if (!ok) {
-    co_await post_cqe(q, sqe.cid, Status::kDataTransferError);
+    co_await finish_io(q, sqe.cid, Status::kDataTransferError, epoch);
     co_return;
   }
   if (program_failed) {
     // Media contents for the command's LBA range are undefined after a
     // program failure (see docs/FAULTS.md); a retry rewrites them whole.
     ++write_errors_;
-    co_await post_cqe(q, sqe.cid, Status::kWriteFault);
+    co_await finish_io(q, sqe.cid, Status::kWriteFault, epoch);
+    co_return;
+  }
+  if (epoch == crash_epoch_ && crash_faults_.armed() && crash_faults_.fire()) {
+    // Injected power loss mid-destage: the command's blocks are all in the
+    // volatile cache, and a seeded prefix of the cache's destage FIFO --
+    // possibly cutting this or an earlier unflushed record at an arbitrary
+    // block boundary (torn tail) -- reaches NAND before the power dies.
+    // Everything younger is lost, and no CQE is ever posted.
+    const std::uint64_t destaged =
+        crash_rng_.below(static_cast<std::uint64_t>(dirty_fifo_.size()) + 1);
+    for (std::uint64_t i = 0; i < destaged; ++i) destage_oldest();
+    power_cycle();
+    ++suppressed_cqes_;
     co_return;
   }
   co_await sim_.delay(profile_.write_ack_base);
-  co_await post_cqe(q, sqe.cid, Status::kSuccess);
+  co_await finish_io(q, sqe.cid, Status::kSuccess, epoch);
+}
+
+sim::Task Ssd::finish_io(IoQueue& q, Cid cid, Status status,
+                         std::uint64_t epoch) {
+  if (epoch != crash_epoch_) {
+    ++suppressed_cqes_;
+    co_return;
+  }
+  co_await post_cqe(q, cid, status);
 }
 
 sim::Task Ssd::post_cqe(IoQueue& q, Cid cid, Status status,

@@ -11,9 +11,11 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/calibration.hpp"
@@ -63,6 +65,21 @@ class Ssd final : public pcie::Target {
   std::uint64_t write_errors() const { return write_errors_; }
   std::uint64_t error_cqes() const { return error_cqes_; }
   std::uint64_t namespace_blocks() const { return media_.size() / kLbaSize; }
+  std::uint64_t flushes_completed() const { return flushes_completed_; }
+  /// Blocks currently acknowledged but not yet destaged to NAND (volatile).
+  std::uint64_t dirty_cache_blocks() const { return dirty_fifo_.size(); }
+
+  // --- durability tier (docs/DURABILITY.md) --------------------------------
+  /// Power loss: every block still in the volatile write cache reverts to
+  /// its pre-write (destaged) contents, and completions for commands that
+  /// were in flight at the instant of loss are never posted -- the host-side
+  /// watchdog/recovery machinery has to notice them. The controller itself
+  /// comes back ready (modeling a fast reinit that re-establishes the same
+  /// queue configuration), so recovery code can immediately re-drive I/O.
+  void power_cycle();
+  std::uint64_t power_cycles() const { return power_cycles_; }
+  std::uint64_t lost_cache_blocks() const { return lost_cache_blocks_; }
+  std::uint64_t suppressed_cqes() const { return suppressed_cqes_; }
 
   // --- fault injection -----------------------------------------------------
   /// Controller-internal failures: one event per I/O command; a fired event
@@ -73,6 +90,17 @@ class Ssd final : public pcie::Target {
   std::uint64_t internal_faults_injected() const {
     return internal_faults_.fired();
   }
+
+  /// Device-crash faults: one event per write command. A fired event models
+  /// power loss mid-destage -- a seeded prefix of the outstanding write
+  /// cache reaches NAND (possibly tearing a record at an arbitrary block
+  /// boundary), the rest is lost, and the command's CQE is never posted.
+  /// Deterministic per plan+seed; zero-cost when disarmed.
+  void set_crash_plan(const fault::FaultPlan& plan) {
+    crash_faults_ = fault::Injector(plan);
+    crash_rng_ = Xoshiro256(plan.seed ^ 0xC4A5'11ull);
+  }
+  std::uint64_t crash_faults_injected() const { return crash_faults_.fired(); }
 
  private:
   struct IoQueue {
@@ -102,17 +130,30 @@ class Ssd final : public pcie::Target {
   sim::Task sq_worker(IoQueue& q);
   sim::Task execute_io(IoQueue& q, SubmissionEntry sqe);
   sim::Task execute_admin(IoQueue& q, SubmissionEntry sqe);
-  sim::Task execute_read(IoQueue& q, SubmissionEntry sqe);
-  sim::Task execute_write(IoQueue& q, SubmissionEntry sqe);
+  sim::Task execute_read(IoQueue& q, SubmissionEntry sqe, std::uint64_t epoch);
+  sim::Task execute_write(IoQueue& q, SubmissionEntry sqe, std::uint64_t epoch);
   /// Posts a completion; `sq_head` is read from the queue at post time
   /// (monotonic fetch progress, as real controllers report).
   sim::Task post_cqe(IoQueue& q, Cid cid, Status status,
                      std::uint32_t dw0 = 0);
+  /// post_cqe, unless a power cycle happened after `epoch` was captured --
+  /// a command in flight across power loss completes into the void.
+  sim::Task finish_io(IoQueue& q, Cid cid, Status status, std::uint64_t epoch);
 
   sim::Task page_read_to_buffer(Lba lba, pcie::Addr dst, sim::WaitGroup& wg,
                                 bool& uncorrectable);
   sim::Task page_fetch_from_buffer(Lba lba, pcie::Addr src, sim::WaitGroup& wg,
-                                   bool& ok);
+                                   bool& ok, std::uint64_t epoch);
+
+  // Volatile-write-cache bookkeeping (durability tier). Media always holds
+  // the latest acknowledged contents -- the cache is modeled as an *undo
+  // log*: the pre-write contents of every block younger than the cache
+  // window, restored wholesale on power loss. Fault-free runs therefore
+  // stay bit-identical (no timing, no content change) and integrity tests
+  // reading media() keep seeing the newest data.
+  void note_block_write(Lba lba);
+  void destage_oldest();
+  void flush_cache();
   sim::Task resolve_prps(const SubmissionEntry& sqe,
                          std::vector<BusAddr>& pages);
   FetchPath classify_source(pcie::Addr addr) const;
@@ -142,6 +183,19 @@ class Ssd final : public pcie::Target {
   std::uint64_t write_errors_ = 0;
   std::uint64_t error_cqes_ = 0;
   fault::Injector internal_faults_;
+
+  // Durability tier: volatile write cache (undo log) + crash injection.
+  // undo_ is keyed lookup only (never iterated); restore order comes from
+  // dirty_fifo_, so unordered iteration order cannot leak into behaviour.
+  std::unordered_map<std::uint64_t, Payload> undo_;  // by lba: pre-write bytes
+  std::deque<Lba> dirty_fifo_;                       // destage (write) order
+  fault::Injector crash_faults_;
+  Xoshiro256 crash_rng_{0xC4A5'11ull};  // seeded torn-destage point
+  std::uint64_t crash_epoch_ = 0;
+  std::uint64_t power_cycles_ = 0;
+  std::uint64_t lost_cache_blocks_ = 0;
+  std::uint64_t suppressed_cqes_ = 0;
+  std::uint64_t flushes_completed_ = 0;
 };
 
 }  // namespace snacc::nvme

@@ -11,11 +11,12 @@
 #include <cstdint>
 
 #include "axis/stream.hpp"
+#include "snacc/storage_client.hpp"
 #include "snacc/streamer.hpp"
 
 namespace snacc::core {
 
-class PeClient {
+class PeClient : public StorageClient {
  public:
   explicit PeClient(NvmeStreamer& streamer) : s_(streamer) {}
 
@@ -24,7 +25,8 @@ class PeClient {
   /// Reads [addr, addr+len) device bytes into `*out` (nullptr: discard).
   /// With recovery enabled, `*error` (if non-null) reports whether any beat
   /// carried the quarantine TUSER tag -- the data is then placeholder bytes.
-  sim::Task read(Bytes addr, Bytes len, Payload* out, bool* error = nullptr) {
+  sim::Task read(Bytes addr, Bytes len, Payload* out,
+                 bool* error = nullptr) override {
     co_await s_.read_cmd_in().send(
         axis::Chunk{encode_read_command(addr, len), true, 0});
     co_await collect_read(out, error);
@@ -57,6 +59,20 @@ class PeClient {
   sim::Task write(Bytes addr, Payload data, Bytes chunk_bytes = Bytes{16 * KiB},
                   bool* error = nullptr) {
     co_await start_write(addr, std::move(data), chunk_bytes);
+    co_await wait_write_response(error);
+  }
+
+  /// StorageClient surface (default 16 kB stream chunking).
+  sim::Task write(Bytes addr, Payload data, bool* error) override {
+    co_await write(addr, std::move(data), Bytes{16 * KiB}, error);
+  }
+
+  /// Durability barrier: an NVMe Flush through the streamer's write path.
+  /// Ordered behind every earlier write submission; the device destages its
+  /// volatile cache for all *completed* commands, so callers needing a hard
+  /// guarantee wait for their write responses first (KvStore::commit does).
+  sim::Task flush(bool* error = nullptr) override {
+    co_await s_.write_in().send(axis::Chunk{encode_flush_command(), true, 0});
     co_await wait_write_response(error);
   }
 

@@ -1,0 +1,133 @@
+#include "snacc/replicated_client.hpp"
+
+#include <cassert>
+
+#include "nvme/spec.hpp"
+#include "sim/future.hpp"
+
+namespace snacc::core {
+
+ReplicatedClient::ReplicatedClient(sim::Simulator& sim,
+                                   std::vector<StorageClient*> replicas,
+                                   Config cfg)
+    : sim_(sim),
+      replicas_(std::move(replicas)),
+      cfg_(cfg),
+      quorum_(cfg.quorum != 0 ? cfg.quorum : replicas_.size() / 2 + 1),
+      quarantined_(replicas_.size(), false) {
+  assert(!replicas_.empty());
+  assert(quorum_ <= replicas_.size());
+}
+
+std::size_t ReplicatedClient::live_replicas() const {
+  std::size_t n = 0;
+  for (const bool q : quarantined_) n += q ? 0 : 1;
+  return n;
+}
+
+sim::Task ReplicatedClient::replica_write(std::size_t i, Bytes addr,
+                                          Payload data, sim::WaitGroup& wg,
+                                          std::size_t* acked) {
+  for (std::uint8_t attempt = 0;; ++attempt) {
+    bool err = false;
+    co_await replicas_[i]->write(addr, data, &err);
+    if (!err) {
+      ++*acked;
+      break;
+    }
+    if (attempt >= cfg_.max_retries) {
+      quarantined_[i] = true;
+      ++replicas_lost_;
+      break;
+    }
+    ++resubmissions_;
+    co_await sim_.delay(cfg_.retry_backoff * (1ull << attempt));
+  }
+  wg.done();
+}
+
+sim::Task ReplicatedClient::replica_flush(std::size_t i, sim::WaitGroup& wg,
+                                          std::size_t* acked) {
+  for (std::uint8_t attempt = 0;; ++attempt) {
+    bool err = false;
+    co_await replicas_[i]->flush(&err);
+    if (!err) {
+      ++*acked;
+      break;
+    }
+    if (attempt >= cfg_.max_retries) {
+      quarantined_[i] = true;
+      ++replicas_lost_;
+      break;
+    }
+    ++resubmissions_;
+    co_await sim_.delay(cfg_.retry_backoff * (1ull << attempt));
+  }
+  wg.done();
+}
+
+sim::Task ReplicatedClient::write(Bytes addr, Payload data, bool* error) {
+  ++writes_;
+  sim::WaitGroup wg(sim_);
+  std::size_t acked = 0;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (quarantined_[i]) continue;
+    wg.add();
+    sim_.spawn(replica_write(i, addr, data, wg, &acked));
+  }
+  co_await wg.wait();
+  const bool ok = acked >= quorum_;
+  if (!ok) ++quorum_failures_;
+  if (error != nullptr) *error = !ok;
+}
+
+sim::Task ReplicatedClient::flush(bool* error) {
+  ++flushes_;
+  sim::WaitGroup wg(sim_);
+  std::size_t acked = 0;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (quarantined_[i]) continue;
+    wg.add();
+    sim_.spawn(replica_flush(i, wg, &acked));
+  }
+  co_await wg.wait();
+  const bool ok = acked >= quorum_;
+  if (!ok) ++quorum_failures_;
+  if (error != nullptr) *error = !ok;
+}
+
+sim::Task ReplicatedClient::read(Bytes addr, Bytes len, Payload* out,
+                                 bool* error) {
+  // First live replica serves; later ones are failover. Replicas that
+  // returned quarantined (placeholder) data are remembered for repair.
+  std::vector<std::size_t> failed;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (quarantined_[i]) continue;
+    Payload got;
+    bool err = false;
+    co_await replicas_[i]->read(addr, len, &got, &err);
+    if (err) {
+      ++read_failovers_;
+      failed.push_back(i);
+      continue;
+    }
+    // Read-repair: push the good bytes back to every replica that failed
+    // this range (whole-block ranges only -- the device path writes LBAs).
+    if (!failed.empty() && aligned(addr, nvme::kLbaSize) &&
+        aligned(len, nvme::kLbaSize)) {
+      for (const std::size_t j : failed) {
+        if (quarantined_[j]) continue;
+        bool repair_err = false;
+        co_await replicas_[j]->write(addr, got, &repair_err);
+        if (!repair_err) ++read_repairs_;
+      }
+    }
+    if (out != nullptr) *out = std::move(got);
+    if (error != nullptr) *error = false;
+    co_return;
+  }
+  if (out != nullptr) *out = Payload::phantom(len);
+  if (error != nullptr) *error = true;
+}
+
+}  // namespace snacc::core

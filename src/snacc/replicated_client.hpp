@@ -1,0 +1,84 @@
+// ReplicatedClient: N-way mirroring over independent StorageClients, one per
+// SSD on the multi-device fabric (docs/DURABILITY.md).
+//
+// Writes fan out to every live replica concurrently (spawned in replica index
+// order, so fault-free runs are bit-identical) and acknowledge once the
+// results are in: success requires `quorum` replica acks. A replica whose
+// write keeps failing after bounded-backoff resubmission is quarantined --
+// dropped from every later fan-out -- mirroring the streamer's own slot
+// quarantine one level up. Reads take the first live replica and fail over
+// down the index order; a read served by a later replica after an earlier
+// one returned quarantined data triggers read-repair (the good bytes are
+// rewritten to the lagging replica) when the range is block-aligned.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/calibration.hpp"
+#include "sim/future.hpp"
+#include "sim/simulator.hpp"
+#include "snacc/storage_client.hpp"
+
+namespace snacc::core {
+
+class ReplicatedClient final : public StorageClient {
+ public:
+  struct Config {
+    /// Replica acks required to acknowledge a write/flush. 0 = majority
+    /// (n/2 + 1), the usual replicated-log setting.
+    std::size_t quorum = 0;
+    /// Resubmissions per replica per operation before it is quarantined.
+    std::uint8_t max_retries = 3;
+    /// Backoff before the first resubmission; doubles per attempt.
+    TimePs retry_backoff = us(50);
+  };
+
+  ReplicatedClient(sim::Simulator& sim, std::vector<StorageClient*> replicas,
+                   Config cfg);
+  ReplicatedClient(sim::Simulator& sim, std::vector<StorageClient*> replicas)
+      : ReplicatedClient(sim, std::move(replicas), Config()) {}
+
+  sim::Task read(Bytes addr, Bytes len, Payload* out,
+                 bool* error = nullptr) override;
+  sim::Task write(Bytes addr, Payload data, bool* error) override;
+  sim::Task flush(bool* error = nullptr) override;
+
+  std::size_t replica_count() const { return replicas_.size(); }
+  std::size_t quorum() const { return quorum_; }
+  bool replica_quarantined(std::size_t i) const { return quarantined_[i]; }
+  std::size_t live_replicas() const;
+
+  // Statistics (all zero on a fault-free run except writes/flushes).
+  std::uint64_t writes() const { return writes_; }
+  std::uint64_t flushes() const { return flushes_; }
+  std::uint64_t resubmissions() const { return resubmissions_; }
+  std::uint64_t replicas_lost() const { return replicas_lost_; }
+  std::uint64_t quorum_failures() const { return quorum_failures_; }
+  std::uint64_t read_failovers() const { return read_failovers_; }
+  std::uint64_t read_repairs() const { return read_repairs_; }
+
+ private:
+  /// One replica's slice of a fan-out: retry with bounded backoff, then
+  /// quarantine. Bumps `*acked` on success; always signals `wg`.
+  sim::Task replica_write(std::size_t i, Bytes addr, Payload data,
+                          sim::WaitGroup& wg, std::size_t* acked);
+  sim::Task replica_flush(std::size_t i, sim::WaitGroup& wg,
+                          std::size_t* acked);
+
+  sim::Simulator& sim_;
+  std::vector<StorageClient*> replicas_;
+  Config cfg_;
+  std::size_t quorum_;
+  std::vector<bool> quarantined_;
+
+  std::uint64_t writes_ = 0;
+  std::uint64_t flushes_ = 0;
+  std::uint64_t resubmissions_ = 0;
+  std::uint64_t replicas_lost_ = 0;
+  std::uint64_t quorum_failures_ = 0;
+  std::uint64_t read_failovers_ = 0;
+  std::uint64_t read_repairs_ = 0;
+};
+
+}  // namespace snacc::core

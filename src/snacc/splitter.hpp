@@ -20,6 +20,9 @@ struct SubCommand {
   std::uint32_t trim_head = 0;   // bytes to drop from the first block
   Bytes payload_bytes;           // user-visible bytes of this piece
   bool last = false;             // final piece of the user command
+  /// NVMe Flush barrier (durability tier): no payload, no buffer space; the
+  /// device destages its volatile write cache before completing.
+  bool flush = false;
 
   Bytes buffer_bytes() const {
     return Bytes{static_cast<std::uint64_t>(blocks) * nvme::kLbaSize};

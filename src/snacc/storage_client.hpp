@@ -1,0 +1,32 @@
+// StorageClient: the narrow device-access surface the durability tier is
+// written against (docs/DURABILITY.md). PeClient implements it over one
+// streamer; ReplicatedClient implements it over N replicas. KvStore and the
+// benches only ever see this interface, so a single-device store and a
+// 3-way replicated store are the same code path.
+#pragma once
+
+#include "common/payload.hpp"
+#include "common/units.hpp"
+#include "sim/task.hpp"
+
+namespace snacc::core {
+
+class StorageClient {
+ public:
+  virtual ~StorageClient() = default;
+
+  /// Reads [addr, addr+len) device bytes into `*out` (nullptr: discard).
+  /// `*error` (if non-null) reports unrecoverable data loss.
+  virtual sim::Task read(Bytes addr, Bytes len, Payload* out,
+                         bool* error = nullptr) = 0;
+
+  /// Writes `data` to block-aligned device byte address `addr` and waits
+  /// for acknowledgment. Acknowledged data may still sit in a volatile
+  /// device cache -- it is durable only once a later flush() succeeds.
+  virtual sim::Task write(Bytes addr, Payload data, bool* error) = 0;
+
+  /// Durability barrier: destages every previously acknowledged write.
+  virtual sim::Task flush(bool* error = nullptr) = 0;
+};
+
+}  // namespace snacc::core

@@ -68,6 +68,13 @@ Payload encode_write_address(Bytes addr) {
 
 Bytes decode_write_address(const Payload& p) { return Bytes{read_u64(p, 0)}; }
 
+Payload encode_flush_command() {
+  std::vector<std::byte> raw(8);
+  constexpr std::uint64_t a = kFlushAddrBit;
+  std::memcpy(raw.data(), &a, 8);
+  return Payload::bytes(std::move(raw));
+}
+
 // ---------------------------------------------------------------------------
 
 NvmeStreamer::NvmeStreamer(sim::Simulator& sim, pcie::Fabric& fabric,
@@ -161,15 +168,21 @@ PrpPair NvmeStreamer::make_prps(SlotIdx slot, Bytes absolute_offset,
 
 sim::Task NvmeStreamer::submit(const SubCommand& sub, bool is_write,
                                SlotIdx slot, Bytes absolute_buffer_offset) {
-  const PrpPair prps = make_prps(slot, absolute_buffer_offset, sub.buffer_bytes());
   nvme::SubmissionEntry sqe;
-  sqe.opcode = static_cast<std::uint8_t>(is_write ? nvme::IoOpcode::kWrite
-                                                  : nvme::IoOpcode::kRead);
   sqe.cid = cid_of(slot);
-  sqe.slba = sub.slba;
-  sqe.nlb = static_cast<std::uint16_t>(sub.blocks - 1);
-  sqe.prp1 = prps.prp1;
-  sqe.prp2 = prps.prp2;
+  if (sub.flush) {
+    // Flush barrier: no payload, no PRPs -- just the opcode and CID.
+    sqe.opcode = static_cast<std::uint8_t>(nvme::IoOpcode::kFlush);
+  } else {
+    const PrpPair prps =
+        make_prps(slot, absolute_buffer_offset, sub.buffer_bytes());
+    sqe.opcode = static_cast<std::uint8_t>(is_write ? nvme::IoOpcode::kWrite
+                                                    : nvme::IoOpcode::kRead);
+    sqe.slba = sub.slba;
+    sqe.nlb = static_cast<std::uint16_t>(sub.blocks - 1);
+    sqe.prp1 = prps.prp1;
+    sqe.prp2 = prps.prp2;
+  }
   sq_slots_[sq_tail_] = sqe.encode();
   sq_tail_ = static_cast<std::uint16_t>((sq_tail_ + 1) % sq_entries_);
   ++commands_submitted_;
@@ -233,7 +246,38 @@ sim::Task NvmeStreamer::write_cmd_loop() {
   while (true) {
     auto first = co_await write_in_.recv();
     if (!first) co_return;
-    const Bytes addr = decode_write_address(first->data);
+    const Bytes raw_addr = decode_write_address(first->data);
+    // snacc-lint: allow(value-escape): wire-level flag bit test on the beat
+    if ((raw_addr.value() & kFlushAddrBit) != 0) {
+      // Flush barrier (docs/DURABILITY.md): a single TLAST beat, no data.
+      // Rides the ordinary write pipeline -- credit, ROB slot, in-order
+      // submission behind every earlier write -- but allocates no ring
+      // space and carries no PRPs.
+      if (!first->last) {
+        ++errors_;
+        continue;  // malformed: a flush beat must terminate its packet
+      }
+      SubCommand sub;
+      sub.last = true;
+      sub.flush = true;
+      co_await issue_credits_->acquire();
+      co_await alloc_mutex_->acquire();
+      RobEntry entry;
+      entry.is_write = true;
+      entry.sub = sub;
+      entry.user_tag = next_user_tag_++;
+      SlotIdx slot;
+      co_await rob_.alloc(std::move(entry), &slot);
+      alloc_mutex_->release();
+      co_await sim_.delay(clock_cycles(fpga_.write_submit_cycles));
+      sim::Promise<sim::Done> fill_done(sim_);
+      auto fill_fut = fill_done.future();
+      fill_done.set(sim::Done{});  // nothing to buffer
+      co_await submit_queue_->push(
+          PendingSubmit(sub, slot, Bytes{}, std::move(fill_fut)));
+      continue;
+    }
+    const Bytes addr = raw_addr;
     if (!aligned(addr, nvme::kLbaSize) || first->last) {
       ++errors_;
       continue;  // malformed packet: misaligned or missing data beats
@@ -419,7 +463,7 @@ sim::Task NvmeStreamer::retire_loop() {
       sim_.trace(sim::TraceCat::kStreamerRetire, "retire-write", tag,
                  head.sub.payload_bytes);
       if (failed) failed_write_tags_.insert(tag);
-      res_.write_ring->free_oldest();
+      if (!head.sub.flush) res_.write_ring->free_oldest();
       rob_.retire();
       ++commands_retired_;
       if (!cfg_.out_of_order) issue_credits_->release();

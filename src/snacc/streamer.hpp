@@ -79,12 +79,20 @@ inline constexpr std::uint64_t kReadErrorUser = 1;
 /// user write was quarantined (data loss).
 inline constexpr std::uint64_t kWriteRespErrorBit = 1ull << 63;
 
+/// Flag bit on a write_in address beat marking a *flush barrier* instead of
+/// a write: the beat carries TLAST (no data beats follow) and the streamer
+/// issues an NVMe Flush on the device, acknowledged through write_resp_out
+/// like any write. Device byte addresses never reach bit 63.
+inline constexpr std::uint64_t kFlushAddrBit = 1ull << 63;
+
 /// Stream-protocol helpers for the user PE side. Addresses and lengths are
 /// device byte offsets / counts, so they travel as `Bytes`.
 Payload encode_read_command(Bytes addr, Bytes len);
 bool decode_read_command(const Payload& p, Bytes* addr, Bytes* len);
 Payload encode_write_address(Bytes addr);
 Bytes decode_write_address(const Payload& p);
+/// The flush-barrier address beat (kFlushAddrBit set, sent with TLAST).
+Payload encode_flush_command();
 
 class NvmeStreamer {
  public:

@@ -39,6 +39,20 @@ TEST(Injector, ScheduleFiresExactlyAtGivenIndices) {
   EXPECT_EQ(inj.fired(), 3u);
 }
 
+TEST(Injector, UnsortedAndDuplicatedScheduleStillFiresEveryIndex) {
+  // The injector matches schedule entries against a monotone event counter;
+  // before the constructor sorted and deduplicated the plan, a duplicate
+  // entry ({3, 3, 5}) stalled the cursor at the second 3 forever and 5
+  // never fired. User-authored plans are allowed to be messy.
+  Injector inj(FaultPlan::at({5, 3, 3}));
+  std::vector<bool> fired;
+  for (int i = 0; i < 8; ++i) fired.push_back(inj.fire());
+  const std::vector<bool> want = {false, false, false, true,
+                                  false, true, false, false};
+  EXPECT_EQ(fired, want);
+  EXPECT_EQ(inj.fired(), 2u);
+}
+
 TEST(Injector, RateDrawsAreDeterministicPerSeed) {
   Injector a(FaultPlan::rate(0.3, 42));
   Injector b(FaultPlan::rate(0.3, 42));

@@ -41,9 +41,9 @@ struct KvFixture : ::testing::Test {
 TEST_F(KvFixture, PutGetRoundTrip) {
   bool done = false;
   auto t = [&]() -> sim::Task {
-    bool ok = false;
-    co_await store->put("alpha", Payload::filled(1000, 0xA1), &ok);
-    EXPECT_TRUE(ok);
+    PutStatus st = PutStatus::kIoError;
+    co_await store->put("alpha", Payload::filled(1000, 0xA1), &st);
+    EXPECT_EQ(st, PutStatus::kOk);
     Payload got;
     bool found = false;
     co_await store->get("alpha", &got, &found);
@@ -164,8 +164,9 @@ TEST_F(KvFixture, CompactionReclaimsOverwrittenSpace) {
   run(t());
   ASSERT_TRUE(done);
 
-  // The compacted log is recoverable from its new location.
-  KvStore recovered(dev->streamer(), Bytes{512 * MiB}, Bytes{256 * MiB});
+  // The compacted log is recoverable from the *original* region: the
+  // superblock there names the new generation's extent.
+  KvStore recovered(dev->streamer(), Bytes{}, Bytes{256 * MiB});
   bool done2 = false;
   auto t2 = [&]() -> sim::Task {
     std::uint64_t records = 0;
@@ -200,9 +201,9 @@ TEST_F(KvFixture, CompactionAbortsWhenScratchTooSmall) {
 TEST_F(KvFixture, OversizedKeyAndFullLogAreRejected) {
   bool done = false;
   auto t = [&]() -> sim::Task {
-    bool ok = true;
-    co_await store->put(std::string(4000, 'k'), Payload::filled(10, 1), &ok);
-    EXPECT_FALSE(ok);
+    PutStatus st = PutStatus::kOk;
+    co_await store->put(std::string(4000, 'k'), Payload::filled(10, 1), &st);
+    EXPECT_EQ(st, PutStatus::kOversizedKey);
     done = true;
   };
   run(t());
@@ -211,11 +212,11 @@ TEST_F(KvFixture, OversizedKeyAndFullLogAreRejected) {
   KvStore tiny(dev->streamer(), Bytes{512 * MiB}, Bytes{16 * KiB});
   bool done2 = false;
   auto t2 = [&]() -> sim::Task {
-    bool ok = false;
-    co_await tiny.put("fits", Payload::filled(100, 1), &ok);
-    EXPECT_TRUE(ok);
-    co_await tiny.put("does-not", Payload::filled(100 * KiB, 2), &ok);
-    EXPECT_FALSE(ok);
+    PutStatus st = PutStatus::kIoError;
+    co_await tiny.put("fits", Payload::filled(100, 1), &st);
+    EXPECT_EQ(st, PutStatus::kOk);
+    co_await tiny.put("does-not", Payload::filled(100 * KiB, 2), &st);
+    EXPECT_EQ(st, PutStatus::kLogFull);
     done2 = true;
   };
   run(t2());

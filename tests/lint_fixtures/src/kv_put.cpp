@@ -1,0 +1,26 @@
+// unchecked-put fixture: durable-write calls that drop their status
+// out-param (positives) and properly checked ones (near-misses).
+struct Store {
+  void put(const char* k, int v);
+  void put(const char* k, int v, int* st);
+  void put(int v);
+};
+struct Repl {
+  void write(unsigned long addr, int data);
+  void write(unsigned long addr, int data, bool* err);
+};
+
+void positives(Store& store, Store* heap, Repl* repl) {
+  store.put("k", 1);                  // finding: 2-arg put, status dropped
+  heap->put("k", f(1, 2));            // finding: nested commas don't count
+  repl->write(4096, 7);               // finding: quorum verdict dropped
+}
+
+void near_misses(Store& store, Repl* repl, Repl* device) {
+  int st = 0;
+  bool err = false;
+  store.put("k", 1, &st);             // status checked
+  store.put(1);                       // not the key/value overload
+  repl->write(4096, 7, &err);         // error checked
+  device->write(4096, 7);             // receiver is not replicated
+}

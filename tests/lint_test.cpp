@@ -50,8 +50,8 @@ bool has(const std::vector<lint::Finding>& fs, std::string_view file,
 TEST(LintFixtures, ScansWholeTree) {
   const auto res = scan_fixtures();
   EXPECT_TRUE(res.error.empty()) << res.error;
-  EXPECT_EQ(res.files_scanned, 12u);
-  EXPECT_EQ(res.findings.size(), 12u);
+  EXPECT_EQ(res.files_scanned, 13u);
+  EXPECT_EQ(res.findings.size(), 15u);
   ASSERT_EQ(res.line_texts.size(), res.findings.size());
 }
 
@@ -70,6 +70,10 @@ TEST(LintFixtures, GoldenPositives) {
   EXPECT_TRUE(has(fs, "src/async.cpp", "discarded-async", 14));
   EXPECT_TRUE(has(fs, "src/snacc/escape.cpp", "value-escape", 8));
   EXPECT_TRUE(has(fs, "src/stale.cpp", "stale-suppression", 5));
+  // unchecked-put: 2-arg put, nested-comma args, replicated 2-arg write.
+  EXPECT_TRUE(has(fs, "src/kv_put.cpp", "unchecked-put", 14));
+  EXPECT_TRUE(has(fs, "src/kv_put.cpp", "unchecked-put", 15));
+  EXPECT_TRUE(has(fs, "src/kv_put.cpp", "unchecked-put", 16));
 }
 
 TEST(LintFixtures, GoldenCounts) {
@@ -83,6 +87,7 @@ TEST(LintFixtures, GoldenCounts) {
   EXPECT_EQ(count(fs, "src/async.cpp", "discarded-async"), 1u);
   EXPECT_EQ(count(fs, "src/snacc/escape.cpp", "value-escape"), 1u);
   EXPECT_EQ(count(fs, "src/stale.cpp", "stale-suppression"), 1u);
+  EXPECT_EQ(count(fs, "src/kv_put.cpp", "unchecked-put"), 3u);
 }
 
 // Near-misses: code shaped like a violation that must NOT be flagged.
@@ -112,6 +117,9 @@ TEST(LintFixtures, NearMissesStaySilent) {
   EXPECT_FALSE(has(fs, "src/snacc/escape.cpp", "value-escape", 20));
   // The policy'd raw directory is waved through wholesale.
   EXPECT_EQ(count(fs, "src/mem/policy_ok.cpp", "value-escape"), 0u);
+  // unchecked-put near-misses: status-checked calls, a 1-arg put, and a
+  // 2-arg write on a non-replicated receiver -- only the 3 positives flag.
+  EXPECT_EQ(count(fs, "src/kv_put.cpp", "unchecked-put"), 3u);
 }
 
 // A consumed suppression must not be reported stale; only the marker in
@@ -196,7 +204,7 @@ TEST(LintBaseline, RoundTrip) {
   write_opts.update_baseline = true;
   const auto wrote = lint::scan(write_opts);
   ASSERT_TRUE(wrote.error.empty()) << wrote.error;
-  EXPECT_EQ(wrote.baseline_matched, 12u);  // everything grandfathered
+  EXPECT_EQ(wrote.baseline_matched, 15u);  // everything grandfathered
   EXPECT_TRUE(wrote.findings.empty());
 
   lint::Options read_opts;
@@ -206,7 +214,7 @@ TEST(LintBaseline, RoundTrip) {
   ASSERT_TRUE(reread.error.empty()) << reread.error;
   EXPECT_TRUE(reread.findings.empty())
       << "a baselined scan of unchanged sources must be clean";
-  EXPECT_EQ(reread.baseline_matched, 12u);
+  EXPECT_EQ(reread.baseline_matched, 15u);
 
   fs::remove(path);
 }
@@ -224,8 +232,9 @@ TEST(LintSarif, ShapeAndContent) {
   // engine-level stale-suppression findings resolve a ruleIndex too.
   for (const char* rule :
        {"bare-uint-signature", "nondeterminism", "raw-doorbell",
-        "unbounded-poll", "lambda-event", "dangling-capture",
-        "discarded-async", "value-escape", "stale-suppression"}) {
+        "unbounded-poll", "lambda-event", "unchecked-put",
+        "dangling-capture", "discarded-async", "value-escape",
+        "stale-suppression"}) {
     EXPECT_NE(sarif.find(rule), std::string::npos) << rule;
   }
   EXPECT_NE(sarif.find("\"startLine\""), std::string::npos);
