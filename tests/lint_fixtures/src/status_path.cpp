@@ -1,0 +1,83 @@
+// unchecked-status-path fixture: a PutStatus filled through `&st` must be
+// checked on every path to function exit. Near-misses check on all paths,
+// use a non-PutStatus local, or never pass the status by address.
+// Fixtures are scanned, not compiled.
+namespace fix {
+
+// POSITIVE: checked only on the logging branch; the quiet path drops it.
+sim::Task one_branch(Store* store, bool verbose) {
+  PutStatus st = PutStatus::kOk;
+  store->put("k", 1, &st);
+  if (verbose) {
+    report(st);
+  }
+  co_return;
+}
+
+// POSITIVE: the overload early-exit skips the check entirely.
+sim::Task early_exit(Store* store, bool overloaded) {
+  PutStatus st = PutStatus::kOk;
+  store->put("k", 2, &st);
+  if (overloaded) {
+    co_return;
+  }
+  require_ok(st);
+  co_return;
+}
+
+// POSITIVE: one switch arm checks, the default arm drops the verdict.
+sim::Task switch_drop(Store* store, int mode) {
+  PutStatus st = PutStatus::kOk;
+  store->put("k", 3, &st);
+  switch (mode) {
+    case 0:
+      require_ok(st);
+      break;
+    default:
+      break;
+  }
+  co_return;
+}
+
+// NEGATIVE (near-miss): checked immediately on the only path.
+sim::Task checked(Store* store) {
+  PutStatus st = PutStatus::kOk;
+  store->put("k", 4, &st);
+  require_ok(st);
+  co_return;
+}
+
+// NEGATIVE (near-miss): both branches check before exiting.
+sim::Task both_branches(Store* store, bool fast) {
+  PutStatus st = PutStatus::kOk;
+  store->put("k", 5, &st);
+  if (fast) {
+    require_ok(st);
+    co_return;
+  }
+  retry_if_failed(st);
+  co_return;
+}
+
+// NEGATIVE (near-miss): a plain int out-param is not a PutStatus.
+sim::Task int_status(Store* store, bool verbose) {
+  int st = 0;
+  store->put("k", 6, &st);
+  if (verbose) {
+    report(st);
+  }
+  co_return;
+}
+
+// NEGATIVE (near-miss): filled in a loop, checked once after it -- every
+// loop exit passes through the check.
+sim::Task loop_then_check(Store* store, int n) {
+  PutStatus st = PutStatus::kOk;
+  for (int i = 0; i < n; ++i) {
+    store->put("k", i, &st);
+  }
+  require_ok(st);
+  co_return;
+}
+
+}  // namespace fix

@@ -4,7 +4,9 @@
 // output shape, and determinism across worker counts.
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -12,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "lint/engine.hpp"
+#include "lint/rules.hpp"
 #include "lint/sarif.hpp"
 #include "lint/source.hpp"
 #include "lint/token.hpp"
@@ -50,8 +53,8 @@ bool has(const std::vector<lint::Finding>& fs, std::string_view file,
 TEST(LintFixtures, ScansWholeTree) {
   const auto res = scan_fixtures();
   EXPECT_TRUE(res.error.empty()) << res.error;
-  EXPECT_EQ(res.files_scanned, 13u);
-  EXPECT_EQ(res.findings.size(), 15u);
+  EXPECT_EQ(res.files_scanned, 16u);
+  EXPECT_EQ(res.findings.size(), 24u);
   ASSERT_EQ(res.line_texts.size(), res.findings.size());
 }
 
@@ -74,6 +77,18 @@ TEST(LintFixtures, GoldenPositives) {
   EXPECT_TRUE(has(fs, "src/kv_put.cpp", "unchecked-put", 14));
   EXPECT_TRUE(has(fs, "src/kv_put.cpp", "unchecked-put", 15));
   EXPECT_TRUE(has(fs, "src/kv_put.cpp", "unchecked-put", 16));
+  // resource-pairing: early co_return, continue-skips-release, switch arm.
+  EXPECT_TRUE(has(fs, "src/resource_pair.cpp", "resource-pairing", 10));
+  EXPECT_TRUE(has(fs, "src/resource_pair.cpp", "resource-pairing", 21));
+  EXPECT_TRUE(has(fs, "src/resource_pair.cpp", "resource-pairing", 32));
+  // use-after-move: branch leak, straight line, loop back edge.
+  EXPECT_TRUE(has(fs, "src/use_move.cpp", "use-after-move", 14));
+  EXPECT_TRUE(has(fs, "src/use_move.cpp", "use-after-move", 21));
+  EXPECT_TRUE(has(fs, "src/use_move.cpp", "use-after-move", 29));
+  // unchecked-status-path: one branch, early exit, switch default.
+  EXPECT_TRUE(has(fs, "src/status_path.cpp", "unchecked-status-path", 10));
+  EXPECT_TRUE(has(fs, "src/status_path.cpp", "unchecked-status-path", 20));
+  EXPECT_TRUE(has(fs, "src/status_path.cpp", "unchecked-status-path", 31));
 }
 
 TEST(LintFixtures, GoldenCounts) {
@@ -88,6 +103,9 @@ TEST(LintFixtures, GoldenCounts) {
   EXPECT_EQ(count(fs, "src/snacc/escape.cpp", "value-escape"), 1u);
   EXPECT_EQ(count(fs, "src/stale.cpp", "stale-suppression"), 1u);
   EXPECT_EQ(count(fs, "src/kv_put.cpp", "unchecked-put"), 3u);
+  EXPECT_EQ(count(fs, "src/resource_pair.cpp", "resource-pairing"), 3u);
+  EXPECT_EQ(count(fs, "src/use_move.cpp", "use-after-move"), 3u);
+  EXPECT_EQ(count(fs, "src/status_path.cpp", "unchecked-status-path"), 3u);
 }
 
 // Near-misses: code shaped like a violation that must NOT be flagged.
@@ -120,6 +138,24 @@ TEST(LintFixtures, NearMissesStaySilent) {
   // unchecked-put near-misses: status-checked calls, a 1-arg put, and a
   // 2-arg write on a non-replicated receiver -- only the 3 positives flag.
   EXPECT_EQ(count(fs, "src/kv_put.cpp", "unchecked-put"), 3u);
+  // resource-pairing near-misses: release-on-every-path, acquire-only
+  // handoff (gated), while(true) pump with cross-iteration re-acquire.
+  EXPECT_EQ(count(fs, "src/resource_pair.cpp", "resource-pairing"), 3u);
+  // use-after-move near-misses: reassignment, same-statement ternary arms,
+  // member move, per-iteration redeclaration, move-of-moved transfer.
+  EXPECT_EQ(count(fs, "src/use_move.cpp", "use-after-move"), 3u);
+  // unchecked-status-path near-misses: immediate check, both-branch check,
+  // non-PutStatus out-param, fill-in-loop-check-after.
+  EXPECT_EQ(count(fs, "src/status_path.cpp", "unchecked-status-path"), 3u);
+  // The new fixtures must not trip any pre-existing rule.
+  for (const char* file :
+       {"src/resource_pair.cpp", "src/use_move.cpp", "src/status_path.cpp"}) {
+    for (const char* rule :
+         {"dangling-capture", "unchecked-put", "discarded-async",
+          "unbounded-poll", "nondeterminism"}) {
+      EXPECT_EQ(count(fs, file, rule), 0u) << file << " " << rule;
+    }
+  }
 }
 
 // A consumed suppression must not be reported stale; only the marker in
@@ -204,7 +240,7 @@ TEST(LintBaseline, RoundTrip) {
   write_opts.update_baseline = true;
   const auto wrote = lint::scan(write_opts);
   ASSERT_TRUE(wrote.error.empty()) << wrote.error;
-  EXPECT_EQ(wrote.baseline_matched, 15u);  // everything grandfathered
+  EXPECT_EQ(wrote.baseline_matched, 24u);  // everything grandfathered
   EXPECT_TRUE(wrote.findings.empty());
 
   lint::Options read_opts;
@@ -214,7 +250,7 @@ TEST(LintBaseline, RoundTrip) {
   ASSERT_TRUE(reread.error.empty()) << reread.error;
   EXPECT_TRUE(reread.findings.empty())
       << "a baselined scan of unchanged sources must be clean";
-  EXPECT_EQ(reread.baseline_matched, 15u);
+  EXPECT_EQ(reread.baseline_matched, 24u);
 
   fs::remove(path);
 }
@@ -234,11 +270,64 @@ TEST(LintSarif, ShapeAndContent) {
        {"bare-uint-signature", "nondeterminism", "raw-doorbell",
         "unbounded-poll", "lambda-event", "unchecked-put",
         "dangling-capture", "discarded-async", "value-escape",
+        "resource-pairing", "use-after-move", "unchecked-status-path",
         "stale-suppression"}) {
     EXPECT_NE(sarif.find(rule), std::string::npos) << rule;
   }
   EXPECT_NE(sarif.find("\"startLine\""), std::string::npos);
   EXPECT_NE(sarif.find("src/coro.cpp"), std::string::npos);
+}
+
+// Path-sensitive findings carry their execution path, and the SARIF
+// rendering exposes it as codeFlows/threadFlows code scanning can walk.
+TEST(LintSarif, CodeFlowsShape) {
+  const auto res = scan_fixtures();
+
+  // Every flow-rule finding has a path; token-level findings have none.
+  for (const lint::Finding& f : res.findings) {
+    const bool flow_rule = f.rule == "resource-pairing" ||
+                           f.rule == "use-after-move" ||
+                           f.rule == "unchecked-status-path";
+    EXPECT_EQ(!f.path.empty(), flow_rule) << f.rule << " at " << f.file << ":"
+                                          << f.line;
+    if (!flow_rule) continue;
+    // resource-pairing and unchecked-status-path anchor at the path's
+    // source (the acquire / the fill); use-after-move anchors at its sink
+    // (the read). Every step carries a human-readable note.
+    if (f.rule == "use-after-move") {
+      EXPECT_EQ(f.path.back().line, f.line);
+    } else {
+      EXPECT_EQ(f.path.front().line, f.line);
+    }
+    EXPECT_GE(f.path.size(), 2u) << "a path needs at least source and sink";
+    for (const lint::PathStep& s : f.path) {
+      EXPECT_GT(s.line, 0u);
+      EXPECT_FALSE(s.note.empty());
+    }
+  }
+
+  const std::string sarif = lint::to_sarif(res.findings);
+  EXPECT_NE(sarif.find("\"codeFlows\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"threadFlows\""), std::string::npos);
+  // One threadFlow location per path step, each with a message.
+  const auto occurrences = [&](std::string_view needle) {
+    std::size_t n = 0;
+    for (std::size_t at = sarif.find(needle); at != std::string::npos;
+         at = sarif.find(needle, at + needle.size()))
+      ++n;
+    return n;
+  };
+  std::size_t steps = 0, flows = 0;
+  for (const lint::Finding& f : res.findings) {
+    if (f.path.empty()) continue;
+    ++flows;
+    steps += f.path.size();
+  }
+  EXPECT_EQ(occurrences("\"codeFlows\""), flows);
+  EXPECT_EQ(occurrences("\"threadFlows\""), flows);
+  EXPECT_NE(sarif.find("function exit with the resource still held"),
+            std::string::npos);
+  EXPECT_GE(occurrences("\"message\""), steps);
 }
 
 // ---------------------------------------------------------------------------
@@ -249,8 +338,37 @@ TEST(LintEngine, DeterministicAcrossJobCounts) {
   const auto eight = scan_fixtures(8);
   ASSERT_TRUE(one.error.empty());
   ASSERT_TRUE(eight.error.empty());
+  // Finding equality includes the execution path, so this also pins the
+  // flow rules' codeFlows across worker counts -- make sure they fired.
+  EXPECT_GT(count(one.findings, "src/resource_pair.cpp", "resource-pairing"),
+            0u);
+  EXPECT_GT(count(one.findings, "src/use_move.cpp", "use-after-move"), 0u);
+  EXPECT_GT(
+      count(one.findings, "src/status_path.cpp", "unchecked-status-path"),
+      0u);
   EXPECT_TRUE(one.findings == eight.findings);
   EXPECT_TRUE(one.line_texts == eight.line_texts);
+}
+
+// ---------------------------------------------------------------------------
+// Docs stay in sync with the rule catalog.
+
+// Every rule the binary knows (including the engine-level stale-suppression
+// pass) must be documented by name in docs/STATIC_ANALYSIS.md, and the
+// catalog itself must be the full 12+1 set.
+TEST(LintCatalog, DocsListEveryRule) {
+  const auto catalog = lint::rule_catalog();
+  EXPECT_EQ(catalog.size(), 13u);
+  std::ifstream in(LINT_DOCS_FILE);
+  ASSERT_TRUE(in.good()) << "cannot open " << LINT_DOCS_FILE;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string docs = ss.str();
+  for (const lint::RuleMeta& m : catalog) {
+    EXPECT_NE(docs.find(m.name), std::string::npos)
+        << "rule '" << m.name << "' missing from docs/STATIC_ANALYSIS.md";
+    EXPECT_FALSE(m.description.empty()) << m.name;
+  }
 }
 
 }  // namespace

@@ -135,10 +135,13 @@ ScanResult analyze(std::vector<std::unique_ptr<SourceFile>> files,
   for (const std::string& s : sync_fns) async_fns.erase(s);
 
   // Phase B: every rule over every file's shared token stream. Each file
-  // writes its own findings slot; no cross-file state is mutated.
+  // writes its own findings slot; no cross-file state is mutated. The
+  // CfgCache is per file and all of a file's rules run on one worker, so
+  // its lazy build needs no locking.
   std::vector<std::vector<Finding>> raw(files.size());
   for_each_index(files.size(), jobs, [&](std::size_t i) {
-    const RuleContext ctx{*files[i], scopes[i], async_fns};
+    const CfgCache cfgs(files[i]->tokens(), scopes[i]);
+    const RuleContext ctx{*files[i], scopes[i], async_fns, cfgs};
     for (const auto& rule : all_rules()) {
       rule->run(ctx, &raw[i]);
     }

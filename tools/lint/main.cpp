@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "lint/engine.hpp"
@@ -55,12 +56,12 @@ int main(int argc, char** argv) {
       usage(stdout);
       return 0;
     } else if (arg == "--list-rules") {
-      for (const auto& r : lint::all_rules()) {
-        std::printf("%-20s %s\n", std::string(r->name()).c_str(),
-                    std::string(r->description()).c_str());
+      // The catalog already includes the engine-level stale-suppression
+      // check; nothing is hard-coded here (see lint::rule_catalog()).
+      for (const lint::RuleMeta& r : lint::rule_catalog()) {
+        std::printf("%-22s %s\n", std::string(r.name).c_str(),
+                    std::string(r.description).c_str());
       }
-      std::printf("%-20s %s\n", "stale-suppression",
-                  "allow() marker that silences no finding (engine check)");
       return 0;
     } else if (arg == "--sarif") {
       sarif_path = next("--sarif");
@@ -69,7 +70,21 @@ int main(int argc, char** argv) {
     } else if (arg == "--update-baseline") {
       opts.update_baseline = true;
     } else if (arg == "--jobs") {
-      opts.jobs = static_cast<unsigned>(std::atoi(next("--jobs")));
+      const char* val = next("--jobs");
+      char* end = nullptr;
+      const long n = std::strtol(val, &end, 10);
+      if (end == val || *end != '\0' || n < 0 || n > 4096) {
+        std::fprintf(stderr,
+                     "snacc-lint: --jobs expects a thread count in [0, 4096] "
+                     "(0 = hardware), got '%s'\n",
+                     val);
+        return 2;
+      }
+      opts.jobs = static_cast<unsigned>(n);
+      if (opts.jobs == 0) {
+        opts.jobs = std::thread::hardware_concurrency();
+        if (opts.jobs == 0) opts.jobs = 1;
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "snacc-lint: unknown option '%s'\n", arg.c_str());
       usage(stderr);

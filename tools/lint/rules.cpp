@@ -308,10 +308,13 @@ class UncheckedPut final : public Rule {
 
 }  // namespace
 
-// Defined in rules_coro.cpp / rule_value_escape.cpp.
+// Defined in rules_coro.cpp / rule_value_escape.cpp / rules_flow.cpp.
 std::unique_ptr<Rule> make_dangling_capture();
 std::unique_ptr<Rule> make_discarded_async();
 std::unique_ptr<Rule> make_value_escape();
+std::unique_ptr<Rule> make_resource_pairing();
+std::unique_ptr<Rule> make_use_after_move();
+std::unique_ptr<Rule> make_unchecked_status_path();
 
 const std::vector<std::unique_ptr<Rule>>& all_rules() {
   static const std::vector<std::unique_ptr<Rule>> kRules = [] {
@@ -325,9 +328,29 @@ const std::vector<std::unique_ptr<Rule>>& all_rules() {
     r.push_back(make_dangling_capture());
     r.push_back(make_discarded_async());
     r.push_back(make_value_escape());
+    r.push_back(make_resource_pairing());
+    r.push_back(make_use_after_move());
+    r.push_back(make_unchecked_status_path());
     return r;
   }();
   return kRules;
+}
+
+const std::vector<RuleMeta>& rule_catalog() {
+  static const std::vector<RuleMeta> kCatalog = [] {
+    std::vector<RuleMeta> c;
+    for (const auto& r : all_rules()) {
+      c.push_back({r->name(), r->description()});
+    }
+    // The engine-level suppression-hygiene check has no Rule object but is
+    // a real finding kind; it lives in the catalog so --list-rules, SARIF,
+    // and the docs can never drift from what the tool actually reports.
+    c.push_back({"stale-suppression",
+                 "a 'snacc-lint: allow(<rule>)' marker that silences no "
+                 "finding; remove it so suppressions stay meaningful"});
+    return c;
+  }();
+  return kCatalog;
 }
 
 }  // namespace lint

@@ -1,0 +1,574 @@
+// Path-sensitive rules over the CFG/dataflow layers (cfg.hpp,
+// dataflow.hpp). Each rule turns a function body into per-block gen/kill
+// events, lets ForwardMay push them around branches and loops, and reports
+// with the offending path attached (Finding::path -> SARIF codeFlows):
+//
+//   resource-pairing      an acquire from the policy table can reach
+//                         function exit without its release
+//   use-after-move        a moved-from Payload/Chunk local is read on some
+//                         path before reassignment
+//   unchecked-status-path a PutStatus out-param is filled but dropped on
+//                         some path (the flow upgrade of unchecked-put)
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/dataflow.hpp"
+#include "lint/rules.hpp"
+
+namespace lint {
+
+namespace {
+
+bool path_starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// '*'-wildcard match (the only metacharacter the policy table uses).
+bool glob_match(std::string_view glob, std::string_view s) {
+  std::size_t g = 0, i = 0;
+  std::size_t star = std::string_view::npos, mark = 0;
+  while (i < s.size()) {
+    if (g < glob.size() && glob[g] == '*') {
+      star = g++;
+      mark = i;
+    } else if (g < glob.size() && glob[g] == s[i]) {
+      ++g;
+      ++i;
+    } else if (star != std::string_view::npos) {
+      g = star + 1;
+      i = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (g < glob.size() && glob[g] == '*') ++g;
+  return g == glob.size();
+}
+
+/// Token ranges of `idx`'s direct child lambdas: a lambda body is its own
+/// FuncScope with its own CFG, so the parent's event scan skips it.
+std::vector<std::pair<std::size_t, std::size_t>> child_ranges(
+    const ScopeInfo& scopes, int idx) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (const FuncScope& g : scopes.funcs) {
+    if (g.parent == idx) out.emplace_back(g.body_begin, g.body_end);
+  }
+  return out;
+}
+
+bool in_ranges(const std::vector<std::pair<std::size_t, std::size_t>>& rs,
+               std::size_t i) {
+  for (const auto& [b, e] : rs) {
+    if (i >= b && i <= e) return true;
+  }
+  return false;
+}
+
+/// Free-standing use: not a member access (`x.v`) or qualified name.
+bool plain_use(const std::vector<Token>& toks, std::size_t i) {
+  if (i > 0 && (toks[i - 1].is(".") || toks[i - 1].is("->") ||
+                toks[i - 1].is("::"))) {
+    return false;
+  }
+  if (i + 1 < toks.size() && toks[i + 1].is("::")) return false;
+  return true;
+}
+
+/// Appends the interior of a block path (everything between the first and
+/// last step, which the caller renders itself) as PathSteps, skipping
+/// synthetic blocks and repeated lines so the rendered flow stays tight.
+void append_interior(const Cfg& cfg, const std::vector<int>& path,
+                     const std::string& note, std::vector<PathStep>* steps) {
+  std::uint32_t last = steps->empty() ? 0 : steps->back().line;
+  for (std::size_t k = 1; k + 1 < path.size(); ++k) {
+    const std::uint32_t ln = cfg.block(path[k]).line;
+    if (ln == 0 || ln == last) continue;
+    steps->push_back({ln, note});
+    last = ln;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// resource-pairing
+
+class ResourcePairing final : public Rule {
+ public:
+  std::string_view name() const override { return "resource-pairing"; }
+  std::string_view description() const override {
+    return "acquire from the resource policy table can reach function exit "
+           "without its matching release on some path";
+  }
+
+  void run(const RuleContext& ctx, std::vector<Finding>* out) const override {
+    const auto& toks = ctx.file.tokens();
+    const auto& policy = resource_pair_policy();
+    for (std::size_t fi = 0; fi < ctx.scopes.funcs.size(); ++fi) {
+      const FuncScope& f = ctx.scopes.funcs[fi];
+      if (f.body_end <= f.body_begin) continue;
+      const auto nested = child_ranges(ctx.scopes, static_cast<int>(fi));
+      const Cfg& cfg = ctx.cfgs.get(static_cast<int>(fi));
+
+      // Collect acquire/release call events per block, keyed by
+      // (policy row, receiver identifier).
+      struct Ev {
+        bool acquire;
+        std::size_t key;
+        std::size_t tok;
+      };
+      std::vector<std::vector<Ev>> evs(cfg.blocks.size());
+      std::map<std::pair<std::size_t, std::string_view>, std::size_t> keys;
+      struct KeyInfo {
+        std::size_t policy_row;
+        std::string_view recv;
+        int acquires = 0;
+        int releases = 0;
+      };
+      std::vector<KeyInfo> key_info;
+      for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        const CfgBlock& blk = cfg.blocks[b];
+        const std::size_t hi = std::min(blk.end, toks.size());
+        for (std::size_t i = blk.begin; i + 3 < toks.size() && i < hi; ++i) {
+          if (in_ranges(nested, i)) continue;
+          if (toks[i].kind != Tok::kIdent) continue;
+          if (!toks[i + 1].is(".") && !toks[i + 1].is("->")) continue;
+          if (toks[i + 2].kind != Tok::kIdent || !toks[i + 3].is("(")) continue;
+          for (std::size_t pi = 0; pi < policy.size(); ++pi) {
+            const ResourcePairEntry& e = policy[pi];
+            const bool acq = toks[i + 2].text == e.acquire;
+            const bool rel = toks[i + 2].text == e.release;
+            if ((!acq && !rel) || !glob_match(e.receiver_glob, toks[i].text)) {
+              continue;
+            }
+            const auto [it, fresh] =
+                keys.try_emplace({pi, toks[i].text}, key_info.size());
+            if (fresh) key_info.push_back({pi, toks[i].text});
+            KeyInfo& ki = key_info[it->second];
+            (acq ? ki.acquires : ki.releases)++;
+            evs[b].push_back({acq, it->second, i});
+            break;
+          }
+        }
+      }
+
+      // Gate: a key participates only when this function both acquires AND
+      // releases it -- acquire-only (or release-only) functions are halves
+      // of a deliberate cross-coroutine handoff and must stay silent.
+      std::vector<bool> active(key_info.size());
+      bool any = false;
+      for (std::size_t k = 0; k < key_info.size(); ++k) {
+        active[k] = key_info[k].acquires > 0 && key_info[k].releases > 0;
+        any = any || active[k];
+      }
+      if (!any) continue;
+
+      // Facts are individual acquire sites of active keys.
+      struct Site {
+        std::size_t key;
+        int block;
+        std::uint32_t line;
+      };
+      std::vector<Site> sites;
+      std::map<std::size_t, std::size_t> fact_of_tok;
+      for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        for (const Ev& e : evs[b]) {
+          if (e.acquire && active[e.key]) {
+            fact_of_tok[e.tok] = sites.size();
+            sites.push_back({e.key, static_cast<int>(b), toks[e.tok].line});
+          }
+        }
+      }
+      if (sites.empty()) continue;
+
+      ForwardMay df(cfg, sites.size());
+      std::vector<int> state(sites.size());  // 0 untouched, 1 live, -1 dead
+      for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        if (evs[b].empty()) continue;
+        std::fill(state.begin(), state.end(), 0);
+        for (const Ev& e : evs[b]) {
+          if (!active[e.key]) continue;
+          if (e.acquire) {
+            state[fact_of_tok[e.tok]] = 1;
+          } else {
+            for (std::size_t s = 0; s < sites.size(); ++s) {
+              if (sites[s].key == e.key) state[s] = -1;
+            }
+          }
+        }
+        for (std::size_t s = 0; s < sites.size(); ++s) {
+          if (state[s] == 1) df.add_gen(static_cast<int>(b), s);
+          if (state[s] == -1) df.add_kill(static_cast<int>(b), s);
+        }
+      }
+      df.solve();
+
+      for (std::size_t s = 0; s < sites.size(); ++s) {
+        if (!df.in(cfg.exit, s)) continue;
+        const KeyInfo& ki = key_info[sites[s].key];
+        const ResourcePairEntry& pe = policy[ki.policy_row];
+        const std::string recv(ki.recv);
+        Finding fd{ctx.file.rel(), sites[s].line, std::string(name()),
+                   "'" + recv + "." + std::string(pe.acquire) +
+                       "()' can reach function exit without '" + recv + "." +
+                       std::string(pe.release) +
+                       "()' on some path (early return/continue?); release "
+                       "on every path or split the handoff into its own "
+                       "function",
+                   {}};
+        const auto path = df.live_path(cfg.exit, s);
+        fd.path.push_back({sites[s].line, "'" + recv + "." +
+                                              std::string(pe.acquire) +
+                                              "()' acquired here"});
+        append_interior(cfg, path,
+                        "path continues without '" + recv + "." +
+                            std::string(pe.release) + "()'",
+                        &fd.path);
+        const std::uint32_t exit_ln = cfg.block(cfg.exit).line;
+        fd.path.push_back({exit_ln == 0 ? sites[s].line : exit_ln,
+                           "function exit with the resource still held"});
+        out->push_back(std::move(fd));
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// use-after-move
+
+class UseAfterMove final : public Rule {
+ public:
+  std::string_view name() const override { return "use-after-move"; }
+  std::string_view description() const override {
+    return "moved-from Payload/Chunk local read on some path before "
+           "reassignment";
+  }
+
+  void run(const RuleContext& ctx, std::vector<Finding>* out) const override {
+    const auto& toks = ctx.file.tokens();
+    for (std::size_t fi = 0; fi < ctx.scopes.funcs.size(); ++fi) {
+      const FuncScope& f = ctx.scopes.funcs[fi];
+      if (f.body_end <= f.body_begin) continue;
+      const auto nested = child_ranges(ctx.scopes, static_cast<int>(fi));
+
+      // Tracked locals: declared in this body with a bare payload-carrying
+      // value type directly before the name (`Payload p = ...`). Pointers,
+      // references, templates (`optional<Chunk>`) don't match and stay out.
+      std::map<std::string_view, std::size_t> vars;
+      for (std::size_t i = f.body_begin + 1;
+           i + 2 < toks.size() && i < f.body_end; ++i) {
+        if (in_ranges(nested, i)) continue;
+        if (!is_tracked_type(toks[i])) continue;
+        if (toks[i + 1].kind != Tok::kIdent) continue;
+        if (!toks[i + 2].is(";") && !toks[i + 2].is("=") &&
+            !toks[i + 2].is("{") && !toks[i + 2].is("(")) {
+          continue;
+        }
+        vars.try_emplace(toks[i + 1].text, vars.size());
+      }
+      if (vars.empty()) continue;
+      const Cfg& cfg = ctx.cfgs.get(static_cast<int>(fi));
+
+      enum class Kind { kMove, kKill, kRead };
+      struct Ev {
+        Kind kind;
+        std::size_t var;
+        std::uint32_t line;
+        int stmt;  // statement ordinal within the block (for ternary arms)
+      };
+      std::vector<std::vector<Ev>> evs(cfg.blocks.size());
+      // Last move line of each var per block, for path reconstruction.
+      std::map<std::pair<int, std::size_t>, std::uint32_t> move_line;
+      for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        const CfgBlock& blk = cfg.blocks[b];
+        const std::size_t hi = std::min(blk.end, toks.size());
+        int depth = 0;
+        int stmt = 0;
+        for (std::size_t i = blk.begin; i < hi; ++i) {
+          if (in_ranges(nested, i)) continue;
+          if (toks[i].kind == Tok::kPunct) {
+            if (toks[i].is("(") || toks[i].is("[") || toks[i].is("{")) ++depth;
+            else if (toks[i].is(")") || toks[i].is("]") || toks[i].is("}"))
+              --depth;
+            else if (toks[i].is(";") && depth <= 0) ++stmt;
+            continue;
+          }
+          if (toks[i].kind != Tok::kIdent) continue;
+          const auto vit = vars.find(toks[i].text);
+          if (vit == vars.end()) continue;
+          const std::size_t v = vit->second;
+          if (i > 0 && is_tracked_type(toks[i - 1])) {
+            evs[b].push_back(
+                {Kind::kKill, v, toks[i].line, stmt});  // (re)declared
+            continue;
+          }
+          const bool is_move = i >= 4 && i + 1 < toks.size() &&
+                               toks[i - 1].is("(") &&
+                               toks[i - 2].ident("move") &&
+                               toks[i - 3].is("::") &&
+                               toks[i - 4].ident("std") && toks[i + 1].is(")");
+          if (is_move) {
+            evs[b].push_back({Kind::kMove, v, toks[i].line, stmt});
+            move_line[{static_cast<int>(b), v}] = toks[i].line;
+            continue;
+          }
+          if (!plain_use(toks, i)) continue;
+          if (i + 1 < toks.size() && toks[i + 1].is("=")) {
+            evs[b].push_back({Kind::kKill, v, toks[i].line, stmt});  // reassign
+          } else if (i > 0 && toks[i - 1].is("&")) {
+            evs[b].push_back({Kind::kKill, v, toks[i].line, stmt});  // escapes
+          } else {
+            evs[b].push_back({Kind::kRead, v, toks[i].line, stmt});
+          }
+        }
+      }
+
+      ForwardMay df(cfg, vars.size());
+      std::vector<int> state(vars.size());
+      for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        if (evs[b].empty()) continue;
+        std::fill(state.begin(), state.end(), 0);
+        for (const Ev& e : evs[b]) {
+          if (e.kind == Kind::kMove) state[e.var] = 1;
+          if (e.kind == Kind::kKill) state[e.var] = -1;
+        }
+        for (std::size_t v = 0; v < vars.size(); ++v) {
+          if (state[v] == 1) df.add_gen(static_cast<int>(b), v);
+          if (state[v] == -1) df.add_kill(static_cast<int>(b), v);
+        }
+      }
+      df.solve();
+
+      // Report pass: walk each block's events with the solved in-state,
+      // flagging reads while the var is (may-)moved.
+      std::vector<std::string_view> names(vars.size());
+      for (const auto& [n, v] : vars) names[v] = n;
+      std::vector<std::pair<std::size_t, std::uint32_t>> reported;
+      for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        if (evs[b].empty()) continue;
+        std::vector<bool> moved(vars.size());
+        std::vector<std::uint32_t> local_move(vars.size(), 0);
+        std::vector<int> local_move_stmt(vars.size(), -1);
+        for (std::size_t v = 0; v < vars.size(); ++v) {
+          moved[v] = df.in(static_cast<int>(b), v);
+        }
+        for (const Ev& e : evs[b]) {
+          if (e.kind == Kind::kMove) {
+            moved[e.var] = true;
+            local_move[e.var] = e.line;
+            local_move_stmt[e.var] = e.stmt;
+            continue;
+          }
+          if (e.kind == Kind::kKill) {
+            moved[e.var] = false;
+            local_move[e.var] = 0;
+            local_move_stmt[e.var] = -1;
+            continue;
+          }
+          if (!moved[e.var]) continue;
+          // A read in the same statement as the move is almost always the
+          // other arm of a conditional operator (`c ? std::move(p) :
+          // concat(a, p)`), where only one arm runs; the statement-level
+          // CFG cannot split those, so same-statement pairs stay silent by
+          // design.
+          if (local_move_stmt[e.var] == e.stmt) continue;
+          if (std::find(reported.begin(), reported.end(),
+                        std::make_pair(e.var, e.line)) != reported.end()) {
+            continue;
+          }
+          reported.emplace_back(e.var, e.line);
+          const std::string vn(names[e.var]);
+          Finding fd{ctx.file.rel(), e.line, std::string(name()),
+                     "'" + vn +
+                         "' is read here but was moved from on some path "
+                         "and not reassigned; reassign before reading or "
+                         "restructure the branch",
+                     {}};
+          if (local_move[e.var] != 0) {
+            fd.path.push_back(
+                {local_move[e.var], "'" + vn + "' moved from here"});
+          } else {
+            const auto path = df.live_path(static_cast<int>(b), e.var);
+            std::uint32_t mv = 0;
+            if (!path.empty()) {
+              const auto mit = move_line.find({path.front(), e.var});
+              if (mit != move_line.end()) mv = mit->second;
+            }
+            fd.path.push_back(
+                {mv == 0 ? e.line : mv, "'" + vn + "' moved from here"});
+            if (!path.empty()) {
+              append_interior(cfg, path, "'" + vn + "' still moved-from",
+                              &fd.path);
+            }
+          }
+          fd.path.push_back({e.line, "'" + vn + "' read while moved-from"});
+          out->push_back(std::move(fd));
+        }
+      }
+    }
+  }
+
+ private:
+  static bool is_tracked_type(const Token& t) {
+    return t.ident("Payload") || t.ident("Chunk");
+  }
+};
+
+// ---------------------------------------------------------------------------
+// unchecked-status-path
+
+class UncheckedStatusPath final : public Rule {
+ public:
+  std::string_view name() const override { return "unchecked-status-path"; }
+  std::string_view description() const override {
+    return "PutStatus filled through an out-param but dropped on some path "
+           "to function exit";
+  }
+
+  void run(const RuleContext& ctx, std::vector<Finding>* out) const override {
+    // Same scope as unchecked-put, whose gap this closes: tests assert on
+    // statuses anyway, and bench harnesses own their error budget.
+    const std::string_view rel = ctx.file.rel();
+    if (!path_starts_with(rel, "src/") && !path_starts_with(rel, "examples/")) {
+      return;
+    }
+    const auto& toks = ctx.file.tokens();
+    for (std::size_t fi = 0; fi < ctx.scopes.funcs.size(); ++fi) {
+      const FuncScope& f = ctx.scopes.funcs[fi];
+      if (f.body_end <= f.body_begin) continue;
+      const auto nested = child_ranges(ctx.scopes, static_cast<int>(fi));
+
+      std::map<std::string_view, std::size_t> vars;
+      for (std::size_t i = f.body_begin + 1;
+           i + 2 < toks.size() && i < f.body_end; ++i) {
+        if (in_ranges(nested, i)) continue;
+        if (!toks[i].ident("PutStatus")) continue;
+        if (toks[i + 1].kind != Tok::kIdent) continue;
+        if (!toks[i + 2].is(";") && !toks[i + 2].is("=") &&
+            !toks[i + 2].is("{")) {
+          continue;
+        }
+        vars.try_emplace(toks[i + 1].text, vars.size());
+      }
+      if (vars.empty()) continue;
+      const Cfg& cfg = ctx.cfgs.get(static_cast<int>(fi));
+
+      // Facts are fill sites: each `&st` hands the variable to a callee as
+      // an out-param. Any plain use afterwards (comparison, pass-by-value,
+      // assignment) counts as the check that consumes the pending value.
+      struct Ev {
+        bool fill;
+        std::size_t var;
+        std::size_t tok;
+      };
+      std::vector<std::vector<Ev>> evs(cfg.blocks.size());
+      struct Site {
+        std::size_t var;
+        std::uint32_t line;
+      };
+      std::vector<Site> sites;
+      std::map<std::size_t, std::size_t> fact_of_tok;
+      for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        const CfgBlock& blk = cfg.blocks[b];
+        const std::size_t hi = std::min(blk.end, toks.size());
+        for (std::size_t i = blk.begin; i < hi; ++i) {
+          if (in_ranges(nested, i) || toks[i].kind != Tok::kIdent) continue;
+          const auto vit = vars.find(toks[i].text);
+          if (vit == vars.end()) continue;
+          const std::size_t v = vit->second;
+          if (i > 0 && toks[i - 1].ident("PutStatus")) {
+            evs[b].push_back({false, v, i});  // declaration resets
+            continue;
+          }
+          if (i > 0 && toks[i - 1].is("&")) {
+            fact_of_tok[i] = sites.size();
+            sites.push_back({v, toks[i].line});
+            evs[b].push_back({true, v, i});
+            continue;
+          }
+          if (!plain_use(toks, i)) continue;
+          evs[b].push_back({false, v, i});  // checked / consumed
+        }
+      }
+      if (sites.empty()) continue;
+
+      ForwardMay df(cfg, sites.size());
+      std::vector<int> state(sites.size());
+      for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        if (evs[b].empty()) continue;
+        std::fill(state.begin(), state.end(), 0);
+        for (const Ev& e : evs[b]) {
+          if (e.fill) {
+            // A refill overwrites: earlier pending fills of the same var
+            // die, this site goes live.
+            for (std::size_t s = 0; s < sites.size(); ++s) {
+              if (sites[s].var == e.var) state[s] = -1;
+            }
+            state[fact_of_tok[e.tok]] = 1;
+          } else {
+            for (std::size_t s = 0; s < sites.size(); ++s) {
+              if (sites[s].var == e.var) state[s] = -1;
+            }
+          }
+        }
+        for (std::size_t s = 0; s < sites.size(); ++s) {
+          if (state[s] == 1) df.add_gen(static_cast<int>(b), s);
+          if (state[s] == -1) df.add_kill(static_cast<int>(b), s);
+        }
+      }
+      df.solve();
+
+      std::vector<std::string_view> names(vars.size());
+      for (const auto& [n, v] : vars) names[v] = n;
+      for (std::size_t s = 0; s < sites.size(); ++s) {
+        if (!df.in(cfg.exit, s)) continue;
+        const std::string vn(names[sites[s].var]);
+        Finding fd{ctx.file.rel(), sites[s].line, std::string(name()),
+                   "PutStatus '" + vn +
+                       "' filled through '&" + vn +
+                       "' here is never checked on some path to function "
+                       "exit; a failed durable write would go unnoticed "
+                       "(docs/DURABILITY.md)",
+                   {}};
+        const auto path = df.live_path(cfg.exit, s);
+        fd.path.push_back(
+            {sites[s].line, "'&" + vn + "' filled by this call"});
+        append_interior(cfg, path, "'" + vn + "' still unchecked", &fd.path);
+        const std::uint32_t exit_ln = cfg.block(cfg.exit).line;
+        fd.path.push_back({exit_ln == 0 ? sites[s].line : exit_ln,
+                           "function exit with '" + vn + "' unchecked"});
+        out->push_back(std::move(fd));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const std::vector<ResourcePairEntry>& resource_pair_policy() {
+  // The repo's known acquire/release verb pairs (docs/STATIC_ANALYSIS.md):
+  //   * sim::Semaphore / RateServer / credit objects: acquire -> release
+  //     (issue_credits_, alloc_mutex_, exec_slots_, window, RateServer)
+  //   * rings: alloc -> free_oldest (read_ring->alloc pairs with
+  //     read_ring->free_oldest on the retirement path)
+  //   * the reorder buffer: rob_.alloc -> rob_.retire
+  static const std::vector<ResourcePairEntry> kPolicy = {
+      {"*", "acquire", "release"},
+      {"*ring*", "alloc", "free_oldest"},
+      {"rob_", "alloc", "retire"},
+  };
+  return kPolicy;
+}
+
+std::unique_ptr<Rule> make_resource_pairing() {
+  return std::make_unique<ResourcePairing>();
+}
+std::unique_ptr<Rule> make_use_after_move() {
+  return std::make_unique<UseAfterMove>();
+}
+std::unique_ptr<Rule> make_unchecked_status_path() {
+  return std::make_unique<UncheckedStatusPath>();
+}
+
+}  // namespace lint

@@ -36,16 +36,11 @@ std::string esc(std::string_view s) {
 }  // namespace
 
 std::string to_sarif(const std::vector<Finding>& findings) {
-  // Rule table: catalog order, then the engine-level stale check.
-  std::vector<std::pair<std::string, std::string>> rules;
-  for (const auto& r : all_rules()) {
-    rules.emplace_back(std::string(r->name()), std::string(r->description()));
-  }
-  rules.emplace_back("stale-suppression",
-                     "a 'snacc-lint: allow(<rule>)' marker that silences no "
-                     "finding; remove it so suppressions stay meaningful");
-  std::map<std::string, std::size_t> rule_index;
-  for (std::size_t i = 0; i < rules.size(); ++i) rule_index[rules[i].first] = i;
+  // The driver rule table IS the catalog (all rules + the engine-level
+  // stale check), so results always resolve a ruleIndex.
+  const std::vector<RuleMeta>& rules = rule_catalog();
+  std::map<std::string_view, std::size_t> rule_index;
+  for (std::size_t i = 0; i < rules.size(); ++i) rule_index[rules[i].name] = i;
 
   std::ostringstream out;
   out << "{\n"
@@ -57,15 +52,15 @@ std::string to_sarif(const std::vector<Finding>& findings) {
          "      \"tool\": {\n"
          "        \"driver\": {\n"
          "          \"name\": \"snacc-lint\",\n"
-         "          \"version\": \"2.0.0\",\n"
+         "          \"version\": \"4.0.0\",\n"
          "          \"informationUri\": "
          "\"https://example.invalid/snacc/docs/STATIC_ANALYSIS.md\",\n"
          "          \"rules\": [\n";
   for (std::size_t i = 0; i < rules.size(); ++i) {
     out << "            {\n"
-        << "              \"id\": \"" << esc(rules[i].first) << "\",\n"
+        << "              \"id\": \"" << esc(rules[i].name) << "\",\n"
         << "              \"shortDescription\": { \"text\": \""
-        << esc(rules[i].second) << "\" },\n"
+        << esc(rules[i].description) << "\" },\n"
         << "              \"defaultConfiguration\": { \"level\": \"error\" }\n"
         << "            }" << (i + 1 < rules.size() ? "," : "") << "\n";
   }
@@ -93,8 +88,30 @@ std::string to_sarif(const std::vector<Finding>& findings) {
         << (f.line == 0 ? 1 : f.line) << " }\n"
         << "              }\n"
         << "            }\n"
-        << "          ]\n"
-        << "        }" << (i + 1 < findings.size() ? "," : "") << "\n";
+        << "          ]";
+    // Path-sensitive findings carry the execution path as one threadFlow,
+    // which GitHub code scanning renders as a step-by-step walkthrough.
+    if (!f.path.empty()) {
+      out << ",\n          \"codeFlows\": [\n"
+             "            { \"threadFlows\": [ { \"locations\": [\n";
+      for (std::size_t s = 0; s < f.path.size(); ++s) {
+        const PathStep& step = f.path[s];
+        out << "              { \"location\": {\n"
+            << "                \"physicalLocation\": {\n"
+            << "                  \"artifactLocation\": { \"uri\": \""
+            << esc(f.file) << "\" },\n"
+            << "                  \"region\": { \"startLine\": "
+            << (step.line == 0 ? 1 : step.line) << " }\n"
+            << "                },\n"
+            << "                \"message\": { \"text\": \"" << esc(step.note)
+            << "\" }\n"
+            << "              } }" << (s + 1 < f.path.size() ? "," : "")
+            << "\n";
+      }
+      out << "            ] } ] }\n"
+             "          ]";
+    }
+    out << "\n        }" << (i + 1 < findings.size() ? "," : "") << "\n";
   }
   out << "      ]\n"
          "    }\n"

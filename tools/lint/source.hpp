@@ -11,11 +11,27 @@
 
 namespace lint {
 
+/// One step of the execution path a flow rule followed to its conclusion
+/// (acquire -> branch -> exit, move -> read, ...). Rendered as a SARIF
+/// threadFlow location so code scanning walks the reviewer through it.
+struct PathStep {
+  std::uint32_t line = 0;
+  std::string note;
+
+  friend bool operator==(const PathStep& a, const PathStep& b) {
+    return a.line == b.line && a.note == b.note;
+  }
+};
+
 struct Finding {
   std::string file;  // scan-root-relative path, '/'-separated (e.g. src/x.hpp)
   std::uint32_t line = 0;
   std::string rule;
   std::string message;
+  /// Non-empty only for path-sensitive findings. Not part of the sort key
+  /// (file/line/rule/message already order deterministically) but part of
+  /// equality, so the jobs-determinism test covers paths too.
+  std::vector<PathStep> path{};
 
   friend bool operator<(const Finding& a, const Finding& b) {
     if (a.file != b.file) return a.file < b.file;
@@ -25,11 +41,12 @@ struct Finding {
   }
   friend bool operator==(const Finding& a, const Finding& b) {
     return a.file == b.file && a.line == b.line && a.rule == b.rule &&
-           a.message == b.message;
+           a.message == b.message && a.path == b.path;
   }
 };
 
-/// One `// snacc-lint: allow(<rule>)` marker. A suppression silences
+/// One `allow(<rule>)` marker (prefixed with the tool name in the actual
+/// comment syntax -- see docs/STATIC_ANALYSIS.md). A suppression silences
 /// findings of `rule` on its own line and the line directly below (so it
 /// can sit alone above the offending statement). Suppressions that silence
 /// nothing are themselves reported as `stale-suppression` errors.
