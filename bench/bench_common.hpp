@@ -7,6 +7,7 @@
 // would measure the simulator, not the system under study.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -36,6 +37,13 @@ class JsonReport {
 
   void metric(std::string key, double value) {
     metrics_.emplace_back(std::move(key), value);
+  }
+
+  /// Top-level integer field next to "bench" (run shape, not a measurement:
+  /// thread counts, domain counts, iteration totals). Keys repeat last-wins
+  /// at the consumer, so set each once.
+  void field(std::string key, std::uint64_t value) {
+    fields_.emplace_back(std::move(key), value);
   }
 
   /// Lower-cases and squashes a display label ("On-board DRAM") into a JSON
@@ -71,7 +79,12 @@ class JsonReport {
       std::fprintf(stderr, "JsonReport: cannot write %s\n", path.c_str());
       return;
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {", name_.c_str());
+    std::fprintf(f, "{\n  \"bench\": \"%s\",", name_.c_str());
+    for (const auto& [k, v] : fields_) {
+      std::fprintf(f, "\n  \"%s\": %llu,", k.c_str(),
+                   static_cast<unsigned long long>(v));
+    }
+    std::fprintf(f, "\n  \"metrics\": {");
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
       std::fprintf(f, "%s\n    \"%s\": %.17g", i ? "," : "",
                    metrics_[i].first.c_str(), metrics_[i].second);
@@ -82,6 +95,7 @@ class JsonReport {
 
  private:
   std::string name_;
+  std::vector<std::pair<std::string, std::uint64_t>> fields_;
   std::vector<std::pair<std::string, double>> metrics_;
   bool written_ = false;
 };

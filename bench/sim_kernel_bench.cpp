@@ -20,10 +20,17 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "bench_common.hpp"
 #include "common/units.hpp"
 #include "sim/channel.hpp"
+#include "sim/cluster.hpp"
 #include "sim/future.hpp"
+#include "sim/mailbox.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
 
@@ -59,6 +66,58 @@ double bench_events(std::uint64_t* out_events) {
   const double dt = seconds_since(t0);
   *out_events = sim.events_processed();
   return static_cast<double>(sim.events_processed()) / dt;
+}
+
+// --------------------------------------------------------------------------
+// Domain scaling: the same timer-task storm, with the 256 tasks split across
+// a SimCluster's domains and a heartbeat token circling the domains through
+// Mailbox edges (so the conservative sync machinery -- merges, window
+// planning, barriers -- is on the measured path, not just independent
+// free-running heaps). Fixed total work; wall-clock throughput vs domain
+// count is the scaling curve.
+
+sim::Task ring_seed(sim::Mailbox<int>* out, sim::Mailbox<int>* in, int laps) {
+  co_await out->push(0);
+  for (int i = 0; i < laps; ++i) {
+    auto v = co_await in->pop();
+    if (!v) break;
+    if (i + 1 < laps) co_await out->push(*v + 1);
+  }
+  out->close();
+}
+
+sim::Task ring_forward(sim::Mailbox<int>* in, sim::Mailbox<int>* out) {
+  while (auto v = co_await in->pop()) co_await out->push(*v);
+  out->close();
+}
+
+double bench_events_domains(std::uint32_t domains, std::uint64_t* out_events) {
+  constexpr int kTasks = 256;
+  constexpr int kRounds = 20000;
+  constexpr int kLaps = 2000;
+  sim::SimCluster cluster(domains);
+  for (int t = 0; t < kTasks; ++t) {
+    sim::Domain& d = cluster.domain(static_cast<std::uint32_t>(t) % domains);
+    d.spawn(timer_task(&d, static_cast<std::uint64_t>(t) + 1, kRounds));
+  }
+  std::vector<std::unique_ptr<sim::Mailbox<int>>> ring;
+  if (domains > 1) {
+    for (std::uint32_t i = 0; i < domains; ++i) {
+      ring.push_back(std::make_unique<sim::Mailbox<int>>(
+          cluster.domain(i), cluster.domain((i + 1) % domains), 4, ns(100)));
+    }
+    cluster.domain(0).spawn(
+        ring_seed(ring.front().get(), ring.back().get(), kLaps));
+    for (std::uint32_t i = 1; i < domains; ++i) {
+      cluster.domain(i).spawn(ring_forward(ring[i - 1].get(), ring[i].get()));
+    }
+  }
+  // snacc-lint: allow(nondeterminism): wall-clock is the measurement here
+  const auto t0 = std::chrono::steady_clock::now();
+  cluster.run();
+  const double dt = seconds_since(t0);
+  *out_events = cluster.events_processed();
+  return static_cast<double>(cluster.events_processed()) / dt;
 }
 
 // --------------------------------------------------------------------------
@@ -145,10 +204,17 @@ int main(int argc, char** argv) {
   // noise and the fastest run is the least-perturbed estimate.
   std::uint64_t events = 0, handoffs = 0, futures = 0;
   double eps = 0.0, hps = 0.0, fps = 0.0;
+  const std::uint32_t kDomainSweep[] = {1, 2, 4};
+  std::uint64_t dom_events[3] = {};
+  double dom_eps[3] = {};
   for (int rep = 0; rep < 3; ++rep) {
     eps = std::max(eps, bench_events(&events));
     hps = std::max(hps, bench_channel(&handoffs));
     fps = std::max(fps, bench_futures(&futures));
+    for (int i = 0; i < 3; ++i) {
+      dom_eps[i] = std::max(
+          dom_eps[i], bench_events_domains(kDomainSweep[i], &dom_events[i]));
+    }
   }
 
   std::printf("  events        %12" PRIu64 "   %12.0f events/s\n", events, eps);
@@ -156,11 +222,21 @@ int main(int argc, char** argv) {
               hps);
   std::printf("  futures       %12" PRIu64 "   %12.0f futures/s\n", futures,
               fps);
+  for (int i = 0; i < 3; ++i) {
+    std::printf("  events (%u dom)%12" PRIu64 "   %12.0f events/s\n",
+                kDomainSweep[i], dom_events[i], dom_eps[i]);
+  }
 
   JsonReport rep("sim_kernel");
+  rep.field("threads", std::thread::hardware_concurrency());
+  rep.field("domains", 4);
   rep.metric("events_per_sec", eps);
   rep.metric("channel_handoffs_per_sec", hps);
   rep.metric("futures_per_sec", fps);
+  for (int i = 0; i < 3; ++i) {
+    rep.metric("events_per_sec_domains_" + std::to_string(kDomainSweep[i]),
+               dom_eps[i]);
+  }
   rep.write();
 
   if (floor_eps > 0.0 && eps < floor_eps) {

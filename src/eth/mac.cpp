@@ -8,12 +8,29 @@ sim::Task Wire::transmit(Frame frame) {
   // ordered: the event queue is FIFO at equal delays and channel pushes
   // queue in arrival order.
   co_await server_.acquire(frame.wire_bytes());
-  sim_.spawn(deliver(std::move(frame)));
+  if (mailbox_) {
+    // Domain boundary: the mailbox stamps arrival at now + latency, the
+    // same schedule deliver() would produce. Push only parks when 64
+    // frames are already in flight -- a wire-full condition the same-domain
+    // path cannot hit either (its delivery channel has the same bound).
+    co_await mailbox_->push(std::move(frame));
+  } else {
+    sim_.spawn(deliver(std::move(frame)));
+  }
 }
 
 sim::Task Wire::deliver(Frame frame) {
   co_await sim_.delay(latency_);
   co_await frames_.push(std::move(frame));
+}
+
+sim::Task Wire::pump() {
+  // Receiver-domain side of a cross-domain wire: surface mailbox arrivals
+  // on the ordinary delivered() channel so Mac never knows the difference.
+  while (auto f = co_await mailbox_->pop()) {
+    co_await frames_.push(std::move(*f));
+  }
+  frames_.close();
 }
 
 Mac::Mac(sim::Simulator& sim, const EthProfile& profile, Wire& out, Wire& in,

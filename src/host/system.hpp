@@ -1,6 +1,7 @@
 // System: the simulated testbed of the paper (Sec. 5): host CPU + DRAM, an
 // NVMe SSD, and (optionally, added by the SNAcc device setup) an FPGA, all on
-// one PCIe fabric. Owns the simulator and the global address map.
+// one PCIe fabric. Owns the event domain (or borrows one from a SimCluster
+// for parallel multi-node runs) and the global address map.
 #pragma once
 
 #include <memory>
@@ -34,8 +35,32 @@ struct SystemConfig {
 
 class System {
  public:
-  explicit System(SystemConfig cfg = {})
+  explicit System(SystemConfig cfg = {}) : System(nullptr, cfg) {}
+
+  /// Testbed on an external event domain -- for cluster runs where this
+  /// node (host + fabric + SSDs + card) is one sim::Domain among several.
+  /// Everything on one PCIe fabric shares one domain (fabric transactions
+  /// are synchronous memory calls); cross-node Ethernet wires are the
+  /// domain boundaries. `domain` must outlive the System.
+  System(sim::Domain& domain, SystemConfig cfg = {}) : System(&domain, cfg) {}
+
+  static constexpr Bytes kSsdBarStride{0x10'0000};  // 1 MB apart
+
+  sim::Simulator& sim() { return sim_; }
+  /// True when this System runs on a caller-provided (cluster) domain.
+  bool external_domain() const { return owned_sim_ == nullptr; }
+  pcie::Fabric& fabric() { return fabric_; }
+  pcie::HostMemory& host_mem() { return host_mem_; }
+  nvme::Ssd& ssd(std::size_t i = 0) { return *ssds_.at(i); }
+  std::size_t ssd_count() const { return ssds_.size(); }
+  pcie::PortId root_port() const { return root_port_; }
+  const SystemConfig& config() const { return config_; }
+
+ private:
+  System(sim::Domain* domain, SystemConfig cfg)
       : config_(cfg),
+        owned_sim_(domain ? nullptr : std::make_unique<sim::Domain>()),
+        sim_(domain ? *domain : *owned_sim_),
         fabric_(sim_, cfg.profile.pcie),
         host_mem_(sim_, cfg.host_memory_bytes) {
     root_port_ = fabric_.add_port("host-root", 64.0);
@@ -59,19 +84,9 @@ class System {
     }
   }
 
-  static constexpr Bytes kSsdBarStride{0x10'0000};  // 1 MB apart
-
-  sim::Simulator& sim() { return sim_; }
-  pcie::Fabric& fabric() { return fabric_; }
-  pcie::HostMemory& host_mem() { return host_mem_; }
-  nvme::Ssd& ssd(std::size_t i = 0) { return *ssds_.at(i); }
-  std::size_t ssd_count() const { return ssds_.size(); }
-  pcie::PortId root_port() const { return root_port_; }
-  const SystemConfig& config() const { return config_; }
-
- private:
   SystemConfig config_;
-  sim::Simulator sim_;
+  std::unique_ptr<sim::Domain> owned_sim_;  // null when on an external domain
+  sim::Domain& sim_;
   pcie::Fabric fabric_;
   pcie::HostMemory host_mem_;
   std::vector<std::unique_ptr<nvme::Ssd>> ssds_;

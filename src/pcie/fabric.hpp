@@ -143,6 +143,15 @@ class Fabric {
   const PcieProfile& profile() const { return profile_; }
   sim::Simulator& simulator() { return sim_; }
 
+  /// Smallest latency any transaction pays to cross the fabric -- what this
+  /// link would contribute as conservative lookahead if it were a domain
+  /// boundary. It is NOT one today: fabric transactions touch target memory
+  /// through synchronous calls (an SSD DMA writes host DRAM directly), so
+  /// everything on one fabric must share one event domain and clusters cut
+  /// at the Ethernet wires instead (see docs/MODEL.md, "Domains &
+  /// conservative sync").
+  TimePs lookahead() const { return profile_.posted_write_latency; }
+
   const PathStats& path(PortId src, PortId dst) const;
   std::uint64_t total_bytes() const;
   std::uint64_t unmapped_errors() const { return unmapped_errors_; }

@@ -1,9 +1,17 @@
 // Discrete-event simulation kernel.
 //
-// A Simulator owns a time-ordered event queue; model code is written as
+// A Domain owns a time-ordered event queue; model code is written as
 // C++20 coroutines (sim::Task) that `co_await` delays, channels, futures and
 // rate servers. Events at equal timestamps run in schedule order (stable
 // sequence numbers), which makes runs fully deterministic.
+//
+// A Domain is the unit of parallelism: it has its own clock, its own event
+// heap, and its own slab pools, so distinct domains share no mutable state
+// and can run on different threads. A standalone Domain (the historical
+// `Simulator` -- that name remains as an alias) is the whole simulation;
+// several domains grouped under a sim::SimCluster (sim/cluster.hpp) run
+// concurrently with conservative lookahead synchronization, exchanging
+// traffic only through sim::Mailbox (sim/mailbox.hpp) boundaries.
 //
 // The queue is *intrusive and allocation-free on the hot path*: every
 // suspension primitive (delay, channel hand-off, future completion, rate
@@ -36,6 +44,7 @@
 namespace snacc::sim {
 
 class Task;
+class SimCluster;
 
 /// A strong unit wrapper (Bytes, Lba, SlotIdx, TimePs, ...): anything whose
 /// raw value is reachable via `.value()`.
@@ -66,9 +75,16 @@ struct EventNode {
   void (*fire)(EventNode&) = nullptr;
   std::coroutine_handle<> h{};
   bool linked = false;
+#ifndef NDEBUG
+  /// Debug builds pin each node to the first domain that schedules it: a
+  /// node (and therefore the coroutine frame embedding it) resumed on a
+  /// different domain would race that domain's heap and slab pools, so it
+  /// fails fast here instead of corrupting a pool.
+  class Domain* debug_owner = nullptr;
+#endif
 };
 
-class Simulator {
+class Domain {
  public:
   /// Intrusive registry node for detached (spawned) coroutine frames; lives
   /// inside the frame's promise. A task that runs to completion unlinks
@@ -81,11 +97,17 @@ class Simulator {
     std::coroutine_handle<> frame;
   };
 
-  Simulator() { heap_.reserve(1024); }
-  Simulator(const Simulator&) = delete;
-  Simulator& operator=(const Simulator&) = delete;
+  Domain() { heap_.reserve(1024); }
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
 
-  ~Simulator() {
+  /// Cluster identity: 0 / nullptr for a standalone domain. Set once by
+  /// SimCluster at construction; the id is the tie-break key for
+  /// cross-domain merges, so it never changes over a domain's life.
+  std::uint32_t id() const { return id_; }
+  SimCluster* cluster() const { return cluster_; }
+
+  ~Domain() {
     // Discard pending events without running them. Closure nodes own
     // themselves and must be freed; intrusive nodes are owned by frames or
     // stack objects that are still alive at this point (detached frames are
@@ -122,6 +144,12 @@ class Simulator {
   void schedule(EventNode& n, TimePs t) {
     assert(t >= now_);
     assert(!n.linked);
+#ifndef NDEBUG
+    assert((n.debug_owner == nullptr || n.debug_owner == this) &&
+           "EventNode scheduled on a domain other than its owner (a frame "
+           "crossed a domain boundary without a Mailbox)");
+    n.debug_owner = this;
+#endif
     n.linked = true;
     heap_push(HeapEntry{t, seq_++, &n});
   }
@@ -234,6 +262,40 @@ class Simulator {
       if (!step()) return false;
     }
     return true;
+  }
+
+  // -- Cluster machinery (sim/cluster.hpp; harmless standalone) ------------
+
+  /// Sentinel for "no pending event" -- beyond any reachable simulated time.
+  static constexpr TimePs kNever{~0ull};
+
+  /// Timestamp of the earliest pending event, or kNever when idle. The
+  /// cluster's lookahead computation reads this at every synchronization
+  /// barrier; it never dereferences the node.
+  TimePs next_event_time() const {
+    return heap_.empty() ? kNever : heap_.front().t;
+  }
+
+  /// Runs every event strictly before `before` and stops -- one conservative
+  /// window. Unlike run_until, the clock is left at the last processed
+  /// event, not advanced to the window edge (the next window's lower bound
+  /// is computed from next_event_time, which must stay exact).
+  void run_window(TimePs before) {
+    while (!heap_.empty() && heap_.front().t < before) step();
+  }
+
+  /// Unlinks a scheduled node without firing it (no-op when not linked).
+  /// O(pending) -- teardown-only, used by ~Mailbox to withdraw delivery
+  /// nodes whose storage dies before this domain does.
+  void cancel(EventNode& n) {
+    if (!n.linked) return;
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+      if (heap_[i].node != &n) continue;
+      heap_erase(i);
+      n.linked = false;
+      return;
+    }
+    assert(false && "linked EventNode missing from its domain's heap");
   }
 
   std::uint64_t events_processed() const { return events_processed_; }
@@ -349,6 +411,39 @@ class Simulator {
     return top;
   }
 
+  /// Removes the entry at heap index `i` (for cancel; cold path). The
+  /// displaced tail entry is sifted up or down as its key demands.
+  void heap_erase(std::size_t i) {
+    const HeapEntry last = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (i >= n) return;  // the erased entry was the tail
+    std::size_t j = i;
+    while (j > 0) {
+      const std::size_t parent = (j - 1) / kArity;
+      if (!later(heap_[parent], last)) break;
+      heap_[j] = heap_[parent];
+      j = parent;
+    }
+    if (j != i) {
+      heap_[j] = last;
+      return;
+    }
+    for (;;) {
+      const std::size_t first = i * kArity + 1;
+      if (first >= n) break;
+      std::size_t min_child = first;
+      const std::size_t end = std::min(first + kArity, n);
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (later(heap_[min_child], heap_[c])) min_child = c;
+      }
+      if (!later(last, heap_[min_child])) break;
+      heap_[i] = heap_[min_child];
+      i = min_child;
+    }
+    heap_[i] = last;
+  }
+
   struct ClosureNode : EventNode {
     explicit ClosureNode(std::function<void()> f) : body(std::move(f)) {}
     std::function<void()> body;
@@ -361,7 +456,7 @@ class Simulator {
   };
 
   struct DelayAwaiter {
-    Simulator* sim;
+    Domain* sim;
     TimePs wake;
     EventNode node{};
     bool await_ready() const noexcept { return wake <= sim->now_; }
@@ -375,15 +470,29 @@ class Simulator {
   static constexpr std::size_t kPoolClasses = 32;  // up to 512-byte blocks
   static constexpr std::size_t kSlabBytes = 64 * 1024;
 
+  friend class SimCluster;
+
+  /// Bounded-run epilogue (cluster run_until): the clock advances to the
+  /// horizon exactly like Simulator::run_until does after its last event.
+  void advance_clock_to(TimePs t) { now_ = std::max(now_, t); }
+
   std::vector<HeapEntry> heap_;
   DetachedNode* detached_ = nullptr;  // spawned frames still in flight
   Tracer tracer_;
   TimePs now_;
   std::uint64_t seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  SimCluster* cluster_ = nullptr;  // set once by SimCluster
+  std::uint32_t id_ = 0;
   std::array<void*, kPoolClasses> pool_free_{};
   std::vector<std::unique_ptr<std::byte[]>> slabs_;
   std::size_t slab_used_ = 0;
 };
+
+/// The historical name: a standalone Domain is exactly the old
+/// single-threaded Simulator, and every single-domain code path is
+/// unchanged. New code that is explicit about partitioning should say
+/// Domain; `Simulator` remains correct everywhere else.
+using Simulator = Domain;
 
 }  // namespace snacc::sim

@@ -84,7 +84,7 @@ class [[nodiscard]] Task {
   void await_resume() const noexcept {}
 
  private:
-  friend class Simulator;
+  friend class Domain;
   explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
 
   std::coroutine_handle<promise_type> release() { return std::exchange(h_, {}); }

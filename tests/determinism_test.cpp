@@ -10,9 +10,20 @@
 // -> NVMe), which exercises the splitter, reorder buffer, PRP engines,
 // doorbells, NAND timing, and the IOMMU -- the components where
 // nondeterminism could realistically hide.
+//
+// Set SNACC_DOMAINS=N (N > 1) to run the identical workload on domain 0 of
+// an N-domain SimCluster with a cross-domain heartbeat ring alongside it:
+// the conservative-sync machinery (merges, window planning, mailbox
+// timestamps) is then on the executed path, and the snapshot -- printed as
+// a single SNAPSHOT line -- must still be byte-identical to the
+// single-domain run. CI byte-compares the SNAPSHOT lines across
+// SNACC_DOMAINS=1 and SNACC_DOMAINS=4.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -21,6 +32,8 @@
 #include "common/stats.hpp"
 #include "host/snacc_device.hpp"
 #include "host/system.hpp"
+#include "sim/cluster.hpp"
+#include "sim/mailbox.hpp"
 #include "snacc/pe_client.hpp"
 
 namespace snacc {
@@ -50,13 +63,90 @@ struct RunSnapshot {
   }
 
   bool operator==(const RunSnapshot&) const = default;
+
+  /// FNV-1a over every field, latency vectors included -- one number CI can
+  /// compare across SNACC_DOMAINS settings without parsing.
+  std::uint64_t digest() const {
+    std::uint64_t h = 14695981039346656037ull;
+    const auto mix = [&h](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        h = (h ^ ((v >> (8 * i)) & 0xff)) * 1099511628211ull;
+      }
+    };
+    for (auto v : write_latencies_ps) mix(v);
+    for (auto v : read_latencies_ps) mix(v);
+    mix(final_time_ps);
+    mix(fabric_total_bytes);
+    mix(iommu_faults);
+    for (const auto& [init, n] : faults_by_initiator) {
+      mix(init);
+      mix(n);
+    }
+    mix(ssd_commands);
+    mix(ssd_error_cqes);
+    return h;
+  }
 };
+
+std::uint32_t domains_from_env() {
+  const char* env = std::getenv("SNACC_DOMAINS");
+  if (env == nullptr) return 1;
+  const long n = std::strtol(env, nullptr, 10);
+  return n > 1 ? static_cast<std::uint32_t>(n) : 1;
+}
+
+// Heartbeat token circling the cluster's domains through Mailbox edges, so
+// a multi-domain run exercises merges and window planning for real instead
+// of letting every domain free-run to the horizon.
+sim::Task ring_seed(sim::Mailbox<int>* out, sim::Mailbox<int>* in, int laps) {
+  co_await out->push(0);
+  for (int i = 0; i < laps; ++i) {
+    auto v = co_await in->pop();
+    if (!v) break;
+    if (i + 1 < laps) co_await out->push(*v + 1);
+  }
+  out->close();
+}
+
+sim::Task ring_forward(sim::Mailbox<int>* in, sim::Mailbox<int>* out) {
+  while (auto v = co_await in->pop()) co_await out->push(*v);
+  out->close();
+}
 
 RunSnapshot run_fig4c_style(std::uint64_t seed) {
   constexpr int kSamples = 40;
   constexpr std::uint64_t kRegionBlocks = 1u << 18;
 
-  host::System sys;
+  const std::uint32_t domains = domains_from_env();
+  std::unique_ptr<sim::SimCluster> cluster;
+  std::unique_ptr<host::System> sys_owner;
+  std::vector<std::unique_ptr<sim::Mailbox<int>>> ring;
+  if (domains > 1) {
+    cluster = std::make_unique<sim::SimCluster>(domains);
+    sys_owner = std::make_unique<host::System>(cluster->domain(0));
+    for (std::uint32_t i = 0; i < domains; ++i) {
+      ring.push_back(std::make_unique<sim::Mailbox<int>>(
+          cluster->domain(i), cluster->domain((i + 1) % domains), 4,
+          us(50)));
+    }
+    cluster->domain(0).spawn(
+        ring_seed(ring.front().get(), ring.back().get(), /*laps=*/5000));
+    for (std::uint32_t i = 1; i < domains; ++i) {
+      cluster->domain(i).spawn(
+          ring_forward(ring[i - 1].get(), ring[i].get()));
+    }
+  } else {
+    sys_owner = std::make_unique<host::System>();
+  }
+  host::System& sys = *sys_owner;
+  const auto advance = [&](TimePs horizon) {
+    if (cluster) {
+      cluster->run_until(horizon);
+    } else {
+      sys.sim().run_until(horizon);
+    }
+  };
+
   host::SnaccDeviceConfig cfg;
   cfg.streamer.variant = core::Variant::kUram;
   host::SnaccDevice dev(sys, cfg);
@@ -67,7 +157,7 @@ RunSnapshot run_fig4c_style(std::uint64_t seed) {
     booted = true;
   };
   sys.sim().spawn(boot());
-  sys.sim().run_until(seconds(1));
+  advance(seconds(1));
   EXPECT_TRUE(booted);
 
   core::PeClient pe(dev.streamer());
@@ -93,7 +183,7 @@ RunSnapshot run_fig4c_style(std::uint64_t seed) {
     done = true;
   };
   sys.sim().spawn(io());
-  sys.sim().run_until(seconds(30));
+  advance(seconds(30));
   EXPECT_TRUE(done);
 
   snap.final_time_ps = sys.sim().now().value();
@@ -112,6 +202,11 @@ TEST(Determinism, SeededDoubleRunIsBitIdentical) {
   ASSERT_EQ(first.read_latencies_ps, second.read_latencies_ps);
   EXPECT_TRUE(first == second) << "first:  " << first.describe()
                                << "\nsecond: " << second.describe();
+  // Stable digest line for CI to byte-compare across SNACC_DOMAINS runs.
+  // Everything behind it is simulated state, so it must not vary with the
+  // domain count, worker count, or host machine.
+  std::printf("SNAPSHOT %s digest=%llu\n", first.describe().c_str(),
+              static_cast<unsigned long long>(first.digest()));
 }
 
 TEST(Determinism, DifferentSeedsActuallyDiverge) {

@@ -1,0 +1,67 @@
+// Fixture: cross-domain-touch. Components bound to different event domains
+// interact only through boundary types (Mailbox/Channel/Wire/RateServer);
+// direct calls or wrong-domain spawns race the owner's heap.
+namespace fix {
+
+struct Domain {
+  void spawn(int);
+};
+struct Cluster {
+  Domain& domain(int);
+};
+struct Pump {
+  explicit Pump(Domain& d);
+  void attach(Pump* peer);
+  int tick();
+};
+struct Mailbox {
+  Mailbox(Domain& a, Domain& b);
+};
+int work(Pump* p);
+
+// POSITIVE: task spawned on `a` captures a component bound to `b`.
+void spawn_wrong(Domain& a, Domain& b) {
+  Pump pump_b(b);
+  a.spawn(work(&pump_b));
+}
+
+// POSITIVE: direct method call coupling components of two domains.
+void direct_touch(Domain& a, Domain& b) {
+  Pump pump_a(a);
+  Pump pump_b(b);
+  pump_a.attach(&pump_b);
+}
+
+// POSITIVE: make_unique-owned component handed to the wrong domain.
+void owned_wrong(Domain& a, Domain& b) {
+  auto disk = std::make_unique<Pump>(b);
+  a.spawn(work(disk.get()));
+}
+
+// NEGATIVE: both components live on one domain; spawn matches too.
+void same_domain(Domain& a) {
+  Pump first(a);
+  Pump second(a);
+  first.attach(&second);
+  a.spawn(work(&first));
+}
+
+// NEGATIVE: the crossing is mediated by a boundary-typed variable.
+void bridged(Domain& a, Domain& b) {
+  Pump pump_a(a);
+  Pump pump_b(b);
+  Mailbox link(a, b);
+  pump_a.attach(&pump_b), (void)link;
+}
+
+// NEGATIVE: two aliases of the same cluster index are the same domain.
+void aliased(Cluster& cluster) {
+  auto& x = cluster.domain(0);
+  auto& y = cluster.domain(0);
+  Pump p(x);
+  Pump q(y);
+  p.attach(&q);
+  x.spawn(work(&q));
+}
+
+}  // namespace fix

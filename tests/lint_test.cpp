@@ -53,8 +53,8 @@ bool has(const std::vector<lint::Finding>& fs, std::string_view file,
 TEST(LintFixtures, ScansWholeTree) {
   const auto res = scan_fixtures();
   EXPECT_TRUE(res.error.empty()) << res.error;
-  EXPECT_EQ(res.files_scanned, 16u);
-  EXPECT_EQ(res.findings.size(), 24u);
+  EXPECT_EQ(res.files_scanned, 17u);
+  EXPECT_EQ(res.findings.size(), 27u);
   ASSERT_EQ(res.line_texts.size(), res.findings.size());
 }
 
@@ -89,6 +89,10 @@ TEST(LintFixtures, GoldenPositives) {
   EXPECT_TRUE(has(fs, "src/status_path.cpp", "unchecked-status-path", 10));
   EXPECT_TRUE(has(fs, "src/status_path.cpp", "unchecked-status-path", 20));
   EXPECT_TRUE(has(fs, "src/status_path.cpp", "unchecked-status-path", 31));
+  // cross-domain-touch: wrong-domain spawn, direct call, make_unique handoff.
+  EXPECT_TRUE(has(fs, "src/domain_touch.cpp", "cross-domain-touch", 25));
+  EXPECT_TRUE(has(fs, "src/domain_touch.cpp", "cross-domain-touch", 32));
+  EXPECT_TRUE(has(fs, "src/domain_touch.cpp", "cross-domain-touch", 38));
 }
 
 TEST(LintFixtures, GoldenCounts) {
@@ -106,6 +110,7 @@ TEST(LintFixtures, GoldenCounts) {
   EXPECT_EQ(count(fs, "src/resource_pair.cpp", "resource-pairing"), 3u);
   EXPECT_EQ(count(fs, "src/use_move.cpp", "use-after-move"), 3u);
   EXPECT_EQ(count(fs, "src/status_path.cpp", "unchecked-status-path"), 3u);
+  EXPECT_EQ(count(fs, "src/domain_touch.cpp", "cross-domain-touch"), 3u);
 }
 
 // Near-misses: code shaped like a violation that must NOT be flagged.
@@ -147,9 +152,13 @@ TEST(LintFixtures, NearMissesStaySilent) {
   // unchecked-status-path near-misses: immediate check, both-branch check,
   // non-PutStatus out-param, fill-in-loop-check-after.
   EXPECT_EQ(count(fs, "src/status_path.cpp", "unchecked-status-path"), 3u);
+  // cross-domain-touch near-misses: same-domain pair, a Mailbox-mediated
+  // statement, and two aliases of one cluster index.
+  EXPECT_EQ(count(fs, "src/domain_touch.cpp", "cross-domain-touch"), 3u);
   // The new fixtures must not trip any pre-existing rule.
   for (const char* file :
-       {"src/resource_pair.cpp", "src/use_move.cpp", "src/status_path.cpp"}) {
+       {"src/resource_pair.cpp", "src/use_move.cpp", "src/status_path.cpp",
+        "src/domain_touch.cpp"}) {
     for (const char* rule :
          {"dangling-capture", "unchecked-put", "discarded-async",
           "unbounded-poll", "nondeterminism"}) {
@@ -240,7 +249,7 @@ TEST(LintBaseline, RoundTrip) {
   write_opts.update_baseline = true;
   const auto wrote = lint::scan(write_opts);
   ASSERT_TRUE(wrote.error.empty()) << wrote.error;
-  EXPECT_EQ(wrote.baseline_matched, 24u);  // everything grandfathered
+  EXPECT_EQ(wrote.baseline_matched, 27u);  // everything grandfathered
   EXPECT_TRUE(wrote.findings.empty());
 
   lint::Options read_opts;
@@ -250,7 +259,7 @@ TEST(LintBaseline, RoundTrip) {
   ASSERT_TRUE(reread.error.empty()) << reread.error;
   EXPECT_TRUE(reread.findings.empty())
       << "a baselined scan of unchanged sources must be clean";
-  EXPECT_EQ(reread.baseline_matched, 24u);
+  EXPECT_EQ(reread.baseline_matched, 27u);
 
   fs::remove(path);
 }
@@ -355,10 +364,10 @@ TEST(LintEngine, DeterministicAcrossJobCounts) {
 
 // Every rule the binary knows (including the engine-level stale-suppression
 // pass) must be documented by name in docs/STATIC_ANALYSIS.md, and the
-// catalog itself must be the full 12+1 set.
+// catalog itself must be the full 13+1 set.
 TEST(LintCatalog, DocsListEveryRule) {
   const auto catalog = lint::rule_catalog();
-  EXPECT_EQ(catalog.size(), 13u);
+  EXPECT_EQ(catalog.size(), 14u);
   std::ifstream in(LINT_DOCS_FILE);
   ASSERT_TRUE(in.good()) << "cannot open " << LINT_DOCS_FILE;
   std::stringstream ss;
