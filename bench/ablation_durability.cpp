@@ -100,6 +100,9 @@ Result run_tier(std::uint32_t replicas, bool faulted) {
   TimePs r0;
   TimePs r1;
   bool done = false;
+  // `io` is a named local whose closure
+  // outlives sim.run_until(); the frame completes before it is destroyed.
+  // snacc-lint: allow(dangling-capture): safe by construction, see above.
   auto io = [&]() -> sim::Task {
     if (faulted) {
       // Replica 0 loses power mid-destage partway through the stream (the

@@ -1,0 +1,49 @@
+// Interprocedural discarded-async fixture: statement-position calls whose
+// asyncness the file-level name table cannot see. A lambda bound to a name
+// types only through the call graph's binding, and an `auto` function is
+// async only by summary propagation through its return sites. Every
+// positive here is silent under --no-summaries.
+// Fixtures are scanned, not compiled.
+namespace fix {
+
+// A real async function: in the name table, so direct discards of it are
+// the intraprocedural rule's business (async.cpp covers those).
+sim::Task ipa_job() {
+  co_return;
+}
+
+// `auto` return type: async only via propagation -- its return site calls
+// ipa_job(), so the summary pass marks it Task-returning.
+auto ipa_relay() {
+  return ipa_job();
+}
+
+sim::Task ipa_driver(Chan* work) {
+  auto ipa_pump = []() -> sim::Task {
+    co_await tick();
+  };
+
+  // POSITIVE: bound-lambda call dropped at statement position; the name
+  // table has no entry for `ipa_pump`, only the call graph does.
+  ipa_pump();
+
+  // POSITIVE: `auto` relay dropped at statement position; asyncness came
+  // from summary propagation, not from any declared Task return.
+  ipa_relay();
+
+  // NEGATIVE (near-miss): awaited, so the frame runs to completion.
+  co_await ipa_relay();
+
+  // NEGATIVE (near-miss): stored -- the handle stays alive.
+  auto held = ipa_pump();
+
+  // NEGATIVE (near-miss): explicitly acknowledged posted operation.
+  (void)ipa_relay();
+
+  // NEGATIVE (near-miss): passed on; the spawn owns the frame now.
+  spawn(ipa_pump());
+
+  co_await held;
+}
+
+}  // namespace fix

@@ -1,0 +1,71 @@
+// Interprocedural cross-domain-touch fixture: the coupling happens inside
+// a helper, so no statement in the caller ever shows a component receiver.
+// The helper's summary says which parameters it touches; a call whose
+// touched argument shares a statement with a component from another domain
+// is the same race one call deep. Every positive here is silent under
+// --no-summaries. Fixtures are scanned, not compiled.
+namespace fix {
+
+struct Domain {
+  void spawn(int);
+};
+struct Pump {
+  explicit Pump(Domain& d);
+  int kick();
+};
+struct Mailbox {
+  Mailbox(Domain& a, Domain& b);
+};
+
+// Touches both of its parameters.
+void ipd_kick_both(Pump& x, Pump& y) {
+  x.kick();
+  y.kick();
+}
+
+// Touches only the first parameter; the pointer rides along untouched.
+void ipd_link(Pump& x, Pump* peer) {
+  x.kick();
+  (void)peer;
+}
+
+// POSITIVE: wrapper couples components of two domains one call deep.
+void ipd_wrong(Domain& a, Domain& b) {
+  Pump intake(a);
+  Pump outlet(b);
+  ipd_kick_both(intake, outlet);
+}
+
+// POSITIVE: the helper touches its first argument while a component bound
+// to a different domain shares the statement.
+void ipd_wrong_stmt(Domain& a, Domain& b) {
+  Pump feeder(a);
+  Pump drainer(b);
+  ipd_link(feeder, &drainer);
+}
+
+// NEGATIVE (near-miss): both arguments live on one domain.
+void ipd_same(Domain& a) {
+  Pump first(a);
+  Pump second(a);
+  ipd_kick_both(first, second);
+}
+
+// NEGATIVE (near-miss): the statement mentions a boundary-typed variable,
+// so the crossing is mediated.
+void ipd_bridged(Domain& a, Domain& b) {
+  Pump source(a);
+  Pump sink_p(b);
+  Mailbox link(a, b);
+  ipd_kick_both(source, sink_p), (void)link;
+}
+
+// NEGATIVE (near-miss): the helper never resolves (no definition in the
+// program), so there is no summary to consult -- stay conservative.
+void ipd_unresolved(Domain& a, Domain& b) {
+  Pump left(a);
+  Pump right(b);
+  ipd_extern_kick(left, right);
+}
+
+}  // namespace fix

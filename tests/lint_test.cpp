@@ -25,10 +25,11 @@ std::string fixture_src() {
   return std::string(LINT_FIXTURE_DIR) + "/src";
 }
 
-lint::ScanResult scan_fixtures(unsigned jobs = 0) {
+lint::ScanResult scan_fixtures(unsigned jobs = 0, bool summaries = true) {
   lint::Options opts;
   opts.roots = {fixture_src()};
   opts.jobs = jobs;
+  opts.summaries = summaries;
   return lint::scan(opts);
 }
 
@@ -53,8 +54,8 @@ bool has(const std::vector<lint::Finding>& fs, std::string_view file,
 TEST(LintFixtures, ScansWholeTree) {
   const auto res = scan_fixtures();
   EXPECT_TRUE(res.error.empty()) << res.error;
-  EXPECT_EQ(res.files_scanned, 17u);
-  EXPECT_EQ(res.findings.size(), 27u);
+  EXPECT_EQ(res.files_scanned, 22u);
+  EXPECT_EQ(res.findings.size(), 37u);
   ASSERT_EQ(res.line_texts.size(), res.findings.size());
 }
 
@@ -93,6 +94,22 @@ TEST(LintFixtures, GoldenPositives) {
   EXPECT_TRUE(has(fs, "src/domain_touch.cpp", "cross-domain-touch", 25));
   EXPECT_TRUE(has(fs, "src/domain_touch.cpp", "cross-domain-touch", 32));
   EXPECT_TRUE(has(fs, "src/domain_touch.cpp", "cross-domain-touch", 38));
+  // Interprocedural positives: resource pair split across helpers (branch
+  // leak, continue-skips-release), status filled by-reference one call
+  // deep (one branch, early exit), bound-lambda / auto-relay discards,
+  // wrapper-level domain coupling, and callee-acquired summary leaks.
+  EXPECT_TRUE(has(fs, "src/interproc_resource.cpp", "resource-pairing", 29));
+  EXPECT_TRUE(has(fs, "src/interproc_resource.cpp", "resource-pairing", 40));
+  EXPECT_TRUE(
+      has(fs, "src/interproc_status.cpp", "unchecked-status-path", 26));
+  EXPECT_TRUE(
+      has(fs, "src/interproc_status.cpp", "unchecked-status-path", 36));
+  EXPECT_TRUE(has(fs, "src/interproc_async.cpp", "discarded-async", 28));
+  EXPECT_TRUE(has(fs, "src/interproc_async.cpp", "discarded-async", 32));
+  EXPECT_TRUE(has(fs, "src/interproc_domain.cpp", "cross-domain-touch", 36));
+  EXPECT_TRUE(has(fs, "src/interproc_domain.cpp", "cross-domain-touch", 44));
+  EXPECT_TRUE(has(fs, "src/summary_leak.cpp", "summary-leak", 22));
+  EXPECT_TRUE(has(fs, "src/summary_leak.cpp", "summary-leak", 35));
 }
 
 TEST(LintFixtures, GoldenCounts) {
@@ -111,6 +128,12 @@ TEST(LintFixtures, GoldenCounts) {
   EXPECT_EQ(count(fs, "src/use_move.cpp", "use-after-move"), 3u);
   EXPECT_EQ(count(fs, "src/status_path.cpp", "unchecked-status-path"), 3u);
   EXPECT_EQ(count(fs, "src/domain_touch.cpp", "cross-domain-touch"), 3u);
+  EXPECT_EQ(count(fs, "src/interproc_resource.cpp", "resource-pairing"), 2u);
+  EXPECT_EQ(count(fs, "src/interproc_status.cpp", "unchecked-status-path"),
+            2u);
+  EXPECT_EQ(count(fs, "src/interproc_async.cpp", "discarded-async"), 2u);
+  EXPECT_EQ(count(fs, "src/interproc_domain.cpp", "cross-domain-touch"), 2u);
+  EXPECT_EQ(count(fs, "src/summary_leak.cpp", "summary-leak"), 2u);
 }
 
 // Near-misses: code shaped like a violation that must NOT be flagged.
@@ -155,16 +178,65 @@ TEST(LintFixtures, NearMissesStaySilent) {
   // cross-domain-touch near-misses: same-domain pair, a Mailbox-mediated
   // statement, and two aliases of one cluster index.
   EXPECT_EQ(count(fs, "src/domain_touch.cpp", "cross-domain-touch"), 3u);
+  // Interprocedural near-misses: all-path release via helpers, acquire-only
+  // handoff, balanced helper on a branch (interproc_resource); check-by-
+  // helper on every path, inert helper, int out-param (interproc_status);
+  // awaited/stored/(void)-cast/passed-on calls (interproc_async);
+  // same-domain args, boundary-mediated statement, unresolved helper
+  // (interproc_domain); release-before-park, bounded pump, direct acquire
+  // (summary_leak) -- the 2 positives per file must be the only findings.
+  EXPECT_EQ(count(fs, "src/interproc_resource.cpp", "resource-pairing"), 2u);
+  EXPECT_EQ(count(fs, "src/interproc_status.cpp", "unchecked-status-path"),
+            2u);
+  EXPECT_EQ(count(fs, "src/interproc_async.cpp", "discarded-async"), 2u);
+  EXPECT_EQ(count(fs, "src/interproc_domain.cpp", "cross-domain-touch"), 2u);
+  EXPECT_EQ(count(fs, "src/summary_leak.cpp", "summary-leak"), 2u);
+  // summary-leak tracks callee-substituted acquires only; the direct
+  // acquire in sl_direct stays resource-pairing's business (and its exit
+  // paths all release, so that rule is silent too).
+  EXPECT_EQ(count(fs, "src/summary_leak.cpp", "resource-pairing"), 0u);
   // The new fixtures must not trip any pre-existing rule.
   for (const char* file :
        {"src/resource_pair.cpp", "src/use_move.cpp", "src/status_path.cpp",
-        "src/domain_touch.cpp"}) {
+        "src/domain_touch.cpp", "src/interproc_resource.cpp",
+        "src/interproc_status.cpp", "src/interproc_async.cpp",
+        "src/interproc_domain.cpp", "src/summary_leak.cpp"}) {
     for (const char* rule :
-         {"dangling-capture", "unchecked-put", "discarded-async",
-          "unbounded-poll", "nondeterminism"}) {
+         {"dangling-capture", "unchecked-put", "unbounded-poll",
+          "nondeterminism", "stale-suppression"}) {
       EXPECT_EQ(count(fs, file, rule), 0u) << file << " " << rule;
     }
   }
+}
+
+// --no-summaries parity: without the program layer every interprocedural
+// positive disappears (the facts literally do not exist at function scope)
+// and the intraprocedural findings are byte-identical to the full scan's.
+TEST(LintFixtures, NoSummariesDegradesCleanly) {
+  const auto full = scan_fixtures();
+  const auto bare = scan_fixtures(/*jobs=*/0, /*summaries=*/false);
+  ASSERT_TRUE(bare.error.empty()) << bare.error;
+
+  for (const char* file :
+       {"src/interproc_resource.cpp", "src/interproc_status.cpp",
+        "src/interproc_async.cpp", "src/interproc_domain.cpp",
+        "src/summary_leak.cpp"}) {
+    std::size_t n = 0;
+    for (const lint::Finding& f : bare.findings) n += f.file == file;
+    EXPECT_EQ(n, 0u) << file << " must be silent under --no-summaries";
+  }
+  EXPECT_EQ(bare.findings.size(), full.findings.size() - 10u);
+
+  // Every finding the bare scan produces is also in the full scan,
+  // unchanged -- summaries only ever add precision, never perturb the
+  // intraprocedural rules.
+  for (const lint::Finding& f : bare.findings) {
+    EXPECT_NE(std::find(full.findings.begin(), full.findings.end(), f),
+              full.findings.end())
+        << f.file << ":" << f.line << " " << f.rule;
+  }
+  EXPECT_FALSE(bare.stats.summaries);
+  EXPECT_EQ(bare.stats.defs, 0u);
 }
 
 // A consumed suppression must not be reported stale; only the marker in
@@ -249,7 +321,7 @@ TEST(LintBaseline, RoundTrip) {
   write_opts.update_baseline = true;
   const auto wrote = lint::scan(write_opts);
   ASSERT_TRUE(wrote.error.empty()) << wrote.error;
-  EXPECT_EQ(wrote.baseline_matched, 27u);  // everything grandfathered
+  EXPECT_EQ(wrote.baseline_matched, 37u);  // everything grandfathered
   EXPECT_TRUE(wrote.findings.empty());
 
   lint::Options read_opts;
@@ -259,7 +331,7 @@ TEST(LintBaseline, RoundTrip) {
   ASSERT_TRUE(reread.error.empty()) << reread.error;
   EXPECT_TRUE(reread.findings.empty())
       << "a baselined scan of unchanged sources must be clean";
-  EXPECT_EQ(reread.baseline_matched, 27u);
+  EXPECT_EQ(reread.baseline_matched, 37u);
 
   fs::remove(path);
 }
@@ -280,11 +352,19 @@ TEST(LintSarif, ShapeAndContent) {
         "unbounded-poll", "lambda-event", "unchecked-put",
         "dangling-capture", "discarded-async", "value-escape",
         "resource-pairing", "use-after-move", "unchecked-status-path",
-        "stale-suppression"}) {
+        "summary-leak", "stale-suppression"}) {
     EXPECT_NE(sarif.find(rule), std::string::npos) << rule;
   }
   EXPECT_NE(sarif.find("\"startLine\""), std::string::npos);
   EXPECT_NE(sarif.find("src/coro.cpp"), std::string::npos);
+  // With stats, the run carries the phase/rule wall-times and the
+  // whole-program counters as properties.
+  EXPECT_EQ(sarif.find("\"properties\""), std::string::npos);
+  const std::string with_stats = lint::to_sarif(res.findings, &res.stats);
+  EXPECT_NE(with_stats.find("\"properties\""), std::string::npos);
+  EXPECT_NE(with_stats.find("\"phaseWallMs\""), std::string::npos);
+  EXPECT_NE(with_stats.find("\"ruleWallMs\""), std::string::npos);
+  EXPECT_NE(with_stats.find("\"resolvedCalls\""), std::string::npos);
 }
 
 // Path-sensitive findings carry their execution path, and the SARIF
@@ -293,16 +373,24 @@ TEST(LintSarif, CodeFlowsShape) {
   const auto res = scan_fixtures();
 
   // Every flow-rule finding has a path; token-level findings have none.
+  // cross-domain-touch and discarded-async carry a path only on their
+  // interprocedural (summary-driven) variants.
   for (const lint::Finding& f : res.findings) {
     const bool flow_rule = f.rule == "resource-pairing" ||
                            f.rule == "use-after-move" ||
-                           f.rule == "unchecked-status-path";
-    EXPECT_EQ(!f.path.empty(), flow_rule) << f.rule << " at " << f.file << ":"
-                                          << f.line;
-    if (!flow_rule) continue;
-    // resource-pairing and unchecked-status-path anchor at the path's
-    // source (the acquire / the fill); use-after-move anchors at its sink
-    // (the read). Every step carries a human-readable note.
+                           f.rule == "unchecked-status-path" ||
+                           f.rule == "summary-leak";
+    const bool path_optional =
+        f.rule == "cross-domain-touch" || f.rule == "discarded-async";
+    if (!path_optional) {
+      EXPECT_EQ(!f.path.empty(), flow_rule)
+          << f.rule << " at " << f.file << ":" << f.line;
+    }
+    if (f.path.empty()) continue;
+    // resource-pairing, unchecked-status-path, summary-leak and the
+    // interprocedural variants anchor at the path's source (the acquire /
+    // the fill / the call); use-after-move anchors at its sink (the read).
+    // Every step carries a human-readable note.
     if (f.rule == "use-after-move") {
       EXPECT_EQ(f.path.back().line, f.line);
     } else {
@@ -314,6 +402,17 @@ TEST(LintSarif, CodeFlowsShape) {
       EXPECT_FALSE(s.note.empty());
     }
   }
+  // Interprocedural findings point into the callee's body with an explicit
+  // per-step artifact (the callee may live in another file; see the
+  // call-graph tests for the genuinely cross-file case).
+  bool callee_step = false;
+  for (const lint::Finding& f : res.findings) {
+    for (const lint::PathStep& s : f.path) {
+      if (!s.file.empty()) callee_step = true;
+    }
+  }
+  EXPECT_TRUE(callee_step)
+      << "expected at least one callee-side path step with its own artifact";
 
   const std::string sarif = lint::to_sarif(res.findings);
   EXPECT_NE(sarif.find("\"codeFlows\""), std::string::npos);
@@ -348,15 +447,29 @@ TEST(LintEngine, DeterministicAcrossJobCounts) {
   ASSERT_TRUE(one.error.empty());
   ASSERT_TRUE(eight.error.empty());
   // Finding equality includes the execution path, so this also pins the
-  // flow rules' codeFlows across worker counts -- make sure they fired.
+  // flow rules' codeFlows across worker counts -- make sure they fired,
+  // including the two-pass (scope -> program -> rules) interprocedural
+  // pipeline whose program build is sequential by construction.
   EXPECT_GT(count(one.findings, "src/resource_pair.cpp", "resource-pairing"),
             0u);
   EXPECT_GT(count(one.findings, "src/use_move.cpp", "use-after-move"), 0u);
   EXPECT_GT(
       count(one.findings, "src/status_path.cpp", "unchecked-status-path"),
       0u);
+  EXPECT_GT(count(one.findings, "src/summary_leak.cpp", "summary-leak"), 0u);
+  EXPECT_GT(
+      count(one.findings, "src/interproc_resource.cpp", "resource-pairing"),
+      0u);
   EXPECT_TRUE(one.findings == eight.findings);
   EXPECT_TRUE(one.line_texts == eight.line_texts);
+  EXPECT_EQ(one.stats.defs, eight.stats.defs);
+  EXPECT_EQ(one.stats.call_sites, eight.stats.call_sites);
+  EXPECT_EQ(one.stats.resolved_calls, eight.stats.resolved_calls);
+
+  // And the same for the degraded single-pass pipeline.
+  const auto bare1 = scan_fixtures(1, /*summaries=*/false);
+  const auto bare8 = scan_fixtures(8, /*summaries=*/false);
+  EXPECT_TRUE(bare1.findings == bare8.findings);
 }
 
 // ---------------------------------------------------------------------------
@@ -364,10 +477,10 @@ TEST(LintEngine, DeterministicAcrossJobCounts) {
 
 // Every rule the binary knows (including the engine-level stale-suppression
 // pass) must be documented by name in docs/STATIC_ANALYSIS.md, and the
-// catalog itself must be the full 13+1 set.
+// catalog itself must be the full 14+1 set.
 TEST(LintCatalog, DocsListEveryRule) {
   const auto catalog = lint::rule_catalog();
-  EXPECT_EQ(catalog.size(), 14u);
+  EXPECT_EQ(catalog.size(), 15u);
   std::ifstream in(LINT_DOCS_FILE);
   ASSERT_TRUE(in.good()) << "cannot open " << LINT_DOCS_FILE;
   std::stringstream ss;

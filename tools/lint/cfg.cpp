@@ -423,6 +423,23 @@ Cfg build_cfg(const std::vector<Token>& toks, const ScopeInfo& scopes,
   return Builder(toks, scopes, func_idx).run();
 }
 
+std::vector<bool> blocks_reaching_exit(const Cfg& cfg) {
+  std::vector<bool> r(cfg.blocks.size(), false);
+  std::vector<int> work{cfg.exit};
+  r[static_cast<std::size_t>(cfg.exit)] = true;
+  while (!work.empty()) {
+    const int b = work.back();
+    work.pop_back();
+    for (const int p : cfg.block(b).pred) {
+      if (!r[static_cast<std::size_t>(p)]) {
+        r[static_cast<std::size_t>(p)] = true;
+        work.push_back(p);
+      }
+    }
+  }
+  return r;
+}
+
 const Cfg& CfgCache::get(int func_idx) const {
   auto& slot = built_[static_cast<std::size_t>(func_idx)];
   if (!slot) {

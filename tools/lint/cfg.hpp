@@ -57,6 +57,12 @@ struct Cfg {
 Cfg build_cfg(const std::vector<Token>& toks, const ScopeInfo& scopes,
               int func_idx);
 
+/// Per-block reachability of the CFG exit: `result[b]` is true when some
+/// path from block `b` reaches the exit block. False for every block of a
+/// `while (true)` pump past the last escape -- the "suspends forever"
+/// region the summary layer and the summary-leak rule reason about.
+std::vector<bool> blocks_reaching_exit(const Cfg& cfg);
+
 /// Lazily-built per-function CFGs for one file, shared by every flow rule
 /// so the parse runs once per function no matter how many rules consult
 /// it. Not thread-safe; the engine runs all rules for a file on one worker.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -12,12 +13,26 @@
 
 #include "lint/rules.hpp"
 #include "lint/scope.hpp"
+#include "lint/summary.hpp"
 
 namespace fs = std::filesystem;
 
 namespace lint {
 
 namespace {
+
+/// Monotonic nanoseconds for phase/rule wall-time accounting. Timing is
+/// reporting-only output (--stats, SARIF run properties): no finding ever
+/// depends on a clock value, so the nondeterminism rule's concern does not
+/// apply here.
+std::uint64_t now_ns() {
+  // snacc-lint: allow(nondeterminism): reporting-only timing, see above.
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t).count());
+}
+
+double to_ms(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
 
 bool lintable(const fs::path& p) {
   const std::string ext = p.extension().string();
@@ -113,12 +128,15 @@ std::string baseline_key(const Finding& f, std::string_view line_text) {
 }
 
 ScanResult analyze(std::vector<std::unique_ptr<SourceFile>> files,
-                   unsigned jobs) {
+                   const AnalyzeOptions& opts) {
+  const unsigned jobs = opts.jobs;
   ScanResult result;
   result.files_scanned = files.size();
+  result.stats.summaries = opts.summaries;
 
   // Phase A ran in the caller (files are already tokenized); here we do the
   // scope analysis once per file and pool the async function names.
+  std::uint64_t t0 = now_ns();
   std::vector<ScopeInfo> scopes(files.size());
   for_each_index(files.size(), jobs, [&](std::size_t i) {
     scopes[i] = analyze_scopes(files[i]->tokens());
@@ -133,22 +151,69 @@ ScanResult analyze(std::vector<std::unique_ptr<SourceFile>> files,
     sync_fns.insert(s.sync_fn_names.begin(), s.sync_fn_names.end());
   }
   for (const std::string& s : sync_fns) async_fns.erase(s);
+  result.stats.scope_ms = to_ms(now_ns() - t0);
 
-  // Phase B: every rule over every file's shared token stream. Each file
-  // writes its own findings slot; no cross-file state is mutated. The
-  // CfgCache is per file and all of a file's rules run on one worker, so
-  // its lazy build needs no locking.
+  // Pass 1 of 2: the whole-program layer. Sequential by design -- def ids,
+  // propagation order and therefore every summary are identical at any
+  // --jobs value. The CFG caches are shared with the rules pass below:
+  // each file's cache is only ever touched by one thread at a time
+  // (sequentially here, by that file's single worker there).
+  std::vector<std::unique_ptr<CfgCache>> cfg_store;
+  cfg_store.reserve(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    cfg_store.push_back(
+        std::make_unique<CfgCache>(files[i]->tokens(), scopes[i]));
+  }
+  ProgramInfo prog;
+  bool have_prog = false;
+  if (opts.summaries) {
+    t0 = now_ns();
+    std::vector<const SourceFile*> fptrs;
+    std::vector<const CfgCache*> cptrs;
+    fptrs.reserve(files.size());
+    cptrs.reserve(files.size());
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      fptrs.push_back(files[i].get());
+      cptrs.push_back(cfg_store[i].get());
+    }
+    prog = build_program(fptrs, scopes, cptrs, opts.cache_path,
+                         &result.stats.cache_hit);
+    have_prog = true;
+    result.stats.summary_ms = to_ms(now_ns() - t0);
+    result.stats.defs = prog.graph.defs().size();
+    result.stats.call_sites = prog.graph.call_site_count();
+    result.stats.resolved_calls = prog.graph.resolved_count();
+  }
+
+  // Pass 2 of 2: every rule over every file's shared token stream. Each
+  // file writes its own findings slot; no cross-file state is mutated
+  // (the program layer is read-only from here on).
+  t0 = now_ns();
+  const auto& rules = all_rules();
+  std::vector<std::atomic<std::uint64_t>> rule_ns(rules.size());
   std::vector<std::vector<Finding>> raw(files.size());
   for_each_index(files.size(), jobs, [&](std::size_t i) {
-    const CfgCache cfgs(files[i]->tokens(), scopes[i]);
-    const RuleContext ctx{*files[i], scopes[i], async_fns, cfgs};
-    for (const auto& rule : all_rules()) {
-      rule->run(ctx, &raw[i]);
+    const CfgCache& cfgs = *cfg_store[i];
+    const RuleContext ctx{*files[i], scopes[i], async_fns, cfgs,
+                          have_prog ? &prog : nullptr,
+                          have_prog ? static_cast<int>(i) : -1};
+    for (std::size_t r = 0; r < rules.size(); ++r) {
+      const std::uint64_t rt = now_ns();
+      rules[r]->run(ctx, &raw[i]);
+      rule_ns[r].fetch_add(now_ns() - rt, std::memory_order_relaxed);
     }
   });
+  result.stats.rules_ms = to_ms(now_ns() - t0);
+  result.stats.rule_ms.reserve(rules.size());
+  for (std::size_t r = 0; r < rules.size(); ++r) {
+    result.stats.rule_ms.emplace_back(
+        std::string(rules[r]->name()),
+        to_ms(rule_ns[r].load(std::memory_order_relaxed)));
+  }
 
   // Sequential post-pass: suppressions (order-dependent bookkeeping), then
   // stale-suppression findings for markers that silenced nothing.
+  t0 = now_ns();
   for (std::size_t i = 0; i < files.size(); ++i) {
     SourceFile& sf = *files[i];
     for (Finding& f : raw[i]) {
@@ -177,7 +242,15 @@ ScanResult analyze(std::vector<std::unique_ptr<SourceFile>> files,
         it == by_rel.end() ? std::string()
                            : std::string(trim(it->second->line_text(f.line))));
   }
+  result.stats.post_ms = to_ms(now_ns() - t0);
   return result;
+}
+
+ScanResult analyze(std::vector<std::unique_ptr<SourceFile>> files,
+                   unsigned jobs) {
+  AnalyzeOptions opts;
+  opts.jobs = jobs;
+  return analyze(std::move(files), opts);
 }
 
 ScanResult scan(const Options& opts) {
@@ -185,6 +258,7 @@ ScanResult scan(const Options& opts) {
   const auto paths = collect(opts.roots, &result.error);
   if (!result.error.empty()) return result;
 
+  const std::uint64_t t0 = now_ns();
   std::vector<std::unique_ptr<SourceFile>> files(paths.size());
   std::atomic<bool> load_failed{false};
   std::string failed_path;
@@ -201,11 +275,18 @@ ScanResult scan(const Options& opts) {
     result.error = "snacc-lint: cannot read '" + failed_path + "'";
     return result;
   }
+  const double load_ms = to_ms(now_ns() - t0);
 
-  ScanResult analyzed = analyze(std::move(files), opts.jobs);
+  AnalyzeOptions aopts;
+  aopts.jobs = opts.jobs;
+  aopts.summaries = opts.summaries;
+  aopts.cache_path = opts.cache_path;
+  ScanResult analyzed = analyze(std::move(files), aopts);
   result.findings = std::move(analyzed.findings);
   result.line_texts = std::move(analyzed.line_texts);
   result.files_scanned = analyzed.files_scanned;
+  result.stats = std::move(analyzed.stats);
+  result.stats.load_ms = load_ms;
 
   if (opts.baseline_path.empty()) return result;
 

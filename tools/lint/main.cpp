@@ -34,6 +34,13 @@ void usage(std::FILE* to) {
       "                       exit 0 (the scan's findings become the "
       "baseline)\n"
       "  --jobs <n>           scan with n threads (default: hardware)\n"
+      "  --no-summaries       skip the whole-program pass (call graph +\n"
+      "                       function summaries); interprocedural rules\n"
+      "                       degrade to per-function precision\n"
+      "  --summary-cache <f>  cache the summary table in <f>, keyed by\n"
+      "                       per-file content hashes (all-or-nothing)\n"
+      "  --stats              print per-phase / per-rule wall-time and\n"
+      "                       call-graph counters to stderr\n"
       "  --list-rules         print the rule catalog and exit\n"
       "  -h, --help           this message\n");
 }
@@ -43,6 +50,7 @@ void usage(std::FILE* to) {
 int main(int argc, char** argv) {
   lint::Options opts;
   std::string sarif_path;
+  bool show_stats = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&](const char* what) -> const char* {
@@ -69,6 +77,12 @@ int main(int argc, char** argv) {
       opts.baseline_path = next("--baseline");
     } else if (arg == "--update-baseline") {
       opts.update_baseline = true;
+    } else if (arg == "--no-summaries") {
+      opts.summaries = false;
+    } else if (arg == "--summary-cache") {
+      opts.cache_path = next("--summary-cache");
+    } else if (arg == "--stats") {
+      show_stats = true;
     } else if (arg == "--jobs") {
       const char* val = next("--jobs");
       char* end = nullptr;
@@ -120,6 +134,28 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
+  if (show_stats) {
+    const lint::ScanStats& st = result.stats;
+    std::fprintf(stderr,
+                 "snacc-lint stats:\n"
+                 "  phase wall-time (ms): load %.1f, scope %.1f, "
+                 "summaries %.1f, rules %.1f, post %.1f\n",
+                 st.load_ms, st.scope_ms, st.summary_ms, st.rules_ms,
+                 st.post_ms);
+    if (st.summaries) {
+      std::fprintf(stderr,
+                   "  program: %zu defs, %zu call sites, %zu resolved%s\n",
+                   st.defs, st.call_sites, st.resolved_calls,
+                   st.cache_hit ? " (summary cache hit)" : "");
+    } else {
+      std::fprintf(stderr, "  program: summaries disabled\n");
+    }
+    std::fprintf(stderr, "  per-rule (ms, CPU-sum across threads):\n");
+    for (const auto& [rule, ms] : st.rule_ms) {
+      std::fprintf(stderr, "    %-22s %8.1f\n", rule.c_str(), ms);
+    }
+  }
+
   if (!sarif_path.empty()) {
     std::ofstream out(sarif_path);
     if (!out) {
@@ -127,7 +163,7 @@ int main(int argc, char** argv) {
                    sarif_path.c_str());
       return 2;
     }
-    out << lint::to_sarif(result.findings);
+    out << lint::to_sarif(result.findings, &result.stats);
   }
   return result.findings.empty() ? 0 : 1;
 }

@@ -20,6 +20,8 @@
 
 namespace lint {
 
+struct ProgramInfo;  // callgraph + summaries, see summary.hpp
+
 struct RuleContext {
   const SourceFile& file;
   const ScopeInfo& scopes;
@@ -27,6 +29,12 @@ struct RuleContext {
   /// Lazily-built per-function CFGs (see cfg.hpp); flow rules share one
   /// cache per file so the CFG parse runs at most once per function.
   const CfgCache& cfgs;
+  /// Whole-program layer (call graph + function summaries). Null under
+  /// `--no-summaries`; every rule must degrade to its intraprocedural
+  /// behaviour when absent.
+  const ProgramInfo* prog = nullptr;
+  /// Index of `file` in the scanned file list; -1 when `prog` is null.
+  int file_index = -1;
 };
 
 class Rule {

@@ -5,6 +5,7 @@
 #include <array>
 
 #include "lint/rules.hpp"
+#include "lint/summary.hpp"
 
 namespace lint {
 
@@ -164,7 +165,11 @@ class DanglingCapture final : public Rule {
 // frame before it ever runs, and a dropped sim::Future loses the only
 // handle to a completion. The rule flags statement-position calls to any
 // function whose declared return type mentions Task or Future (symbol table
-// built across every scanned file). `(void)`-casting is the explicit
+// built across every scanned file). With the program layer on, the call
+// graph extends the reach to calls the name table cannot type: a lambda
+// bound to a name (`auto pump = [..]() -> sim::Task {..}; pump();`) and an
+// `auto` function whose asyncness comes from summary propagation
+// (`auto relay() { return job(); }`). `(void)`-casting is the explicit
 // acknowledgement for posted operations and is not flagged, matching the
 // [[nodiscard]] attributes on the types themselves.
 
@@ -195,6 +200,35 @@ class DiscardedAsync final : public Rule {
                "' is discarded: the coroutine frame is destroyed before it "
                "runs; co_await it, store it, pass it to spawn(), or "
                "(void)-cast a deliberately posted operation"});
+    }
+
+    // Interprocedural extension: statement-position calls whose *resolved*
+    // callee is async even though the name table cannot see it (bound
+    // lambdas, propagated `auto` return types). Sites whose name is in the
+    // table were already handled above; skipping them avoids duplicates.
+    if (ctx.prog == nullptr) return;
+    for (const CallSite& site : ctx.prog->graph.sites(ctx.file_index)) {
+      if (!site.stmt_pos || site.callee < 0) continue;
+      if (ctx.async_fns.find(site.callee_name) != ctx.async_fns.end()) {
+        continue;
+      }
+      const auto c = static_cast<std::size_t>(site.callee);
+      if (!ctx.prog->summaries[c].returns_async) continue;
+      const std::string callee(site.callee_name.empty() ? "<lambda>"
+                                                        : site.callee_name);
+      Finding fd{
+          ctx.file.rel(), site.line, std::string(name()),
+          "result of Task/Future-returning '" + callee +
+              "' is discarded: the coroutine frame is destroyed before it "
+              "runs; co_await it, store it, pass it to spawn(), or "
+              "(void)-cast a deliberately posted operation",
+          {}};
+      const auto& cd = ctx.prog->graph.defs()[c];
+      fd.path.push_back({site.line, "'" + callee + "' called and dropped"});
+      fd.path.push_back(
+          {cd.line, "defined as async here",
+           ctx.prog->file_rels[static_cast<std::size_t>(cd.file)]});
+      out->push_back(std::move(fd));
     }
   }
 

@@ -3,6 +3,7 @@
 #include <map>
 #include <sstream>
 
+#include "lint/engine.hpp"
 #include "lint/rules.hpp"
 
 namespace lint {
@@ -35,7 +36,8 @@ std::string esc(std::string_view s) {
 
 }  // namespace
 
-std::string to_sarif(const std::vector<Finding>& findings) {
+std::string to_sarif(const std::vector<Finding>& findings,
+                     const ScanStats* stats) {
   // The driver rule table IS the catalog (all rules + the engine-level
   // stale check), so results always resolve a ruleIndex.
   const std::vector<RuleMeta>& rules = rule_catalog();
@@ -96,10 +98,12 @@ std::string to_sarif(const std::vector<Finding>& findings) {
              "            { \"threadFlows\": [ { \"locations\": [\n";
       for (std::size_t s = 0; s < f.path.size(); ++s) {
         const PathStep& step = f.path[s];
+        // Interprocedural steps carry their own file (a callee body); a
+        // step with no file lives in the finding's file.
         out << "              { \"location\": {\n"
             << "                \"physicalLocation\": {\n"
             << "                  \"artifactLocation\": { \"uri\": \""
-            << esc(f.file) << "\" },\n"
+            << esc(step.file.empty() ? f.file : step.file) << "\" },\n"
             << "                  \"region\": { \"startLine\": "
             << (step.line == 0 ? 1 : step.line) << " }\n"
             << "                },\n"
@@ -113,8 +117,37 @@ std::string to_sarif(const std::vector<Finding>& findings) {
     }
     out << "\n        }" << (i + 1 < findings.size() ? "," : "") << "\n";
   }
-  out << "      ]\n"
-         "    }\n"
+  out << "      ]";
+  // Per-phase and per-rule wall-time plus whole-program counters, so a CI
+  // artifact records where the 30-second budget went.
+  if (stats != nullptr) {
+    out << ",\n      \"properties\": {\n"
+        << "        \"phaseWallMs\": {\n"
+        << "          \"load\": " << stats->load_ms << ",\n"
+        << "          \"scope\": " << stats->scope_ms << ",\n"
+        << "          \"summaries\": " << stats->summary_ms << ",\n"
+        << "          \"rules\": " << stats->rules_ms << ",\n"
+        << "          \"post\": " << stats->post_ms << "\n"
+        << "        },\n"
+        << "        \"ruleWallMs\": {\n";
+    for (std::size_t i = 0; i < stats->rule_ms.size(); ++i) {
+      out << "          \"" << esc(stats->rule_ms[i].first)
+          << "\": " << stats->rule_ms[i].second
+          << (i + 1 < stats->rule_ms.size() ? "," : "") << "\n";
+    }
+    out << "        },\n"
+        << "        \"program\": {\n"
+        << "          \"summaries\": " << (stats->summaries ? "true" : "false")
+        << ",\n"
+        << "          \"cacheHit\": " << (stats->cache_hit ? "true" : "false")
+        << ",\n"
+        << "          \"defs\": " << stats->defs << ",\n"
+        << "          \"callSites\": " << stats->call_sites << ",\n"
+        << "          \"resolvedCalls\": " << stats->resolved_calls << "\n"
+        << "        }\n"
+        << "      }";
+  }
+  out << "\n    }\n"
          "  ]\n"
          "}\n";
   return out.str();

@@ -8,9 +8,16 @@
 
 namespace lint {
 
+struct ScanStats;  // engine.hpp
+
 /// Renders findings as a SARIF 2.1.0 log with one run. The tool.driver
 /// rule table covers every built-in rule plus the engine-level
 /// `stale-suppression` check, so results always resolve a ruleIndex.
-std::string to_sarif(const std::vector<Finding>& findings);
+/// Interprocedural PathSteps that carry a `file` render with that file as
+/// their artifact (cross-function code flows). When `stats` is given, the
+/// run's `properties` embed per-phase/per-rule wall-times and the
+/// call-graph counters.
+std::string to_sarif(const std::vector<Finding>& findings,
+                     const ScanStats* stats = nullptr);
 
 }  // namespace lint

@@ -132,6 +132,7 @@ class Analyzer {
     FuncScope f;
     f.is_lambda = true;
     f.header_line = toks_[i].line;
+    f.name_tok = i;  // the '[' introducer: feeds lambda name-binding lookup
     if (!parse_captures(i + 1, close, &f.captures)) return 0;
 
     std::size_t j = close + 1;
@@ -146,6 +147,8 @@ class Analyzer {
     if (j < toks_.size() && toks_[j].is("(")) {
       const std::size_t pclose = match_forward(toks_, j);
       if (pclose >= toks_.size()) return 0;
+      f.param_open = j;
+      f.param_close = pclose;
       parse_params(j + 1, pclose, &f.params);
       j = pclose + 1;
     }
@@ -252,16 +255,30 @@ class Analyzer {
       for (std::size_t j = i; j < name_end; ++j) {
         if (toks_[j].is("&&")) p.is_rvalue_ref = true;
         else if (toks_[j].is("&")) p.is_lvalue_ref = true;
+        else if (toks_[j].is("*")) p.is_pointer = true;
       }
+      std::size_t name_idx = SIZE_MAX;
       for (std::size_t j = name_end; j-- > i;) {
         if (toks_[j].kind == Tok::kIdent && !toks_[j].ident("const") &&
             !toks_[j].ident("volatile")) {
           // Skip over a closing angle bracket's type name: the name must be
           // the final identifier, directly before `=`, `,` or the end.
           p.name = toks_[j].text;
+          name_idx = j;
           break;
         }
         if (!toks_[j].is("]") && !toks_[j].is(")")) break;
+      }
+      // The type is the last identifier of the declarator before the name
+      // (`sim::Task t` -> Task, `PutStatus* st` -> PutStatus).
+      if (name_idx != SIZE_MAX) {
+        for (std::size_t j = name_idx; j-- > i;) {
+          if (toks_[j].kind == Tok::kIdent && !toks_[j].ident("const") &&
+              !toks_[j].ident("volatile")) {
+            p.type_name = toks_[j].text;
+            break;
+          }
+        }
       }
       if (!p.name.empty()) out->push_back(p);
       i = stop + 1;
@@ -373,6 +390,15 @@ class Analyzer {
     FuncScope f;
     f.is_lambda = false;
     f.name = toks_[name_idx].text;
+    f.name_tok = name_idx;
+    f.param_open = param_open;
+    f.param_close = param_close;
+    // `Cls::name(...)` out-of-class definition: the class feeds receiver-
+    // type disambiguation in the call graph.
+    if (name_idx >= 2 && toks_[name_idx - 1].is("::") &&
+        toks_[name_idx - 2].kind == Tok::kIdent) {
+      f.cls = toks_[name_idx - 2].text;
+    }
     f.header_line = toks_[name_idx].line;
     parse_params(param_open + 1, param_close, &f.params);
     push_func(std::move(f), body);

@@ -33,8 +33,14 @@ struct Capture {
 
 struct Param {
   std::string_view name;
+  /// Last identifier of the declared type (`PutStatus* st` -> "PutStatus",
+  /// `const std::string& k` -> "string"); empty when unrecoverable. The
+  /// call-graph layer uses this for receiver/out-param typing only, so an
+  /// imprecise value degrades to "unresolved", never to a wrong edge.
+  std::string_view type_name;
   bool is_lvalue_ref = false;
   bool is_rvalue_ref = false;
+  bool is_pointer = false;
 };
 
 struct FuncScope {
@@ -42,6 +48,11 @@ struct FuncScope {
   bool is_coroutine = false;
   std::uint32_t header_line = 0;  // line of the introducer ([ or the name)
   std::string_view name;          // empty for lambdas
+  std::string_view cls;           // "Cls" from a `Cls::name(...)` definition
+  std::size_t name_tok = SIZE_MAX;    // token index of the name (lambdas:
+                                      // the '[' introducer token)
+  std::size_t param_open = SIZE_MAX;  // '(' of the parameter list, if any
+  std::size_t param_close = SIZE_MAX;
   std::size_t body_begin = 0;     // token index of '{'
   std::size_t body_end = 0;       // token index of matching '}'
   std::vector<Capture> captures;

@@ -17,9 +17,13 @@ namespace lint {
 struct PathStep {
   std::uint32_t line = 0;
   std::string note;
+  /// Scan-root-relative path of the file this step lives in; empty means
+  /// the finding's own file. Interprocedural rules set it when a step
+  /// points into a callee (wrapper body, helper's acquire site, ...).
+  std::string file{};
 
   friend bool operator==(const PathStep& a, const PathStep& b) {
-    return a.line == b.line && a.note == b.note;
+    return a.line == b.line && a.note == b.note && a.file == b.file;
   }
 };
 
@@ -68,6 +72,8 @@ class SourceFile {
                                                std::string text);
 
   const std::string& rel() const { return rel_; }
+  /// The full file contents (summary-cache hashing).
+  const std::string& text() const { return text_; }
   const std::vector<Token>& tokens() const { return stream_.tokens; }
   const std::vector<Comment>& comments() const { return stream_.comments; }
   std::uint32_t line_count() const { return line_count_; }

@@ -1,0 +1,611 @@
+#include "lint/summary.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "lint/dataflow.hpp"
+#include "lint/rules.hpp"
+
+namespace lint {
+
+namespace {
+
+std::vector<std::pair<std::size_t, std::size_t>> child_ranges(
+    const ScopeInfo& scopes, int idx) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (const FuncScope& g : scopes.funcs) {
+    if (g.parent == idx) out.emplace_back(g.body_begin, g.body_end);
+  }
+  return out;
+}
+
+bool in_ranges(const std::vector<std::pair<std::size_t, std::size_t>>& rs,
+               std::size_t i) {
+  for (const auto& [b, e] : rs) {
+    if (i >= b && i <= e) return true;
+  }
+  return false;
+}
+
+bool plain_use(const std::vector<Token>& toks, std::size_t i) {
+  if (i > 0 && (toks[i - 1].is(".") || toks[i - 1].is("->") ||
+                toks[i - 1].is("::"))) {
+    return false;
+  }
+  if (i + 1 < toks.size() && toks[i + 1].is("::")) return false;
+  return true;
+}
+
+/// Direct `recv.verb()` events of one function, attributed to CFG blocks.
+/// With `bypass_params` set (summary extraction), a receiver that names a
+/// parameter matches every policy row with that verb -- the glob is applied
+/// later, caller-side, against the substituted argument. Without it (rule
+/// checks, `--no-summaries` parity), receivers must match the row glob and
+/// only the first matching row fires, exactly like the flow rules always
+/// did.
+void direct_events(const std::vector<Token>& toks, const ScopeInfo& scopes,
+                   int func_idx, const Cfg& cfg,
+                   const std::vector<Param>* bypass_params,
+                   std::vector<std::vector<ResourceEventEx>>* evs) {
+  const auto& policy = resource_pair_policy();
+  const auto nested = child_ranges(scopes, func_idx);
+  const auto param_named = [&](std::string_view n) {
+    if (!bypass_params) return false;
+    for (const Param& p : *bypass_params) {
+      if (p.name == n) return true;
+    }
+    return false;
+  };
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    const CfgBlock& blk = cfg.blocks[b];
+    const std::size_t hi = std::min(blk.end, toks.size());
+    for (std::size_t i = blk.begin; i + 3 < toks.size() && i < hi; ++i) {
+      if (in_ranges(nested, i)) continue;
+      if (toks[i].kind != Tok::kIdent) continue;
+      if (!toks[i + 1].is(".") && !toks[i + 1].is("->")) continue;
+      if (toks[i + 2].kind != Tok::kIdent || !toks[i + 3].is("(")) continue;
+      const std::string_view recv = toks[i].text;
+      const std::string_view verb = toks[i + 2].text;
+      const bool is_param = param_named(recv);
+      for (std::size_t pi = 0; pi < policy.size(); ++pi) {
+        const ResourcePairEntry& e = policy[pi];
+        const bool acq = verb == e.acquire;
+        const bool rel = verb == e.release;
+        if (!acq && !rel) continue;
+        if (!is_param && !glob_match(e.receiver_glob, recv)) continue;
+        (*evs)[b].push_back(
+            {pi, std::string(recv), acq, toks[i].line, i, -1, 0});
+        if (!is_param) break;  // first matching row, as the flow rules do
+      }
+    }
+  }
+}
+
+/// Effects of resolved callees substituted at `def_id`'s call sites. A
+/// balanced callee (releases_all) contributes nothing; an acquiring one
+/// contributes an acquire at the call line; a releasing one a release.
+/// Parameter-keyed effects substitute the caller's argument and must then
+/// pass the policy-row glob; anything unresolvable is skipped.
+void substituted_events(const std::vector<FuncSummary>& sums,
+                        const std::vector<Token>& toks,
+                        const std::vector<CallSite>& fsites, int def_id,
+                        const Cfg& cfg,
+                        std::vector<std::vector<ResourceEventEx>>* evs) {
+  const auto& policy = resource_pair_policy();
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    const CfgBlock& blk = cfg.blocks[b];
+    if (blk.end <= blk.begin) continue;
+    for (const CallSite& site : fsites) {
+      if (site.caller != def_id || site.callee < 0) continue;
+      if (site.name_tok < blk.begin || site.name_tok >= blk.end) continue;
+      const FuncSummary& cs = sums[static_cast<std::size_t>(site.callee)];
+      for (const ResourceEffect& e : cs.resources) {
+        std::string recv;
+        std::uint32_t callee_line = 0;
+        if (e.recv_param >= 0) {
+          if (static_cast<std::size_t>(e.recv_param) >= site.args.size()) {
+            continue;
+          }
+          const std::string_view r =
+              root_ident(toks, site.args[static_cast<std::size_t>(
+                                   e.recv_param)]);
+          if (r.empty()) continue;
+          if (!glob_match(policy[e.row].receiver_glob, r)) continue;
+          recv = std::string(r);
+        } else {
+          recv = e.recv;
+        }
+        if (e.may_release) {
+          callee_line = e.release_line;
+          (*evs)[b].push_back({e.row, recv, false, site.line, site.name_tok,
+                               site.callee, callee_line});
+        }
+        if (e.may_acquire && !e.releases_all) {
+          (*evs)[b].push_back({e.row, recv, true, site.line, site.name_tok,
+                               site.callee, e.acquire_line});
+        }
+      }
+    }
+  }
+}
+
+void sort_blocks(std::vector<std::vector<ResourceEventEx>>* evs) {
+  for (auto& v : *evs) {
+    std::stable_sort(v.begin(), v.end(),
+                     [](const ResourceEventEx& a, const ResourceEventEx& b) {
+                       return a.tok < b.tok;
+                     });
+  }
+}
+
+/// Folds per-block events into per-(row, receiver) ResourceEffects, with
+/// releases_all proven by the function's own dataflow.
+std::vector<ResourceEffect> effects_from_events(
+    const Cfg& cfg, const std::vector<std::vector<ResourceEventEx>>& evs,
+    const FuncScope& f, bool params_reliable) {
+  std::map<std::pair<std::size_t, std::string>, std::size_t> keys;
+  struct KeyData {
+    bool acq = false;
+    bool rel = false;
+    std::uint32_t aline = 0;
+    std::uint32_t rline = 0;
+  };
+  std::vector<KeyData> kd;
+  for (const auto& block_evs : evs) {
+    for (const ResourceEventEx& e : block_evs) {
+      const auto [it, fresh] =
+          keys.try_emplace({e.row, e.recv}, kd.size());
+      if (fresh) kd.push_back({});
+      KeyData& k = kd[it->second];
+      if (e.acquire) {
+        k.acq = true;
+        if (k.aline == 0) k.aline = e.line;
+      } else {
+        k.rel = true;
+        if (k.rline == 0) k.rline = e.line;
+      }
+    }
+  }
+  if (keys.empty()) return {};
+
+  ForwardMay df(cfg, kd.size());
+  std::vector<int> state(kd.size());
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    if (evs[b].empty()) continue;
+    std::fill(state.begin(), state.end(), 0);
+    for (const ResourceEventEx& e : evs[b]) {
+      state[keys.at({e.row, e.recv})] = e.acquire ? 1 : -1;
+    }
+    for (std::size_t k = 0; k < kd.size(); ++k) {
+      if (state[k] == 1) df.add_gen(static_cast<int>(b), k);
+      if (state[k] == -1) df.add_kill(static_cast<int>(b), k);
+    }
+  }
+  df.solve();
+
+  std::vector<ResourceEffect> out;
+  for (const auto& [key, k] : keys) {
+    ResourceEffect e;
+    e.row = key.first;
+    e.recv = key.second;
+    e.may_acquire = kd[k].acq;
+    e.may_release = kd[k].rel;
+    e.releases_all = kd[k].acq && !df.in(cfg.exit, k);
+    e.acquire_line = kd[k].aline;
+    e.release_line = kd[k].rline;
+    if (params_reliable) {
+      for (std::size_t pi = 0; pi < f.params.size(); ++pi) {
+        if (f.params[pi].name == e.recv) {
+          e.recv_param = static_cast<int>(pi);
+          break;
+        }
+      }
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+bool same_effects(const std::vector<ResourceEffect>& a,
+                  const std::vector<ResourceEffect>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].row != b[i].row || a[i].recv_param != b[i].recv_param ||
+        a[i].recv != b[i].recv || a[i].may_acquire != b[i].may_acquire ||
+        a[i].may_release != b[i].may_release ||
+        a[i].releases_all != b[i].releases_all) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- cache -----------------------------------------------------------------
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+constexpr std::string_view kCacheMagic = "snacc-lint-cache v1";
+
+bool load_cache(const std::string& path,
+                const std::vector<const SourceFile*>& files,
+                const std::vector<ScopeInfo>& scopes, std::size_t ndefs,
+                std::vector<FuncSummary>* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line) || line != kCacheMagic) return false;
+  std::size_t nfiles = 0, cached_defs = 0;
+  if (!(in >> nfiles >> cached_defs)) return false;
+  if (nfiles != files.size() || cached_defs != ndefs) return false;
+  // All-or-nothing validation: every file must match by relative path,
+  // content hash, and function count. A changed callee invalidates its
+  // callers transitively, so partial reuse would need a dependency walk --
+  // full recompute is the simple sound answer.
+  for (std::size_t i = 0; i < nfiles; ++i) {
+    std::uint64_t hash = 0;
+    std::size_t nfuncs = 0;
+    std::string rel;
+    if (!(in >> hash >> nfuncs)) return false;
+    if (!std::getline(in, rel)) return false;
+    if (!rel.empty() && rel.front() == ' ') rel.erase(0, 1);
+    if (rel != files[i]->rel() || hash != fnv1a(files[i]->text()) ||
+        nfuncs != scopes[i].funcs.size()) {
+      return false;
+    }
+  }
+  std::vector<FuncSummary> sums(ndefs);
+  for (std::size_t d = 0; d < ndefs; ++d) {
+    std::string tag;
+    int coro = 0, async = 0, susp = 0;
+    std::size_t nres = 0, nparams = 0;
+    if (!(in >> tag >> coro >> async >> susp >> nres >> nparams) ||
+        tag != "D") {
+      return false;
+    }
+    FuncSummary& s = sums[d];
+    s.is_coroutine = coro != 0;
+    s.returns_async = async != 0;
+    s.suspends_forever = susp != 0;
+    s.resources.resize(nres);
+    for (ResourceEffect& e : s.resources) {
+      int acq = 0, rel = 0, rall = 0;
+      if (!(in >> tag >> e.row >> e.recv_param >> acq >> rel >> rall >>
+            e.acquire_line >> e.release_line >> e.recv) ||
+          tag != "R") {
+        return false;
+      }
+      e.may_acquire = acq != 0;
+      e.may_release = rel != 0;
+      e.releases_all = rall != 0;
+    }
+    s.params.resize(nparams);
+    for (ParamEffect& p : s.params) {
+      int so = 0, w = 0, c = 0, t = 0;
+      if (!(in >> tag >> so >> w >> c >> t >> p.touch_def >> p.touch_line >>
+            p.write_line) ||
+          tag != "P") {
+        return false;
+      }
+      p.is_status_out = so != 0;
+      p.status_written = w != 0;
+      p.status_checked = c != 0;
+      p.touched = t != 0;
+    }
+  }
+  *out = std::move(sums);
+  return true;
+}
+
+void save_cache(const std::string& path,
+                const std::vector<const SourceFile*>& files,
+                const std::vector<ScopeInfo>& scopes,
+                const std::vector<FuncSummary>& sums) {
+  std::ofstream out(path);
+  if (!out) return;  // best effort: a missing cache only costs recompute
+  out << kCacheMagic << '\n' << files.size() << ' ' << sums.size() << '\n';
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    out << fnv1a(files[i]->text()) << ' ' << scopes[i].funcs.size() << ' '
+        << files[i]->rel() << '\n';
+  }
+  for (const FuncSummary& s : sums) {
+    out << "D " << int(s.is_coroutine) << ' ' << int(s.returns_async) << ' '
+        << int(s.suspends_forever) << ' ' << s.resources.size() << ' '
+        << s.params.size() << '\n';
+    for (const ResourceEffect& e : s.resources) {
+      out << "R " << e.row << ' ' << e.recv_param << ' '
+          << int(e.may_acquire) << ' ' << int(e.may_release) << ' '
+          << int(e.releases_all) << ' ' << e.acquire_line << ' '
+          << e.release_line << ' ' << e.recv << '\n';
+    }
+    for (const ParamEffect& p : s.params) {
+      out << "P " << int(p.is_status_out) << ' ' << int(p.status_written)
+          << ' ' << int(p.status_checked) << ' ' << int(p.touched) << ' '
+          << p.touch_def << ' ' << p.touch_line << ' ' << p.write_line
+          << '\n';
+    }
+  }
+}
+
+// --- local extraction + propagation ----------------------------------------
+
+/// One status/touch forwarding edge: `def` passes its parameter #param as
+/// argument #arg of `site` (whose callee is resolved).
+struct FwdRec {
+  int param;
+  const CallSite* site;
+  int arg;
+};
+
+void local_param_effects(const std::vector<Token>& toks,
+                         const ScopeInfo& scopes, int func_idx,
+                         const std::vector<CallSite>& fsites, int def_id,
+                         bool params_reliable, FuncSummary* s,
+                         std::vector<FwdRec>* fwd) {
+  if (!params_reliable) return;  // positions would be skewed; stay silent
+  const FuncScope& f = scopes.funcs[static_cast<std::size_t>(func_idx)];
+  s->params.resize(f.params.size());
+  for (std::size_t pi = 0; pi < f.params.size(); ++pi) {
+    const Param& p = f.params[pi];
+    s->params[pi].is_status_out =
+        p.type_name == "PutStatus" && (p.is_pointer || p.is_lvalue_ref);
+  }
+  const auto nested = child_ranges(scopes, func_idx);
+
+  // Sites of this function, for argument containment checks.
+  std::vector<const CallSite*> own_sites;
+  for (const CallSite& site : fsites) {
+    if (site.caller == def_id) own_sites.push_back(&site);
+  }
+  const auto forwarded_at = [&](std::size_t i, std::string_view pname)
+      -> std::pair<const CallSite*, int> {
+    for (const CallSite* site : own_sites) {
+      for (std::size_t a = 0; a < site->args.size(); ++a) {
+        const auto& [ab, ae] = site->args[a];
+        if (i >= ab && i < ae && root_ident(toks, {ab, ae}) == pname) {
+          return {site, static_cast<int>(a)};
+        }
+      }
+    }
+    return {nullptr, -1};
+  };
+
+  for (std::size_t i = f.body_begin + 1;
+       i < f.body_end && i < toks.size(); ++i) {
+    if (in_ranges(nested, i) || toks[i].kind != Tok::kIdent) continue;
+    std::size_t pi = f.params.size();
+    for (std::size_t k = 0; k < f.params.size(); ++k) {
+      if (f.params[k].name == toks[i].text) {
+        pi = k;
+        break;
+      }
+    }
+    if (pi == f.params.size()) continue;
+    const Param& p = f.params[pi];
+    ParamEffect& pe = s->params[pi];
+
+    // Receiver of a method call: the parameter is "touched" here.
+    if (i + 3 < toks.size() && (toks[i + 1].is(".") || toks[i + 1].is("->")) &&
+        toks[i + 2].kind == Tok::kIdent && toks[i + 3].is("(")) {
+      if (!pe.touched) {
+        pe.touched = true;
+        pe.touch_def = def_id;
+        pe.touch_line = toks[i].line;
+      }
+    }
+
+    // Status out-param writes: `*st = ...` (pointer) / `st = ...` (ref).
+    if (pe.is_status_out) {
+      const bool ptr_write = p.is_pointer && i > 0 && toks[i - 1].is("*") &&
+                             i + 1 < toks.size() && toks[i + 1].is("=");
+      const bool ref_write =
+          p.is_lvalue_ref && i + 1 < toks.size() && toks[i + 1].is("=");
+      if (ptr_write || ref_write) {
+        if (!pe.status_written) {
+          pe.status_written = true;
+          pe.write_line = toks[i].line;
+        }
+        continue;
+      }
+    }
+
+    // Passed along as an argument: record the edge for propagation. When
+    // the callee is opaque, mirror the intraprocedural rule's convention:
+    // handing the status away under `&` is a write (out-param shape), a
+    // plain forward is the read that consumes the pending value.
+    if (const auto [site, arg] = forwarded_at(i, p.name); site != nullptr) {
+      if (site->callee >= 0) {
+        fwd->push_back({static_cast<int>(pi), site, arg});
+      } else if (pe.is_status_out) {
+        if (i > 0 && toks[i - 1].is("&")) {
+          if (!pe.status_written) {
+            pe.status_written = true;
+            pe.write_line = toks[i].line;
+          }
+        } else {
+          pe.status_checked = true;
+        }
+      }
+      continue;
+    }
+
+    // Any other plain use of a status out-param reads/compares it.
+    if (pe.is_status_out && plain_use(toks, i)) pe.status_checked = true;
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<ResourceEventEx>> resource_events(
+    const ProgramInfo* prog, int file, const SourceFile& sf,
+    const ScopeInfo& scopes, const Cfg& cfg, int func_idx) {
+  std::vector<std::vector<ResourceEventEx>> evs(cfg.blocks.size());
+  direct_events(sf.tokens(), scopes, func_idx, cfg, nullptr, &evs);
+  if (prog != nullptr) {
+    const int def_id = prog->graph.def_of(file, func_idx);
+    substituted_events(prog->summaries, sf.tokens(),
+                       prog->graph.sites(file), def_id, cfg, &evs);
+    sort_blocks(&evs);
+  }
+  return evs;
+}
+
+ProgramInfo build_program(const std::vector<const SourceFile*>& files,
+                          const std::vector<ScopeInfo>& scopes,
+                          const std::vector<const CfgCache*>& cfgs,
+                          const std::string& cache_path, bool* cache_hit) {
+  ProgramInfo prog;
+  prog.graph = CallGraph::build(files, scopes);
+  prog.file_rels.reserve(files.size());
+  for (const SourceFile* f : files) prog.file_rels.push_back(f->rel());
+  const auto& defs = prog.graph.defs();
+  if (cache_hit != nullptr) *cache_hit = false;
+  if (!cache_path.empty() &&
+      load_cache(cache_path, files, scopes, defs.size(), &prog.summaries)) {
+    if (cache_hit != nullptr) *cache_hit = true;
+    return prog;
+  }
+
+  prog.summaries.assign(defs.size(), {});
+  std::vector<std::vector<FwdRec>> fwd(defs.size());
+  std::vector<std::vector<const CallSite*>> return_sites(defs.size());
+
+  // Local pass: per-function facts that need no other function's summary.
+  for (std::size_t d = 0; d < defs.size(); ++d) {
+    const FuncDef& fd = defs[d];
+    const auto fi = static_cast<std::size_t>(fd.file);
+    const auto& toks = files[fi]->tokens();
+    const FuncScope& f =
+        scopes[fi].funcs[static_cast<std::size_t>(fd.func)];
+    FuncSummary& s = prog.summaries[d];
+    s.is_coroutine = fd.is_coroutine;
+    s.returns_async = fd.returns_async;
+    const Cfg& cfg = cfgs[fi]->get(fd.func);
+    if (fd.is_coroutine && !f.suspends.empty()) {
+      const std::vector<bool> reach = blocks_reaching_exit(cfg);
+      for (std::size_t b = 0; b < cfg.blocks.size() && !s.suspends_forever;
+           ++b) {
+        if (cfg.blocks[b].suspends && !reach[b]) s.suspends_forever = true;
+      }
+    }
+    local_param_effects(toks, scopes[fi], fd.func,
+                        prog.graph.sites(fd.file), static_cast<int>(d),
+                        fd.params_reliable, &s, &fwd[d]);
+    for (const CallSite& site : prog.graph.sites(fd.file)) {
+      if (site.caller != static_cast<int>(d) || site.name_tok == 0) continue;
+      const Token& before = toks[site.name_tok - 1];
+      if (before.ident("return") || before.ident("co_return")) {
+        return_sites[d].push_back(&site);
+      }
+    }
+  }
+
+  // Phase 1: monotone fixpoint for status / touch / returns_async facts
+  // flowing through resolved call edges. Bounded rounds; each fact only
+  // ever flips false -> true, so the loop terminates early in practice.
+  for (int round = 0; round < 8; ++round) {
+    bool changed = false;
+    for (std::size_t d = 0; d < defs.size(); ++d) {
+      for (const FwdRec& fr : fwd[d]) {
+        const auto c = static_cast<std::size_t>(fr.site->callee);
+        ParamEffect& pe =
+            prog.summaries[d].params[static_cast<std::size_t>(fr.param)];
+        if (!defs[c].params_reliable ||
+            static_cast<std::size_t>(fr.arg) >=
+                prog.summaries[c].params.size()) {
+          // Opaque parameter shape: same conservative answer as an
+          // unresolved callee.
+          if (pe.is_status_out && !pe.status_written) {
+            pe.status_written = true;
+            pe.write_line = fr.site->line;
+            changed = true;
+          }
+          continue;
+        }
+        const ParamEffect& cpe =
+            prog.summaries[c].params[static_cast<std::size_t>(fr.arg)];
+        if (pe.is_status_out) {
+          if (cpe.is_status_out) {
+            if (cpe.status_written && !pe.status_written) {
+              pe.status_written = true;
+              pe.write_line = fr.site->line;
+              changed = true;
+            }
+            if (cpe.status_checked && !pe.status_checked) {
+              pe.status_checked = true;
+              changed = true;
+            }
+          } else if (!pe.status_checked) {
+            pe.status_checked = true;  // consumed by value
+            changed = true;
+          }
+        }
+        if (cpe.touched && !pe.touched) {
+          pe.touched = true;
+          pe.touch_def = cpe.touch_def;
+          pe.touch_line = cpe.touch_line;
+          changed = true;
+        }
+      }
+      if (defs[d].returns_auto && !prog.summaries[d].returns_async) {
+        for (const CallSite* site : return_sites[d]) {
+          if (site->callee >= 0 &&
+              prog.summaries[static_cast<std::size_t>(site->callee)]
+                  .returns_async) {
+            prog.summaries[d].returns_async = true;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Phase 2: resource effects. Each round recomputes every function's
+  // effects with the current callee summaries substituted at call sites
+  // (Gauss-Seidel in def order); effects grow monotonically towards the
+  // key set reachable through the call graph, so a handful of rounds
+  // covers any realistic helper depth. Recursion simply stabilizes.
+  for (int round = 0; round < 5; ++round) {
+    bool changed = false;
+    for (std::size_t d = 0; d < defs.size(); ++d) {
+      const FuncDef& fd = defs[d];
+      const auto fi = static_cast<std::size_t>(fd.file);
+      const auto& toks = files[fi]->tokens();
+      const FuncScope& f =
+          scopes[fi].funcs[static_cast<std::size_t>(fd.func)];
+      const Cfg& cfg = cfgs[fi]->get(fd.func);
+      std::vector<std::vector<ResourceEventEx>> evs(cfg.blocks.size());
+      direct_events(toks, scopes[fi], fd.func, cfg,
+                    fd.params_reliable ? &f.params : nullptr, &evs);
+      substituted_events(prog.summaries, toks,
+                         prog.graph.sites(fd.file), static_cast<int>(d), cfg,
+                         &evs);
+      sort_blocks(&evs);
+      std::vector<ResourceEffect> effects =
+          effects_from_events(cfg, evs, f, fd.params_reliable);
+      if (!same_effects(effects, prog.summaries[d].resources)) {
+        prog.summaries[d].resources = std::move(effects);
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  if (!cache_path.empty()) {
+    save_cache(cache_path, files, scopes, prog.summaries);
+  }
+  return prog;
+}
+
+}  // namespace lint
