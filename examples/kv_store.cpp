@@ -48,6 +48,10 @@ int main() {
                          &st);
       if (st != apps::PutStatus::kOk) {
         std::printf("put user:%d failed: %s\n", i, apps::put_status_name(st));
+        // Bail out, but flush first: the keys already acknowledged would
+        // otherwise sit volatile in the log and vanish on a crash.
+        bool flushed = false;
+        co_await store.commit(&flushed);
         co_return;
       }
     }
@@ -66,6 +70,7 @@ int main() {
       if (st != apps::PutStatus::kOk) {
         std::printf("overwrite user:%d failed: %s\n", i,
                     apps::put_status_name(st));
+        co_await store.commit(&committed);
         co_return;
       }
     }

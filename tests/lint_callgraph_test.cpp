@@ -426,4 +426,145 @@ TEST(LintSummaryCache, HitOnSameContentMissAfterEdit) {
   std::remove(cache.c_str());
 }
 
+// The staleness case that matters for correctness: the CALLER's file is
+// byte-identical, only the callee changed. The caller's finding exists
+// purely through the callee's summary, so a cache keyed on anything less
+// than every file's content would serve the stale table and keep (or
+// miss) the finding.
+TEST(LintSummaryCache, CalleeEditRecomputesCallerFacts) {
+  const std::string cache =
+      ::testing::TempDir() + "snacc-lint-callee-edit.cache";
+  std::remove(cache.c_str());
+  const lint::AnalyzeOptions opts{.jobs = 1, .summaries = true,
+                                  .cache_path = cache};
+
+  const auto cold = analyze_texts({kHelperFile, kCallerFile}, opts);
+  EXPECT_FALSE(cold.stats.cache_hit);
+  ASSERT_EQ(cold.findings.size(), 1u);
+
+  // cf_grab now releases what it acquires (a balanced probe): the caller's
+  // leak is gone, with the caller file untouched.
+  auto balanced = kHelperFile;
+  const std::string grab = "gate->acquire();";
+  const std::string::size_type at = balanced.second.find(grab);
+  ASSERT_NE(at, std::string::npos);
+  balanced.second.insert(at + grab.size(), "\n  gate->release();");
+  const auto edited = analyze_texts({balanced, kCallerFile}, opts);
+  EXPECT_FALSE(edited.stats.cache_hit);
+  EXPECT_TRUE(edited.findings.empty());
+
+  // The edited world then warms up under its own key.
+  const auto warm = analyze_texts({balanced, kCallerFile}, opts);
+  EXPECT_TRUE(warm.stats.cache_hit);
+  EXPECT_TRUE(warm.findings.empty());
+
+  std::remove(cache.c_str());
+}
+
+// A corrupt or truncated cache file must behave exactly like no cache:
+// recompute, report the same findings, and leave a loadable table behind.
+TEST(LintSummaryCache, CorruptCacheRecovers) {
+  const std::string cache = ::testing::TempDir() + "snacc-lint-corrupt.cache";
+  const lint::AnalyzeOptions opts{.jobs = 1, .summaries = true,
+                                  .cache_path = cache};
+  const auto clean = analyze_texts({kHelperFile, kCallerFile},
+                                   {.jobs = 1, .summaries = true,
+                                    .cache_path = ""});
+
+  // Garbage with a valid-looking magic line, then binary noise.
+  {
+    std::FILE* f = std::fopen(cache.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("snacc-lint-cache v2\n\x01\xff not a summary table\n", f);
+    std::fclose(f);
+  }
+  const auto res = analyze_texts({kHelperFile, kCallerFile}, opts);
+  EXPECT_FALSE(res.stats.cache_hit);
+  EXPECT_EQ(res.findings, clean.findings);
+
+  // The garbage was replaced by a valid table on the way out.
+  const auto warm = analyze_texts({kHelperFile, kCallerFile}, opts);
+  EXPECT_TRUE(warm.stats.cache_hit);
+  EXPECT_EQ(warm.findings, clean.findings);
+
+  // A stale-magic (older format) file is likewise recomputed, not parsed.
+  {
+    std::FILE* f = std::fopen(cache.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("snacc-lint-cache v1\n", f);
+    std::fclose(f);
+  }
+  const auto old_magic = analyze_texts({kHelperFile, kCallerFile}, opts);
+  EXPECT_FALSE(old_magic.stats.cache_hit);
+  EXPECT_EQ(old_magic.findings, clean.findings);
+
+  std::remove(cache.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Typestate protocol effects across files, and their cache round-trip.
+
+namespace {
+const std::pair<std::string, std::string> kTsHelperFile = {
+    "src/ts_cf_helper.cpp",
+    "void ts_cf_shutdown(sim::Mailbox<int>& mb) {\n"
+    "  mb.close();\n"
+    "}\n"};
+const std::pair<std::string, std::string> kTsCallerFile = {
+    "src/ts_cf_caller.cpp",
+    "sim::Task ts_cf_racer(sim::Mailbox<int>& mb) {\n"
+    "  ts_cf_shutdown(mb);\n"
+    "  mb.push(1);\n"
+    "  co_return;\n"
+    "}\n"};
+}  // namespace
+
+TEST(LintCrossFile, TypestateEffectStepsIntoTheCalleeFile) {
+  const auto res = analyze_texts({kTsHelperFile, kTsCallerFile},
+                                 {.jobs = 1, .summaries = true,
+                                  .cache_path = ""});
+  ASSERT_EQ(res.findings.size(), 1u);
+  const lint::Finding& f = res.findings[0];
+  EXPECT_EQ(f.rule, "ts-mailbox");
+  EXPECT_EQ(f.file, "src/ts_cf_caller.cpp");
+  EXPECT_EQ(f.line, 3u);  // the push, with the close spliced from the callee
+  bool into_helper = false;
+  for (const lint::PathStep& s : f.path) {
+    if (s.file == "src/ts_cf_helper.cpp") {
+      EXPECT_EQ(s.line, 2u);  // the close() inside ts_cf_shutdown
+      into_helper = true;
+    }
+  }
+  EXPECT_TRUE(into_helper);
+
+  // And per the conservative degradation contract, the finding does not
+  // exist without the program layer.
+  const auto bare = analyze_texts({kTsHelperFile, kTsCallerFile},
+                                  {.jobs = 1, .summaries = false,
+                                   .cache_path = ""});
+  EXPECT_TRUE(bare.findings.empty());
+}
+
+// Protocol effects survive the save/load cycle: a warm (cache-hit) scan
+// reproduces the typestate finding byte-for-byte, including its cross-file
+// path steps -- the "T" records carry protocol, receiver binding, event
+// order and callee lines.
+TEST(LintSummaryCache, TypestateEffectsRoundTripThroughCache) {
+  const std::string cache = ::testing::TempDir() + "snacc-lint-ts.cache";
+  std::remove(cache.c_str());
+  const lint::AnalyzeOptions opts{.jobs = 1, .summaries = true,
+                                  .cache_path = cache};
+
+  const auto cold = analyze_texts({kTsHelperFile, kTsCallerFile}, opts);
+  EXPECT_FALSE(cold.stats.cache_hit);
+  ASSERT_EQ(cold.findings.size(), 1u);
+  EXPECT_EQ(cold.findings[0].rule, "ts-mailbox");
+
+  const auto warm = analyze_texts({kTsHelperFile, kTsCallerFile}, opts);
+  EXPECT_TRUE(warm.stats.cache_hit);
+  EXPECT_EQ(warm.findings, cold.findings);
+
+  std::remove(cache.c_str());
+}
+
 }  // namespace

@@ -1,0 +1,81 @@
+// Interprocedural typestate fixture: protocol events that happen one call
+// deep. A helper's unconditional events are recorded in its summary as a
+// protocol effect and spliced into callers at the call site; conditional
+// events poison the effect (opaque, conservative). Every positive here is
+// silent under --no-summaries: the caller-side facts literally do not
+// exist at function scope. Fixtures are scanned, not compiled.
+namespace fix {
+
+// Helper that closes the producer side -- unconditional, so its summary
+// carries the close keyed to parameter 0.
+void ts_ip_shutdown(sim::Mailbox<int>& mb) {
+  mb.close();
+}
+
+// Helper whose close is conditional: the effect is opaque and callers
+// learn nothing (conservative, like every other summary field).
+void ts_ip_maybe_shutdown(sim::Mailbox<int>& mb, bool go) {
+  if (go) {
+    mb.close();
+  }
+}
+
+// Helper that stages one record: the put is the helper's, the group
+// commit is the caller's.
+sim::Task ts_ip_stage(apps::KvStore& store) {
+  co_await store.put("k", v_, &st_);
+}
+
+// Helper that grabs one issue credit.
+void ts_ip_grab(Sem* issue_credits) {
+  issue_credits->acquire();
+}
+
+// POSITIVE: push after the helper closed the mailbox.
+sim::Task ts_ip_push_after_close(sim::Mailbox<int>& mb) {
+  ts_ip_shutdown(mb);
+  mb.push(1);
+  co_return;
+}
+
+// POSITIVE: the helper staged a put, and the no-flush branch reaches
+// function exit with the record still volatile.
+sim::Task ts_ip_stage_dirty(apps::KvStore& store, bool flush) {
+  co_await ts_ip_stage(store);
+  if (flush) {
+    co_await store.commit(&ok_);
+  }
+}
+
+// POSITIVE: the retry branch re-grabs through the helper while the first
+// credit is still held; the direct release arms the gate.
+sim::Task ts_ip_regrab(Sem* issue_credits, bool retry) {
+  ts_ip_grab(issue_credits);
+  if (retry) {
+    ts_ip_grab(issue_credits);
+  }
+  issue_credits->release();
+}
+
+// NEGATIVE (near-miss): push happens before the closing helper runs.
+sim::Task ts_ip_order_ok(sim::Mailbox<int>& mb) {
+  mb.push(2);
+  ts_ip_shutdown(mb);
+  co_return;
+}
+
+// NEGATIVE (near-miss): the helper's close is conditional, so the effect
+// is opaque and the push stays silent (conservative on ambiguity).
+sim::Task ts_ip_opaque_ok(sim::Mailbox<int>& mb, bool go) {
+  ts_ip_maybe_shutdown(mb, go);
+  mb.push(3);
+  co_return;
+}
+
+// NEGATIVE (near-miss): every path commits after the staged put.
+sim::Task ts_ip_stage_ok(apps::KvStore& store) {
+  co_await ts_ip_stage(store);
+  co_await store.commit(&ok_);
+}
+
+}  // namespace fix

@@ -1,0 +1,58 @@
+// ts-credit fixture: the streamer issue-credit discipline. A held credit
+// must be released (quarantine counts: it releases on the way out) before
+// the same path acquires again -- a second acquire on a held semaphore
+// parks the coroutine against itself. The error is gated on the function
+// also releasing the object: acquire-only bodies are one half of a
+// cross-coroutine handoff (same pairing gate as resource-pairing), and a
+// deliberate in-function handoff carries a reasoned allow() like the
+// fault-retry re-acquire in src/snacc/streamer.cpp. Fixtures are scanned,
+// not compiled.
+namespace fix {
+
+// POSITIVE: the retry branch re-acquires without releasing first.
+sim::Task cr_double_acquire(Sem* issue_credits, bool retry) {
+  issue_credits->acquire();
+  if (retry) {
+    issue_credits->acquire();
+  }
+  issue_credits->release();
+}
+
+// POSITIVE: the loop back-edge carries the held credit into the next
+// iteration's acquire; the release only happens after the loop.
+sim::Task cr_loop_reacquire(Sem* issue_credits, int n) {
+  for (int i = 0; i < n; ++i) {
+    issue_credits->acquire();
+  }
+  issue_credits->release();
+}
+
+// NEGATIVE (near-miss): release-then-reacquire is the legal window cycle.
+sim::Task cr_cycle_ok(Sem* issue_credits, int n) {
+  for (int i = 0; i < n; ++i) {
+    issue_credits->acquire();
+    issue_credits->release();
+  }
+}
+
+// NEGATIVE (near-miss): acquire-only handoff -- the completion path
+// releases this credit in another coroutine, so the gate never arms even
+// though the loop re-acquires while (from this function's view) held.
+sim::Task cr_handoff_ok(Sem* issue_credits, int n) {
+  for (int i = 0; i < n; ++i) {
+    issue_credits->acquire();
+  }
+}
+
+// NEGATIVE (near-miss): an untracked receiver -- `gate` matches neither
+// the Semaphore type nor the *credit*/*mutex* globs, so the double
+// acquire is resource-pairing's business (balanced here), not ts-credit's.
+sim::Task cr_untracked_ok(Sem* gate, bool retry) {
+  gate->acquire();
+  if (retry) {
+    gate->acquire();
+  }
+  gate->release();
+}
+
+}  // namespace fix

@@ -1,0 +1,79 @@
+// ts-mailbox fixture: the Mailbox shutdown protocol. close() marks the
+// producer side done, close_rx() hangs up the consumer side; pushing after
+// either, or popping after the receive end hung up, loses values. Tracking
+// is by declared type (sim::Mailbox<...>) or receiver glob (mb, *mailbox*).
+// Fixtures are scanned, not compiled.
+namespace fix {
+
+// POSITIVE: push after the producer marked shutdown -- the value is
+// silently dropped ahead of the consumer's drain.
+sim::Task mb_push_after_close(sim::Mailbox<int>& mb) {
+  mb.close();
+  mb.push(1);
+  co_return;
+}
+
+// POSITIVE: push after this side hung up the receive end.
+sim::Task mb_push_after_hangup(sim::Mailbox<int>& mb) {
+  mb.close_rx();
+  mb.push(2);
+  co_return;
+}
+
+// POSITIVE: pop after close_rx -- nothing can arrive once the hangup
+// propagates, and the close happens only on the shutdown branch, so the
+// error is path-sensitive ("on some path").
+sim::Task mb_pop_after_hangup(sim::Mailbox<int>& mb, bool shutdown) {
+  if (shutdown) {
+    mb.close_rx();
+  }
+  co_await mb.pop();
+}
+
+// NEGATIVE (near-miss): pop after close is the legal drain -- the consumer
+// keeps draining queued values until the close marker arrives.
+sim::Task mb_drain_ok(sim::Mailbox<int>& mb) {
+  mb.close();
+  while (co_await mb.pop()) {
+  }
+}
+
+// NEGATIVE (near-miss): the push sits on the branch that did NOT close;
+// the states never meet.
+sim::Task mb_branch_ok(sim::Mailbox<int>& mb, bool done) {
+  if (done) {
+    mb.close();
+  } else {
+    mb.push(3);
+  }
+  co_return;
+}
+
+// NEGATIVE (near-miss): two distinct mailboxes -- closing one does not
+// poison the other.
+sim::Task mb_two_objects_ok(sim::Mailbox<int>& mb, sim::Mailbox<int>& mbox2) {
+  mb.close();
+  mbox2.push(4);
+  co_return;
+}
+
+// NEGATIVE (near-miss): untracked receiver -- no Mailbox declaration in
+// scope and the name matches no receiver glob, so the protocol never
+// attaches.
+sim::Task mb_untracked_ok() {
+  q_.close();
+  q_.push(5);
+  co_return;
+}
+
+// NEGATIVE (suppressed): a deliberate post-close push, e.g. racing
+// producers in a shutdown stress test; the reasoned marker consumes the
+// finding (stale-suppression stays quiet -- see SuppressionBookkeeping).
+sim::Task mb_suppressed(sim::Mailbox<int>& mb) {
+  mb.close();
+  // snacc-lint: allow(ts-mailbox): shutdown-race stress hits the drop path
+  mb.push(6);
+  co_return;
+}
+
+}  // namespace fix

@@ -1,0 +1,75 @@
+// ts-nvme-cid fixture: the command lifecycle through the reorder buffer
+// (PAPER.md Fig. 4c). A slot is allocated at submission and may be retired
+// only after its completion was observed -- complete() CQE, wait_head(),
+// or a fail_head() poison. reopen_head() re-arms the head command for a
+// retry resubmission, so a retire after it needs a fresh completion.
+// Fixtures are scanned, not compiled.
+namespace fix {
+
+// POSITIVE: retire straight after alloc -- no completion was ever
+// observed for the slot.
+sim::Task rob_blind_retire(int n) {
+  rob_.alloc();
+  rob_.retire();
+  co_return;
+}
+
+// POSITIVE: the fast path skips the completion wait, so on that path the
+// retire happens while the slot is still merely allocated.
+sim::Task rob_skip_wait(bool fast) {
+  rob_.alloc();
+  if (!fast) {
+    rob_.wait_head();
+  }
+  rob_.retire();
+  co_return;
+}
+
+// POSITIVE: reopen_head re-arms the head for resubmission; retiring
+// without a fresh completion repeats the blind retire one round later.
+sim::Task rob_retry_blind(ReorderBuffer& rob, bool again) {
+  rob.alloc();
+  rob.complete();
+  if (again) {
+    rob.reopen_head();
+  }
+  rob.retire();
+  co_return;
+}
+
+// NEGATIVE (near-miss): the three legal completions each unlock retire.
+sim::Task rob_complete_ok() {
+  rob_.alloc();
+  rob_.complete();
+  rob_.retire();
+  co_return;
+}
+
+sim::Task rob_wait_ok() {
+  rob_.alloc();
+  rob_.wait_head();
+  rob_.retire();
+  co_return;
+}
+
+sim::Task rob_poison_ok() {
+  rob_.alloc();
+  rob_.fail_head();
+  rob_.retire();
+  co_return;
+}
+
+// NEGATIVE (near-miss): the retry loop re-completes after every reopen
+// before retiring.
+sim::Task rob_retry_ok(ReorderBuffer& rob, int tries) {
+  rob.alloc();
+  rob.complete();
+  for (int i = 0; i < tries; ++i) {
+    rob.reopen_head();
+    rob.complete();
+  }
+  rob.retire();
+  co_return;
+}
+
+}  // namespace fix

@@ -4,9 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
-#include <fstream>
 #include <functional>
-#include <map>
 #include <mutex>
 #include <set>
 #include <thread>
@@ -38,17 +36,6 @@ bool lintable(const fs::path& p) {
   const std::string ext = p.extension().string();
   return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc" ||
          ext == ".hh" || ext == ".cxx";
-}
-
-std::string_view trim(std::string_view s) {
-  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
-    s.remove_prefix(1);
-  }
-  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
-                        s.back() == '\r')) {
-    s.remove_suffix(1);
-  }
-  return s;
 }
 
 /// Runs fn(i) for i in [0, n) across `jobs` worker threads. Work items are
@@ -117,15 +104,6 @@ std::vector<std::pair<std::string, std::string>> collect(
 }
 
 }  // namespace
-
-std::string baseline_key(const Finding& f, std::string_view line_text) {
-  std::string key = f.rule;
-  key += '|';
-  key += f.file;
-  key += '|';
-  key += trim(line_text);
-  return key;
-}
 
 ScanResult analyze(std::vector<std::unique_ptr<SourceFile>> files,
                    const AnalyzeOptions& opts) {
@@ -230,18 +208,7 @@ ScanResult analyze(std::vector<std::unique_ptr<SourceFile>> files,
     }
   }
 
-  // Attach the source line text needed for baseline keys while the files
-  // are still alive (findings store only file/line).
   std::sort(result.findings.begin(), result.findings.end());
-  std::map<std::string, const SourceFile*> by_rel;
-  for (const auto& f : files) by_rel[f->rel()] = f.get();
-  result.line_texts.reserve(result.findings.size());
-  for (const Finding& f : result.findings) {
-    const auto it = by_rel.find(f.file);
-    result.line_texts.push_back(
-        it == by_rel.end() ? std::string()
-                           : std::string(trim(it->second->line_text(f.line))));
-  }
   result.stats.post_ms = to_ms(now_ns() - t0);
   return result;
 }
@@ -283,60 +250,9 @@ ScanResult scan(const Options& opts) {
   aopts.cache_path = opts.cache_path;
   ScanResult analyzed = analyze(std::move(files), aopts);
   result.findings = std::move(analyzed.findings);
-  result.line_texts = std::move(analyzed.line_texts);
   result.files_scanned = analyzed.files_scanned;
   result.stats = std::move(analyzed.stats);
   result.stats.load_ms = load_ms;
-
-  if (opts.baseline_path.empty()) return result;
-
-  if (opts.update_baseline) {
-    std::ofstream out(opts.baseline_path);
-    if (!out) {
-      result.error =
-          "snacc-lint: cannot write baseline '" + opts.baseline_path + "'";
-      return result;
-    }
-    out << "# snacc-lint baseline: one `rule|file|line text` key per "
-           "grandfathered finding.\n"
-           "# Regenerate with: snacc-lint --baseline <this file> "
-           "--update-baseline <paths>\n";
-    for (std::size_t i = 0; i < result.findings.size(); ++i) {
-      out << baseline_key(result.findings[i], result.line_texts[i]) << '\n';
-    }
-    result.baseline_matched = result.findings.size();
-    result.findings.clear();
-    result.line_texts.clear();
-    return result;
-  }
-
-  std::ifstream in(opts.baseline_path);
-  if (!in) {
-    result.error =
-        "snacc-lint: cannot read baseline '" + opts.baseline_path + "'";
-    return result;
-  }
-  std::multiset<std::string> baseline;
-  for (std::string line; std::getline(in, line);) {
-    const std::string_view t = trim(line);
-    if (t.empty() || t.front() == '#') continue;
-    baseline.insert(std::string(t));
-  }
-  std::vector<Finding> kept;
-  std::vector<std::string> kept_texts;
-  for (std::size_t i = 0; i < result.findings.size(); ++i) {
-    const auto it =
-        baseline.find(baseline_key(result.findings[i], result.line_texts[i]));
-    if (it != baseline.end()) {
-      baseline.erase(it);  // consume: a key silences exactly one finding
-      ++result.baseline_matched;
-    } else {
-      kept.push_back(std::move(result.findings[i]));
-      kept_texts.push_back(std::move(result.line_texts[i]));
-    }
-  }
-  result.findings = std::move(kept);
-  result.line_texts = std::move(kept_texts);
   return result;
 }
 

@@ -5,8 +5,11 @@
 // the whole-program layer (call graph + function summaries, sequential and
 // deterministic), then run every rule over the shared token streams (in
 // parallel) with summaries available at call sites, apply suppressions,
-// report stale suppressions, subtract the baseline, and return
-// deterministically sorted findings. The summary pass can be disabled
+// report stale suppressions, and return deterministically sorted findings.
+// There is no baseline mechanism: the tree lints clean (zero findings) and
+// deliberate exceptions carry inline reasoned `allow()` markers -- see
+// docs/STATIC_ANALYSIS.md "Zero-finding policy". The summary pass can be
+// disabled
 // (`--no-summaries`), which degrades every rule to its intraprocedural
 // behaviour -- strictly less precise, never differently wrong.
 #pragma once
@@ -23,8 +26,6 @@ namespace lint {
 
 struct Options {
   std::vector<std::string> roots;  // directories (recursed) or single files
-  std::string baseline_path;       // empty: no baseline
-  bool update_baseline = false;    // rewrite baseline_path from this scan
   unsigned jobs = 0;               // 0: hardware concurrency
   bool summaries = true;           // build the interprocedural layer
   std::string cache_path;          // summary cache file; empty: no cache
@@ -49,13 +50,9 @@ struct ScanStats {
 };
 
 struct ScanResult {
-  std::vector<Finding> findings;  // sorted; after suppressions + baseline
-  /// Trimmed source text of each finding's line, parallel to `findings`
-  /// (captured while the files are loaded; feeds baseline keys).
-  std::vector<std::string> line_texts;
+  std::vector<Finding> findings;  // sorted; after suppressions
   std::size_t files_scanned = 0;
-  std::size_t baseline_matched = 0;  // findings absorbed by the baseline
-  std::string error;                 // non-empty: scan failed (I/O, bad root)
+  std::string error;  // non-empty: scan failed (I/O, bad root)
   ScanStats stats;
 };
 
@@ -71,16 +68,11 @@ ScanResult scan(const Options& opts);
 
 /// Core analysis over already-loaded files; exposed so tests can lint
 /// in-memory buffers. Consumes `files`. Applies suppressions and the stale
-/// check but no baseline.
+/// check.
 ScanResult analyze(std::vector<std::unique_ptr<SourceFile>> files,
                    const AnalyzeOptions& opts);
 /// Back-compat shorthand: summaries on, no cache.
 ScanResult analyze(std::vector<std::unique_ptr<SourceFile>> files,
                    unsigned jobs);
-
-/// Baseline key for a finding: `rule|file|<trimmed source line text>`.
-/// Line-text keyed (not line-number keyed) so unrelated edits above a
-/// grandfathered finding do not invalidate the baseline.
-std::string baseline_key(const Finding& f, std::string_view line_text);
 
 }  // namespace lint

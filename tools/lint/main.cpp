@@ -28,11 +28,6 @@ void usage(std::FILE* to) {
       "\n"
       "options:\n"
       "  --sarif <file>       also write findings as SARIF 2.1.0\n"
-      "  --baseline <file>    subtract grandfathered findings listed in "
-      "<file>\n"
-      "  --update-baseline    rewrite the --baseline file from this scan and\n"
-      "                       exit 0 (the scan's findings become the "
-      "baseline)\n"
       "  --jobs <n>           scan with n threads (default: hardware)\n"
       "  --no-summaries       skip the whole-program pass (call graph +\n"
       "                       function summaries); interprocedural rules\n"
@@ -41,8 +36,44 @@ void usage(std::FILE* to) {
       "                       per-file content hashes (all-or-nothing)\n"
       "  --stats              print per-phase / per-rule wall-time and\n"
       "                       call-graph counters to stderr\n"
+      "  --bench-json <file>  write the scan's timings and counters as a\n"
+      "                       BENCH_*.json-shaped perf artifact\n"
       "  --list-rules         print the rule catalog and exit\n"
       "  -h, --help           this message\n");
+}
+
+/// Writes the scan stats in the shape the bench harnesses emit (see
+/// bench/bench_common.hpp JsonReport): a "bench" tag, integer run-shape
+/// fields, then a flat "metrics" object -- so the lint scan's own wall
+/// time joins the perf trajectory next to the BENCH_*.json artifacts.
+bool write_bench_json(const std::string& path, const lint::ScanResult& r) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const lint::ScanStats& st = r.stats;
+  std::fprintf(f, "{\n  \"bench\": \"lint\",");
+  std::fprintf(f, "\n  \"files_scanned\": %zu,", r.files_scanned);
+  std::fprintf(f, "\n  \"findings\": %zu,", r.findings.size());
+  std::fprintf(f, "\n  \"defs\": %zu,", st.defs);
+  std::fprintf(f, "\n  \"call_sites\": %zu,", st.call_sites);
+  std::fprintf(f, "\n  \"resolved_calls\": %zu,", st.resolved_calls);
+  std::fprintf(f, "\n  \"summaries\": %d,", st.summaries ? 1 : 0);
+  std::fprintf(f, "\n  \"cache_hit\": %d,", st.cache_hit ? 1 : 0);
+  std::fprintf(f, "\n  \"metrics\": {");
+  std::fprintf(f, "\n    \"load_ms\": %.3f,", st.load_ms);
+  std::fprintf(f, "\n    \"scope_ms\": %.3f,", st.scope_ms);
+  std::fprintf(f, "\n    \"summary_ms\": %.3f,", st.summary_ms);
+  std::fprintf(f, "\n    \"rules_ms\": %.3f,", st.rules_ms);
+  std::fprintf(f, "\n    \"post_ms\": %.3f", st.post_ms);
+  for (const auto& [rule, ms] : st.rule_ms) {
+    std::string key = "rule_" + rule + "_ms";
+    for (char& c : key) {
+      if (c == '-') c = '_';
+    }
+    std::fprintf(f, ",\n    \"%s\": %.3f", key.c_str(), ms);
+  }
+  std::fprintf(f, "\n  }\n}\n");
+  std::fclose(f);
+  return true;
 }
 
 }  // namespace
@@ -50,6 +81,7 @@ void usage(std::FILE* to) {
 int main(int argc, char** argv) {
   lint::Options opts;
   std::string sarif_path;
+  std::string bench_json_path;
   bool show_stats = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -73,10 +105,8 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--sarif") {
       sarif_path = next("--sarif");
-    } else if (arg == "--baseline") {
-      opts.baseline_path = next("--baseline");
-    } else if (arg == "--update-baseline") {
-      opts.update_baseline = true;
+    } else if (arg == "--bench-json") {
+      bench_json_path = next("--bench-json");
     } else if (arg == "--no-summaries") {
       opts.summaries = false;
     } else if (arg == "--summary-cache") {
@@ -111,11 +141,6 @@ int main(int argc, char** argv) {
     usage(stderr);
     return 2;
   }
-  if (opts.update_baseline && opts.baseline_path.empty()) {
-    std::fprintf(stderr,
-                 "snacc-lint: --update-baseline requires --baseline <file>\n");
-    return 2;
-  }
 
   const lint::ScanResult result = lint::scan(opts);
   if (!result.error.empty()) {
@@ -127,12 +152,8 @@ int main(int argc, char** argv) {
     std::printf("%s:%u: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
                 f.message.c_str());
   }
-  std::printf("snacc-lint: %zu file(s) scanned, %zu finding(s)",
+  std::printf("snacc-lint: %zu file(s) scanned, %zu finding(s)\n",
               result.files_scanned, result.findings.size());
-  if (result.baseline_matched > 0) {
-    std::printf(", %zu baselined", result.baseline_matched);
-  }
-  std::printf("\n");
 
   if (show_stats) {
     const lint::ScanStats& st = result.stats;
@@ -164,6 +185,12 @@ int main(int argc, char** argv) {
       return 2;
     }
     out << lint::to_sarif(result.findings, &result.stats);
+  }
+  if (!bench_json_path.empty() &&
+      !write_bench_json(bench_json_path, result)) {
+    std::fprintf(stderr, "snacc-lint: cannot write '%s'\n",
+                 bench_json_path.c_str());
+    return 2;
   }
   return result.findings.empty() ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 
 #include "lint/rules.hpp"
 #include "lint/summary.hpp"
+#include "lint/typestate.hpp"
 
 namespace lint {
 
@@ -577,7 +578,8 @@ class CrossDomainTouch final : public Rule {
 
 }  // namespace
 
-// Defined in rules_coro.cpp / rule_value_escape.cpp / rules_flow.cpp.
+// Defined in rules_coro.cpp / rule_value_escape.cpp / rules_flow.cpp /
+// typestate.cpp.
 std::unique_ptr<Rule> make_dangling_capture();
 std::unique_ptr<Rule> make_discarded_async();
 std::unique_ptr<Rule> make_value_escape();
@@ -603,6 +605,7 @@ const std::vector<std::unique_ptr<Rule>>& all_rules() {
     r.push_back(make_use_after_move());
     r.push_back(make_unchecked_status_path());
     r.push_back(make_summary_leak());
+    for (auto& ts : make_typestate_rules()) r.push_back(std::move(ts));
     return r;
   }();
   return kRules;

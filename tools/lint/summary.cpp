@@ -6,8 +6,11 @@
 #include <sstream>
 #include <string>
 
+#include <set>
+
 #include "lint/dataflow.hpp"
 #include "lint/rules.hpp"
+#include "lint/typestate.hpp"
 
 namespace lint {
 
@@ -132,6 +135,234 @@ void substituted_events(const std::vector<FuncSummary>& sums,
   }
 }
 
+// --- typestate events ------------------------------------------------------
+
+/// Collects identifiers declared in [lo, hi) with one of the protocol's
+/// type names: `TypeName [<...>] [&|&&|*]* name` followed by a declarator
+/// terminator. Handles both parameter lists (`sim::Mailbox<int>& mb,`) and
+/// body-local declarations (`KvStore store(dev);`).
+void collect_typed_objects(const std::vector<Token>& toks, std::size_t lo,
+                           std::size_t hi, const TsProtocol& p,
+                           std::set<std::string_view>* out) {
+  hi = std::min(hi, toks.size());
+  for (std::size_t i = lo; i < hi; ++i) {
+    if (toks[i].kind != Tok::kIdent) continue;
+    bool is_type = false;
+    for (const std::string_view t : p.type_names) is_type |= toks[i].text == t;
+    if (!is_type) continue;
+    std::size_t j = i + 1;
+    if (j < hi && toks[j].is("<")) {
+      int depth = 1;
+      ++j;
+      while (j < hi && depth > 0) {
+        if (toks[j].is("<")) ++depth;
+        else if (toks[j].is(">")) --depth;
+        else if (toks[j].is(">>")) depth -= 2;
+        else if (toks[j].is(";")) break;  // comparison, not a template
+        ++j;
+      }
+      if (depth > 0) continue;
+    }
+    while (j < hi && (toks[j].is("&") || toks[j].is("&&") || toks[j].is("*")))
+      ++j;
+    if (j >= hi || toks[j].kind != Tok::kIdent) continue;
+    if (j + 1 < toks.size() &&
+        (toks[j + 1].is(";") || toks[j + 1].is("=") || toks[j + 1].is("{") ||
+         toks[j + 1].is("(") || toks[j + 1].is(",") || toks[j + 1].is(")"))) {
+      out->insert(toks[j].text);
+    }
+  }
+}
+
+/// Direct `recv.verb()` typestate events of one function for one protocol,
+/// attributed to CFG blocks. A receiver is tracked when its declared type
+/// matches (parameter list or body-local declaration) or a receiver glob
+/// matches.
+void direct_ts_events(const std::vector<Token>& toks, const ScopeInfo& scopes,
+                      int func_idx, const Cfg& cfg, std::size_t p_idx,
+                      std::vector<std::vector<TsEventRef>>* evs) {
+  const TsProtocol& p = typestate_protocols()[p_idx];
+  const FuncScope& f = scopes.funcs[static_cast<std::size_t>(func_idx)];
+  const auto nested = child_ranges(scopes, func_idx);
+  std::set<std::string_view> typed;
+  if (f.param_open != SIZE_MAX && f.param_close != SIZE_MAX) {
+    collect_typed_objects(toks, f.param_open + 1, f.param_close + 1, p,
+                          &typed);
+  }
+  collect_typed_objects(toks, f.body_begin + 1, f.body_end, p, &typed);
+  const auto tracked = [&](std::string_view recv) {
+    if (typed.count(recv) != 0) return true;
+    for (const std::string_view g : p.recv_globs) {
+      if (glob_match(g, recv)) return true;
+    }
+    return false;
+  };
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    const CfgBlock& blk = cfg.blocks[b];
+    const std::size_t hi = std::min(blk.end, toks.size());
+    for (std::size_t i = blk.begin; i + 3 < toks.size() && i < hi; ++i) {
+      if (in_ranges(nested, i)) continue;
+      if (toks[i].kind != Tok::kIdent) continue;
+      if (!toks[i + 1].is(".") && !toks[i + 1].is("->")) continue;
+      if (toks[i + 2].kind != Tok::kIdent || !toks[i + 3].is("(")) continue;
+      int ev = -1;
+      for (std::size_t e = 0; e < p.events.size(); ++e) {
+        if (toks[i + 2].text == p.events[e]) ev = static_cast<int>(e);
+      }
+      if (ev < 0 || !tracked(toks[i].text)) continue;
+      (*evs)[b].push_back(
+          {p_idx, ev, std::string(toks[i].text), toks[i].line, i, -1, 0});
+    }
+  }
+}
+
+/// Protocol effects of resolved callees spliced in at call sites. The
+/// receiver substitutes like resource effects do (parameter-keyed effects
+/// take the caller's argument root identifier); tracking is trusted -- the
+/// callee established the object's type, so the caller needs no glob match.
+void substituted_ts_events(const std::vector<FuncSummary>& sums,
+                           const std::vector<Token>& toks,
+                           const std::vector<CallSite>& fsites, int def_id,
+                           const Cfg& cfg, std::size_t p_idx,
+                           std::vector<std::vector<TsEventRef>>* evs) {
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    const CfgBlock& blk = cfg.blocks[b];
+    if (blk.end <= blk.begin) continue;
+    for (const CallSite& site : fsites) {
+      if (site.caller != def_id || site.callee < 0) continue;
+      if (site.name_tok < blk.begin || site.name_tok >= blk.end) continue;
+      const FuncSummary& cs = sums[static_cast<std::size_t>(site.callee)];
+      for (const ProtocolEffect& e : cs.protocols) {
+        if (e.protocol != p_idx) continue;
+        std::string recv;
+        if (e.recv_param >= 0) {
+          if (static_cast<std::size_t>(e.recv_param) >= site.args.size()) {
+            continue;
+          }
+          const std::string_view r = root_ident(
+              toks, site.args[static_cast<std::size_t>(e.recv_param)]);
+          if (r.empty()) continue;
+          recv = std::string(r);
+        } else {
+          recv = e.recv;
+        }
+        for (std::size_t k = 0; k < e.events.size(); ++k) {
+          (*evs)[b].push_back({p_idx, e.events[k], recv, site.line,
+                               site.name_tok, site.callee, e.lines[k]});
+        }
+      }
+    }
+  }
+}
+
+void sort_ts_blocks(std::vector<std::vector<TsEventRef>>* evs) {
+  for (auto& v : *evs) {
+    std::stable_sort(v.begin(), v.end(),
+                     [](const TsEventRef& a, const TsEventRef& b) {
+                       return a.tok < b.tok;
+                     });
+  }
+}
+
+/// Blocks that lie on *every* entry-to-exit path and inside *no* cycle --
+/// the only blocks whose events a ProtocolEffect may record (anything
+/// conditional or repeated has no fixed order to splice into a caller).
+/// All-false when the exit is unreachable (a `while (true)` pump: callers
+/// never observe its events completing).
+std::vector<bool> mandatory_acyclic(const Cfg& cfg) {
+  const auto n = cfg.blocks.size();
+  std::vector<bool> out(n, false);
+  const auto reaches = [&](int from, int to, int skip) {
+    if (from == skip) return false;
+    std::vector<bool> seen(n, false);
+    std::vector<int> work{from};
+    seen[static_cast<std::size_t>(from)] = true;
+    while (!work.empty()) {
+      const int b = work.back();
+      work.pop_back();
+      if (b == to) return true;
+      for (const int s : cfg.block(b).succ) {
+        if (s == skip || seen[static_cast<std::size_t>(s)]) continue;
+        seen[static_cast<std::size_t>(s)] = true;
+        work.push_back(s);
+      }
+    }
+    return false;
+  };
+  if (!reaches(cfg.entry, cfg.exit, -1)) return out;
+  for (std::size_t b = 0; b < n; ++b) {
+    const int bi = static_cast<int>(b);
+    if (!reaches(cfg.entry, bi, -1)) continue;
+    // Mandatory: removing the block disconnects entry from exit.
+    if (bi != cfg.entry && bi != cfg.exit && reaches(cfg.entry, cfg.exit, bi)) {
+      continue;
+    }
+    // Acyclic: the block cannot reach itself.
+    bool cyclic = false;
+    for (const int s : cfg.block(bi).succ) cyclic |= reaches(s, bi, -1);
+    out[b] = !cyclic;
+  }
+  return out;
+}
+
+constexpr std::size_t kMaxProtocolEvents = 8;
+
+/// Folds per-block typestate events into ProtocolEffects: one per receiver
+/// whose events are all in mandatory acyclic blocks (fixed order), capped.
+void effects_from_ts_events(const Cfg& cfg, const std::vector<bool>& mand,
+                            const std::vector<std::vector<TsEventRef>>& evs,
+                            std::size_t p_idx, const FuncScope& f,
+                            bool params_reliable,
+                            std::vector<ProtocolEffect>* out) {
+  std::map<std::string, std::vector<const TsEventRef*>> by_recv;
+  std::set<std::string> opaque;
+  for (std::size_t b = 0; b < evs.size(); ++b) {
+    for (const TsEventRef& e : evs[b]) {
+      if (mand[b]) {
+        by_recv[e.recv].push_back(&e);
+      } else {
+        opaque.insert(e.recv);  // a conditional event poisons the whole key
+      }
+    }
+  }
+  for (auto& [recv, refs] : by_recv) {
+    if (opaque.count(recv) != 0 || refs.size() > kMaxProtocolEvents) continue;
+    std::stable_sort(refs.begin(), refs.end(),
+                     [](const TsEventRef* a, const TsEventRef* b) {
+                       return a->tok < b->tok;
+                     });
+    ProtocolEffect e;
+    e.protocol = p_idx;
+    e.recv = recv;
+    for (const TsEventRef* r : refs) {
+      e.events.push_back(r->event);
+      e.lines.push_back(r->line);
+    }
+    if (params_reliable) {
+      for (std::size_t pi = 0; pi < f.params.size(); ++pi) {
+        if (f.params[pi].name == recv) {
+          e.recv_param = static_cast<int>(pi);
+          break;
+        }
+      }
+    }
+    out->push_back(std::move(e));
+  }
+}
+
+bool same_protocol_effects(const std::vector<ProtocolEffect>& a,
+                           const std::vector<ProtocolEffect>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].protocol != b[i].protocol ||
+        a[i].recv_param != b[i].recv_param || a[i].recv != b[i].recv ||
+        a[i].events != b[i].events) {
+      return false;
+    }
+  }
+  return true;
+}
+
 void sort_blocks(std::vector<std::vector<ResourceEventEx>>* evs) {
   for (auto& v : *evs) {
     std::stable_sort(v.begin(), v.end(),
@@ -234,7 +465,7 @@ std::uint64_t fnv1a(std::string_view s) {
   return h;
 }
 
-constexpr std::string_view kCacheMagic = "snacc-lint-cache v1";
+constexpr std::string_view kCacheMagic = "snacc-lint-cache v2";
 
 bool load_cache(const std::string& path,
                 const std::vector<const SourceFile*>& files,
@@ -267,8 +498,8 @@ bool load_cache(const std::string& path,
   for (std::size_t d = 0; d < ndefs; ++d) {
     std::string tag;
     int coro = 0, async = 0, susp = 0;
-    std::size_t nres = 0, nparams = 0;
-    if (!(in >> tag >> coro >> async >> susp >> nres >> nparams) ||
+    std::size_t nres = 0, nparams = 0, nproto = 0;
+    if (!(in >> tag >> coro >> async >> susp >> nres >> nparams >> nproto) ||
         tag != "D") {
       return false;
     }
@@ -301,6 +532,23 @@ bool load_cache(const std::string& path,
       p.status_checked = c != 0;
       p.touched = t != 0;
     }
+    s.protocols.resize(nproto);
+    for (ProtocolEffect& e : s.protocols) {
+      std::size_t nev = 0;
+      if (!(in >> tag >> e.protocol >> e.recv_param >> nev) || tag != "T" ||
+          nev > kMaxProtocolEvents) {
+        return false;
+      }
+      e.events.resize(nev);
+      e.lines.resize(nev);
+      for (int& ev : e.events) {
+        if (!(in >> ev)) return false;
+      }
+      for (std::uint32_t& ln : e.lines) {
+        if (!(in >> ln)) return false;
+      }
+      if (!(in >> e.recv)) return false;
+    }
   }
   *out = std::move(sums);
   return true;
@@ -320,7 +568,7 @@ void save_cache(const std::string& path,
   for (const FuncSummary& s : sums) {
     out << "D " << int(s.is_coroutine) << ' ' << int(s.returns_async) << ' '
         << int(s.suspends_forever) << ' ' << s.resources.size() << ' '
-        << s.params.size() << '\n';
+        << s.params.size() << ' ' << s.protocols.size() << '\n';
     for (const ResourceEffect& e : s.resources) {
       out << "R " << e.row << ' ' << e.recv_param << ' '
           << int(e.may_acquire) << ' ' << int(e.may_release) << ' '
@@ -332,6 +580,13 @@ void save_cache(const std::string& path,
           << ' ' << int(p.status_checked) << ' ' << int(p.touched) << ' '
           << p.touch_def << ' ' << p.touch_line << ' ' << p.write_line
           << '\n';
+    }
+    for (const ProtocolEffect& e : s.protocols) {
+      out << "T " << e.protocol << ' ' << e.recv_param << ' '
+          << e.events.size();
+      for (const int ev : e.events) out << ' ' << ev;
+      for (const std::uint32_t ln : e.lines) out << ' ' << ln;
+      out << ' ' << e.recv << '\n';
     }
   }
 }
@@ -459,6 +714,22 @@ std::vector<std::vector<ResourceEventEx>> resource_events(
   return evs;
 }
 
+std::vector<std::vector<TsEventRef>> typestate_events(
+    const ProgramInfo* prog, int file, const SourceFile& sf,
+    const ScopeInfo& scopes, const Cfg& cfg, int func_idx,
+    std::size_t protocol) {
+  std::vector<std::vector<TsEventRef>> evs(cfg.blocks.size());
+  direct_ts_events(sf.tokens(), scopes, func_idx, cfg, protocol, &evs);
+  if (prog != nullptr) {
+    const int def_id = prog->graph.def_of(file, func_idx);
+    substituted_ts_events(prog->summaries, sf.tokens(),
+                          prog->graph.sites(file), def_id, cfg, protocol,
+                          &evs);
+    sort_ts_blocks(&evs);
+  }
+  return evs;
+}
+
 ProgramInfo build_program(const std::vector<const SourceFile*>& files,
                           const std::vector<ScopeInfo>& scopes,
                           const std::vector<const CfgCache*>& cfgs,
@@ -571,11 +842,15 @@ ProgramInfo build_program(const std::vector<const SourceFile*>& files,
     if (!changed) break;
   }
 
-  // Phase 2: resource effects. Each round recomputes every function's
-  // effects with the current callee summaries substituted at call sites
-  // (Gauss-Seidel in def order); effects grow monotonically towards the
-  // key set reachable through the call graph, so a handful of rounds
-  // covers any realistic helper depth. Recursion simply stabilizes.
+  // Phase 2: resource + protocol effects. Each round recomputes every
+  // function's effects with the current callee summaries substituted at
+  // call sites (Gauss-Seidel in def order); effects grow monotonically
+  // towards the key set reachable through the call graph, so a handful of
+  // rounds covers any realistic helper depth. Recursion simply stabilizes
+  // (protocol effects additionally cap sequence length, so a pathological
+  // self-growing recursion drops to opaque instead of oscillating).
+  const std::size_t nproto = typestate_protocols().size();
+  std::vector<std::vector<bool>> mand(defs.size());
   for (int round = 0; round < 5; ++round) {
     bool changed = false;
     for (std::size_t d = 0; d < defs.size(); ++d) {
@@ -596,6 +871,27 @@ ProgramInfo build_program(const std::vector<const SourceFile*>& files,
           effects_from_events(cfg, evs, f, fd.params_reliable);
       if (!same_effects(effects, prog.summaries[d].resources)) {
         prog.summaries[d].resources = std::move(effects);
+        changed = true;
+      }
+
+      std::vector<ProtocolEffect> proto_effects;
+      for (std::size_t p = 0; p < nproto; ++p) {
+        std::vector<std::vector<TsEventRef>> tevs(cfg.blocks.size());
+        direct_ts_events(toks, scopes[fi], fd.func, cfg, p, &tevs);
+        substituted_ts_events(prog.summaries, toks,
+                              prog.graph.sites(fd.file), static_cast<int>(d),
+                              cfg, p, &tevs);
+        sort_ts_blocks(&tevs);
+        bool any = false;
+        for (const auto& v : tevs) any = any || !v.empty();
+        if (!any) continue;
+        if (mand[d].empty()) mand[d] = mandatory_acyclic(cfg);
+        effects_from_ts_events(cfg, mand[d], tevs, p, f, fd.params_reliable,
+                               &proto_effects);
+      }
+      if (!same_protocol_effects(proto_effects,
+                                 prog.summaries[d].protocols)) {
+        prog.summaries[d].protocols = std::move(proto_effects);
         changed = true;
       }
     }

@@ -64,6 +64,23 @@ struct ParamEffect {
   std::uint32_t write_line = 0;
 };
 
+/// Typestate events a function performs on one tracked object, in program
+/// order -- the protocol-effect field of the summary. Only *unconditional*
+/// sequences are recorded: every event lies in a block that is on every
+/// entry-to-exit path and in no cycle, so the order is fixed and a caller
+/// can splice the sequence in at the call site. Anything conditional,
+/// looped, or longer than a small cap makes the whole key opaque (the
+/// exact same conservative-on-ambiguity policy the resource effects use).
+struct ProtocolEffect {
+  std::size_t protocol = 0;  ///< typestate_protocols() index
+  /// Receiver is the function's parameter #recv_param; -1 for a named
+  /// receiver (member/global), which substitutes into callers textually.
+  int recv_param = -1;
+  std::string recv;         ///< receiver identifier as written
+  std::vector<int> events;  ///< protocol event ids, in execution order
+  std::vector<std::uint32_t> lines;  ///< parallel to `events`, for code flows
+};
+
 struct FuncSummary {
   bool is_coroutine = false;
   bool returns_async = false;
@@ -71,6 +88,7 @@ struct FuncSummary {
   std::vector<ResourceEffect> resources;
   /// Parallel to the FuncScope's params; empty when params are unreliable.
   std::vector<ParamEffect> params;
+  std::vector<ProtocolEffect> protocols;
 };
 
 struct ProgramInfo {
@@ -111,5 +129,26 @@ struct ResourceEventEx {
 std::vector<std::vector<ResourceEventEx>> resource_events(
     const ProgramInfo* prog, int file, const SourceFile& sf,
     const ScopeInfo& scopes, const Cfg& cfg, int func_idx);
+
+/// One typestate event attributed to a CFG block: a direct `recv.verb()`
+/// call on a tracked object, or a callee's ProtocolEffect spliced in at a
+/// call site (callee_def >= 0, with the event's line inside that callee).
+struct TsEventRef {
+  std::size_t protocol = 0;
+  int event = 0;
+  std::string recv;  ///< caller-side receiver identifier
+  std::uint32_t line = 0;
+  std::size_t tok = 0;  ///< ordering position within the block
+  int callee_def = -1;
+  std::uint32_t callee_line = 0;
+};
+
+/// Per-CFG-block typestate events of `scopes.funcs[func_idx]` for one
+/// protocol table. Same degradation contract as resource_events: with
+/// `prog == nullptr` only direct events appear (`--no-summaries`).
+std::vector<std::vector<TsEventRef>> typestate_events(
+    const ProgramInfo* prog, int file, const SourceFile& sf,
+    const ScopeInfo& scopes, const Cfg& cfg, int func_idx,
+    std::size_t protocol);
 
 }  // namespace lint
